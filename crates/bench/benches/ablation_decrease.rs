@@ -1,0 +1,62 @@
+//! **Ablation** — the LP decrease policy (paper §4: halving, because the
+//! minimal-LP problem is NP-complete; §5 attributes Fig. 6's early finish
+//! to the slow decrease).
+//!
+//! Runs the Fig. 7 scenario (goal 10.5 s — plenty of slack, so decreases
+//! matter) under `Halve`, `Never` and `ToMinimal`.
+
+use std::sync::Arc;
+
+use askel_bench::{PaperScenarios, ScenarioParams};
+use askel_core::{AutonomicController, ControllerConfig, DecreasePolicy, FnActuator};
+use askel_sim::SimEngine;
+use askel_skeletons::TimeNs;
+
+fn main() {
+    let params = ScenarioParams::default();
+    let goal = TimeNs::from_millis(10_500);
+    println!("# Ablation: decrease policy (Fig. 7 scenario, goal 10.5s)");
+    println!("# policy\twct(s)\tpeak_active\tfinal_lp\tdecreases\tgoal_met");
+    for (name, policy) in [
+        ("halve", DecreasePolicy::Halve),
+        ("never", DecreasePolicy::Never),
+        ("to-minimal", DecreasePolicy::ToMinimal),
+    ] {
+        let scenarios = PaperScenarios::new(params.clone());
+        let mut sim = SimEngine::new(params.initial_lp, scenarios.cost_model());
+        let lp_control = sim.lp_control();
+        let mut config = ControllerConfig::new(goal, params.max_lp)
+            .initial_lp(params.initial_lp)
+            .decrease(policy)
+            .decrease_cooldown(params.decrease_cooldown)
+            .raise_headroom(params.raise_headroom)
+            .decrease_safety(params.decrease_safety)
+            .raise(params.raise_policy);
+        for (m, canonical) in scenarios.program.shared_muscle_aliases() {
+            config = config.alias(m, canonical);
+        }
+        let controller = AutonomicController::new(
+            scenarios.program.skel.node().clone(),
+            config,
+            Arc::new(FnActuator(move |lp| lp_control.request(lp))),
+        );
+        sim.registry().add_listener(controller.clone());
+        let out = sim
+            .run(&scenarios.program.skel, scenarios.corpus_clone())
+            .expect("ablation run failed");
+        assert_eq!(&out.result, scenarios.expected_counts());
+        let decreases = controller
+            .decisions()
+            .iter()
+            .filter(|d| d.to_lp < d.from_lp)
+            .count();
+        println!(
+            "{name}\t{:.2}\t{}\t{}\t{}\t{}",
+            out.wct.as_secs_f64(),
+            sim.telemetry().peak_active(),
+            sim.lp(),
+            decreases,
+            out.wct <= goal,
+        );
+    }
+}

@@ -1,0 +1,80 @@
+//! **Extension bench** — distributed execution (the paper's §4/§6 future
+//! work): the same centralised controller scales a heterogeneous cluster.
+//! Sweep the remote round-trip latency and watch the controller allocate
+//! *more remote workers* to hold the same WCT goal.
+
+use std::sync::Arc;
+
+use askel_core::{AutonomicController, ControllerConfig, FnActuator};
+use askel_dist::{Cluster, NodeSpec};
+use askel_sim::cost::TableCost;
+use askel_sim::SimEngine;
+use askel_skeletons::{map, seq, MuscleRole, Skel, TimeNs};
+
+fn fan() -> Skel<Vec<i64>, i64> {
+    map(
+        |v: Vec<i64>| v.into_iter().map(|x| vec![x]).collect::<Vec<_>>(),
+        seq(|v: Vec<i64>| v[0]),
+        |p: Vec<i64>| p.into_iter().sum::<i64>(),
+    )
+}
+
+fn main() {
+    let children = 24usize;
+    let fe = TimeNs::from_secs(2);
+    let goal = TimeNs::from_secs(10);
+    println!("# Distributed scaling: {children} × {fe} tasks, goal {goal}, 2 local + 22 remote slots");
+    println!("# round_trip(ms)\twct(s)\tpeak_workers\tgoal_met\tnodes(enabled/provisioned)");
+    for rt_ms in [0u64, 200, 500, 1_000] {
+        let program = fan();
+        let ids = program.node().collect_muscles();
+        let mut cost = TableCost::new(TimeNs::from_millis(20));
+        for m in &ids {
+            if m.id.role == MuscleRole::Execute {
+                cost.set(m.id, fe);
+            }
+        }
+        let cluster = Cluster::new(vec![
+            NodeSpec::local("master", 2),
+            NodeSpec::remote("remote", 22, TimeNs::from_millis(rt_ms)),
+        ])
+        .with_capacity(1);
+        let mut sim = SimEngine::with_workers(Box::new(cluster), Arc::new(cost));
+        let lp = sim.lp_control();
+        let controller = AutonomicController::new(
+            program.node().clone(),
+            ControllerConfig::new(goal, 24).initial_lp(1),
+            Arc::new(FnActuator(move |n| lp.request(n))),
+        );
+        controller.with_estimates(|est| {
+            for m in &ids {
+                let d = if m.id.role == MuscleRole::Execute {
+                    fe
+                } else {
+                    TimeNs::from_millis(20)
+                };
+                est.init_duration(m.id, d);
+                if m.id.role == MuscleRole::Split {
+                    est.init_cardinality(m.id, children as f64);
+                }
+            }
+        });
+        sim.registry().add_listener(controller.clone());
+        let input: Vec<i64> = (1..=children as i64).collect();
+        let out = sim.run(&program, input).expect("dist run failed");
+        let peak = controller
+            .decisions()
+            .iter()
+            .map(|d| d.to_lp)
+            .max()
+            .unwrap_or(1);
+        println!(
+            "{rt_ms}\t{:.2}\t{}\t{}\t-",
+            out.wct.as_secs_f64(),
+            peak,
+            out.wct <= goal,
+        );
+        assert!(out.wct <= goal, "goal missed at round-trip {rt_ms}ms");
+    }
+    println!("# higher latency ⇒ the controller provisions more remote workers to hold the goal");
+}

@@ -1,0 +1,76 @@
+//! Threaded-engine micro-bench: skeleton interpretation overhead versus
+//! the sequential reference interpreter, per kind.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use askel_engine::Engine;
+use askel_skeletons::{dac, map, seq, sfor, Skel};
+
+fn map_program() -> Skel<Vec<i64>, i64> {
+    map(
+        |v: Vec<i64>| v.chunks(16).map(|c| c.to_vec()).collect::<Vec<_>>(),
+        seq(|v: Vec<i64>| v.iter().sum::<i64>()),
+        |parts: Vec<i64>| parts.into_iter().sum::<i64>(),
+    )
+}
+
+fn dac_program() -> Skel<Vec<i64>, Vec<i64>> {
+    dac(
+        |v: &Vec<i64>| v.len() > 64,
+        |v: Vec<i64>| {
+            let mid = v.len() / 2;
+            let (a, b) = v.split_at(mid);
+            vec![a.to_vec(), b.to_vec()]
+        },
+        seq(|mut v: Vec<i64>| {
+            v.sort_unstable();
+            v
+        }),
+        |parts: Vec<Vec<i64>>| {
+            let mut out: Vec<i64> = parts.into_iter().flatten().collect();
+            out.sort_unstable();
+            out
+        },
+    )
+}
+
+fn bench_map(c: &mut Criterion) {
+    let program = map_program();
+    let input: Vec<i64> = (0..512).collect();
+    c.bench_function("map_512_sequential_reference", |b| {
+        b.iter(|| program.apply(input.clone()))
+    });
+    let engine = Engine::new(2);
+    engine.pool().telemetry().set_recording(false);
+    c.bench_function("map_512_threaded_engine_lp2", |b| {
+        b.iter(|| engine.submit(&program, input.clone()).get().unwrap())
+    });
+    engine.shutdown();
+}
+
+fn bench_dac(c: &mut Criterion) {
+    let program = dac_program();
+    let input: Vec<i64> = (0..512).rev().collect();
+    c.bench_function("dac_sort_512_sequential_reference", |b| {
+        b.iter(|| program.apply(input.clone()))
+    });
+    let engine = Engine::new(2);
+    engine.pool().telemetry().set_recording(false);
+    c.bench_function("dac_sort_512_threaded_engine_lp2", |b| {
+        b.iter(|| engine.submit(&program, input.clone()).get().unwrap())
+    });
+    engine.shutdown();
+}
+
+fn bench_for_chain(c: &mut Criterion) {
+    let program = sfor(64, seq(|x: i64| x + 1));
+    let engine = Engine::new(1);
+    engine.pool().telemetry().set_recording(false);
+    c.bench_function("for_64_iterations_threaded_engine", |b| {
+        b.iter(|| engine.submit(&program, 0i64).get().unwrap())
+    });
+    engine.shutdown();
+}
+
+criterion_group!(benches, bench_map, bench_dac, bench_for_chain);
+criterion_main!(benches);

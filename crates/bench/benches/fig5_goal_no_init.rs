@@ -1,0 +1,53 @@
+//! **Figure 5** — "Goal without initialization": autonomic word-count run
+//! with a WCT goal of 9.5 s and cold estimators.
+//!
+//! Paper behaviour to reproduce (shape): no adaptation is possible until
+//! the first merge has executed (≈ 7.6 s); the LP then ramps up and the
+//! run finishes under the 9.5 s goal (paper: 9.3 s), well below the 12.5 s
+//! sequential baseline.
+
+use askel_bench::series::{render_ascii, render_rows};
+use askel_bench::{PaperScenarios, ScenarioParams};
+use askel_skeletons::TimeNs;
+
+fn main() {
+    let scenarios = PaperScenarios::new(ScenarioParams::default());
+    let goal = TimeNs::from_millis(9_500);
+    let seq = scenarios.sequential_wct();
+    let out = scenarios.run(goal, None);
+
+    println!("# Figure 5 — \"Goal without initialization\" (goal 9.5s, cold estimates)");
+    println!("# time(ms)\tactive-threads");
+    print!("{}", render_rows(&out.active_timeline));
+    println!("#");
+    println!("{}", render_ascii(&out.active_timeline, out.wct, 72, 10));
+    println!(
+        "sequential WCT      = {:>6.2}s  (paper: 12.5s)",
+        seq.as_secs_f64()
+    );
+    println!(
+        "autonomic WCT       = {:>6.2}s  (paper: 9.3s, goal 9.5s)",
+        out.wct.as_secs_f64()
+    );
+    println!(
+        "first adaptation at = {:>6.2}s  (paper: 7.6s, at the first merge)",
+        out.first_decision_at.map(|t| t.as_secs_f64()).unwrap_or(0.0)
+    );
+    println!(
+        "peak active threads = {:>6}   (paper: 17)",
+        out.peak_active
+    );
+    println!("decisions:");
+    for d in &out.decisions {
+        println!(
+            "  t={:>6.2}s {:>2} -> {:>2} ({:?}, predicted {:.2}s)",
+            d.at.as_secs_f64(),
+            d.from_lp,
+            d.to_lp,
+            d.reason,
+            d.predicted_wct.as_secs_f64()
+        );
+    }
+    assert!(out.wct <= goal, "Fig. 5 run must meet its goal");
+    assert!(out.wct < seq, "autonomic must beat sequential");
+}

@@ -1,0 +1,63 @@
+//! **Figure 6** — "Goal with initialization": the same 9.5 s goal, with
+//! estimators initialized from the final values of a previous execution.
+//!
+//! Paper behaviour to reproduce (shape): adaptation happens at the end of
+//! the first split (6.4 s — *before* the first merge; during the split the
+//! single-threaded file read needs no extra threads), and the run finishes
+//! earlier than the cold run of Fig. 5 (paper: 8.4 s vs 9.3 s, ≈ 1 s gap).
+
+use askel_bench::series::{render_ascii, render_rows};
+use askel_bench::{PaperScenarios, ScenarioParams};
+use askel_skeletons::TimeNs;
+
+fn main() {
+    let scenarios = PaperScenarios::new(ScenarioParams::default());
+    let goal = TimeNs::from_millis(9_500);
+
+    // The "previous execution" whose final estimates initialize this run.
+    let warmup = scenarios.run(goal, None);
+    let out = scenarios.run(goal, Some(&warmup.snapshot));
+
+    println!("# Figure 6 — \"Goal with initialization\" (goal 9.5s, estimates from a previous run)");
+    println!("# time(ms)\tactive-threads");
+    print!("{}", render_rows(&out.active_timeline));
+    println!("#");
+    println!("{}", render_ascii(&out.active_timeline, out.wct, 72, 10));
+    println!(
+        "autonomic WCT        = {:>6.2}s  (paper: 8.4s, goal 9.5s)",
+        out.wct.as_secs_f64()
+    );
+    println!(
+        "cold run (Fig. 5)    = {:>6.2}s  (paper: 9.3s)",
+        warmup.wct.as_secs_f64()
+    );
+    println!(
+        "first adaptation at  = {:>6.2}s  (paper: 6.4s, at the end of the first split)",
+        out.first_decision_at.map(|t| t.as_secs_f64()).unwrap_or(0.0)
+    );
+    println!(
+        "peak active threads  = {:>6}   (paper: 19)",
+        out.peak_active
+    );
+    println!("decisions:");
+    for d in &out.decisions {
+        println!(
+            "  t={:>6.2}s {:>2} -> {:>2} ({:?}, predicted {:.2}s)",
+            d.at.as_secs_f64(),
+            d.from_lp,
+            d.to_lp,
+            d.reason,
+            d.predicted_wct.as_secs_f64()
+        );
+    }
+    assert!(out.wct <= goal, "Fig. 6 run must meet its goal");
+    assert!(
+        out.wct < warmup.wct,
+        "initialization must beat the cold run (paper: 8.4s < 9.3s)"
+    );
+    let first = out.first_decision_at.expect("must adapt");
+    assert!(
+        first < TimeNs::from_millis(7_000),
+        "initialized run must adapt at the first split (~6.4s), got {first}"
+    );
+}

@@ -1,0 +1,69 @@
+//! Micro-bench for the autonomic analysis pipeline: ADG construction and
+//! both scheduling strategies at growing problem sizes. Substantiates the
+//! paper's claim that runtime estimation (no pre-calculated estimates) is
+//! affordable.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use askel_core::{best_effort, limited_lp, AdgBuilder, SmTracker};
+use askel_skeletons::{map, seq, MuscleId, MuscleRole, Skel, TimeNs};
+
+/// Nested map whose predicted ADG has ≈ `card²` activities.
+fn tracker_for(card: usize) -> (SmTracker, Skel<Vec<i64>, i64>) {
+    let inner = map(
+        |v: Vec<i64>| v.into_iter().map(|x| vec![x]).collect::<Vec<_>>(),
+        seq(|v: Vec<i64>| v[0]),
+        |p: Vec<i64>| p.into_iter().sum::<i64>(),
+    );
+    let skel: Skel<Vec<i64>, i64> = map(
+        |v: Vec<i64>| vec![v],
+        inner,
+        |p: Vec<i64>| p.into_iter().sum::<i64>(),
+    );
+    let mut tracker = SmTracker::new(0.5);
+    let est = tracker.estimates_mut();
+    for m in skel.node().collect_muscles() {
+        est.init_duration(m.id, TimeNs::from_millis(10));
+        if m.id.role == MuscleRole::Split {
+            est.init_cardinality(m.id, card as f64);
+        }
+    }
+    let _ = MuscleId::new(skel.id(), MuscleRole::Split);
+    (tracker, skel)
+}
+
+fn bench_adg_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("adg_build_predictive");
+    group.sample_size(30);
+    for card in [4usize, 16, 32] {
+        let (tracker, skel) = tracker_for(card);
+        group.bench_with_input(BenchmarkId::new("card", card), &card, |b, _| {
+            b.iter(|| AdgBuilder::new(&tracker).build_predictive(skel.node()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("strategies");
+    group.sample_size(30);
+    for card in [4usize, 16, 32] {
+        let (tracker, skel) = tracker_for(card);
+        let adg = AdgBuilder::new(&tracker).build_predictive(skel.node());
+        group.bench_with_input(
+            BenchmarkId::new("best_effort", adg.len()),
+            &adg,
+            |b, adg| b.iter(|| best_effort(adg, TimeNs::ZERO)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("limited_lp_8", adg.len()),
+            &adg,
+            |b, adg| b.iter(|| limited_lp(adg, TimeNs::ZERO, 8)),
+        );
+        let _ = card;
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_adg_build, bench_strategies);
+criterion_main!(benches);

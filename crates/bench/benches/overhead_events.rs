@@ -1,0 +1,74 @@
+//! Micro-bench substantiating the paper's premise that event-driven
+//! monitoring is cheap: skeleton execution on the threaded engine with
+//! 0 / 1 / 8 listeners, plus raw registry dispatch cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use askel_engine::Engine;
+use askel_events::util::CountingListener;
+use askel_skeletons::{map, seq, Skel};
+
+fn wordcountish() -> Skel<Vec<i64>, i64> {
+    map(
+        |v: Vec<i64>| v.chunks(8).map(|c| c.to_vec()).collect::<Vec<_>>(),
+        seq(|v: Vec<i64>| v.iter().map(|x| x * x).sum::<i64>()),
+        |parts: Vec<i64>| parts.into_iter().sum::<i64>(),
+    )
+}
+
+fn bench_listener_counts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_event_overhead");
+    group.sample_size(20);
+    let input: Vec<i64> = (0..256).collect();
+    for listeners in [0usize, 1, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("listeners", listeners),
+            &listeners,
+            |b, &n| {
+                let engine = Engine::new(2);
+                engine.pool().telemetry().set_recording(false);
+                for _ in 0..n {
+                    engine.registry().add_listener(CountingListener::new());
+                }
+                let program = wordcountish();
+                b.iter(|| {
+                    engine
+                        .submit(&program, input.clone())
+                        .get()
+                        .expect("run failed")
+                });
+                engine.shutdown();
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_registry_dispatch(c: &mut Criterion) {
+    use askel_events::{Event, EventInfo, ListenerRegistry, Payload, Trace, When, Where};
+    use askel_skeletons::{InstanceId, KindTag, NodeId, TimeNs};
+
+    let registry = ListenerRegistry::new();
+    registry.add_listener(CountingListener::new());
+    let event = Event {
+        node: NodeId(1),
+        kind: KindTag::Seq,
+        when: When::Before,
+        wher: Where::Skeleton,
+        index: InstanceId(1),
+        trace: Trace::root(NodeId(1), InstanceId(1), KindTag::Seq),
+        timestamp: TimeNs::ZERO,
+        info: EventInfo::None,
+    };
+    c.bench_function("registry_dispatch_one_listener", |b| {
+        b.iter(|| registry.emit(&mut Payload::None, &event))
+    });
+
+    let empty = ListenerRegistry::new();
+    c.bench_function("registry_dispatch_empty_fastpath", |b| {
+        b.iter(|| empty.emit(&mut Payload::None, &event))
+    });
+}
+
+criterion_group!(benches, bench_listener_counts, bench_registry_dispatch);
+criterion_main!(benches);

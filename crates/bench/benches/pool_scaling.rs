@@ -1,0 +1,52 @@
+//! Pool substrate micro-bench: task dispatch throughput at several worker
+//! counts and the cost of an LP resize.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use askel_pool::ResizablePool;
+
+fn bench_dispatch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pool_dispatch_1k_tasks");
+    group.sample_size(15);
+    for workers in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("workers", workers),
+            &workers,
+            |b, &w| {
+                let pool = ResizablePool::new(w);
+                pool.telemetry().set_recording(false);
+                b.iter(|| {
+                    let done = Arc::new(AtomicUsize::new(0));
+                    for _ in 0..1000 {
+                        let d = Arc::clone(&done);
+                        pool.submit(Box::new(move || {
+                            d.fetch_add(1, Ordering::Relaxed);
+                        }));
+                    }
+                    pool.wait_idle();
+                    assert_eq!(done.load(Ordering::Relaxed), 1000);
+                });
+                pool.shutdown_and_join();
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_resize(c: &mut Criterion) {
+    c.bench_function("pool_grow_shrink_1_to_8", |b| {
+        let pool = ResizablePool::new(1);
+        pool.telemetry().set_recording(false);
+        b.iter(|| {
+            pool.set_target_workers(8);
+            pool.set_target_workers(1);
+        });
+        pool.shutdown_and_join();
+    });
+}
+
+criterion_group!(benches, bench_dispatch, bench_resize);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! **Extension bench** — how good are the controller's completion
+//! estimates? The paper claims events "greatly improve the estimation of
+//! the remaining computation time"; this bench quantifies it: for every
+//! analysis during the Fig. 5/6 runs, compare the predicted completion
+//! time (at the then-current LP) against the run's actual finish.
+//!
+//! Reading the table: early cold-run predictions are poor (estimates are
+//! one sample old); initialized-run predictions start accurate — which is
+//! exactly why Fig. 6 adapts 1.3 s earlier.
+
+use askel_bench::{PaperScenarios, ScenarioParams};
+use askel_skeletons::TimeNs;
+
+fn report(name: &str, out: &askel_bench::ScenarioOutcome) {
+    println!("## {name}: actual finish {:.2}s", out.wct.as_secs_f64());
+    println!("# t(s)\tlp\tpredicted(s)\tbest_effort(s)\terror(%)");
+    for rec in &out.analysis_log {
+        // Predictions are absolute completion times; so is `wct` (the run
+        // started at virtual 0 for the first run of each engine).
+        let predicted = rec.predicted_finish.as_secs_f64();
+        let actual = out.wct.as_secs_f64();
+        let err = 100.0 * (predicted - actual) / actual;
+        println!(
+            "{:.2}\t{}\t{:.2}\t{:.2}\t{:+.1}",
+            rec.at.as_secs_f64(),
+            rec.lp,
+            predicted,
+            rec.best_effort_finish.as_secs_f64(),
+            err
+        );
+    }
+    let last = out.analysis_log.last().expect("at least one analysis");
+    let final_err =
+        (last.predicted_finish.as_secs_f64() - out.wct.as_secs_f64()).abs() / out.wct.as_secs_f64();
+    println!(
+        "# final-analysis error: {:.1}%  (analyses: {})",
+        100.0 * final_err,
+        out.analysis_log.len()
+    );
+    assert!(
+        final_err < 0.25,
+        "the last prediction should be within 25% of the actual finish"
+    );
+}
+
+fn main() {
+    let scenarios = PaperScenarios::new(ScenarioParams::default());
+    let goal = TimeNs::from_millis(9_500);
+    let cold = scenarios.run(goal, None);
+    report("cold run (Fig. 5)", &cold);
+    let warm = scenarios.run(goal, Some(&cold.snapshot));
+    report("initialized run (Fig. 6)", &warm);
+
+    // The headline claim: with initialization, the *first* prediction is
+    // already meaningful.
+    let first_cold = cold.analysis_log.first().unwrap();
+    let first_warm = warm.analysis_log.first().unwrap();
+    println!(
+        "first analysis: cold at {:.2}s vs initialized at {:.2}s",
+        first_cold.at.as_secs_f64(),
+        first_warm.at.as_secs_f64()
+    );
+    assert!(first_warm.at < first_cold.at);
+}

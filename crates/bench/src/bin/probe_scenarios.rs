@@ -1,0 +1,63 @@
+//! Calibration probe: runs the three §5 scenarios and prints the headline
+//! numbers next to the paper's, for eyeballing during development.
+
+use askel_bench::{PaperScenarios, ScenarioParams};
+use askel_skeletons::TimeNs;
+
+fn main() {
+    let scenarios = PaperScenarios::new(ScenarioParams::default());
+    let seq = scenarios.sequential_wct();
+    println!("sequential WCT: {:.2}s (paper: 12.5s)", seq.as_secs_f64());
+
+    let goal95 = TimeNs::from_millis(9_500);
+    let goal105 = TimeNs::from_millis(10_500);
+
+    let s1 = scenarios.run(goal95, None);
+    println!(
+        "S1 no-init goal 9.5s : wct {:.2}s peak_active {} peak_lp {} first_decision {:?} decisions {}",
+        s1.wct.as_secs_f64(),
+        s1.peak_active,
+        s1.peak_lp_target(),
+        s1.first_decision_at.map(|t| t.as_secs_f64()),
+        s1.decisions.len()
+    );
+    println!("    (paper: wct 9.3s, peak 17, first analysis at 7.6s)");
+
+    println!("S1 snapshot: {}", s1.snapshot.to_json());
+
+    let s2 = scenarios.run(goal95, Some(&s1.snapshot));
+    println!(
+        "S2 init    goal 9.5s : wct {:.2}s peak_active {} peak_lp {} first_decision {:?} decisions {}",
+        s2.wct.as_secs_f64(),
+        s2.peak_active,
+        s2.peak_lp_target(),
+        s2.first_decision_at.map(|t| t.as_secs_f64()),
+        s2.decisions.len()
+    );
+    println!("    (paper: wct 8.4s, peak 19, adapts at 6.4s)");
+
+    let s3 = scenarios.run(goal105, None);
+    println!(
+        "S3 no-init goal 10.5s: wct {:.2}s peak_active {} peak_lp {} first_decision {:?} decisions {}",
+        s3.wct.as_secs_f64(),
+        s3.peak_active,
+        s3.peak_lp_target(),
+        s3.first_decision_at.map(|t| t.as_secs_f64()),
+        s3.decisions.len()
+    );
+    println!("    (paper: wct 10.6s, peak 10, adapts at 8.7s)");
+
+    for (name, s) in [("S1", &s1), ("S2", &s2), ("S3", &s3)] {
+        println!("\n{name} decisions:");
+        for d in &s.decisions {
+            println!(
+                "  t={:>6.2}s {:>2} -> {:>2} ({:?}, predicted {:.2}s)",
+                d.at.as_secs_f64(),
+                d.from_lp,
+                d.to_lp,
+                d.reason,
+                d.predicted_wct.as_secs_f64()
+            );
+        }
+    }
+}

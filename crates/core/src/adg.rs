@@ -1,0 +1,742 @@
+//! The Activity Dependency Graph (ADG) of Fig. 1.
+//!
+//! An ADG snapshots one skeleton execution at analysis time `now`: each
+//! **activity** is a muscle execution — already finished (actual start and
+//! end), currently running (actual start, estimated end), or predicted
+//! (estimated duration, dependencies from the skeleton structure). The
+//! predicted part is expanded from the AST using the estimator table:
+//! an unexecuted `map` contributes a split, `round(|fs|)` child subtrees
+//! and a merge; a half-done `while` contributes its remaining estimated
+//! iterations; a `d&C` expands its estimated recursion tree to the
+//! estimated depth, and so on.
+//!
+//! Scheduling strategies (`crate::strategy`) then lay the ADG on a
+//! timeline; the controller compares the resulting completion times with
+//! the WCT goal.
+//!
+//! Design notes beyond the paper:
+//! * `if` is supported by predicting the *more expensive* branch while the
+//!   verdict is unknown (conservative WCT; the paper left `if` unsupported
+//!   because naive support duplicates the graph);
+//! * `fork` is supported using its statically-known branch count (the
+//!   paper's objection was state-machine non-determinism, which our
+//!   per-instance records avoid).
+
+use std::sync::Arc;
+
+use askel_skeletons::{KindTag, MuscleId, MuscleRole, Node, NodeKind, TimeNs};
+
+use crate::estimate::EstimatorTable;
+use crate::tracker::{InstanceRecord, SmTracker};
+
+/// Execution state of one activity at analysis time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ActState {
+    /// Finished: actual start and end.
+    Done {
+        /// Actual start time.
+        start: TimeNs,
+        /// Actual end time.
+        end: TimeNs,
+    },
+    /// Started but not finished; its end is estimated as
+    /// `max(start + est, now)` (the paper's past-clamp).
+    Running {
+        /// Actual start time.
+        start: TimeNs,
+    },
+    /// Not started; both start and end are up to the strategy.
+    Pending,
+}
+
+/// One node of the ADG: a (possibly predicted) muscle execution.
+#[derive(Clone, Debug)]
+pub struct Activity {
+    /// The muscle this activity executes.
+    pub muscle: MuscleId,
+    /// Execution state.
+    pub state: ActState,
+    /// Estimated duration `t(m)` (for `Done`, the actual duration).
+    pub est: TimeNs,
+    /// Indices of activities that must finish before this one starts.
+    /// Builder invariant: every predecessor index is smaller than the
+    /// activity's own index, so index order is a topological order.
+    pub preds: Vec<usize>,
+}
+
+/// The Activity Dependency Graph.
+#[derive(Clone, Debug, Default)]
+pub struct Adg {
+    /// Activities in topological (insertion) order.
+    pub activities: Vec<Activity>,
+}
+
+impl Adg {
+    /// Number of activities.
+    pub fn len(&self) -> usize {
+        self.activities.len()
+    }
+
+    /// `true` if the graph is empty.
+    pub fn is_empty(&self) -> bool {
+        self.activities.is_empty()
+    }
+
+    /// Count of activities in each state: `(done, running, pending)`.
+    pub fn state_counts(&self) -> (usize, usize, usize) {
+        let mut c = (0, 0, 0);
+        for a in &self.activities {
+            match a.state {
+                ActState::Done { .. } => c.0 += 1,
+                ActState::Running { .. } => c.1 += 1,
+                ActState::Pending => c.2 += 1,
+            }
+        }
+        c
+    }
+
+    fn push(&mut self, a: Activity) -> usize {
+        debug_assert!(
+            a.preds.iter().all(|&p| p < self.activities.len()),
+            "ADG builder broke the topological invariant"
+        );
+        self.activities.push(a);
+        self.activities.len() - 1
+    }
+}
+
+/// Builds ADGs from tracker state + estimator table + AST.
+pub struct AdgBuilder<'a> {
+    tracker: &'a SmTracker,
+    est: &'a EstimatorTable,
+    adg: Adg,
+}
+
+impl<'a> AdgBuilder<'a> {
+    /// A builder over the tracker's live state and its estimator table.
+    pub fn new(tracker: &'a SmTracker) -> Self {
+        AdgBuilder {
+            tracker,
+            est: tracker.estimates(),
+            adg: Adg::default(),
+        }
+    }
+
+    /// Builds the ADG of the tracker's current root submission executing
+    /// `ast`. Returns an empty graph when no submission is live.
+    ///
+    /// Estimates must cover every muscle of `ast`
+    /// ([`EstimatorTable::covers`]); missing estimates fall back to zero
+    /// duration / cardinality 1, which the controller's analysis gate
+    /// prevents from ever being used for decisions.
+    pub fn build(mut self, ast: &Arc<Node>) -> Adg {
+        if let Some(root) = self.tracker.current_root() {
+            if root.node == ast.id {
+                self.instance_exits(root, ast, Vec::new());
+                return self.adg;
+            }
+        }
+        self.adg
+    }
+
+    /// Builds a purely predictive ADG (no execution started yet): the
+    /// graph a cold analysis would use if estimates were initialized.
+    pub fn build_predictive(mut self, ast: &Arc<Node>) -> Adg {
+        self.node_exits(ast, Vec::new(), None);
+        self.adg
+    }
+
+    // ---- estimates ---------------------------------------------------
+
+    fn dur(&self, node: &Node, role: MuscleRole) -> TimeNs {
+        self.est
+            .duration(MuscleId::new(node.id, role))
+            .unwrap_or(TimeNs::ZERO)
+    }
+
+    fn card(&self, node: &Node, role: MuscleRole, min: usize) -> usize {
+        self.est
+            .cardinality_rounded(MuscleId::new(node.id, role), min)
+            .unwrap_or(min.max(1))
+    }
+
+    /// Estimated depth of a `d&C` recursion (≥ 1).
+    fn dc_depth(&self, node: &Node) -> usize {
+        self.card(node, MuscleRole::Condition, 1)
+    }
+
+    // ---- activity helpers ---------------------------------------------
+
+    fn push_span(
+        &mut self,
+        node: &Node,
+        role: MuscleRole,
+        span: Option<crate::tracker::Span>,
+        fallback_start: TimeNs,
+        preds: Vec<usize>,
+    ) -> usize {
+        let muscle = MuscleId::new(node.id, role);
+        let est = self.dur(node, role);
+        let (state, est) = match span {
+            Some(s) => match s.finished {
+                Some(end) => (
+                    ActState::Done {
+                        start: s.started,
+                        end,
+                    },
+                    end.saturating_sub(s.started),
+                ),
+                None => (ActState::Running { start: s.started }, est),
+            },
+            None => {
+                let _ = fallback_start;
+                (ActState::Pending, est)
+            }
+        };
+        self.adg.push(Activity {
+            muscle,
+            state,
+            est,
+            preds,
+        })
+    }
+
+    fn push_pending(&mut self, node: &Node, role: MuscleRole, preds: Vec<usize>) -> usize {
+        let muscle = MuscleId::new(node.id, role);
+        let est = self.dur(node, role);
+        self.adg.push(Activity {
+            muscle,
+            state: ActState::Pending,
+            est,
+            preds,
+        })
+    }
+
+    // ---- actual (record-driven) expansion ------------------------------
+
+    /// Appends the activities of a live instance; returns the exit set.
+    fn instance_exits(
+        &mut self,
+        rec: &InstanceRecord,
+        node: &Arc<Node>,
+        preds: Vec<usize>,
+    ) -> Vec<usize> {
+        debug_assert_eq!(rec.node, node.id, "record/AST mismatch");
+        match (&node.kind, rec.kind) {
+            (NodeKind::Seq { .. }, KindTag::Seq) => {
+                let span = Some(crate::tracker::Span {
+                    started: rec.started,
+                    finished: rec.finished,
+                });
+                vec![self.push_span(node, MuscleRole::Execute, span, rec.started, preds)]
+            }
+            (NodeKind::Farm { inner }, KindTag::Farm) => {
+                self.chain_children(rec, std::slice::from_ref(inner), preds, 1)
+            }
+            (NodeKind::Pipe { stages }, KindTag::Pipe) => {
+                self.chain_children(rec, stages, preds, stages.len())
+            }
+            (NodeKind::For { n, inner }, KindTag::For) => {
+                self.chain_children(rec, std::slice::from_ref(inner), preds, *n)
+            }
+            (NodeKind::While { inner, .. }, KindTag::While) => {
+                self.while_exits(rec, node, inner, preds)
+            }
+            (NodeKind::If { then_branch, else_branch, .. }, KindTag::If) => {
+                self.if_exits(rec, node, then_branch, else_branch, preds)
+            }
+            (NodeKind::Map { inner, .. }, KindTag::Map) => {
+                self.fan_exits(rec, node, FanChildren::Uniform(inner), preds)
+            }
+            (NodeKind::Fork { inners, .. }, KindTag::Fork) => {
+                self.fan_exits(rec, node, FanChildren::PerBranch(inners), preds)
+            }
+            (NodeKind::DivideConquer { .. }, KindTag::DivideConquer) => {
+                self.dac_exits(rec, node, preds)
+            }
+            _ => {
+                debug_assert!(false, "record kind does not match AST node kind");
+                preds
+            }
+        }
+    }
+
+    /// farm/pipe/for: children run sequentially; no own muscles.
+    fn chain_children(
+        &mut self,
+        rec: &InstanceRecord,
+        stages: &[Arc<Node>],
+        preds: Vec<usize>,
+        total: usize,
+    ) -> Vec<usize> {
+        let mut preds = preds;
+        for k in 0..total {
+            // Pipe stages differ per k; farm/for repeat one inner.
+            let stage = if stages.len() == total {
+                &stages[k]
+            } else {
+                &stages[0]
+            };
+            preds = match rec.children.get(k) {
+                Some(cid) => match self.tracker.instance(*cid) {
+                    Some(child) => self.instance_exits(child, stage, preds),
+                    None => self.node_exits(stage, preds, None),
+                },
+                None => self.node_exits(stage, preds, None),
+            };
+        }
+        preds
+    }
+
+    fn while_exits(
+        &mut self,
+        rec: &InstanceRecord,
+        node: &Arc<Node>,
+        inner: &Arc<Node>,
+        preds: Vec<usize>,
+    ) -> Vec<usize> {
+        let mut preds = preds;
+        // Actual history: cond_0, body_0, cond_1, body_1, …
+        let mut bodies = 0usize;
+        for (k, cond) in rec.conds.iter().enumerate() {
+            let idx = self.push_span(node, MuscleRole::Condition, Some(cond.span), rec.started, preds.clone());
+            preds = vec![idx];
+            match cond.verdict {
+                Some(true) => {
+                    // The k-th body follows this cond.
+                    preds = match rec.children.get(k) {
+                        Some(cid) => match self.tracker.instance(*cid) {
+                            Some(child) => self.instance_exits(child, inner, preds),
+                            None => self.node_exits(inner, preds, None),
+                        },
+                        None => self.node_exits(inner, preds, None),
+                    };
+                    bodies += 1;
+                }
+                Some(false) => return preds, // loop exited
+                None => return preds,        // cond still running: unknown rest
+            }
+        }
+        if rec.is_finished() {
+            return preds;
+        }
+        // Predict the remaining iterations.
+        let est_trues = self
+            .est
+            .cardinality(MuscleId::new(node.id, MuscleRole::Condition))
+            .map(|v| v.round().max(0.0) as usize)
+            .unwrap_or(0);
+        let remaining = est_trues.saturating_sub(bodies);
+        for _ in 0..remaining {
+            let idx = self.push_pending(node, MuscleRole::Condition, preds);
+            preds = self.node_exits(inner, vec![idx], None);
+        }
+        // The final (false) evaluation.
+        vec![self.push_pending(node, MuscleRole::Condition, preds)]
+    }
+
+    fn if_exits(
+        &mut self,
+        rec: &InstanceRecord,
+        node: &Arc<Node>,
+        then_branch: &Arc<Node>,
+        else_branch: &Arc<Node>,
+        preds: Vec<usize>,
+    ) -> Vec<usize> {
+        let cond = rec.conds.first();
+        let idx = self.push_span(
+            node,
+            MuscleRole::Condition,
+            cond.map(|c| c.span),
+            rec.started,
+            preds,
+        );
+        let preds = vec![idx];
+        match cond.and_then(|c| c.verdict) {
+            Some(verdict) => {
+                let branch = if verdict { then_branch } else { else_branch };
+                match rec.children.first().and_then(|c| self.tracker.instance(*c)) {
+                    Some(child) => self.instance_exits(child, branch, preds),
+                    None => self.node_exits(branch, preds, None),
+                }
+            }
+            None => {
+                // Verdict unknown: predict the more expensive branch.
+                let branch = self.pick_heavier_branch(then_branch, else_branch);
+                self.node_exits(branch, preds, None)
+            }
+        }
+    }
+
+    fn fan_exits(
+        &mut self,
+        rec: &InstanceRecord,
+        node: &Arc<Node>,
+        children: FanChildren<'_>,
+        preds: Vec<usize>,
+    ) -> Vec<usize> {
+        let split_idx = self.push_span(node, MuscleRole::Split, rec.split, rec.started, preds);
+        let expected = match rec.split_card {
+            Some(card) => card,
+            None => match children {
+                FanChildren::Uniform(_) => self.card(node, MuscleRole::Split, 1),
+                FanChildren::PerBranch(inners) => inners.len(),
+            },
+        };
+        // Children may *arrive* in any order (the LIFO runtime starts the
+        // last-pushed child first), so records are matched to branch ASTs
+        // by node identity, consuming each record once.
+        let mut used = vec![false; rec.children.len()];
+        let mut child_exits = Vec::new();
+        for k in 0..expected {
+            let child_ast = match children {
+                FanChildren::Uniform(inner) => inner,
+                FanChildren::PerBranch(inners) => &inners[k.min(inners.len() - 1)],
+            };
+            let record = rec
+                .children
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !used[*i])
+                .filter_map(|(i, cid)| self.tracker.instance(*cid).map(|r| (i, r)))
+                .find(|(_, r)| r.node == child_ast.id);
+            let exits = match record {
+                Some((i, child)) => {
+                    used[i] = true;
+                    let child = child.clone();
+                    self.instance_exits(&child, child_ast, vec![split_idx])
+                }
+                None => self.node_exits(child_ast, vec![split_idx], None),
+            };
+            child_exits.extend(exits);
+        }
+        if child_exits.is_empty() {
+            child_exits.push(split_idx);
+        }
+        let merge_idx = self.push_span(node, MuscleRole::Merge, rec.merge, rec.started, child_exits);
+        vec![merge_idx]
+    }
+
+    fn dac_exits(
+        &mut self,
+        rec: &InstanceRecord,
+        node: &Arc<Node>,
+        preds: Vec<usize>,
+    ) -> Vec<usize> {
+        let (inner,) = match &node.kind {
+            NodeKind::DivideConquer { inner, .. } => (inner,),
+            _ => unreachable!("dac_exits on a non-d&C node"),
+        };
+        let cond = rec.conds.first();
+        let cond_idx = self.push_span(
+            node,
+            MuscleRole::Condition,
+            cond.map(|c| c.span),
+            rec.started,
+            preds,
+        );
+        let preds = vec![cond_idx];
+        let est_depth = self.dc_depth(node);
+        match cond.and_then(|c| c.verdict) {
+            Some(true) => {
+                let split_idx =
+                    self.push_span(node, MuscleRole::Split, rec.split, rec.started, preds);
+                let expected = rec
+                    .split_card
+                    .unwrap_or_else(|| self.card(node, MuscleRole::Split, 1));
+                let mut child_exits = Vec::new();
+                for k in 0..expected {
+                    let exits = match rec.children.get(k).and_then(|c| self.tracker.instance(*c))
+                    {
+                        Some(child) => self.instance_exits(child, node, vec![split_idx]),
+                        None => {
+                            // A child sits one level deeper: it divides
+                            // only while est_depth still exceeds its own
+                            // depth (rec.dc_depth + 1).
+                            let depth_left = est_depth.saturating_sub(rec.dc_depth + 1);
+                            self.dac_predict(node, vec![split_idx], depth_left)
+                        }
+                    };
+                    child_exits.extend(exits);
+                }
+                if child_exits.is_empty() {
+                    child_exits.push(split_idx);
+                }
+                vec![self.push_span(node, MuscleRole::Merge, rec.merge, rec.started, child_exits)]
+            }
+            Some(false) => match rec.children.first().and_then(|c| self.tracker.instance(*c)) {
+                Some(child) => self.instance_exits(child, inner, preds),
+                None => self.node_exits(inner, preds, None),
+            },
+            None => {
+                // Verdict unknown: predict by remaining estimated depth.
+                let depth_left = est_depth.saturating_sub(rec.dc_depth);
+                if depth_left >= 1 {
+                    let split_idx = self.push_pending(node, MuscleRole::Split, preds);
+                    let fan = self.card(node, MuscleRole::Split, 1);
+                    let mut child_exits = Vec::new();
+                    for _ in 0..fan {
+                        child_exits.extend(self.dac_predict(node, vec![split_idx], depth_left - 1));
+                    }
+                    vec![self.push_pending(node, MuscleRole::Merge, child_exits)]
+                } else {
+                    self.node_exits(inner, preds, None)
+                }
+            }
+        }
+    }
+
+    // ---- predictive (AST-driven) expansion ------------------------------
+
+    /// Appends the predicted activities of an unexecuted subtree.
+    /// `dc_depth_left` carries the remaining recursion budget when the
+    /// subtree is a `d&C` child of itself.
+    fn node_exits(
+        &mut self,
+        node: &Arc<Node>,
+        preds: Vec<usize>,
+        dc_depth_left: Option<usize>,
+    ) -> Vec<usize> {
+        match &node.kind {
+            NodeKind::Seq { .. } => {
+                vec![self.push_pending(node, MuscleRole::Execute, preds)]
+            }
+            NodeKind::Farm { inner } => self.node_exits(inner, preds, None),
+            NodeKind::Pipe { stages } => {
+                let mut preds = preds;
+                for s in stages {
+                    preds = self.node_exits(s, preds, None);
+                }
+                preds
+            }
+            NodeKind::For { n, inner } => {
+                let mut preds = preds;
+                for _ in 0..*n {
+                    preds = self.node_exits(inner, preds, None);
+                }
+                preds
+            }
+            NodeKind::While { inner, .. } => {
+                let iters = self
+                    .est
+                    .cardinality(MuscleId::new(node.id, MuscleRole::Condition))
+                    .map(|v| v.round().max(0.0) as usize)
+                    .unwrap_or(0);
+                let mut preds = preds;
+                for _ in 0..iters {
+                    let idx = self.push_pending(node, MuscleRole::Condition, preds);
+                    preds = self.node_exits(inner, vec![idx], None);
+                }
+                vec![self.push_pending(node, MuscleRole::Condition, preds)]
+            }
+            NodeKind::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                let idx = self.push_pending(node, MuscleRole::Condition, preds);
+                let branch = self.pick_heavier_branch(then_branch, else_branch);
+                self.node_exits(branch, vec![idx], None)
+            }
+            NodeKind::Map { inner, .. } => {
+                let split_idx = self.push_pending(node, MuscleRole::Split, preds);
+                let fan = self.card(node, MuscleRole::Split, 1);
+                let mut child_exits = Vec::new();
+                for _ in 0..fan {
+                    child_exits.extend(self.node_exits(inner, vec![split_idx], None));
+                }
+                vec![self.push_pending(node, MuscleRole::Merge, child_exits)]
+            }
+            NodeKind::Fork { inners, .. } => {
+                let split_idx = self.push_pending(node, MuscleRole::Split, preds);
+                let mut child_exits = Vec::new();
+                for inner in inners {
+                    child_exits.extend(self.node_exits(inner, vec![split_idx], None));
+                }
+                vec![self.push_pending(node, MuscleRole::Merge, child_exits)]
+            }
+            NodeKind::DivideConquer { .. } => {
+                let depth_left = dc_depth_left.unwrap_or_else(|| self.dc_depth(node) - 1);
+                let cond_idx = self.push_pending(node, MuscleRole::Condition, preds);
+                if depth_left >= 1 {
+                    let split_idx = self.push_pending(node, MuscleRole::Split, vec![cond_idx]);
+                    let fan = self.card(node, MuscleRole::Split, 1);
+                    let mut child_exits = Vec::new();
+                    for _ in 0..fan {
+                        child_exits.extend(self.dac_predict(node, vec![split_idx], depth_left - 1));
+                    }
+                    vec![self.push_pending(node, MuscleRole::Merge, child_exits)]
+                } else {
+                    let NodeKind::DivideConquer { inner, .. } = &node.kind else {
+                        unreachable!()
+                    };
+                    self.node_exits(inner, vec![cond_idx], None)
+                }
+            }
+        }
+    }
+
+    /// Predicts one `d&C` recursion subtree: a cond, then — depth budget
+    /// permitting — split, `|fs|` recursive subtrees, merge; otherwise the
+    /// base skeleton.
+    fn dac_predict(&mut self, node: &Arc<Node>, preds: Vec<usize>, depth_left: usize) -> Vec<usize> {
+        self.node_exits(node, preds, Some(depth_left))
+    }
+
+    /// Rough sequential-work comparison used to pick the `if` branch to
+    /// predict while the verdict is unknown (conservative choice).
+    fn pick_heavier_branch<'b>(
+        &self,
+        then_branch: &'b Arc<Node>,
+        else_branch: &'b Arc<Node>,
+    ) -> &'b Arc<Node> {
+        if self.seq_work(then_branch, 0) >= self.seq_work(else_branch, 0) {
+            then_branch
+        } else {
+            else_branch
+        }
+    }
+
+    /// Total estimated sequential work of a subtree (sum of all predicted
+    /// activity durations).
+    fn seq_work(&self, node: &Arc<Node>, depth_guard: usize) -> f64 {
+        if depth_guard > 64 {
+            return 0.0; // runaway recursion guard for degenerate estimates
+        }
+        let d = |role: MuscleRole| self.dur(node, role).0 as f64;
+        match &node.kind {
+            NodeKind::Seq { .. } => d(MuscleRole::Execute),
+            NodeKind::Farm { inner } => self.seq_work(inner, depth_guard + 1),
+            NodeKind::Pipe { stages } => stages
+                .iter()
+                .map(|s| self.seq_work(s, depth_guard + 1))
+                .sum(),
+            NodeKind::For { n, inner } => *n as f64 * self.seq_work(inner, depth_guard + 1),
+            NodeKind::While { inner, .. } => {
+                let iters = self
+                    .est
+                    .cardinality(MuscleId::new(node.id, MuscleRole::Condition))
+                    .unwrap_or(0.0)
+                    .max(0.0);
+                (iters + 1.0) * d(MuscleRole::Condition)
+                    + iters * self.seq_work(inner, depth_guard + 1)
+            }
+            NodeKind::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                d(MuscleRole::Condition)
+                    + self
+                        .seq_work(then_branch, depth_guard + 1)
+                        .max(self.seq_work(else_branch, depth_guard + 1))
+            }
+            NodeKind::Map { inner, .. } => {
+                let fan = self.card(node, MuscleRole::Split, 1) as f64;
+                d(MuscleRole::Split) + fan * self.seq_work(inner, depth_guard + 1) + d(MuscleRole::Merge)
+            }
+            NodeKind::Fork { inners, .. } => {
+                d(MuscleRole::Split)
+                    + inners
+                        .iter()
+                        .map(|i| self.seq_work(i, depth_guard + 1))
+                        .sum::<f64>()
+                    + d(MuscleRole::Merge)
+            }
+            NodeKind::DivideConquer { inner, .. } => {
+                let depth = self.dc_depth(node) as f64;
+                let fan = self.card(node, MuscleRole::Split, 1) as f64;
+                // Geometric expansion of the estimated recursion tree.
+                let leaves = fan.powf((depth - 1.0).max(0.0));
+                let internal = if fan > 1.0 {
+                    (leaves - 1.0) / (fan - 1.0)
+                } else {
+                    (depth - 1.0).max(0.0)
+                };
+                internal * (d(MuscleRole::Condition) + d(MuscleRole::Split) + d(MuscleRole::Merge))
+                    + leaves * (d(MuscleRole::Condition) + self.seq_work(inner, depth_guard + 1))
+            }
+        }
+    }
+}
+
+enum FanChildren<'b> {
+    Uniform(&'b Arc<Node>),
+    PerBranch(&'b [Arc<Node>]),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use askel_skeletons::{map, seq, Skel};
+
+    fn nested_map() -> Skel<Vec<i64>, i64> {
+        let inner = map(
+            |v: Vec<i64>| v.into_iter().map(|x| vec![x]).collect::<Vec<_>>(),
+            seq(|v: Vec<i64>| v[0]),
+            |p: Vec<i64>| p.into_iter().sum::<i64>(),
+        );
+        map(
+            |v: Vec<i64>| vec![v.clone(), v],
+            inner,
+            |p: Vec<i64>| p.into_iter().sum::<i64>(),
+        )
+    }
+
+    fn init_estimates(t: &mut SmTracker, skel: &Skel<Vec<i64>, i64>, card: f64) {
+        let node = skel.node().clone();
+        let est = t.estimates_mut();
+        for m in node.collect_muscles() {
+            let d = match m.id.role {
+                MuscleRole::Split => TimeNs(10),
+                MuscleRole::Execute => TimeNs(15),
+                MuscleRole::Merge => TimeNs(5),
+                MuscleRole::Condition => TimeNs(1),
+            };
+            est.init_duration(m.id, d);
+            if m.id.role == MuscleRole::Split {
+                est.init_cardinality(m.id, card);
+            }
+        }
+    }
+
+    #[test]
+    fn predictive_nested_map_has_paper_shape() {
+        // map(fs, map(fs, seq(fe), fm), fm) with |fs| = 3:
+        // 1 split + 3×(split + 3×fe + merge) + 1 merge = 17 activities.
+        let skel = nested_map();
+        let mut tracker = SmTracker::new(0.5);
+        init_estimates(&mut tracker, &skel, 3.0);
+        let adg = AdgBuilder::new(&tracker).build_predictive(skel.node());
+        assert_eq!(adg.len(), 1 + 3 * (1 + 3 + 1) + 1);
+        let (done, running, pending) = adg.state_counts();
+        assert_eq!((done, running), (0, 0));
+        assert_eq!(pending, adg.len());
+        // Topological invariant.
+        for (i, a) in adg.activities.iter().enumerate() {
+            assert!(a.preds.iter().all(|&p| p < i));
+        }
+        // Final merge depends on the three inner merges.
+        let last = adg.activities.last().unwrap();
+        assert_eq!(last.muscle.role, MuscleRole::Merge);
+        assert_eq!(last.preds.len(), 3);
+    }
+
+    #[test]
+    fn empty_without_live_submission() {
+        let skel = nested_map();
+        let tracker = SmTracker::new(0.5);
+        let adg = AdgBuilder::new(&tracker).build(skel.node());
+        assert!(adg.is_empty());
+    }
+
+    #[test]
+    fn cardinality_fallback_is_one() {
+        // No estimates at all → every split predicts one child.
+        let skel = nested_map();
+        let tracker = SmTracker::new(0.5);
+        let adg = AdgBuilder::new(&tracker).build_predictive(skel.node());
+        // 1 split + 1×(1 split + 1 fe + 1 merge) + 1 merge = 5
+        assert_eq!(adg.len(), 5);
+    }
+}

@@ -1,0 +1,518 @@
+//! Scheduling strategies over the ADG: the paper's **best effort** and
+//! **limited LP** estimators, the **optimal LP** computation, and the
+//! active-thread timeline of Fig. 2.
+//!
+//! Formulas (§4):
+//!
+//! * best effort assumes infinite LP: `ti = max(pred tf)`, `tf = ti + t(m)`,
+//!   and both are clamped to `currentTime` when they fall in the past;
+//! * limited LP adds the constraint that at no instant more than `lp`
+//!   activities run; we realize it as greedy non-idling list scheduling
+//!   with a LIFO-flavoured tie-break (highest activity index first), which
+//!   mirrors the runtime's LIFO ready stack;
+//! * the optimal LP is the maximum concurrency of the best-effort timeline
+//!   (Fig. 2: "a maximum requirement of 3 active threads … therefore the
+//!   optimal LP is 3").
+
+use askel_skeletons::TimeNs;
+
+use crate::adg::{ActState, Adg};
+
+/// A laid-out ADG: one `[start, end)` span per activity (index-aligned).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Schedule {
+    /// Per-activity spans, aligned with `Adg::activities`.
+    pub spans: Vec<(TimeNs, TimeNs)>,
+    /// Completion time of the whole graph (`max end`); this is the
+    /// estimated WCT measured from the submission's time origin.
+    pub finish: TimeNs,
+}
+
+impl Schedule {
+    /// The active-activity step function: how many activities run at each
+    /// instant (zero-duration activities are skipped). This is the series
+    /// plotted in Fig. 2.
+    pub fn timeline(&self) -> Vec<TimelinePoint> {
+        let mut deltas: Vec<(TimeNs, i64)> = Vec::with_capacity(self.spans.len() * 2);
+        for &(s, e) in &self.spans {
+            if e > s {
+                deltas.push((s, 1));
+                deltas.push((e, -1));
+            }
+        }
+        deltas.sort_by_key(|&(t, d)| (t, d));
+        let mut out: Vec<TimelinePoint> = vec![TimelinePoint {
+            at: TimeNs::ZERO,
+            active: 0,
+        }];
+        let mut active: i64 = 0;
+        for (t, d) in deltas {
+            active += d;
+            match out.last_mut() {
+                Some(last) if last.at == t => last.active = active as usize,
+                _ => out.push(TimelinePoint {
+                    at: t,
+                    active: active as usize,
+                }),
+            }
+        }
+        // Collapse consecutive equal values for readability.
+        out.dedup_by(|b, a| a.active == b.active);
+        out
+    }
+
+    /// Maximum concurrency over the whole timeline (the paper's optimal
+    /// LP when applied to the best-effort schedule).
+    pub fn max_concurrency(&self) -> usize {
+        self.timeline().iter().map(|p| p.active).max().unwrap_or(0)
+    }
+
+    /// Maximum concurrency at or after `t` — the forward-looking variant
+    /// the controller uses (history cannot be rescheduled).
+    pub fn max_concurrency_from(&self, t: TimeNs) -> usize {
+        let mut deltas: Vec<(TimeNs, i64)> = Vec::new();
+        let mut at_t: i64 = 0;
+        for &(s, e) in &self.spans {
+            if e <= s || e <= t {
+                continue;
+            }
+            if s <= t {
+                at_t += 1;
+            } else {
+                deltas.push((s, 1));
+            }
+            deltas.push((e, -1));
+        }
+        deltas.sort_by_key(|&(time, d)| (time, d));
+        let mut max = at_t;
+        let mut cur = at_t;
+        for (_, d) in deltas {
+            cur += d;
+            max = max.max(cur);
+        }
+        max.max(0) as usize
+    }
+}
+
+/// A point of a concurrency timeline: from `at` on, `active` activities
+/// run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TimelinePoint {
+    /// Interval start.
+    pub at: TimeNs,
+    /// Concurrency during the interval.
+    pub active: usize,
+}
+
+/// Best-effort schedule: infinite LP.
+pub fn best_effort(adg: &Adg, now: TimeNs) -> Schedule {
+    let mut spans: Vec<(TimeNs, TimeNs)> = Vec::with_capacity(adg.len());
+    let mut finish = TimeNs::ZERO;
+    for a in &adg.activities {
+        let span = match a.state {
+            ActState::Done { start, end } => (start, end),
+            ActState::Running { start } => (start, (start + a.est).max(now)),
+            ActState::Pending => {
+                let ti = a
+                    .preds
+                    .iter()
+                    .map(|&p| spans[p].1)
+                    .fold(now, TimeNs::max); // past-clamp: ti ≥ now
+                (ti, ti + a.est)
+            }
+        };
+        finish = finish.max(span.1);
+        spans.push(span);
+    }
+    Schedule { spans, finish }
+}
+
+/// Limited-LP schedule: greedy list scheduling with at most `lp`
+/// concurrently running activities from `now` on. Already-running
+/// activities keep their workers (no preemption); `lp == 0` with pending
+/// work yields `finish == TimeNs::MAX`.
+///
+/// Note that greedy list scheduling is subject to *Graham's anomaly*: on
+/// adversarial DAGs a larger `lp` can occasionally produce a slightly
+/// later finish. The paper assumes non-decreasing speedup ("for
+/// simplicity … we assume that the LP produces a non-strictly increasing
+/// speedup", §4) and so does the controller's binary search; Graham's
+/// bound still guarantees every `lp ≥ 1` is at least as good as serial
+/// execution (property-tested in `tests/strategy_properties.rs`).
+pub fn limited_lp(adg: &Adg, now: TimeNs, lp: usize) -> Schedule {
+    let n = adg.len();
+    let mut spans: Vec<(TimeNs, TimeNs)> = vec![(TimeNs::ZERO, TimeNs::ZERO); n];
+    let mut scheduled = vec![false; n];
+    let mut finish = TimeNs::ZERO;
+
+    // Reverse adjacency + pending-predecessor counts.
+    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut missing_preds = vec![0usize; n];
+    for (i, a) in adg.activities.iter().enumerate() {
+        if matches!(a.state, ActState::Pending) {
+            for &p in &a.preds {
+                succs[p].push(i);
+            }
+            missing_preds[i] = a.preds.len();
+        }
+    }
+
+    // Completion events: (time, activity index).
+    let mut events: std::collections::BinaryHeap<std::cmp::Reverse<(TimeNs, usize)>> =
+        std::collections::BinaryHeap::new();
+    // Ready pending activities: (ready_time, idx).
+    let mut ready: Vec<(TimeNs, usize)> = Vec::new();
+    let mut in_use = 0usize;
+    let mut pending_left = 0usize;
+
+    let resolve = |i: usize,
+                       end: TimeNs,
+                       missing_preds: &mut Vec<usize>,
+                       ready: &mut Vec<(TimeNs, usize)>,
+                       spans: &Vec<(TimeNs, TimeNs)>,
+                       succs: &Vec<Vec<usize>>,
+                       scheduled: &Vec<bool>,
+                       adg: &Adg| {
+        let _ = end;
+        for &s in &succs[i] {
+            if missing_preds[s] > 0 {
+                missing_preds[s] -= 1;
+                if missing_preds[s] == 0 {
+                    let ready_time = adg.activities[s]
+                        .preds
+                        .iter()
+                        .map(|&p| spans[p].1)
+                        .fold(now, TimeNs::max);
+                    debug_assert!(scheduled.iter().len() >= s);
+                    ready.push((ready_time, s));
+                }
+            }
+        }
+    };
+
+    // Seed with Done and Running activities.
+    for (i, a) in adg.activities.iter().enumerate() {
+        match a.state {
+            ActState::Done { start, end } => {
+                spans[i] = (start, end);
+                scheduled[i] = true;
+                finish = finish.max(end);
+            }
+            ActState::Running { start } => {
+                let end = (start + a.est).max(now);
+                spans[i] = (start, end);
+                scheduled[i] = true;
+                finish = finish.max(end);
+                in_use += 1;
+                events.push(std::cmp::Reverse((end, i)));
+            }
+            ActState::Pending => pending_left += 1,
+        }
+    }
+    // Resolve successors of *Done* activities only — Running ones resolve
+    // when their completion event fires (resolving them here too would
+    // count them twice and let successors start before their preds end).
+    for i in 0..n {
+        if matches!(adg.activities[i].state, ActState::Done { .. }) {
+            let end = spans[i].1;
+            resolve(
+                i,
+                end,
+                &mut missing_preds,
+                &mut ready,
+                &spans,
+                &succs,
+                &scheduled,
+                adg,
+            );
+        }
+    }
+    // Pending activities with no pending preds at all (their preds were
+    // all Done/Running, already handled) — also those with zero preds.
+    for (i, a) in adg.activities.iter().enumerate() {
+        if matches!(a.state, ActState::Pending) && missing_preds[i] == 0 {
+            let ready_time = a.preds.iter().map(|&p| spans[p].1).fold(now, TimeNs::max);
+            if !ready.iter().any(|&(_, j)| j == i) {
+                ready.push((ready_time, i));
+            }
+        }
+    }
+
+    if pending_left > 0 && lp == 0 {
+        return Schedule {
+            spans,
+            finish: TimeNs::MAX,
+        };
+    }
+
+    let mut t = now;
+    loop {
+        // Start everything ready and startable at time t, LIFO-ish.
+        loop {
+            if in_use >= lp {
+                break;
+            }
+            // Eligible: ready_time ≤ t; pick the highest index (mirrors
+            // the runtime's LIFO stack on ties).
+            let mut best: Option<usize> = None; // position in `ready`
+            for (pos, &(rt, idx)) in ready.iter().enumerate() {
+                if rt <= t {
+                    match best {
+                        Some(b) if ready[b].1 >= idx => {}
+                        _ => best = Some(pos),
+                    }
+                }
+            }
+            let Some(pos) = best else { break };
+            let (_, i) = ready.swap_remove(pos);
+            let est = adg.activities[i].est;
+            spans[i] = (t, t + est);
+            scheduled[i] = true;
+            finish = finish.max(t + est);
+            pending_left -= 1;
+            if est.0 == 0 {
+                // Zero-duration activities complete instantly and do not
+                // occupy a worker.
+                resolve(
+                    i,
+                    t,
+                    &mut missing_preds,
+                    &mut ready,
+                    &spans,
+                    &succs,
+                    &scheduled,
+                    adg,
+                );
+            } else {
+                in_use += 1;
+                events.push(std::cmp::Reverse((t + est, i)));
+            }
+        }
+        if pending_left == 0 && events.is_empty() {
+            break;
+        }
+        // Advance to the next completion.
+        let Some(std::cmp::Reverse((et, i))) = events.pop() else {
+            // No running activity but work left: only possible when every
+            // ready_time is in the future relative to t — advance to the
+            // earliest.
+            let Some(&(rt, _)) = ready.iter().min_by_key(|&&(rt, _)| rt) else {
+                break;
+            };
+            t = t.max(rt);
+            continue;
+        };
+        t = t.max(et);
+        in_use -= 1;
+        resolve(
+            i,
+            et,
+            &mut missing_preds,
+            &mut ready,
+            &spans,
+            &succs,
+            &scheduled,
+            adg,
+        );
+        // Drain simultaneous completions.
+        while let Some(&std::cmp::Reverse((et2, _))) = events.peek() {
+            if et2 != t {
+                break;
+            }
+            let std::cmp::Reverse((_, j)) = events.pop().expect("peeked");
+            in_use -= 1;
+            resolve(
+                j,
+                t,
+                &mut missing_preds,
+                &mut ready,
+                &spans,
+                &succs,
+                &scheduled,
+                adg,
+            );
+        }
+    }
+
+    Schedule { spans, finish }
+}
+
+/// The paper's optimal LP: the maximum concurrency of the best-effort
+/// schedule.
+pub fn optimal_lp(adg: &Adg, now: TimeNs) -> usize {
+    best_effort(adg, now).max_concurrency()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adg::Activity;
+    use askel_skeletons::{MuscleId, MuscleRole, NodeId};
+
+    fn act(state: ActState, est: u64, preds: Vec<usize>) -> Activity {
+        Activity {
+            muscle: MuscleId::new(NodeId(1), MuscleRole::Execute),
+            state,
+            est: TimeNs(est),
+            preds,
+        }
+    }
+
+    /// split(10) → 3 × fe(15) → merge(5), nothing started.
+    fn fan_adg() -> Adg {
+        Adg {
+            activities: vec![
+                act(ActState::Pending, 10, vec![]),
+                act(ActState::Pending, 15, vec![0]),
+                act(ActState::Pending, 15, vec![0]),
+                act(ActState::Pending, 15, vec![0]),
+                act(ActState::Pending, 5, vec![1, 2, 3]),
+            ],
+        }
+    }
+
+    #[test]
+    fn best_effort_is_critical_path() {
+        let s = best_effort(&fan_adg(), TimeNs::ZERO);
+        assert_eq!(s.finish, TimeNs(30));
+        assert_eq!(s.max_concurrency(), 3);
+    }
+
+    #[test]
+    fn limited_lp_serializes() {
+        let s = limited_lp(&fan_adg(), TimeNs::ZERO, 1);
+        assert_eq!(s.finish, TimeNs(10 + 45 + 5));
+        let s2 = limited_lp(&fan_adg(), TimeNs::ZERO, 2);
+        assert_eq!(s2.finish, TimeNs(10 + 30 + 5));
+    }
+
+    #[test]
+    fn limited_lp_with_big_lp_equals_best_effort() {
+        let be = best_effort(&fan_adg(), TimeNs::ZERO);
+        let ll = limited_lp(&fan_adg(), TimeNs::ZERO, 64);
+        assert_eq!(be.finish, ll.finish);
+    }
+
+    #[test]
+    fn running_activities_hold_their_workers() {
+        // Two running activities (est 10, started at 0), one pending (5),
+        // LP 2, now = 2: the pending one must wait until 10.
+        let adg = Adg {
+            activities: vec![
+                act(ActState::Running { start: TimeNs(0) }, 10, vec![]),
+                act(ActState::Running { start: TimeNs(0) }, 10, vec![]),
+                act(ActState::Pending, 5, vec![]),
+            ],
+        };
+        let s = limited_lp(&adg, TimeNs(2), 2);
+        assert_eq!(s.spans[2], (TimeNs(10), TimeNs(15)));
+        assert_eq!(s.finish, TimeNs(15));
+    }
+
+    #[test]
+    fn overdue_running_activity_is_clamped_to_now() {
+        // Started at 0 with est 10, but now = 25: tf = now (paper rule).
+        let adg = Adg {
+            activities: vec![act(ActState::Running { start: TimeNs(0) }, 10, vec![])],
+        };
+        let s = best_effort(&adg, TimeNs(25));
+        assert_eq!(s.spans[0], (TimeNs(0), TimeNs(25)));
+    }
+
+    #[test]
+    fn pending_start_is_clamped_to_now() {
+        // Pred finished at 5, now = 20: the pending activity starts at 20.
+        let adg = Adg {
+            activities: vec![
+                act(
+                    ActState::Done {
+                        start: TimeNs(0),
+                        end: TimeNs(5),
+                    },
+                    5,
+                    vec![],
+                ),
+                act(ActState::Pending, 10, vec![0]),
+            ],
+        };
+        let s = best_effort(&adg, TimeNs(20));
+        assert_eq!(s.spans[1], (TimeNs(20), TimeNs(30)));
+        let s = limited_lp(&adg, TimeNs(20), 1);
+        assert_eq!(s.spans[1], (TimeNs(20), TimeNs(30)));
+    }
+
+    #[test]
+    fn done_history_is_preserved_and_does_not_take_capacity() {
+        let adg = Adg {
+            activities: vec![
+                act(
+                    ActState::Done {
+                        start: TimeNs(0),
+                        end: TimeNs(100),
+                    },
+                    100,
+                    vec![],
+                ),
+                act(ActState::Pending, 10, vec![]),
+            ],
+        };
+        let s = limited_lp(&adg, TimeNs(100), 1);
+        assert_eq!(s.spans[0], (TimeNs(0), TimeNs(100)));
+        assert_eq!(s.spans[1], (TimeNs(100), TimeNs(110)));
+    }
+
+    #[test]
+    fn zero_lp_with_pending_work_never_finishes() {
+        let s = limited_lp(&fan_adg(), TimeNs::ZERO, 0);
+        assert_eq!(s.finish, TimeNs::MAX);
+    }
+
+    #[test]
+    fn zero_duration_activities_do_not_occupy_workers() {
+        // Three zero-cost activities + one real one, LP 1: all zero-cost
+        // ones run "instantly" alongside.
+        let adg = Adg {
+            activities: vec![
+                act(ActState::Pending, 0, vec![]),
+                act(ActState::Pending, 0, vec![0]),
+                act(ActState::Pending, 7, vec![1]),
+                act(ActState::Pending, 0, vec![2]),
+            ],
+        };
+        let s = limited_lp(&adg, TimeNs::ZERO, 1);
+        assert_eq!(s.finish, TimeNs(7));
+    }
+
+    #[test]
+    fn timeline_shows_the_fan() {
+        let s = best_effort(&fan_adg(), TimeNs::ZERO);
+        let tl = s.timeline();
+        assert_eq!(
+            tl,
+            vec![
+                TimelinePoint { at: TimeNs(0), active: 1 },
+                TimelinePoint { at: TimeNs(10), active: 3 },
+                TimelinePoint { at: TimeNs(25), active: 1 },
+                TimelinePoint { at: TimeNs(30), active: 0 },
+            ]
+        );
+        assert_eq!(s.max_concurrency_from(TimeNs(26)), 1);
+        assert_eq!(s.max_concurrency_from(TimeNs(10)), 3);
+    }
+
+    #[test]
+    fn optimal_lp_matches_max_concurrency() {
+        assert_eq!(optimal_lp(&fan_adg(), TimeNs::ZERO), 3);
+    }
+
+    #[test]
+    fn wct_is_monotonically_nonincreasing_in_lp() {
+        let adg = fan_adg();
+        let mut prev = limited_lp(&adg, TimeNs::ZERO, 1).finish;
+        for lp in 2..8 {
+            let cur = limited_lp(&adg, TimeNs::ZERO, lp).finish;
+            assert!(cur <= prev, "lp {lp}: {cur:?} > {prev:?}");
+            prev = cur;
+        }
+    }
+}

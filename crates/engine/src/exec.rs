@@ -1,0 +1,964 @@
+//! The continuation-passing interpreter.
+//!
+//! Execution discipline (mirrored exactly by the discrete-event simulator,
+//! so both engines raise the same event sequences):
+//!
+//! * kinds that own muscles (`seq`, `map`, `fork`, `d&C`, `while`, `if`)
+//!   run each muscle inside **one pool task**, emitting the bracketing
+//!   events on that task's thread;
+//! * purely structural kinds (`farm`, `pipe`, `for`) emit their
+//!   skeleton-level events inline on the scheduling/continuation thread —
+//!   they have no muscle for the thread guarantee to bind to;
+//! * `map`/`fork`/`d&C` children are fanned out via a join counter; the
+//!   merge runs as a fresh task scheduled by the last child to finish;
+//! * the whole task body (muscle + listeners + continuation) is guarded:
+//!   a panic poisons the submission and short-circuits its remaining
+//!   tasks.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use askel_events::{Event, EventInfo, ListenerRegistry, Payload, Trace, When, Where};
+use askel_pool::ResizablePool;
+use askel_skeletons::{Clock, Data, EvalError, InstanceId, Node, NodeKind, Skel};
+
+use crate::error::{panic_message, EngineError};
+use crate::future::{pair, SkelFuture};
+
+/// Continuation invoked with a node's result, on the thread that produced
+/// it.
+type Cont = Box<dyn FnOnce(&Arc<SubCtx>, Data) + Send>;
+
+/// Per-submission context: engine services plus the poisoning machinery.
+struct SubCtx {
+    pool: ResizablePool,
+    registry: Arc<ListenerRegistry>,
+    clock: Arc<dyn Clock>,
+    failed: AtomicBool,
+    fail_fn: Box<dyn Fn(EngineError) + Send + Sync>,
+}
+
+impl SubCtx {
+    fn fail(&self, err: EngineError) {
+        self.failed.store(true, Ordering::SeqCst);
+        (self.fail_fn)(err); // the promise keeps only the first resolution
+    }
+
+    /// Schedules a pool task that short-circuits if the submission is
+    /// poisoned and poisons it if the body panics.
+    fn spawn(self: &Arc<Self>, f: impl FnOnce(&Arc<SubCtx>) + Send + 'static) {
+        let ctx = Arc::clone(self);
+        self.pool.submit(Box::new(move || {
+            if ctx.failed.load(Ordering::SeqCst) {
+                return;
+            }
+            if let Err(p) = catch_unwind(AssertUnwindSafe(|| f(&ctx))) {
+                ctx.fail(EngineError::MusclePanic(panic_message(p.as_ref())));
+            }
+        }));
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn emit(
+        &self,
+        node: &Node,
+        trace: &Trace,
+        index: InstanceId,
+        when: When,
+        wher: Where,
+        info: EventInfo,
+        payload: &mut Payload<'_>,
+    ) {
+        if self.registry.is_empty() {
+            return;
+        }
+        let event = Event {
+            node: node.id,
+            kind: node.tag(),
+            when,
+            wher,
+            index,
+            trace: trace.clone(),
+            timestamp: self.clock.now(),
+            info,
+        };
+        self.registry.emit(payload, &event);
+    }
+}
+
+/// Collects fan-out results in sub-problem order; the closer (last child)
+/// receives the full result vector.
+struct Join {
+    slots: Mutex<Vec<Option<Data>>>,
+    remaining: AtomicUsize,
+}
+
+impl Join {
+    fn new(n: usize) -> Arc<Self> {
+        Arc::new(Join {
+            slots: Mutex::new((0..n).map(|_| None).collect()),
+            remaining: AtomicUsize::new(n),
+        })
+    }
+
+    fn complete(&self, k: usize, value: Data) -> Option<Vec<Data>> {
+        {
+            let mut slots = self.slots.lock();
+            debug_assert!(slots[k].is_none(), "child {k} completed twice");
+            slots[k] = Some(value);
+        }
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let slots = std::mem::take(&mut *self.slots.lock());
+            Some(
+                slots
+                    .into_iter()
+                    .map(|s| s.expect("join closed with missing slot"))
+                    .collect(),
+            )
+        } else {
+            None
+        }
+    }
+}
+
+/// Entry point used by [`crate::Engine::submit`].
+pub(crate) fn submit<P, R>(
+    pool: ResizablePool,
+    registry: Arc<ListenerRegistry>,
+    clock: Arc<dyn Clock>,
+    skel: &Skel<P, R>,
+    input: P,
+) -> SkelFuture<R>
+where
+    P: Send + 'static,
+    R: Send + 'static,
+{
+    let (future, promise) = pair::<R>();
+    let fail_promise = promise.clone();
+    let ctx = Arc::new(SubCtx {
+        pool,
+        registry,
+        clock,
+        failed: AtomicBool::new(false),
+        fail_fn: Box::new(move |e| fail_promise.fail(e)),
+    });
+    let root_cont: Cont = Box::new(move |_ctx, data| match data.downcast::<R>() {
+        Ok(r) => promise.fulfill(*r),
+        Err(_) => promise.fail(EngineError::MusclePanic(
+            "internal error: root result had an unexpected type".into(),
+        )),
+    });
+    schedule_node(&ctx, skel.node(), None, Box::new(input), root_cont);
+    future
+}
+
+/// Schedules the execution of `node` on `data`; `cont` receives the result.
+fn schedule_node(
+    ctx: &Arc<SubCtx>,
+    node: &Arc<Node>,
+    parent: Option<&Trace>,
+    data: Data,
+    cont: Cont,
+) {
+    let inst = InstanceId::fresh();
+    let trace = match parent {
+        Some(t) => t.child(node.id, inst, node.tag()),
+        None => Trace::root(node.id, inst, node.tag()),
+    };
+    let node = Arc::clone(node);
+    match node.tag() {
+        askel_skeletons::KindTag::Seq => exec_seq(ctx, node, trace, inst, data, cont),
+        askel_skeletons::KindTag::Farm => exec_farm(ctx, node, trace, inst, data, cont),
+        askel_skeletons::KindTag::Pipe => exec_pipe(ctx, node, trace, inst, data, cont),
+        askel_skeletons::KindTag::While => exec_while(ctx, node, trace, inst, data, cont, 0),
+        askel_skeletons::KindTag::If => exec_if(ctx, node, trace, inst, data, cont),
+        askel_skeletons::KindTag::For => exec_for(ctx, node, trace, inst, data, cont),
+        askel_skeletons::KindTag::Map => exec_map(ctx, node, trace, inst, data, cont),
+        askel_skeletons::KindTag::Fork => exec_fork(ctx, node, trace, inst, data, cont),
+        askel_skeletons::KindTag::DivideConquer => exec_dac(ctx, node, trace, inst, data, cont),
+    }
+}
+
+fn exec_seq(
+    ctx: &Arc<SubCtx>,
+    node: Arc<Node>,
+    trace: Trace,
+    inst: InstanceId,
+    data: Data,
+    cont: Cont,
+) {
+    ctx.spawn(move |ctx| {
+        let mut data = data;
+        ctx.emit(
+            &node,
+            &trace,
+            inst,
+            When::Before,
+            Where::Skeleton,
+            EventInfo::None,
+            &mut Payload::Single(&mut data),
+        );
+        let NodeKind::Seq { fe } = &node.kind else {
+            unreachable!("tag checked by dispatcher")
+        };
+        let mut out = fe.call(data);
+        ctx.emit(
+            &node,
+            &trace,
+            inst,
+            When::After,
+            Where::Skeleton,
+            EventInfo::None,
+            &mut Payload::Single(&mut out),
+        );
+        cont(ctx, out);
+    });
+}
+
+fn exec_farm(
+    ctx: &Arc<SubCtx>,
+    node: Arc<Node>,
+    trace: Trace,
+    inst: InstanceId,
+    mut data: Data,
+    cont: Cont,
+) {
+    ctx.emit(
+        &node,
+        &trace,
+        inst,
+        When::Before,
+        Where::Skeleton,
+        EventInfo::None,
+        &mut Payload::Single(&mut data),
+    );
+    ctx.emit(
+        &node,
+        &trace,
+        inst,
+        When::Before,
+        Where::NestedSkeleton,
+        EventInfo::ChildIndex(0),
+        &mut Payload::Single(&mut data),
+    );
+    let NodeKind::Farm { inner } = &node.kind else {
+        unreachable!("tag checked by dispatcher")
+    };
+    let inner = Arc::clone(inner);
+    let trace2 = trace.clone();
+    let node2 = Arc::clone(&node);
+    schedule_node(
+        ctx,
+        &inner,
+        Some(&trace),
+        data,
+        Box::new(move |ctx, mut out| {
+            ctx.emit(
+                &node2,
+                &trace2,
+                inst,
+                When::After,
+                Where::NestedSkeleton,
+                EventInfo::ChildIndex(0),
+                &mut Payload::Single(&mut out),
+            );
+            ctx.emit(
+                &node2,
+                &trace2,
+                inst,
+                When::After,
+                Where::Skeleton,
+                EventInfo::None,
+                &mut Payload::Single(&mut out),
+            );
+            cont(ctx, out);
+        }),
+    );
+}
+
+fn exec_pipe(
+    ctx: &Arc<SubCtx>,
+    node: Arc<Node>,
+    trace: Trace,
+    inst: InstanceId,
+    mut data: Data,
+    cont: Cont,
+) {
+    ctx.emit(
+        &node,
+        &trace,
+        inst,
+        When::Before,
+        Where::Skeleton,
+        EventInfo::None,
+        &mut Payload::Single(&mut data),
+    );
+    pipe_stage(ctx, node, trace, inst, data, cont, 0);
+}
+
+fn pipe_stage(
+    ctx: &Arc<SubCtx>,
+    node: Arc<Node>,
+    trace: Trace,
+    inst: InstanceId,
+    mut data: Data,
+    cont: Cont,
+    k: usize,
+) {
+    let NodeKind::Pipe { stages } = &node.kind else {
+        unreachable!("tag checked by dispatcher")
+    };
+    if k == stages.len() {
+        ctx.emit(
+            &node,
+            &trace,
+            inst,
+            When::After,
+            Where::Skeleton,
+            EventInfo::None,
+            &mut Payload::Single(&mut data),
+        );
+        cont(ctx, data);
+        return;
+    }
+    ctx.emit(
+        &node,
+        &trace,
+        inst,
+        When::Before,
+        Where::NestedSkeleton,
+        EventInfo::ChildIndex(k),
+        &mut Payload::Single(&mut data),
+    );
+    let stage = Arc::clone(&stages[k]);
+    let node2 = Arc::clone(&node);
+    let trace2 = trace.clone();
+    schedule_node(
+        ctx,
+        &stage,
+        Some(&trace),
+        data,
+        Box::new(move |ctx, mut out| {
+            ctx.emit(
+                &node2,
+                &trace2,
+                inst,
+                When::After,
+                Where::NestedSkeleton,
+                EventInfo::ChildIndex(k),
+                &mut Payload::Single(&mut out),
+            );
+            pipe_stage(ctx, node2, trace2, inst, out, cont, k + 1);
+        }),
+    );
+}
+
+fn exec_while(
+    ctx: &Arc<SubCtx>,
+    node: Arc<Node>,
+    trace: Trace,
+    inst: InstanceId,
+    data: Data,
+    cont: Cont,
+    iter: usize,
+) {
+    ctx.spawn(move |ctx| {
+        let mut data = data;
+        if iter == 0 {
+            ctx.emit(
+                &node,
+                &trace,
+                inst,
+                When::Before,
+                Where::Skeleton,
+                EventInfo::None,
+                &mut Payload::Single(&mut data),
+            );
+        }
+        let NodeKind::While { fc, inner } = &node.kind else {
+            unreachable!("tag checked by dispatcher")
+        };
+        ctx.emit(
+            &node,
+            &trace,
+            inst,
+            When::Before,
+            Where::Condition,
+            EventInfo::None,
+            &mut Payload::Single(&mut data),
+        );
+        let verdict = fc.call(&data);
+        ctx.emit(
+            &node,
+            &trace,
+            inst,
+            When::After,
+            Where::Condition,
+            EventInfo::ConditionResult(verdict),
+            &mut Payload::Single(&mut data),
+        );
+        if verdict {
+            ctx.emit(
+                &node,
+                &trace,
+                inst,
+                When::Before,
+                Where::NestedSkeleton,
+                EventInfo::ChildIndex(iter),
+                &mut Payload::Single(&mut data),
+            );
+            let inner = Arc::clone(inner);
+            let node2 = Arc::clone(&node);
+            let trace2 = trace.clone();
+            schedule_node(
+                ctx,
+                &inner,
+                Some(&trace),
+                data,
+                Box::new(move |ctx, mut out| {
+                    ctx.emit(
+                        &node2,
+                        &trace2,
+                        inst,
+                        When::After,
+                        Where::NestedSkeleton,
+                        EventInfo::ChildIndex(iter),
+                        &mut Payload::Single(&mut out),
+                    );
+                    exec_while(ctx, node2, trace2, inst, out, cont, iter + 1);
+                }),
+            );
+        } else {
+            ctx.emit(
+                &node,
+                &trace,
+                inst,
+                When::After,
+                Where::Skeleton,
+                EventInfo::None,
+                &mut Payload::Single(&mut data),
+            );
+            cont(ctx, data);
+        }
+    });
+}
+
+fn exec_if(
+    ctx: &Arc<SubCtx>,
+    node: Arc<Node>,
+    trace: Trace,
+    inst: InstanceId,
+    data: Data,
+    cont: Cont,
+) {
+    ctx.spawn(move |ctx| {
+        let mut data = data;
+        ctx.emit(
+            &node,
+            &trace,
+            inst,
+            When::Before,
+            Where::Skeleton,
+            EventInfo::None,
+            &mut Payload::Single(&mut data),
+        );
+        let NodeKind::If {
+            fc,
+            then_branch,
+            else_branch,
+        } = &node.kind
+        else {
+            unreachable!("tag checked by dispatcher")
+        };
+        ctx.emit(
+            &node,
+            &trace,
+            inst,
+            When::Before,
+            Where::Condition,
+            EventInfo::None,
+            &mut Payload::Single(&mut data),
+        );
+        let verdict = fc.call(&data);
+        ctx.emit(
+            &node,
+            &trace,
+            inst,
+            When::After,
+            Where::Condition,
+            EventInfo::ConditionResult(verdict),
+            &mut Payload::Single(&mut data),
+        );
+        let (branch, k) = if verdict {
+            (Arc::clone(then_branch), 0)
+        } else {
+            (Arc::clone(else_branch), 1)
+        };
+        ctx.emit(
+            &node,
+            &trace,
+            inst,
+            When::Before,
+            Where::NestedSkeleton,
+            EventInfo::ChildIndex(k),
+            &mut Payload::Single(&mut data),
+        );
+        let node2 = Arc::clone(&node);
+        let trace2 = trace.clone();
+        schedule_node(
+            ctx,
+            &branch,
+            Some(&trace),
+            data,
+            Box::new(move |ctx, mut out| {
+                ctx.emit(
+                    &node2,
+                    &trace2,
+                    inst,
+                    When::After,
+                    Where::NestedSkeleton,
+                    EventInfo::ChildIndex(k),
+                    &mut Payload::Single(&mut out),
+                );
+                ctx.emit(
+                    &node2,
+                    &trace2,
+                    inst,
+                    When::After,
+                    Where::Skeleton,
+                    EventInfo::None,
+                    &mut Payload::Single(&mut out),
+                );
+                cont(ctx, out);
+            }),
+        );
+    });
+}
+
+fn exec_for(
+    ctx: &Arc<SubCtx>,
+    node: Arc<Node>,
+    trace: Trace,
+    inst: InstanceId,
+    mut data: Data,
+    cont: Cont,
+) {
+    ctx.emit(
+        &node,
+        &trace,
+        inst,
+        When::Before,
+        Where::Skeleton,
+        EventInfo::None,
+        &mut Payload::Single(&mut data),
+    );
+    let NodeKind::For { n, .. } = &node.kind else {
+        unreachable!("tag checked by dispatcher")
+    };
+    let n = *n;
+    if n == 0 {
+        ctx.emit(
+            &node,
+            &trace,
+            inst,
+            When::After,
+            Where::Skeleton,
+            EventInfo::None,
+            &mut Payload::Single(&mut data),
+        );
+        cont(ctx, data);
+        return;
+    }
+    for_iteration(ctx, node, trace, inst, data, cont, 0, n);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn for_iteration(
+    ctx: &Arc<SubCtx>,
+    node: Arc<Node>,
+    trace: Trace,
+    inst: InstanceId,
+    mut data: Data,
+    cont: Cont,
+    k: usize,
+    n: usize,
+) {
+    ctx.emit(
+        &node,
+        &trace,
+        inst,
+        When::Before,
+        Where::NestedSkeleton,
+        EventInfo::Iteration(k),
+        &mut Payload::Single(&mut data),
+    );
+    let NodeKind::For { inner, .. } = &node.kind else {
+        unreachable!("tag checked by dispatcher")
+    };
+    let inner = Arc::clone(inner);
+    let node2 = Arc::clone(&node);
+    let trace2 = trace.clone();
+    schedule_node(
+        ctx,
+        &inner,
+        Some(&trace),
+        data,
+        Box::new(move |ctx, mut out| {
+            ctx.emit(
+                &node2,
+                &trace2,
+                inst,
+                When::After,
+                Where::NestedSkeleton,
+                EventInfo::Iteration(k),
+                &mut Payload::Single(&mut out),
+            );
+            if k + 1 < n {
+                for_iteration(ctx, node2, trace2, inst, out, cont, k + 1, n);
+            } else {
+                ctx.emit(
+                    &node2,
+                    &trace2,
+                    inst,
+                    When::After,
+                    Where::Skeleton,
+                    EventInfo::None,
+                    &mut Payload::Single(&mut out),
+                );
+                cont(ctx, out);
+            }
+        }),
+    );
+}
+
+fn exec_map(
+    ctx: &Arc<SubCtx>,
+    node: Arc<Node>,
+    trace: Trace,
+    inst: InstanceId,
+    data: Data,
+    cont: Cont,
+) {
+    ctx.spawn(move |ctx| {
+        let mut data = data;
+        ctx.emit(
+            &node,
+            &trace,
+            inst,
+            When::Before,
+            Where::Skeleton,
+            EventInfo::None,
+            &mut Payload::Single(&mut data),
+        );
+        let NodeKind::Map { fs, .. } = &node.kind else {
+            unreachable!("tag checked by dispatcher")
+        };
+        ctx.emit(
+            &node,
+            &trace,
+            inst,
+            When::Before,
+            Where::Split,
+            EventInfo::None,
+            &mut Payload::Single(&mut data),
+        );
+        let mut parts = fs.call(data);
+        ctx.emit(
+            &node,
+            &trace,
+            inst,
+            When::After,
+            Where::Split,
+            EventInfo::SplitCardinality(parts.len()),
+            &mut Payload::Many(&mut parts),
+        );
+        fan_out(ctx, Arc::clone(&node), trace.clone(), inst, parts, cont, |node, _| {
+            let NodeKind::Map { inner, .. } = &node.kind else {
+                unreachable!()
+            };
+            Arc::clone(inner)
+        });
+    });
+}
+
+fn exec_fork(
+    ctx: &Arc<SubCtx>,
+    node: Arc<Node>,
+    trace: Trace,
+    inst: InstanceId,
+    data: Data,
+    cont: Cont,
+) {
+    ctx.spawn(move |ctx| {
+        let mut data = data;
+        ctx.emit(
+            &node,
+            &trace,
+            inst,
+            When::Before,
+            Where::Skeleton,
+            EventInfo::None,
+            &mut Payload::Single(&mut data),
+        );
+        let NodeKind::Fork { fs, inners, .. } = &node.kind else {
+            unreachable!("tag checked by dispatcher")
+        };
+        ctx.emit(
+            &node,
+            &trace,
+            inst,
+            When::Before,
+            Where::Split,
+            EventInfo::None,
+            &mut Payload::Single(&mut data),
+        );
+        let mut parts = fs.call(data);
+        ctx.emit(
+            &node,
+            &trace,
+            inst,
+            When::After,
+            Where::Split,
+            EventInfo::SplitCardinality(parts.len()),
+            &mut Payload::Many(&mut parts),
+        );
+        if parts.len() != inners.len() {
+            ctx.fail(EngineError::Eval(EvalError::ForkArityMismatch {
+                node: node.id,
+                branches: inners.len(),
+                produced: parts.len(),
+            }));
+            return;
+        }
+        fan_out(ctx, Arc::clone(&node), trace.clone(), inst, parts, cont, |node, k| {
+            let NodeKind::Fork { inners, .. } = &node.kind else {
+                unreachable!()
+            };
+            Arc::clone(&inners[k])
+        });
+    });
+}
+
+fn exec_dac(
+    ctx: &Arc<SubCtx>,
+    node: Arc<Node>,
+    trace: Trace,
+    inst: InstanceId,
+    data: Data,
+    cont: Cont,
+) {
+    ctx.spawn(move |ctx| {
+        let mut data = data;
+        ctx.emit(
+            &node,
+            &trace,
+            inst,
+            When::Before,
+            Where::Skeleton,
+            EventInfo::None,
+            &mut Payload::Single(&mut data),
+        );
+        let NodeKind::DivideConquer { fc, fs, inner, .. } = &node.kind else {
+            unreachable!("tag checked by dispatcher")
+        };
+        ctx.emit(
+            &node,
+            &trace,
+            inst,
+            When::Before,
+            Where::Condition,
+            EventInfo::None,
+            &mut Payload::Single(&mut data),
+        );
+        let divide = fc.call(&data);
+        ctx.emit(
+            &node,
+            &trace,
+            inst,
+            When::After,
+            Where::Condition,
+            EventInfo::ConditionResult(divide),
+            &mut Payload::Single(&mut data),
+        );
+        if divide {
+            ctx.emit(
+                &node,
+                &trace,
+                inst,
+                When::Before,
+                Where::Split,
+                EventInfo::None,
+                &mut Payload::Single(&mut data),
+            );
+            let mut parts = fs.call(data);
+            ctx.emit(
+                &node,
+                &trace,
+                inst,
+                When::After,
+                Where::Split,
+                EventInfo::SplitCardinality(parts.len()),
+                &mut Payload::Many(&mut parts),
+            );
+            if parts.is_empty() {
+                ctx.fail(EngineError::Eval(EvalError::EmptySplit { node: node.id }));
+                return;
+            }
+            // Children are new instances of this same d&C node.
+            fan_out(ctx, Arc::clone(&node), trace.clone(), inst, parts, cont, |node, _| {
+                Arc::clone(node)
+            });
+        } else {
+            ctx.emit(
+                &node,
+                &trace,
+                inst,
+                When::Before,
+                Where::NestedSkeleton,
+                EventInfo::ChildIndex(0),
+                &mut Payload::Single(&mut data),
+            );
+            let inner = Arc::clone(inner);
+            let node2 = Arc::clone(&node);
+            let trace2 = trace.clone();
+            schedule_node(
+                ctx,
+                &inner,
+                Some(&trace),
+                data,
+                Box::new(move |ctx, mut out| {
+                    ctx.emit(
+                        &node2,
+                        &trace2,
+                        inst,
+                        When::After,
+                        Where::NestedSkeleton,
+                        EventInfo::ChildIndex(0),
+                        &mut Payload::Single(&mut out),
+                    );
+                    ctx.emit(
+                        &node2,
+                        &trace2,
+                        inst,
+                        When::After,
+                        Where::Skeleton,
+                        EventInfo::None,
+                        &mut Payload::Single(&mut out),
+                    );
+                    cont(ctx, out);
+                }),
+            );
+        }
+    });
+}
+
+/// Fans `parts` out to child skeletons chosen by `pick_child(node, k)`,
+/// joins the results in order, then schedules the merge task which also
+/// closes the parent instance (`After, Merge` then `After, Skeleton`).
+fn fan_out(
+    ctx: &Arc<SubCtx>,
+    node: Arc<Node>,
+    trace: Trace,
+    inst: InstanceId,
+    parts: Vec<Data>,
+    cont: Cont,
+    pick_child: impl Fn(&Arc<Node>, usize) -> Arc<Node> + Copy,
+) {
+    if parts.is_empty() {
+        schedule_merge(ctx, node, trace, inst, Vec::new(), cont);
+        return;
+    }
+    let join = Join::new(parts.len());
+    let cont = Arc::new(Mutex::new(Some(cont)));
+    for (k, mut part) in parts.into_iter().enumerate() {
+        ctx.emit(
+            &node,
+            &trace,
+            inst,
+            When::Before,
+            Where::NestedSkeleton,
+            EventInfo::ChildIndex(k),
+            &mut Payload::Single(&mut part),
+        );
+        let child = pick_child(&node, k);
+        let join = Arc::clone(&join);
+        let cont = Arc::clone(&cont);
+        let node2 = Arc::clone(&node);
+        let trace2 = trace.clone();
+        schedule_node(
+            ctx,
+            &child,
+            Some(&trace),
+            part,
+            Box::new(move |ctx, mut out| {
+                ctx.emit(
+                    &node2,
+                    &trace2,
+                    inst,
+                    When::After,
+                    Where::NestedSkeleton,
+                    EventInfo::ChildIndex(k),
+                    &mut Payload::Single(&mut out),
+                );
+                if let Some(results) = join.complete(k, out) {
+                    let cont = cont
+                        .lock()
+                        .take()
+                        .expect("join completed twice");
+                    schedule_merge(ctx, node2, trace2, inst, results, cont);
+                }
+            }),
+        );
+    }
+}
+
+fn schedule_merge(
+    ctx: &Arc<SubCtx>,
+    node: Arc<Node>,
+    trace: Trace,
+    inst: InstanceId,
+    results: Vec<Data>,
+    cont: Cont,
+) {
+    ctx.spawn(move |ctx| {
+        let mut results = results;
+        ctx.emit(
+            &node,
+            &trace,
+            inst,
+            When::Before,
+            Where::Merge,
+            EventInfo::None,
+            &mut Payload::Many(&mut results),
+        );
+        let fm = match &node.kind {
+            NodeKind::Map { fm, .. }
+            | NodeKind::Fork { fm, .. }
+            | NodeKind::DivideConquer { fm, .. } => fm,
+            _ => unreachable!("merge scheduled on a kind without a merge muscle"),
+        };
+        let mut out = fm.call(results);
+        ctx.emit(
+            &node,
+            &trace,
+            inst,
+            When::After,
+            Where::Merge,
+            EventInfo::None,
+            &mut Payload::Single(&mut out),
+        );
+        ctx.emit(
+            &node,
+            &trace,
+            inst,
+            When::After,
+            Where::Skeleton,
+            EventInfo::None,
+            &mut Payload::Single(&mut out),
+        );
+        cont(ctx, out);
+    });
+}

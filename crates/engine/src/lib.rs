@@ -1,0 +1,127 @@
+//! Multithreaded execution engine for algorithmic skeletons.
+//!
+//! This crate is the Rust counterpart of Skandium's runtime: it interprets
+//! the type-erased skeleton AST (`askel-skeletons`) over the resizable
+//! worker pool (`askel-pool`), emitting the full event vocabulary of
+//! `askel-events` around every muscle, **on the thread that executes the
+//! muscle** (the paper's thread guarantee for listeners).
+//!
+//! Execution is continuation-passing: every muscle execution is one pool
+//! task; data-parallel kinds (`map`, `fork`, `d&C`) fan out through a join
+//! counter and schedule their merge as a fresh task, so the pool's
+//! active-task count *is* the paper's "number of active threads".
+//!
+//! ```
+//! use askel_engine::Engine;
+//! use askel_skeletons::{map, seq};
+//!
+//! let engine = Engine::new(2);
+//! let program = map(
+//!     |v: Vec<i64>| v.into_iter().map(|x| vec![x]).collect::<Vec<_>>(),
+//!     seq(|v: Vec<i64>| v[0] * 10),
+//!     |parts: Vec<i64>| parts.into_iter().sum::<i64>(),
+//! );
+//! let future = engine.submit(&program, vec![1, 2, 3]);
+//! assert_eq!(future.get().unwrap(), 60);
+//! ```
+//!
+//! Failure model: a panicking muscle (or a structural error such as a
+//! `fork` arity mismatch) *poisons the submission* — the future resolves to
+//! an [`EngineError`], outstanding sibling tasks of that submission
+//! short-circuit, and the pool workers survive.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod error;
+mod exec;
+pub mod future;
+pub mod stream;
+
+use std::sync::Arc;
+
+use askel_events::ListenerRegistry;
+use askel_pool::ResizablePool;
+use askel_skeletons::{Clock, RealClock, Skel};
+
+pub use error::EngineError;
+pub use future::SkelFuture;
+pub use stream::StreamSession;
+
+/// The skeleton execution engine: a pool, a clock, and a listener registry.
+///
+/// Cloning shares the engine. The pool shuts down when the engine created
+/// by [`Engine::new`]/[`Engine::with_clock`] is dropped.
+pub struct Engine {
+    pool: ResizablePool,
+    registry: Arc<ListenerRegistry>,
+    clock: Arc<dyn Clock>,
+}
+
+impl Engine {
+    /// Creates an engine with `workers` initial workers (the initial LP)
+    /// and a real wall clock starting at zero.
+    pub fn new(workers: usize) -> Self {
+        Self::with_clock(workers, Arc::new(RealClock::new()))
+    }
+
+    /// Creates an engine over an explicit clock (tests use a manual one).
+    pub fn with_clock(workers: usize, clock: Arc<dyn Clock>) -> Self {
+        let pool = ResizablePool::with_clock(workers, Arc::clone(&clock));
+        Engine {
+            pool,
+            registry: ListenerRegistry::new(),
+            clock,
+        }
+    }
+
+    /// The listener registry; register non-functional concerns here.
+    pub fn registry(&self) -> &Arc<ListenerRegistry> {
+        &self.registry
+    }
+
+    /// The worker pool (telemetry, direct task submission).
+    pub fn pool(&self) -> &ResizablePool {
+        &self.pool
+    }
+
+    /// The engine clock (shared with pool telemetry and event timestamps).
+    pub fn clock(&self) -> Arc<dyn Clock> {
+        Arc::clone(&self.clock)
+    }
+
+    /// Current level of parallelism (worker target).
+    pub fn lp(&self) -> usize {
+        self.pool.target_workers()
+    }
+
+    /// Changes the level of parallelism while skeletons run: growth is
+    /// immediate, shrink is cooperative (running muscles finish).
+    pub fn set_lp(&self, lp: usize) {
+        self.pool.set_target_workers(lp);
+    }
+
+    /// Submits one input to a skeleton; returns immediately with a future
+    /// (the paper's `skeleton.input(p) → Future<R>`).
+    ///
+    /// Multiple submissions may be in flight concurrently; they share the
+    /// pool, so pipeline stages of different inputs overlap naturally.
+    pub fn submit<P, R>(&self, skel: &Skel<P, R>, input: P) -> SkelFuture<R>
+    where
+        P: Send + 'static,
+        R: Send + 'static,
+    {
+        exec::submit(
+            self.pool.clone(),
+            Arc::clone(&self.registry),
+            Arc::clone(&self.clock),
+            skel,
+            input,
+        )
+    }
+
+    /// Shuts the pool down, finishing queued work first.
+    pub fn shutdown(&self) {
+        self.pool.shutdown_and_join();
+    }
+}

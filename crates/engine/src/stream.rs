@@ -1,0 +1,233 @@
+//! Stream processing: many inputs through one skeleton.
+//!
+//! Skandium's `farm` and `pipe` earn their parallelism from *streams*: a
+//! farm replicates its nested skeleton across concurrent inputs, and a
+//! pipe overlaps different inputs' stages. The engine supports this
+//! naturally (every submission is independent); [`StreamSession`] packages
+//! the pattern: feed inputs as they arrive, bound how many are in flight,
+//! and collect results **in submission order**.
+
+use std::collections::VecDeque;
+
+use askel_skeletons::Skel;
+
+use crate::error::EngineError;
+use crate::future::SkelFuture;
+use crate::Engine;
+
+/// An ordered stream of inputs through one skeleton.
+///
+/// ```
+/// use askel_engine::{Engine, StreamSession};
+/// use askel_skeletons::{farm, seq};
+///
+/// let engine = Engine::new(2);
+/// let program = farm(seq(|x: i64| x * 2));
+/// let mut stream = StreamSession::new(&engine, &program).max_in_flight(8);
+/// for x in 0..100 {
+///     stream.feed(x);
+/// }
+/// let doubled: Vec<i64> = stream.drain().map(|r| r.unwrap()).collect();
+/// assert_eq!(doubled[99], 198);
+/// engine.shutdown();
+/// ```
+pub struct StreamSession<'e, P, R> {
+    engine: &'e Engine,
+    skel: Skel<P, R>,
+    in_flight: VecDeque<SkelFuture<R>>,
+    ready: VecDeque<Result<R, EngineError>>,
+    max_in_flight: usize,
+    fed: usize,
+    collected: usize,
+}
+
+impl<'e, P, R> StreamSession<'e, P, R>
+where
+    P: Send + 'static,
+    R: Send + 'static,
+{
+    /// A session feeding `skel` on `engine`, with unbounded in-flight
+    /// inputs by default.
+    pub fn new(engine: &'e Engine, skel: &Skel<P, R>) -> Self {
+        StreamSession {
+            engine,
+            skel: skel.clone(),
+            in_flight: VecDeque::new(),
+            ready: VecDeque::new(),
+            max_in_flight: usize::MAX,
+            fed: 0,
+            collected: 0,
+        }
+    }
+
+    /// Bounds how many inputs may be in flight; `feed` blocks on the
+    /// oldest submission when the bound is reached (backpressure).
+    pub fn max_in_flight(mut self, n: usize) -> Self {
+        self.max_in_flight = n.max(1);
+        self
+    }
+
+    /// Submits one input. Blocks only when the in-flight bound is hit.
+    pub fn feed(&mut self, input: P) {
+        while self.in_flight.len() >= self.max_in_flight {
+            let oldest = self.in_flight.pop_front().expect("non-empty by bound");
+            self.ready.push_back(oldest.get());
+        }
+        self.in_flight.push_back(self.engine.submit(&self.skel, input));
+        self.fed += 1;
+    }
+
+    /// The next result in submission order, blocking until it is ready.
+    /// `None` once every fed input has been collected.
+    pub fn next_result(&mut self) -> Option<Result<R, EngineError>> {
+        if let Some(r) = self.ready.pop_front() {
+            self.collected += 1;
+            return Some(r);
+        }
+        let f = self.in_flight.pop_front()?;
+        self.collected += 1;
+        Some(f.get())
+    }
+
+    /// Blocks for every outstanding result, in submission order.
+    pub fn drain(mut self) -> impl Iterator<Item = Result<R, EngineError>> {
+        let mut out: Vec<Result<R, EngineError>> = Vec::new();
+        while let Some(r) = self.next_result() {
+            out.push(r);
+        }
+        out.into_iter()
+    }
+
+    /// Inputs fed so far.
+    pub fn fed(&self) -> usize {
+        self.fed
+    }
+
+    /// Results collected so far.
+    pub fn collected(&self) -> usize {
+        self.collected
+    }
+
+    /// Inputs currently in flight (submitted, not yet collected or
+    /// buffered).
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use askel_skeletons::{farm, pipe, seq};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn results_come_back_in_submission_order() {
+        let engine = Engine::new(3);
+        // Earlier inputs sleep longer: completion order ≠ submission order.
+        let program = farm(seq(|x: i64| {
+            std::thread::sleep(Duration::from_millis((20 - x).max(0) as u64));
+            x * 10
+        }));
+        let mut stream = StreamSession::new(&engine, &program);
+        for x in 0..20 {
+            stream.feed(x);
+        }
+        let got: Vec<i64> = stream.drain().map(|r| r.unwrap()).collect();
+        assert_eq!(got, (0..20).map(|x| x * 10).collect::<Vec<_>>());
+        engine.shutdown();
+    }
+
+    #[test]
+    fn pipe_stages_overlap_across_stream_items() {
+        // With 2 workers and a 2-stage pipe, both stages must be busy
+        // simultaneously for different items at some point.
+        let engine = Engine::new(2);
+        let program = pipe(
+            seq(|x: i64| {
+                std::thread::sleep(Duration::from_millis(3));
+                x + 1
+            }),
+            seq(|x: i64| {
+                std::thread::sleep(Duration::from_millis(3));
+                x * 2
+            }),
+        );
+        let mut stream = StreamSession::new(&engine, &program);
+        for x in 0..16 {
+            stream.feed(x);
+        }
+        let got: Vec<i64> = stream.drain().map(|r| r.unwrap()).collect();
+        assert_eq!(got, (0..16).map(|x| (x + 1) * 2).collect::<Vec<_>>());
+        assert!(
+            engine.pool().telemetry().peak_active() >= 2,
+            "stages of different items should overlap"
+        );
+        engine.shutdown();
+    }
+
+    #[test]
+    fn backpressure_bounds_in_flight() {
+        let engine = Engine::new(1);
+        let running = Arc::new(AtomicUsize::new(0));
+        let r = Arc::clone(&running);
+        let program = farm(seq(move |x: i64| {
+            r.fetch_add(1, Ordering::SeqCst);
+            std::thread::sleep(Duration::from_millis(1));
+            x
+        }));
+        let mut stream = StreamSession::new(&engine, &program).max_in_flight(4);
+        for x in 0..32 {
+            stream.feed(x);
+            assert!(stream.in_flight() <= 4, "bound violated");
+        }
+        let got: Vec<i64> = stream.drain().map(|r| r.unwrap()).collect();
+        assert_eq!(got.len(), 32);
+        assert_eq!(running.load(Ordering::SeqCst), 32);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn a_poisoned_item_does_not_poison_its_neighbours() {
+        let engine = Engine::new(2);
+        let program = farm(seq(|x: i64| {
+            if x == 7 {
+                panic!("item 7 is cursed");
+            }
+            x
+        }));
+        let mut stream = StreamSession::new(&engine, &program);
+        for x in 0..10 {
+            stream.feed(x);
+        }
+        let results: Vec<Result<i64, EngineError>> = stream.drain().collect();
+        assert_eq!(results.len(), 10);
+        for (i, r) in results.iter().enumerate() {
+            if i == 7 {
+                assert!(r.is_err());
+            } else {
+                assert_eq!(*r.as_ref().unwrap(), i as i64);
+            }
+        }
+        engine.shutdown();
+    }
+
+    #[test]
+    fn interleaved_feed_and_collect() {
+        let engine = Engine::new(2);
+        let program = farm(seq(|x: i64| x + 100));
+        let mut stream = StreamSession::new(&engine, &program);
+        stream.feed(1);
+        stream.feed(2);
+        assert_eq!(stream.next_result().unwrap().unwrap(), 101);
+        stream.feed(3);
+        assert_eq!(stream.next_result().unwrap().unwrap(), 102);
+        assert_eq!(stream.next_result().unwrap().unwrap(), 103);
+        assert!(stream.next_result().is_none());
+        assert_eq!(stream.fed(), 3);
+        assert_eq!(stream.collected(), 3);
+        engine.shutdown();
+    }
+}

@@ -1,0 +1,213 @@
+//! Event values raised during skeleton execution.
+//!
+//! The paper writes events as `∆@event(information)`; ours are structured as
+//! *(when, where)* pairs relative to a skeleton instance, so the full event
+//! vocabulary is:
+//!
+//! | skeleton | events (paper notation → ours) |
+//! |----------|--------------------------------|
+//! | `seq`    | `@b`/`@a` → (Before/After, Skeleton) |
+//! | `map`    | `@b`, `@bs`/`@as`, nested before/after, `@bm`/`@am`, `@a` → (Before/After, Skeleton / Split / NestedSkeleton / Merge) |
+//! | `while`, `if`, `d&C` | additionally (Before/After, Condition) per test |
+//! | all others | (Before/After, Skeleton) plus their muscles' pairs |
+//!
+//! Every event carries the instance index `i` (see
+//! [`InstanceId`](askel_skeletons::InstanceId)), the trace, a timestamp from
+//! the engine's [`Clock`](askel_skeletons::Clock), and the extra runtime
+//! information the paper mentions (e.g. "Map After Split provides the number
+//! of sub-problems created").
+
+use askel_skeletons::{InstanceId, KindTag, NodeId, TimeNs};
+
+use crate::trace::Trace;
+
+/// Is the event raised before or after the thing it brackets?
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum When {
+    /// Raised immediately before (muscle about to run on this thread).
+    Before,
+    /// Raised immediately after (muscle just ran on this thread).
+    After,
+}
+
+impl std::fmt::Display for When {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            When::Before => "before",
+            When::After => "after",
+        })
+    }
+}
+
+/// Which part of the skeleton instance the event brackets.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Where {
+    /// The whole skeleton instance (its begin/end).
+    Skeleton,
+    /// The split muscle.
+    Split,
+    /// The merge muscle.
+    Merge,
+    /// The condition muscle.
+    Condition,
+    /// One nested-skeleton execution (the parent's view of a child).
+    NestedSkeleton,
+}
+
+impl std::fmt::Display for Where {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Where::Skeleton => "skeleton",
+            Where::Split => "split",
+            Where::Merge => "merge",
+            Where::Condition => "condition",
+            Where::NestedSkeleton => "nested",
+        })
+    }
+}
+
+/// Extra runtime information attached to specific events.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum EventInfo {
+    /// No extra information.
+    #[default]
+    None,
+    /// `(After, Split)`: number of sub-problems produced (the paper's
+    /// `fsCard` parameter of `map(...)@as(i, fsCard)`).
+    SplitCardinality(usize),
+    /// `(After, Condition)`: the condition muscle's verdict.
+    ConditionResult(bool),
+    /// `(Before/After, NestedSkeleton)`: which child (0-based) of the
+    /// parent instance this is.
+    ChildIndex(usize),
+    /// `(Before/After, Skeleton)` on a `for` node: which iteration is
+    /// bracketed.
+    Iteration(usize),
+}
+
+impl EventInfo {
+    /// The split cardinality, if this is that kind of info.
+    pub fn split_cardinality(&self) -> Option<usize> {
+        match self {
+            EventInfo::SplitCardinality(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The condition verdict, if this is that kind of info.
+    pub fn condition_result(&self) -> Option<bool> {
+        match self {
+            EventInfo::ConditionResult(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+/// One event raised during skeleton execution.
+#[derive(Clone, Debug)]
+pub struct Event {
+    /// Node that raised the event.
+    pub node: NodeId,
+    /// Kind of that node (so listeners can dispatch without the AST).
+    pub kind: KindTag,
+    /// Before or after.
+    pub when: When,
+    /// Which part of the instance.
+    pub wher: Where,
+    /// The instance index `i`, correlating Before/After pairs and state
+    /// machine transitions.
+    pub index: InstanceId,
+    /// Path from the root instance to the raising instance.
+    pub trace: Trace,
+    /// Engine timestamp (real or virtual nanoseconds).
+    pub timestamp: TimeNs,
+    /// Extra runtime information.
+    pub info: EventInfo,
+}
+
+impl Event {
+    /// `true` if this is the event `(when, wher)` on a node of `kind`.
+    pub fn is(&self, kind: KindTag, when: When, wher: Where) -> bool {
+        self.kind == kind && self.when == when && self.wher == wher
+    }
+
+    /// Paper-style rendering, e.g. `map@as(i42, card=3)`.
+    pub fn paper_notation(&self) -> String {
+        let suffix = match (self.when, self.wher) {
+            (When::Before, Where::Skeleton) => "b".to_string(),
+            (When::After, Where::Skeleton) => "a".to_string(),
+            (When::Before, Where::Split) => "bs".to_string(),
+            (When::After, Where::Split) => "as".to_string(),
+            (When::Before, Where::Merge) => "bm".to_string(),
+            (When::After, Where::Merge) => "am".to_string(),
+            (When::Before, Where::Condition) => "bc".to_string(),
+            (When::After, Where::Condition) => "ac".to_string(),
+            (When::Before, Where::NestedSkeleton) => "bn".to_string(),
+            (When::After, Where::NestedSkeleton) => "an".to_string(),
+        };
+        let mut s = format!("{}@{}({}", self.kind, suffix, self.index);
+        match self.info {
+            EventInfo::None => {}
+            EventInfo::SplitCardinality(n) => s.push_str(&format!(", card={n}")),
+            EventInfo::ConditionResult(b) => s.push_str(&format!(", cond={b}")),
+            EventInfo::ChildIndex(k) => s.push_str(&format!(", child={k}")),
+            EventInfo::Iteration(k) => s.push_str(&format!(", iter={k}")),
+        }
+        s.push(')');
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(kind: KindTag, when: When, wher: Where, info: EventInfo) -> Event {
+        Event {
+            node: NodeId(1),
+            kind,
+            when,
+            wher,
+            index: InstanceId(42),
+            trace: Trace::root(NodeId(1), InstanceId(42), kind),
+            timestamp: TimeNs::from_millis(5),
+            info,
+        }
+    }
+
+    #[test]
+    fn paper_notation_matches_the_paper() {
+        let e = event(
+            KindTag::Map,
+            When::After,
+            Where::Split,
+            EventInfo::SplitCardinality(3),
+        );
+        assert_eq!(e.paper_notation(), "map@as(i42, card=3)");
+
+        let e = event(KindTag::Seq, When::Before, Where::Skeleton, EventInfo::None);
+        assert_eq!(e.paper_notation(), "seq@b(i42)");
+    }
+
+    #[test]
+    fn is_matches_exactly() {
+        let e = event(KindTag::Map, When::After, Where::Split, EventInfo::None);
+        assert!(e.is(KindTag::Map, When::After, Where::Split));
+        assert!(!e.is(KindTag::Map, When::Before, Where::Split));
+        assert!(!e.is(KindTag::Seq, When::After, Where::Split));
+    }
+
+    #[test]
+    fn info_accessors() {
+        assert_eq!(
+            EventInfo::SplitCardinality(7).split_cardinality(),
+            Some(7)
+        );
+        assert_eq!(EventInfo::None.split_cardinality(), None);
+        assert_eq!(
+            EventInfo::ConditionResult(true).condition_result(),
+            Some(true)
+        );
+        assert_eq!(EventInfo::ChildIndex(1).condition_result(), None);
+    }
+}

@@ -1,0 +1,197 @@
+//! The listener registry: where engines publish events and non-functional
+//! concerns subscribe.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::event::Event;
+use crate::listener::{EventFilter, Listener, Payload};
+
+struct Entry {
+    filter: EventFilter,
+    listener: Arc<dyn Listener>,
+}
+
+/// A set of listeners with their registration filters.
+///
+/// Engines call [`emit`](ListenerRegistry::emit) around every muscle; the
+/// registry dispatches synchronously, in registration order, on the calling
+/// thread. Registration is cheap and may happen while skeletons run; the
+/// listener list is copy-on-read (short read-lock, no lock held during
+/// handler execution — handlers may themselves register listeners).
+#[derive(Default)]
+pub struct ListenerRegistry {
+    entries: RwLock<Vec<Entry>>,
+    // Cached count so engines can skip event construction entirely when
+    // nobody listens (the common fast path measured by overhead_events).
+    count: AtomicUsize,
+}
+
+impl ListenerRegistry {
+    /// An empty registry.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Registers a *generic* listener (sees every event).
+    pub fn add_listener(&self, listener: Arc<dyn Listener>) {
+        self.add_filtered(EventFilter::all(), listener);
+    }
+
+    /// Registers a listener restricted by `filter`.
+    pub fn add_filtered(&self, filter: EventFilter, listener: Arc<dyn Listener>) {
+        self.entries.write().push(Entry { filter, listener });
+        self.count.fetch_add(1, Ordering::Release);
+    }
+
+    /// Removes every registration of a listener (pointer identity).
+    /// Returns how many registrations were removed.
+    pub fn remove_listener(&self, listener: &Arc<dyn Listener>) -> usize {
+        let mut entries = self.entries.write();
+        let before = entries.len();
+        entries.retain(|e| !Arc::ptr_eq(&e.listener, listener));
+        let removed = before - entries.len();
+        self.count.fetch_sub(removed, Ordering::Release);
+        removed
+    }
+
+    /// Number of registrations.
+    pub fn len(&self) -> usize {
+        self.count.load(Ordering::Acquire)
+    }
+
+    /// `true` when no listener is registered — engines use this to skip
+    /// event construction.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Dispatches an event to every matching listener, synchronously on the
+    /// calling thread, in registration order.
+    pub fn emit(&self, payload: &mut Payload<'_>, event: &Event) {
+        if self.is_empty() {
+            return;
+        }
+        // Snapshot the matching listeners so no lock is held during
+        // handler execution.
+        let matching: Vec<Arc<dyn Listener>> = {
+            let entries = self.entries.read();
+            entries
+                .iter()
+                .filter(|e| e.filter.matches(event))
+                .map(|e| Arc::clone(&e.listener))
+                .collect()
+        };
+        for l in matching {
+            l.on_event(payload, event);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{EventInfo, When, Where};
+    use crate::listener::FnListener;
+    use crate::trace::Trace;
+    use askel_skeletons::{Data, InstanceId, KindTag, NodeId, TimeNs};
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Mutex;
+
+    fn ev(node: u64, when: When, wher: Where) -> Event {
+        Event {
+            node: NodeId(node),
+            kind: KindTag::Seq,
+            when,
+            wher,
+            index: InstanceId(1),
+            trace: Trace::root(NodeId(node), InstanceId(1), KindTag::Seq),
+            timestamp: TimeNs::ZERO,
+            info: EventInfo::None,
+        }
+    }
+
+    #[test]
+    fn empty_registry_is_a_noop() {
+        let reg = ListenerRegistry::new();
+        assert!(reg.is_empty());
+        reg.emit(&mut Payload::None, &ev(1, When::Before, Where::Skeleton));
+    }
+
+    #[test]
+    fn listeners_run_in_registration_order() {
+        let reg = ListenerRegistry::new();
+        let order = Arc::new(Mutex::new(Vec::new()));
+        for tag in ["first", "second", "third"] {
+            let order = Arc::clone(&order);
+            reg.add_listener(Arc::new(FnListener(move |_: &mut Payload<'_>, _: &Event| {
+                order.lock().unwrap().push(tag);
+            })));
+        }
+        reg.emit(&mut Payload::None, &ev(1, When::Before, Where::Skeleton));
+        assert_eq!(*order.lock().unwrap(), vec!["first", "second", "third"]);
+    }
+
+    #[test]
+    fn filters_narrow_dispatch() {
+        let reg = ListenerRegistry::new();
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = Arc::clone(&hits);
+        reg.add_filtered(
+            EventFilter::all().when(When::After),
+            Arc::new(FnListener(move |_: &mut Payload<'_>, _: &Event| {
+                h.fetch_add(1, Ordering::Relaxed);
+            })),
+        );
+        reg.emit(&mut Payload::None, &ev(1, When::Before, Where::Skeleton));
+        assert_eq!(hits.load(Ordering::Relaxed), 0);
+        reg.emit(&mut Payload::None, &ev(1, When::After, Where::Skeleton));
+        assert_eq!(hits.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn listeners_can_transform_payload() {
+        let reg = ListenerRegistry::new();
+        reg.add_listener(Arc::new(FnListener(|p: &mut Payload<'_>, _: &Event| {
+            if let Some(x) = p.downcast_mut::<i64>() {
+                *x *= 2;
+            }
+        })));
+        let mut d: Data = Box::new(21i64);
+        reg.emit(
+            &mut Payload::Single(&mut d),
+            &ev(1, When::After, Where::Skeleton),
+        );
+        assert_eq!(*d.downcast::<i64>().unwrap(), 42);
+    }
+
+    #[test]
+    fn remove_listener_by_identity() {
+        let reg = ListenerRegistry::new();
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = Arc::clone(&hits);
+        let l: Arc<dyn Listener> = Arc::new(FnListener(move |_: &mut Payload<'_>, _: &Event| {
+            h.fetch_add(1, Ordering::Relaxed);
+        }));
+        reg.add_listener(Arc::clone(&l));
+        reg.add_filtered(EventFilter::all().when(When::After), Arc::clone(&l));
+        assert_eq!(reg.len(), 2);
+        assert_eq!(reg.remove_listener(&l), 2);
+        assert!(reg.is_empty());
+        reg.emit(&mut Payload::None, &ev(1, When::After, Where::Skeleton));
+        assert_eq!(hits.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn handlers_may_register_more_listeners() {
+        let reg = ListenerRegistry::new();
+        let reg2 = Arc::clone(&reg);
+        reg.add_listener(Arc::new(FnListener(move |_: &mut Payload<'_>, _: &Event| {
+            reg2.add_listener(Arc::new(FnListener(|_: &mut Payload<'_>, _: &Event| {})));
+        })));
+        reg.emit(&mut Payload::None, &ev(1, When::Before, Where::Skeleton));
+        assert_eq!(reg.len(), 2);
+    }
+}

@@ -1,0 +1,416 @@
+//! A dynamically resizable worker pool.
+//!
+//! The paper's self-optimization loop works by *changing the number of
+//! threads allocated to a running skeleton*. Rayon-style pools fix their
+//! size at construction, so this crate provides the substrate Skandium has
+//! under the hood: a pool whose worker count can be raised and lowered
+//! while tasks are in flight.
+//!
+//! Semantics chosen to match the behaviour the paper reports:
+//!
+//! * **LIFO ready queue** — Skandium's scheduler finishes the most recently
+//!   produced work first (§5 of the paper observes `split → all its
+//!   executes → its merge` completing before sibling splits start); a LIFO
+//!   stack reproduces that order, and the discrete-event simulator uses the
+//!   same discipline so both engines agree.
+//! * **Cooperative shrink** — running tasks are never preempted; lowering
+//!   the target lets surplus workers retire when they next go idle. This is
+//!   why the paper "does not reduce the LP as fast as it increases it".
+//! * **Immediate grow** — raising the target spawns workers right away, so
+//!   an autonomic increase takes effect at the next ready task.
+//!
+//! [`PoolTelemetry`] records a timestamped timeline of active-task counts
+//! and target changes; the figure benches plot it directly.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod telemetry;
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::{Condvar, Mutex};
+
+use askel_skeletons::{Clock, RealClock};
+
+pub use telemetry::{PoolTelemetry, TelemetrySample, TimelinePoint};
+
+/// A unit of work for the pool.
+pub type Task = Box<dyn FnOnce() + Send>;
+
+struct PoolState {
+    /// LIFO stack of ready tasks.
+    queue: Vec<Task>,
+    /// Desired number of workers (the LP).
+    target: usize,
+    /// Workers currently alive (idle or running).
+    live: usize,
+    /// Set once; workers drain out.
+    shutdown: bool,
+    /// Handles of every worker ever spawned (joined at shutdown).
+    handles: Vec<JoinHandle<()>>,
+}
+
+struct PoolInner {
+    state: Mutex<PoolState>,
+    cond: Condvar,
+    telemetry: PoolTelemetry,
+    clock: Arc<dyn Clock>,
+}
+
+/// A worker pool whose size can change while work is in flight.
+///
+/// Cloning shares the pool. Dropping the last handle shuts the pool down
+/// and joins its workers.
+pub struct ResizablePool {
+    inner: Arc<PoolInner>,
+    owner: bool,
+}
+
+impl Clone for ResizablePool {
+    fn clone(&self) -> Self {
+        ResizablePool {
+            inner: Arc::clone(&self.inner),
+            owner: false,
+        }
+    }
+}
+
+impl ResizablePool {
+    /// Creates a pool with `workers` initial workers and a wall clock for
+    /// telemetry timestamps.
+    pub fn new(workers: usize) -> Self {
+        Self::with_clock(workers, Arc::new(RealClock::new()))
+    }
+
+    /// Creates a pool with an explicit clock (tests use a manual clock).
+    pub fn with_clock(workers: usize, clock: Arc<dyn Clock>) -> Self {
+        let inner = Arc::new(PoolInner {
+            state: Mutex::new(PoolState {
+                queue: Vec::new(),
+                target: 0,
+                live: 0,
+                shutdown: false,
+                handles: Vec::new(),
+            }),
+            cond: Condvar::new(),
+            telemetry: PoolTelemetry::new(),
+            clock,
+        });
+        let pool = ResizablePool { inner, owner: true };
+        pool.set_target_workers(workers);
+        pool
+    }
+
+    /// Submits one task. Panics in the task are caught and recorded in the
+    /// telemetry; they never kill a worker.
+    pub fn submit(&self, task: Task) {
+        let mut state = self.inner.state.lock();
+        assert!(!state.shutdown, "submit on a shut-down pool");
+        state.queue.push(task);
+        drop(state);
+        self.inner.cond.notify_one();
+    }
+
+    /// Submits several tasks at once; they are stacked in order, so the
+    /// *last* one is picked up first (LIFO).
+    pub fn submit_all(&self, tasks: impl IntoIterator<Item = Task>) {
+        let mut state = self.inner.state.lock();
+        assert!(!state.shutdown, "submit on a shut-down pool");
+        state.queue.extend(tasks);
+        drop(state);
+        self.inner.cond.notify_all();
+    }
+
+    /// Changes the desired worker count (the skeleton's LP).
+    ///
+    /// Growth spawns workers immediately; shrink lets surplus workers
+    /// retire when they next go idle (running tasks finish undisturbed).
+    pub fn set_target_workers(&self, target: usize) {
+        let mut state = self.inner.state.lock();
+        if state.shutdown {
+            return;
+        }
+        let now = self.inner.clock.now();
+        if target != state.target {
+            self.inner.telemetry.record_target(now, target);
+        }
+        state.target = target;
+        while state.live < target {
+            state.live += 1;
+            let inner = Arc::clone(&self.inner);
+            let handle = std::thread::Builder::new()
+                .name("askel-worker".to_string())
+                .spawn(move || worker_loop(inner))
+                .expect("failed to spawn pool worker");
+            state.handles.push(handle);
+        }
+        drop(state);
+        // Wake idle workers so surplus ones notice and retire.
+        self.inner.cond.notify_all();
+    }
+
+    /// The current worker target (the LP the controller last requested).
+    pub fn target_workers(&self) -> usize {
+        self.inner.state.lock().target
+    }
+
+    /// Workers currently alive (may exceed the target briefly while a
+    /// shrink drains).
+    pub fn live_workers(&self) -> usize {
+        self.inner.state.lock().live
+    }
+
+    /// Tasks currently queued (not yet picked up).
+    pub fn queued_tasks(&self) -> usize {
+        self.inner.state.lock().queue.len()
+    }
+
+    /// Tasks currently executing.
+    pub fn active_tasks(&self) -> usize {
+        self.inner.telemetry.active_now()
+    }
+
+    /// The pool's telemetry (shared).
+    pub fn telemetry(&self) -> &PoolTelemetry {
+        &self.inner.telemetry
+    }
+
+    /// The pool's clock.
+    pub fn clock(&self) -> &Arc<dyn Clock> {
+        &self.inner.clock
+    }
+
+    /// Blocks until the queue is empty and no task is running.
+    ///
+    /// Only meaningful when no concurrent submitter keeps adding work that
+    /// the caller doesn't know about; the engine uses futures instead, this
+    /// is a convenience for tests and benches.
+    pub fn wait_idle(&self) {
+        loop {
+            {
+                let state = self.inner.state.lock();
+                if state.queue.is_empty() && self.inner.telemetry.active_now() == 0 {
+                    return;
+                }
+            }
+            std::thread::yield_now();
+            std::thread::sleep(std::time::Duration::from_micros(50));
+        }
+    }
+
+    /// Shuts the pool down: running tasks finish, queued tasks are
+    /// executed, then workers exit and are joined.
+    pub fn shutdown_and_join(&self) {
+        let handles = {
+            let mut state = self.inner.state.lock();
+            if state.shutdown {
+                Vec::new()
+            } else {
+                state.shutdown = true;
+                std::mem::take(&mut state.handles)
+            }
+        };
+        self.inner.cond.notify_all();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ResizablePool {
+    fn drop(&mut self) {
+        if self.owner {
+            self.shutdown_and_join();
+        }
+    }
+}
+
+fn worker_loop(inner: Arc<PoolInner>) {
+    loop {
+        let task = {
+            let mut state = inner.state.lock();
+            loop {
+                if state.live > state.target || (state.shutdown && state.queue.is_empty()) {
+                    state.live -= 1;
+                    return;
+                }
+                if let Some(task) = state.queue.pop() {
+                    // Record the start while still holding the queue lock:
+                    // otherwise `wait_idle` could observe an empty queue
+                    // with zero active tasks while this one is in hand.
+                    inner.telemetry.record_task_start(inner.clock.now());
+                    break task;
+                }
+                inner.cond.wait(&mut state);
+            }
+        };
+        let result = catch_unwind(AssertUnwindSafe(task));
+        let end = inner.clock.now();
+        inner.telemetry.record_task_end(end, result.is_err());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    #[test]
+    fn runs_submitted_tasks() {
+        let pool = ResizablePool::new(2);
+        let (tx, rx) = mpsc::channel();
+        for i in 0..10 {
+            let tx = tx.clone();
+            pool.submit(Box::new(move || tx.send(i).unwrap()));
+        }
+        let mut got: Vec<i32> = (0..10).map(|_| rx.recv_timeout(Duration::from_secs(5)).unwrap()).collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+        pool.shutdown_and_join();
+    }
+
+    #[test]
+    fn single_worker_executes_lifo() {
+        let pool = ResizablePool::new(0); // hold tasks until a worker exists
+        let order = Arc::new(Mutex::new(Vec::new()));
+        for i in 0..5 {
+            let order = Arc::clone(&order);
+            pool.submit(Box::new(move || order.lock().push(i)));
+        }
+        pool.set_target_workers(1);
+        pool.wait_idle();
+        assert_eq!(*order.lock(), vec![4, 3, 2, 1, 0]);
+        pool.shutdown_and_join();
+    }
+
+    #[test]
+    fn grow_takes_effect_immediately() {
+        let pool = ResizablePool::new(1);
+        assert_eq!(pool.target_workers(), 1);
+        pool.set_target_workers(4);
+        assert_eq!(pool.target_workers(), 4);
+        assert_eq!(pool.live_workers(), 4);
+        pool.shutdown_and_join();
+    }
+
+    #[test]
+    fn shrink_drains_cooperatively() {
+        let pool = ResizablePool::new(4);
+        pool.set_target_workers(1);
+        // Give workers a moment to observe the new target.
+        for _ in 0..200 {
+            if pool.live_workers() == 1 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(pool.live_workers(), 1);
+        // The surviving worker still runs tasks.
+        let (tx, rx) = mpsc::channel();
+        pool.submit(Box::new(move || tx.send(()).unwrap()));
+        rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        pool.shutdown_and_join();
+    }
+
+    #[test]
+    fn running_tasks_survive_shrink() {
+        let pool = ResizablePool::new(2);
+        let (started_tx, started_rx) = mpsc::channel();
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let done = Arc::new(AtomicUsize::new(0));
+        let d = Arc::clone(&done);
+        pool.submit(Box::new(move || {
+            started_tx.send(()).unwrap();
+            release_rx.recv().unwrap();
+            d.fetch_add(1, Ordering::SeqCst);
+        }));
+        started_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        pool.set_target_workers(0); // shrink below the running task
+        release_tx.send(()).unwrap();
+        for _ in 0..200 {
+            if done.load(Ordering::SeqCst) == 1 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(done.load(Ordering::SeqCst), 1, "running task must finish");
+        pool.shutdown_and_join();
+    }
+
+    #[test]
+    fn panicking_task_does_not_kill_worker() {
+        let pool = ResizablePool::new(1);
+        pool.submit(Box::new(|| panic!("muscle failure")));
+        let (tx, rx) = mpsc::channel();
+        pool.submit(Box::new(move || tx.send(42).unwrap()));
+        assert_eq!(rx.recv_timeout(Duration::from_secs(5)).unwrap(), 42);
+        pool.wait_idle(); // LIFO may run the ok-task before the panicking one
+        assert_eq!(pool.telemetry().panics(), 1);
+        pool.shutdown_and_join();
+    }
+
+    #[test]
+    fn tasks_spawning_tasks_complete() {
+        let pool = ResizablePool::new(2);
+        let (tx, rx) = mpsc::channel();
+        let p2 = pool.clone();
+        pool.submit(Box::new(move || {
+            let tx2 = tx.clone();
+            p2.submit(Box::new(move || tx2.send("child").unwrap()));
+            tx.send("parent").unwrap();
+        }));
+        let mut got = vec![
+            rx.recv_timeout(Duration::from_secs(5)).unwrap(),
+            rx.recv_timeout(Duration::from_secs(5)).unwrap(),
+        ];
+        got.sort_unstable();
+        assert_eq!(got, vec!["child", "parent"]);
+        pool.shutdown_and_join();
+    }
+
+    #[test]
+    fn queued_tasks_run_before_shutdown_completes() {
+        let pool = ResizablePool::new(1);
+        let done = Arc::new(AtomicUsize::new(0));
+        for _ in 0..20 {
+            let d = Arc::clone(&done);
+            pool.submit(Box::new(move || {
+                std::thread::sleep(Duration::from_millis(1));
+                d.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        pool.shutdown_and_join();
+        assert_eq!(done.load(Ordering::SeqCst), 20);
+    }
+
+    #[test]
+    fn telemetry_peak_tracks_concurrency() {
+        let pool = ResizablePool::new(3);
+        let (ready_tx, ready_rx) = mpsc::channel();
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let release_rx = Arc::new(Mutex::new(release_rx));
+        for _ in 0..3 {
+            let ready = ready_tx.clone();
+            let release = Arc::clone(&release_rx);
+            pool.submit(Box::new(move || {
+                ready.send(()).unwrap();
+                release.lock().recv().unwrap();
+            }));
+        }
+        for _ in 0..3 {
+            ready_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        }
+        assert_eq!(pool.active_tasks(), 3);
+        for _ in 0..3 {
+            release_tx.send(()).unwrap();
+        }
+        pool.wait_idle();
+        assert_eq!(pool.telemetry().peak_active(), 3);
+        pool.shutdown_and_join();
+    }
+}

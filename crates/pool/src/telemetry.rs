@@ -1,0 +1,294 @@
+//! Pool telemetry: the "Number of Active Threads vs Wall Clock Time" data
+//! behind Figures 5–7 of the paper.
+//!
+//! Recording is lock-free for the hot counters and takes a short mutex only
+//! to append timeline samples; it can be switched off entirely for the
+//! overhead benches.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+
+use askel_skeletons::TimeNs;
+
+/// One timestamped telemetry sample.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TelemetrySample {
+    /// A task began executing; `active` is the count *including* it.
+    TaskStart {
+        /// When.
+        at: TimeNs,
+        /// Active tasks after the start.
+        active: usize,
+    },
+    /// A task finished; `active` is the count *excluding* it.
+    TaskEnd {
+        /// When.
+        at: TimeNs,
+        /// Active tasks after the end.
+        active: usize,
+        /// Did the task panic?
+        panicked: bool,
+    },
+    /// The worker target (LP) changed.
+    TargetChange {
+        /// When.
+        at: TimeNs,
+        /// The new target.
+        target: usize,
+    },
+}
+
+impl TelemetrySample {
+    /// The sample's timestamp.
+    pub fn at(&self) -> TimeNs {
+        match self {
+            TelemetrySample::TaskStart { at, .. }
+            | TelemetrySample::TaskEnd { at, .. }
+            | TelemetrySample::TargetChange { at, .. } => *at,
+        }
+    }
+}
+
+/// A point of the active-threads timeline: from `at` onwards, `active`
+/// tasks were running.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TimelinePoint {
+    /// Start of the interval.
+    pub at: TimeNs,
+    /// Active tasks during it.
+    pub active: usize,
+}
+
+/// Shared telemetry for one pool.
+#[derive(Default)]
+pub struct PoolTelemetry {
+    active: AtomicUsize,
+    peak: AtomicUsize,
+    started: AtomicUsize,
+    finished: AtomicUsize,
+    panics: AtomicUsize,
+    recording: AtomicBool,
+    samples: Mutex<Vec<TelemetrySample>>,
+}
+
+impl PoolTelemetry {
+    /// Fresh telemetry with timeline recording enabled.
+    pub fn new() -> Self {
+        let t = PoolTelemetry::default();
+        t.recording.store(true, Ordering::Relaxed);
+        t
+    }
+
+    /// Enables or disables timeline sample recording (counters always run).
+    pub fn set_recording(&self, on: bool) {
+        self.recording.store(on, Ordering::Relaxed);
+    }
+
+    /// Tasks currently executing.
+    pub fn active_now(&self) -> usize {
+        self.active.load(Ordering::Acquire)
+    }
+
+    /// Highest concurrent task count observed (the paper's "maximum number
+    /// of active threads").
+    pub fn peak_active(&self) -> usize {
+        self.peak.load(Ordering::Acquire)
+    }
+
+    /// Tasks started so far.
+    pub fn tasks_started(&self) -> usize {
+        self.started.load(Ordering::Acquire)
+    }
+
+    /// Tasks finished so far.
+    pub fn tasks_finished(&self) -> usize {
+        self.finished.load(Ordering::Acquire)
+    }
+
+    /// Tasks that panicked.
+    pub fn panics(&self) -> usize {
+        self.panics.load(Ordering::Acquire)
+    }
+
+    /// Records a task start at `at` (engine-internal).
+    pub fn record_task_start(&self, at: TimeNs) {
+        let active = self.active.fetch_add(1, Ordering::AcqRel) + 1;
+        self.started.fetch_add(1, Ordering::Relaxed);
+        self.peak.fetch_max(active, Ordering::AcqRel);
+        if self.recording.load(Ordering::Relaxed) {
+            self.samples
+                .lock()
+                .push(TelemetrySample::TaskStart { at, active });
+        }
+    }
+
+    /// Records a task end at `at` (engine-internal).
+    pub fn record_task_end(&self, at: TimeNs, panicked: bool) {
+        let active = self.active.fetch_sub(1, Ordering::AcqRel) - 1;
+        self.finished.fetch_add(1, Ordering::Relaxed);
+        if panicked {
+            self.panics.fetch_add(1, Ordering::Relaxed);
+        }
+        if self.recording.load(Ordering::Relaxed) {
+            self.samples
+                .lock()
+                .push(TelemetrySample::TaskEnd {
+                    at,
+                    active,
+                    panicked,
+                });
+        }
+    }
+
+    /// Records a target (LP) change at `at` (engine-internal).
+    pub fn record_target(&self, at: TimeNs, target: usize) {
+        if self.recording.load(Ordering::Relaxed) {
+            self.samples
+                .lock()
+                .push(TelemetrySample::TargetChange { at, target });
+        }
+    }
+
+    /// Raw samples in recording order.
+    pub fn samples(&self) -> Vec<TelemetrySample> {
+        self.samples.lock().clone()
+    }
+
+    /// Clears recorded samples and the peak (counters for in-flight tasks
+    /// are preserved).
+    pub fn reset_timeline(&self) {
+        self.samples.lock().clear();
+        self.peak.store(self.active_now(), Ordering::Release);
+    }
+
+    /// The active-task step function over time — the series plotted in
+    /// Figures 5–7 ("Number of Active Threads" vs "Wall Clock Time").
+    ///
+    /// Consecutive samples at the same timestamp are collapsed to the last
+    /// value at that instant.
+    pub fn active_timeline(&self) -> Vec<TimelinePoint> {
+        let samples = self.samples.lock();
+        let mut out: Vec<TimelinePoint> = Vec::with_capacity(samples.len() + 1);
+        out.push(TimelinePoint {
+            at: TimeNs::ZERO,
+            active: 0,
+        });
+        for s in samples.iter() {
+            let active = match s {
+                TelemetrySample::TaskStart { active, .. } => *active,
+                TelemetrySample::TaskEnd { active, .. } => *active,
+                TelemetrySample::TargetChange { .. } => continue,
+            };
+            let at = s.at();
+            match out.last_mut() {
+                Some(last) if last.at == at => last.active = active,
+                _ => out.push(TimelinePoint { at, active }),
+            }
+        }
+        out
+    }
+
+    /// The LP-target step function over time.
+    pub fn target_timeline(&self) -> Vec<TimelinePoint> {
+        let samples = self.samples.lock();
+        let mut out = Vec::new();
+        for s in samples.iter() {
+            if let TelemetrySample::TargetChange { at, target } = s {
+                out.push(TimelinePoint {
+                    at: *at,
+                    active: *target,
+                });
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_track_start_end() {
+        let t = PoolTelemetry::new();
+        t.record_task_start(TimeNs(10));
+        t.record_task_start(TimeNs(20));
+        assert_eq!(t.active_now(), 2);
+        assert_eq!(t.peak_active(), 2);
+        t.record_task_end(TimeNs(30), false);
+        assert_eq!(t.active_now(), 1);
+        assert_eq!(t.peak_active(), 2);
+        assert_eq!(t.tasks_started(), 2);
+        assert_eq!(t.tasks_finished(), 1);
+    }
+
+    #[test]
+    fn timeline_is_a_step_function() {
+        let t = PoolTelemetry::new();
+        t.record_task_start(TimeNs(10));
+        t.record_target(TimeNs(15), 4);
+        t.record_task_start(TimeNs(20));
+        t.record_task_end(TimeNs(30), false);
+        t.record_task_end(TimeNs(40), false);
+        let tl = t.active_timeline();
+        assert_eq!(
+            tl,
+            vec![
+                TimelinePoint { at: TimeNs(0), active: 0 },
+                TimelinePoint { at: TimeNs(10), active: 1 },
+                TimelinePoint { at: TimeNs(20), active: 2 },
+                TimelinePoint { at: TimeNs(30), active: 1 },
+                TimelinePoint { at: TimeNs(40), active: 0 },
+            ]
+        );
+        assert_eq!(
+            t.target_timeline(),
+            vec![TimelinePoint { at: TimeNs(15), active: 4 }]
+        );
+    }
+
+    #[test]
+    fn same_instant_samples_collapse() {
+        let t = PoolTelemetry::new();
+        t.record_task_start(TimeNs(10));
+        t.record_task_end(TimeNs(10), false);
+        let tl = t.active_timeline();
+        assert_eq!(
+            tl,
+            vec![
+                TimelinePoint { at: TimeNs(0), active: 0 },
+                TimelinePoint { at: TimeNs(10), active: 0 },
+            ]
+        );
+    }
+
+    #[test]
+    fn recording_can_be_disabled() {
+        let t = PoolTelemetry::new();
+        t.set_recording(false);
+        t.record_task_start(TimeNs(10));
+        t.record_task_end(TimeNs(20), false);
+        assert!(t.samples().is_empty());
+        // Counters still work.
+        assert_eq!(t.tasks_started(), 1);
+    }
+
+    #[test]
+    fn reset_preserves_inflight_active() {
+        let t = PoolTelemetry::new();
+        t.record_task_start(TimeNs(10));
+        t.reset_timeline();
+        assert!(t.samples().is_empty());
+        assert_eq!(t.peak_active(), 1);
+        assert_eq!(t.active_now(), 1);
+    }
+
+    #[test]
+    fn panics_are_counted() {
+        let t = PoolTelemetry::new();
+        t.record_task_start(TimeNs(1));
+        t.record_task_end(TimeNs(2), true);
+        assert_eq!(t.panics(), 1);
+    }
+}

@@ -1,0 +1,313 @@
+//! Cost models: where simulated muscle durations come from.
+//!
+//! The simulator executes muscle *functions* for real (so data flow, split
+//! cardinalities and results are genuine) but takes their *durations* from a
+//! [`CostModel`]. The model sees the muscle identity, how many times that
+//! muscle has run, the payload item count and the payload itself, so costs
+//! can be constant, data-dependent, or deterministically noisy.
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use askel_skeletons::{MuscleId, MuscleRole, TimeNs};
+
+/// Description of one muscle invocation, handed to the cost model *before*
+/// the muscle runs.
+pub struct MuscleCall<'a> {
+    /// Which muscle.
+    pub muscle: MuscleId,
+    /// Its role (duplicated from the id for convenience).
+    pub role: MuscleRole,
+    /// How many invocations of this muscle happened before this one
+    /// (0 for the first). Lets models vary cost across invocations
+    /// deterministically.
+    pub seq_no: u64,
+    /// Payload item count: 1 for single values, the list length for a
+    /// merge's input.
+    pub items: usize,
+    /// The actual input payload (downcast to inspect sizes).
+    pub payload: &'a dyn Any,
+}
+
+/// Source of virtual durations for muscle executions.
+pub trait CostModel: Send + Sync {
+    /// Virtual duration of this invocation.
+    fn duration(&self, call: &MuscleCall<'_>) -> TimeNs;
+}
+
+/// Every muscle takes zero time — functional simulation only.
+pub struct ZeroCost;
+
+impl CostModel for ZeroCost {
+    fn duration(&self, _call: &MuscleCall<'_>) -> TimeNs {
+        TimeNs::ZERO
+    }
+}
+
+/// Constant duration per muscle, with a default for unlisted muscles.
+///
+/// This is the model behind the paper's worked example
+/// (`t(fs)=10, t(fe)=15, t(fm)=5`).
+#[derive(Clone)]
+pub struct TableCost {
+    durations: HashMap<MuscleId, TimeNs>,
+    default: TimeNs,
+}
+
+impl TableCost {
+    /// A table where unlisted muscles cost `default`.
+    pub fn new(default: TimeNs) -> Self {
+        TableCost {
+            durations: HashMap::new(),
+            default,
+        }
+    }
+
+    /// Sets the duration of one muscle (builder style).
+    pub fn with(mut self, muscle: MuscleId, duration: TimeNs) -> Self {
+        self.durations.insert(muscle, duration);
+        self
+    }
+
+    /// Sets the duration of one muscle.
+    pub fn set(&mut self, muscle: MuscleId, duration: TimeNs) {
+        self.durations.insert(muscle, duration);
+    }
+
+    /// Reads a configured duration.
+    pub fn get(&self, muscle: MuscleId) -> Option<TimeNs> {
+        self.durations.get(&muscle).copied()
+    }
+}
+
+impl CostModel for TableCost {
+    fn duration(&self, call: &MuscleCall<'_>) -> TimeNs {
+        self.durations
+            .get(&call.muscle)
+            .copied()
+            .unwrap_or(self.default)
+    }
+}
+
+/// A payload inspector supplying item counts to [`LinearCost`].
+pub type PayloadProbe = Box<dyn Fn(&dyn Any) -> Option<usize> + Send + Sync>;
+
+/// Cost proportional to payload size: `base + per_item × items`.
+///
+/// `items` is the payload item count; for finer granularity provide a
+/// `probe` that inspects the payload (e.g. the byte length of a text
+/// chunk) and overrides the item count.
+pub struct LinearCost {
+    /// Fixed part of every invocation.
+    pub base: TimeNs,
+    /// Cost per item.
+    pub per_item: TimeNs,
+    probe: Option<PayloadProbe>,
+}
+
+impl LinearCost {
+    /// A linear model with no payload probe.
+    pub fn new(base: TimeNs, per_item: TimeNs) -> Self {
+        LinearCost {
+            base,
+            per_item,
+            probe: None,
+        }
+    }
+
+    /// Adds a payload probe that, when it recognizes the payload type,
+    /// supplies the item count.
+    pub fn with_probe(
+        mut self,
+        probe: impl Fn(&dyn Any) -> Option<usize> + Send + Sync + 'static,
+    ) -> Self {
+        self.probe = Some(Box::new(probe));
+        self
+    }
+}
+
+impl CostModel for LinearCost {
+    fn duration(&self, call: &MuscleCall<'_>) -> TimeNs {
+        let items = self
+            .probe
+            .as_ref()
+            .and_then(|p| p(call.payload))
+            .unwrap_or(call.items);
+        TimeNs(self.base.0 + self.per_item.0.saturating_mul(items as u64))
+    }
+}
+
+/// Routes to different models per muscle, with a fallback.
+pub struct PerMuscleCost {
+    models: HashMap<MuscleId, Arc<dyn CostModel>>,
+    fallback: Arc<dyn CostModel>,
+}
+
+impl PerMuscleCost {
+    /// A router with the given fallback model.
+    pub fn new(fallback: Arc<dyn CostModel>) -> Self {
+        PerMuscleCost {
+            models: HashMap::new(),
+            fallback,
+        }
+    }
+
+    /// Routes one muscle to a dedicated model (builder style).
+    pub fn route(mut self, muscle: MuscleId, model: Arc<dyn CostModel>) -> Self {
+        self.models.insert(muscle, model);
+        self
+    }
+}
+
+impl CostModel for PerMuscleCost {
+    fn duration(&self, call: &MuscleCall<'_>) -> TimeNs {
+        self.models
+            .get(&call.muscle)
+            .unwrap_or(&self.fallback)
+            .duration(call)
+    }
+}
+
+/// Multiplies an inner model's durations by a deterministic pseudo-random
+/// factor in `[1-amplitude, 1+amplitude]`, keyed by (seed, muscle, seq_no).
+///
+/// This models the paper's observation that "in practice some execution
+/// muscles took less time than others" without sacrificing replayability.
+pub struct JitterCost<C> {
+    inner: C,
+    amplitude: f64,
+    seed: u64,
+}
+
+impl<C: CostModel> JitterCost<C> {
+    /// Wraps `inner`; `amplitude` is clamped to `[0, 1]`.
+    pub fn new(inner: C, amplitude: f64, seed: u64) -> Self {
+        JitterCost {
+            inner,
+            amplitude: amplitude.clamp(0.0, 1.0),
+            seed,
+        }
+    }
+
+    fn factor(&self, muscle: MuscleId, seq_no: u64) -> f64 {
+        let mut x = self
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(muscle.node.0.wrapping_mul(0xBF58_476D_1CE4_E5B9))
+            .wrapping_add((muscle.role as u64).wrapping_mul(0x94D0_49BB_1331_11EB))
+            .wrapping_add(seq_no);
+        // SplitMix64 finalizer: well-distributed, dependency-free.
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x ^= x >> 27;
+        x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^= x >> 31;
+        let unit = x as f64 / u64::MAX as f64; // in [0, 1]
+        1.0 + self.amplitude * (2.0 * unit - 1.0)
+    }
+}
+
+impl<C: CostModel> CostModel for JitterCost<C> {
+    fn duration(&self, call: &MuscleCall<'_>) -> TimeNs {
+        let base = self.inner.duration(call);
+        let f = self.factor(call.muscle, call.seq_no);
+        TimeNs::from_secs_f64(base.as_secs_f64() * f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use askel_skeletons::NodeId;
+
+    fn call(muscle: MuscleId, seq_no: u64, items: usize) -> MuscleCall<'static> {
+        MuscleCall {
+            muscle,
+            role: muscle.role,
+            seq_no,
+            items,
+            payload: &(),
+        }
+    }
+
+    fn m(n: u64, role: MuscleRole) -> MuscleId {
+        MuscleId::new(NodeId(n), role)
+    }
+
+    #[test]
+    fn zero_cost_is_zero() {
+        let c = ZeroCost;
+        assert_eq!(
+            c.duration(&call(m(1, MuscleRole::Execute), 0, 1)),
+            TimeNs::ZERO
+        );
+    }
+
+    #[test]
+    fn table_cost_uses_entries_and_default() {
+        let fs = m(1, MuscleRole::Split);
+        let fe = m(2, MuscleRole::Execute);
+        let c = TableCost::new(TimeNs::from_secs(1)).with(fs, TimeNs::from_secs(10));
+        assert_eq!(c.duration(&call(fs, 0, 1)), TimeNs::from_secs(10));
+        assert_eq!(c.duration(&call(fe, 0, 1)), TimeNs::from_secs(1));
+        assert_eq!(c.get(fs), Some(TimeNs::from_secs(10)));
+        assert_eq!(c.get(fe), None);
+    }
+
+    #[test]
+    fn linear_cost_scales_with_items() {
+        let c = LinearCost::new(TimeNs::from_millis(10), TimeNs::from_millis(2));
+        assert_eq!(
+            c.duration(&call(m(1, MuscleRole::Merge), 0, 5)),
+            TimeNs::from_millis(20)
+        );
+    }
+
+    #[test]
+    fn linear_probe_overrides_items() {
+        let c = LinearCost::new(TimeNs::ZERO, TimeNs::from_millis(1))
+            .with_probe(|p| p.downcast_ref::<Vec<u8>>().map(|v| v.len()));
+        let payload: Vec<u8> = vec![0; 7];
+        let mc = MuscleCall {
+            muscle: m(1, MuscleRole::Execute),
+            role: MuscleRole::Execute,
+            seq_no: 0,
+            items: 1,
+            payload: &payload,
+        };
+        assert_eq!(c.duration(&mc), TimeNs::from_millis(7));
+    }
+
+    #[test]
+    fn per_muscle_routes() {
+        let fs = m(1, MuscleRole::Split);
+        let fe = m(2, MuscleRole::Execute);
+        let c = PerMuscleCost::new(Arc::new(TableCost::new(TimeNs::from_secs(1))))
+            .route(fs, Arc::new(TableCost::new(TimeNs::from_secs(9))));
+        assert_eq!(c.duration(&call(fs, 0, 1)), TimeNs::from_secs(9));
+        assert_eq!(c.duration(&call(fe, 0, 1)), TimeNs::from_secs(1));
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        let fe = m(2, MuscleRole::Execute);
+        let c = JitterCost::new(TableCost::new(TimeNs::from_secs(1)), 0.5, 42);
+        let d1 = c.duration(&call(fe, 7, 1));
+        let d2 = c.duration(&call(fe, 7, 1));
+        assert_eq!(d1, d2, "same key must give same jitter");
+        let d3 = c.duration(&call(fe, 8, 1));
+        assert_ne!(d1, d3, "different seq_no should jitter differently");
+        for s in 0..100 {
+            let d = c.duration(&call(fe, s, 1)).as_secs_f64();
+            assert!((0.5..=1.5).contains(&d), "jitter out of bounds: {d}");
+        }
+    }
+
+    #[test]
+    fn zero_amplitude_jitter_is_identity() {
+        let fe = m(2, MuscleRole::Execute);
+        let c = JitterCost::new(TableCost::new(TimeNs::from_secs(2)), 0.0, 1);
+        assert_eq!(c.duration(&call(fe, 3, 1)), TimeNs::from_secs(2));
+    }
+}

@@ -1,0 +1,950 @@
+//! Per-kind interpretation under virtual time.
+//!
+//! Mirrors `askel-engine`'s interpreter exactly — same task granularity,
+//! same event sequence, same LIFO order — with muscle durations metered by
+//! the cost model. Divergence between the two interpreters is a bug; the
+//! facade crate property-tests them against each other and against the
+//! sequential reference.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::Arc;
+
+use askel_events::{EventInfo, Payload, Trace, When, Where};
+use askel_skeletons::{
+    Data, EvalError, InstanceId, KindTag, MuscleId, MuscleRole, Node, NodeKind,
+};
+
+use crate::rt::{SimCont, SimRt, Step};
+use crate::SimError;
+
+/// Schedules the execution of `node` on `data`; `cont` receives the result.
+pub(crate) fn schedule_node(
+    rt: &mut SimRt,
+    node: &Arc<Node>,
+    parent: Option<&Trace>,
+    data: Data,
+    cont: SimCont,
+) {
+    let inst = InstanceId::fresh();
+    let trace = match parent {
+        Some(t) => t.child(node.id, inst, node.tag()),
+        None => Trace::root(node.id, inst, node.tag()),
+    };
+    let node = Arc::clone(node);
+    match node.tag() {
+        KindTag::Seq => sim_seq(rt, node, trace, inst, data, cont),
+        KindTag::Farm => sim_farm(rt, node, trace, inst, data, cont),
+        KindTag::Pipe => sim_pipe(rt, node, trace, inst, data, cont),
+        KindTag::While => sim_while(rt, node, trace, inst, data, cont, 0),
+        KindTag::If => sim_if(rt, node, trace, inst, data, cont),
+        KindTag::For => sim_for(rt, node, trace, inst, data, cont),
+        KindTag::Map => sim_map(rt, node, trace, inst, data, cont),
+        KindTag::Fork => sim_fork(rt, node, trace, inst, data, cont),
+        KindTag::DivideConquer => sim_dac(rt, node, trace, inst, data, cont),
+    }
+}
+
+fn sim_seq(
+    rt: &mut SimRt,
+    node: Arc<Node>,
+    trace: Trace,
+    inst: InstanceId,
+    data: Data,
+    cont: SimCont,
+) {
+    rt.push_ready(Box::new(move |rt| {
+        let mut data = data;
+        rt.emit(
+            &node,
+            &trace,
+            inst,
+            When::Before,
+            Where::Skeleton,
+            EventInfo::None,
+            &mut Payload::Single(&mut data),
+        );
+        let NodeKind::Seq { fe } = &node.kind else {
+            unreachable!("tag checked by dispatcher")
+        };
+        let muscle = MuscleId::new(node.id, MuscleRole::Execute);
+        let dur = rt.cost_of(muscle, 1, &*data);
+        let fe = fe.clone();
+        let Some(out) = rt.guard(move || fe.call(data)) else {
+            return Step::Done;
+        };
+        Step::Busy {
+            dur,
+            then: Box::new(move |rt| {
+                let mut out = out;
+                rt.emit(
+                    &node,
+                    &trace,
+                    inst,
+                    When::After,
+                    Where::Skeleton,
+                    EventInfo::None,
+                    &mut Payload::Single(&mut out),
+                );
+                cont(rt, out);
+                Step::Done
+            }),
+        }
+    }));
+}
+
+fn sim_farm(
+    rt: &mut SimRt,
+    node: Arc<Node>,
+    trace: Trace,
+    inst: InstanceId,
+    mut data: Data,
+    cont: SimCont,
+) {
+    rt.emit(
+        &node,
+        &trace,
+        inst,
+        When::Before,
+        Where::Skeleton,
+        EventInfo::None,
+        &mut Payload::Single(&mut data),
+    );
+    rt.emit(
+        &node,
+        &trace,
+        inst,
+        When::Before,
+        Where::NestedSkeleton,
+        EventInfo::ChildIndex(0),
+        &mut Payload::Single(&mut data),
+    );
+    let NodeKind::Farm { inner } = &node.kind else {
+        unreachable!("tag checked by dispatcher")
+    };
+    let inner = Arc::clone(inner);
+    let node2 = Arc::clone(&node);
+    let trace2 = trace.clone();
+    schedule_node(
+        rt,
+        &inner,
+        Some(&trace),
+        data,
+        Box::new(move |rt, mut out| {
+            rt.emit(
+                &node2,
+                &trace2,
+                inst,
+                When::After,
+                Where::NestedSkeleton,
+                EventInfo::ChildIndex(0),
+                &mut Payload::Single(&mut out),
+            );
+            rt.emit(
+                &node2,
+                &trace2,
+                inst,
+                When::After,
+                Where::Skeleton,
+                EventInfo::None,
+                &mut Payload::Single(&mut out),
+            );
+            cont(rt, out);
+        }),
+    );
+}
+
+fn sim_pipe(
+    rt: &mut SimRt,
+    node: Arc<Node>,
+    trace: Trace,
+    inst: InstanceId,
+    mut data: Data,
+    cont: SimCont,
+) {
+    rt.emit(
+        &node,
+        &trace,
+        inst,
+        When::Before,
+        Where::Skeleton,
+        EventInfo::None,
+        &mut Payload::Single(&mut data),
+    );
+    pipe_stage(rt, node, trace, inst, data, cont, 0);
+}
+
+fn pipe_stage(
+    rt: &mut SimRt,
+    node: Arc<Node>,
+    trace: Trace,
+    inst: InstanceId,
+    mut data: Data,
+    cont: SimCont,
+    k: usize,
+) {
+    let NodeKind::Pipe { stages } = &node.kind else {
+        unreachable!("tag checked by dispatcher")
+    };
+    if k == stages.len() {
+        rt.emit(
+            &node,
+            &trace,
+            inst,
+            When::After,
+            Where::Skeleton,
+            EventInfo::None,
+            &mut Payload::Single(&mut data),
+        );
+        cont(rt, data);
+        return;
+    }
+    rt.emit(
+        &node,
+        &trace,
+        inst,
+        When::Before,
+        Where::NestedSkeleton,
+        EventInfo::ChildIndex(k),
+        &mut Payload::Single(&mut data),
+    );
+    let stage = Arc::clone(&stages[k]);
+    let node2 = Arc::clone(&node);
+    let trace2 = trace.clone();
+    schedule_node(
+        rt,
+        &stage,
+        Some(&trace),
+        data,
+        Box::new(move |rt, mut out| {
+            rt.emit(
+                &node2,
+                &trace2,
+                inst,
+                When::After,
+                Where::NestedSkeleton,
+                EventInfo::ChildIndex(k),
+                &mut Payload::Single(&mut out),
+            );
+            pipe_stage(rt, node2, trace2, inst, out, cont, k + 1);
+        }),
+    );
+}
+
+fn sim_while(
+    rt: &mut SimRt,
+    node: Arc<Node>,
+    trace: Trace,
+    inst: InstanceId,
+    data: Data,
+    cont: SimCont,
+    iter: usize,
+) {
+    rt.push_ready(Box::new(move |rt| {
+        let mut data = data;
+        if iter == 0 {
+            rt.emit(
+                &node,
+                &trace,
+                inst,
+                When::Before,
+                Where::Skeleton,
+                EventInfo::None,
+                &mut Payload::Single(&mut data),
+            );
+        }
+        let NodeKind::While { fc, .. } = &node.kind else {
+            unreachable!("tag checked by dispatcher")
+        };
+        rt.emit(
+            &node,
+            &trace,
+            inst,
+            When::Before,
+            Where::Condition,
+            EventInfo::None,
+            &mut Payload::Single(&mut data),
+        );
+        let muscle = MuscleId::new(node.id, MuscleRole::Condition);
+        let dur = rt.cost_of(muscle, 1, &*data);
+        let fc = fc.clone();
+        let Some(verdict) = rt.guard(|| fc.call(&data)) else {
+            return Step::Done;
+        };
+        Step::Busy {
+            dur,
+            then: Box::new(move |rt| {
+                let mut data = data;
+                rt.emit(
+                    &node,
+                    &trace,
+                    inst,
+                    When::After,
+                    Where::Condition,
+                    EventInfo::ConditionResult(verdict),
+                    &mut Payload::Single(&mut data),
+                );
+                if verdict {
+                    rt.emit(
+                        &node,
+                        &trace,
+                        inst,
+                        When::Before,
+                        Where::NestedSkeleton,
+                        EventInfo::ChildIndex(iter),
+                        &mut Payload::Single(&mut data),
+                    );
+                    let NodeKind::While { inner, .. } = &node.kind else {
+                        unreachable!()
+                    };
+                    let inner = Arc::clone(inner);
+                    let node2 = Arc::clone(&node);
+                    let trace2 = trace.clone();
+                    schedule_node(
+                        rt,
+                        &inner,
+                        Some(&trace),
+                        data,
+                        Box::new(move |rt, mut out| {
+                            rt.emit(
+                                &node2,
+                                &trace2,
+                                inst,
+                                When::After,
+                                Where::NestedSkeleton,
+                                EventInfo::ChildIndex(iter),
+                                &mut Payload::Single(&mut out),
+                            );
+                            sim_while(rt, node2, trace2, inst, out, cont, iter + 1);
+                        }),
+                    );
+                } else {
+                    rt.emit(
+                        &node,
+                        &trace,
+                        inst,
+                        When::After,
+                        Where::Skeleton,
+                        EventInfo::None,
+                        &mut Payload::Single(&mut data),
+                    );
+                    cont(rt, data);
+                }
+                Step::Done
+            }),
+        }
+    }));
+}
+
+fn sim_if(
+    rt: &mut SimRt,
+    node: Arc<Node>,
+    trace: Trace,
+    inst: InstanceId,
+    data: Data,
+    cont: SimCont,
+) {
+    rt.push_ready(Box::new(move |rt| {
+        let mut data = data;
+        rt.emit(
+            &node,
+            &trace,
+            inst,
+            When::Before,
+            Where::Skeleton,
+            EventInfo::None,
+            &mut Payload::Single(&mut data),
+        );
+        let NodeKind::If { fc, .. } = &node.kind else {
+            unreachable!("tag checked by dispatcher")
+        };
+        rt.emit(
+            &node,
+            &trace,
+            inst,
+            When::Before,
+            Where::Condition,
+            EventInfo::None,
+            &mut Payload::Single(&mut data),
+        );
+        let muscle = MuscleId::new(node.id, MuscleRole::Condition);
+        let dur = rt.cost_of(muscle, 1, &*data);
+        let fc = fc.clone();
+        let Some(verdict) = rt.guard(|| fc.call(&data)) else {
+            return Step::Done;
+        };
+        Step::Busy {
+            dur,
+            then: Box::new(move |rt| {
+                let mut data = data;
+                rt.emit(
+                    &node,
+                    &trace,
+                    inst,
+                    When::After,
+                    Where::Condition,
+                    EventInfo::ConditionResult(verdict),
+                    &mut Payload::Single(&mut data),
+                );
+                let NodeKind::If {
+                    then_branch,
+                    else_branch,
+                    ..
+                } = &node.kind
+                else {
+                    unreachable!()
+                };
+                let (branch, k) = if verdict {
+                    (Arc::clone(then_branch), 0)
+                } else {
+                    (Arc::clone(else_branch), 1)
+                };
+                rt.emit(
+                    &node,
+                    &trace,
+                    inst,
+                    When::Before,
+                    Where::NestedSkeleton,
+                    EventInfo::ChildIndex(k),
+                    &mut Payload::Single(&mut data),
+                );
+                let node2 = Arc::clone(&node);
+                let trace2 = trace.clone();
+                schedule_node(
+                    rt,
+                    &branch,
+                    Some(&trace),
+                    data,
+                    Box::new(move |rt, mut out| {
+                        rt.emit(
+                            &node2,
+                            &trace2,
+                            inst,
+                            When::After,
+                            Where::NestedSkeleton,
+                            EventInfo::ChildIndex(k),
+                            &mut Payload::Single(&mut out),
+                        );
+                        rt.emit(
+                            &node2,
+                            &trace2,
+                            inst,
+                            When::After,
+                            Where::Skeleton,
+                            EventInfo::None,
+                            &mut Payload::Single(&mut out),
+                        );
+                        cont(rt, out);
+                    }),
+                );
+                Step::Done
+            }),
+        }
+    }));
+}
+
+fn sim_for(
+    rt: &mut SimRt,
+    node: Arc<Node>,
+    trace: Trace,
+    inst: InstanceId,
+    mut data: Data,
+    cont: SimCont,
+) {
+    rt.emit(
+        &node,
+        &trace,
+        inst,
+        When::Before,
+        Where::Skeleton,
+        EventInfo::None,
+        &mut Payload::Single(&mut data),
+    );
+    let NodeKind::For { n, .. } = &node.kind else {
+        unreachable!("tag checked by dispatcher")
+    };
+    let n = *n;
+    if n == 0 {
+        rt.emit(
+            &node,
+            &trace,
+            inst,
+            When::After,
+            Where::Skeleton,
+            EventInfo::None,
+            &mut Payload::Single(&mut data),
+        );
+        cont(rt, data);
+        return;
+    }
+    for_iteration(rt, node, trace, inst, data, cont, 0, n);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn for_iteration(
+    rt: &mut SimRt,
+    node: Arc<Node>,
+    trace: Trace,
+    inst: InstanceId,
+    mut data: Data,
+    cont: SimCont,
+    k: usize,
+    n: usize,
+) {
+    rt.emit(
+        &node,
+        &trace,
+        inst,
+        When::Before,
+        Where::NestedSkeleton,
+        EventInfo::Iteration(k),
+        &mut Payload::Single(&mut data),
+    );
+    let NodeKind::For { inner, .. } = &node.kind else {
+        unreachable!("tag checked by dispatcher")
+    };
+    let inner = Arc::clone(inner);
+    let node2 = Arc::clone(&node);
+    let trace2 = trace.clone();
+    schedule_node(
+        rt,
+        &inner,
+        Some(&trace),
+        data,
+        Box::new(move |rt, mut out| {
+            rt.emit(
+                &node2,
+                &trace2,
+                inst,
+                When::After,
+                Where::NestedSkeleton,
+                EventInfo::Iteration(k),
+                &mut Payload::Single(&mut out),
+            );
+            if k + 1 < n {
+                for_iteration(rt, node2, trace2, inst, out, cont, k + 1, n);
+            } else {
+                rt.emit(
+                    &node2,
+                    &trace2,
+                    inst,
+                    When::After,
+                    Where::Skeleton,
+                    EventInfo::None,
+                    &mut Payload::Single(&mut out),
+                );
+                cont(rt, out);
+            }
+        }),
+    );
+}
+
+fn sim_map(
+    rt: &mut SimRt,
+    node: Arc<Node>,
+    trace: Trace,
+    inst: InstanceId,
+    data: Data,
+    cont: SimCont,
+) {
+    rt.push_ready(Box::new(move |rt| {
+        let mut data = data;
+        rt.emit(
+            &node,
+            &trace,
+            inst,
+            When::Before,
+            Where::Skeleton,
+            EventInfo::None,
+            &mut Payload::Single(&mut data),
+        );
+        let NodeKind::Map { fs, .. } = &node.kind else {
+            unreachable!("tag checked by dispatcher")
+        };
+        rt.emit(
+            &node,
+            &trace,
+            inst,
+            When::Before,
+            Where::Split,
+            EventInfo::None,
+            &mut Payload::Single(&mut data),
+        );
+        let muscle = MuscleId::new(node.id, MuscleRole::Split);
+        let dur = rt.cost_of(muscle, 1, &*data);
+        let fs = fs.clone();
+        let Some(parts) = rt.guard(move || fs.call(data)) else {
+            return Step::Done;
+        };
+        Step::Busy {
+            dur,
+            then: Box::new(move |rt| {
+                let mut parts = parts;
+                rt.emit(
+                    &node,
+                    &trace,
+                    inst,
+                    When::After,
+                    Where::Split,
+                    EventInfo::SplitCardinality(parts.len()),
+                    &mut Payload::Many(&mut parts),
+                );
+                fan_out(rt, node, trace, inst, parts, cont, |node, _| {
+                    let NodeKind::Map { inner, .. } = &node.kind else {
+                        unreachable!()
+                    };
+                    Arc::clone(inner)
+                });
+                Step::Done
+            }),
+        }
+    }));
+}
+
+fn sim_fork(
+    rt: &mut SimRt,
+    node: Arc<Node>,
+    trace: Trace,
+    inst: InstanceId,
+    data: Data,
+    cont: SimCont,
+) {
+    rt.push_ready(Box::new(move |rt| {
+        let mut data = data;
+        rt.emit(
+            &node,
+            &trace,
+            inst,
+            When::Before,
+            Where::Skeleton,
+            EventInfo::None,
+            &mut Payload::Single(&mut data),
+        );
+        let NodeKind::Fork { fs, .. } = &node.kind else {
+            unreachable!("tag checked by dispatcher")
+        };
+        rt.emit(
+            &node,
+            &trace,
+            inst,
+            When::Before,
+            Where::Split,
+            EventInfo::None,
+            &mut Payload::Single(&mut data),
+        );
+        let muscle = MuscleId::new(node.id, MuscleRole::Split);
+        let dur = rt.cost_of(muscle, 1, &*data);
+        let fs = fs.clone();
+        let Some(parts) = rt.guard(move || fs.call(data)) else {
+            return Step::Done;
+        };
+        Step::Busy {
+            dur,
+            then: Box::new(move |rt| {
+                let mut parts = parts;
+                rt.emit(
+                    &node,
+                    &trace,
+                    inst,
+                    When::After,
+                    Where::Split,
+                    EventInfo::SplitCardinality(parts.len()),
+                    &mut Payload::Many(&mut parts),
+                );
+                let NodeKind::Fork { inners, .. } = &node.kind else {
+                    unreachable!()
+                };
+                if parts.len() != inners.len() {
+                    rt.fail(SimError::Eval(EvalError::ForkArityMismatch {
+                        node: node.id,
+                        branches: inners.len(),
+                        produced: parts.len(),
+                    }));
+                    return Step::Done;
+                }
+                fan_out(rt, node, trace, inst, parts, cont, |node, k| {
+                    let NodeKind::Fork { inners, .. } = &node.kind else {
+                        unreachable!()
+                    };
+                    Arc::clone(&inners[k])
+                });
+                Step::Done
+            }),
+        }
+    }));
+}
+
+fn sim_dac(
+    rt: &mut SimRt,
+    node: Arc<Node>,
+    trace: Trace,
+    inst: InstanceId,
+    data: Data,
+    cont: SimCont,
+) {
+    rt.push_ready(Box::new(move |rt| {
+        let mut data = data;
+        rt.emit(
+            &node,
+            &trace,
+            inst,
+            When::Before,
+            Where::Skeleton,
+            EventInfo::None,
+            &mut Payload::Single(&mut data),
+        );
+        let NodeKind::DivideConquer { fc, .. } = &node.kind else {
+            unreachable!("tag checked by dispatcher")
+        };
+        rt.emit(
+            &node,
+            &trace,
+            inst,
+            When::Before,
+            Where::Condition,
+            EventInfo::None,
+            &mut Payload::Single(&mut data),
+        );
+        let muscle = MuscleId::new(node.id, MuscleRole::Condition);
+        let dur = rt.cost_of(muscle, 1, &*data);
+        let fc = fc.clone();
+        let Some(divide) = rt.guard(|| fc.call(&data)) else {
+            return Step::Done;
+        };
+        Step::Busy {
+            dur,
+            then: Box::new(move |rt| {
+                let mut data = data;
+                rt.emit(
+                    &node,
+                    &trace,
+                    inst,
+                    When::After,
+                    Where::Condition,
+                    EventInfo::ConditionResult(divide),
+                    &mut Payload::Single(&mut data),
+                );
+                if divide {
+                    rt.emit(
+                        &node,
+                        &trace,
+                        inst,
+                        When::Before,
+                        Where::Split,
+                        EventInfo::None,
+                        &mut Payload::Single(&mut data),
+                    );
+                    let NodeKind::DivideConquer { fs, .. } = &node.kind else {
+                        unreachable!()
+                    };
+                    let muscle = MuscleId::new(node.id, MuscleRole::Split);
+                    let dur = rt.cost_of(muscle, 1, &*data);
+                    let fs = fs.clone();
+                    let Some(parts) = rt.guard(move || fs.call(data)) else {
+                        return Step::Done;
+                    };
+                    Step::Busy {
+                        dur,
+                        then: Box::new(move |rt| {
+                            let mut parts = parts;
+                            rt.emit(
+                                &node,
+                                &trace,
+                                inst,
+                                When::After,
+                                Where::Split,
+                                EventInfo::SplitCardinality(parts.len()),
+                                &mut Payload::Many(&mut parts),
+                            );
+                            if parts.is_empty() {
+                                rt.fail(SimError::Eval(EvalError::EmptySplit {
+                                    node: node.id,
+                                }));
+                                return Step::Done;
+                            }
+                            // Children are new instances of this d&C node.
+                            fan_out(rt, node, trace, inst, parts, cont, |node, _| {
+                                Arc::clone(node)
+                            });
+                            Step::Done
+                        }),
+                    }
+                } else {
+                    rt.emit(
+                        &node,
+                        &trace,
+                        inst,
+                        When::Before,
+                        Where::NestedSkeleton,
+                        EventInfo::ChildIndex(0),
+                        &mut Payload::Single(&mut data),
+                    );
+                    let NodeKind::DivideConquer { inner, .. } = &node.kind else {
+                        unreachable!()
+                    };
+                    let inner = Arc::clone(inner);
+                    let node2 = Arc::clone(&node);
+                    let trace2 = trace.clone();
+                    schedule_node(
+                        rt,
+                        &inner,
+                        Some(&trace),
+                        data,
+                        Box::new(move |rt, mut out| {
+                            rt.emit(
+                                &node2,
+                                &trace2,
+                                inst,
+                                When::After,
+                                Where::NestedSkeleton,
+                                EventInfo::ChildIndex(0),
+                                &mut Payload::Single(&mut out),
+                            );
+                            rt.emit(
+                                &node2,
+                                &trace2,
+                                inst,
+                                When::After,
+                                Where::Skeleton,
+                                EventInfo::None,
+                                &mut Payload::Single(&mut out),
+                            );
+                            cont(rt, out);
+                        }),
+                    );
+                    Step::Done
+                }
+            }),
+        }
+    }));
+}
+
+/// Fans `parts` out to children, joins in order, schedules the merge task.
+fn fan_out(
+    rt: &mut SimRt,
+    node: Arc<Node>,
+    trace: Trace,
+    inst: InstanceId,
+    parts: Vec<Data>,
+    cont: SimCont,
+    pick_child: impl Fn(&Arc<Node>, usize) -> Arc<Node> + Copy + 'static,
+) {
+    if parts.is_empty() {
+        schedule_merge(rt, node, trace, inst, Vec::new(), cont);
+        return;
+    }
+    let n = parts.len();
+    let join: Rc<RefCell<(Vec<Option<Data>>, usize)>> =
+        Rc::new(RefCell::new(((0..n).map(|_| None).collect(), n)));
+    let cont = Rc::new(RefCell::new(Some(cont)));
+    for (k, mut part) in parts.into_iter().enumerate() {
+        rt.emit(
+            &node,
+            &trace,
+            inst,
+            When::Before,
+            Where::NestedSkeleton,
+            EventInfo::ChildIndex(k),
+            &mut Payload::Single(&mut part),
+        );
+        let child = pick_child(&node, k);
+        let join = Rc::clone(&join);
+        let cont = Rc::clone(&cont);
+        let node2 = Arc::clone(&node);
+        let trace2 = trace.clone();
+        schedule_node(
+            rt,
+            &child,
+            Some(&trace),
+            part,
+            Box::new(move |rt, mut out| {
+                rt.emit(
+                    &node2,
+                    &trace2,
+                    inst,
+                    When::After,
+                    Where::NestedSkeleton,
+                    EventInfo::ChildIndex(k),
+                    &mut Payload::Single(&mut out),
+                );
+                let finished = {
+                    let mut j = join.borrow_mut();
+                    debug_assert!(j.0[k].is_none(), "child {k} completed twice");
+                    j.0[k] = Some(out);
+                    j.1 -= 1;
+                    j.1 == 0
+                };
+                if finished {
+                    let results: Vec<Data> = join
+                        .borrow_mut()
+                        .0
+                        .drain(..)
+                        .map(|s| s.expect("join closed with missing slot"))
+                        .collect();
+                    let cont = cont.borrow_mut().take().expect("join completed twice");
+                    schedule_merge(rt, node2, trace2, inst, results, cont);
+                }
+            }),
+        );
+    }
+}
+
+fn schedule_merge(
+    rt: &mut SimRt,
+    node: Arc<Node>,
+    trace: Trace,
+    inst: InstanceId,
+    results: Vec<Data>,
+    cont: SimCont,
+) {
+    rt.push_ready(Box::new(move |rt| {
+        let mut results = results;
+        rt.emit(
+            &node,
+            &trace,
+            inst,
+            When::Before,
+            Where::Merge,
+            EventInfo::None,
+            &mut Payload::Many(&mut results),
+        );
+        let fm = match &node.kind {
+            NodeKind::Map { fm, .. }
+            | NodeKind::Fork { fm, .. }
+            | NodeKind::DivideConquer { fm, .. } => fm.clone(),
+            _ => unreachable!("merge scheduled on a kind without a merge muscle"),
+        };
+        let muscle = MuscleId::new(node.id, MuscleRole::Merge);
+        let items = results.len();
+        let dur = rt.cost_of(muscle, items, &results);
+        let Some(out) = rt.guard(move || fm.call(results)) else {
+            return Step::Done;
+        };
+        Step::Busy {
+            dur,
+            then: Box::new(move |rt| {
+                let mut out = out;
+                rt.emit(
+                    &node,
+                    &trace,
+                    inst,
+                    When::After,
+                    Where::Merge,
+                    EventInfo::None,
+                    &mut Payload::Single(&mut out),
+                );
+                rt.emit(
+                    &node,
+                    &trace,
+                    inst,
+                    When::After,
+                    Where::Skeleton,
+                    EventInfo::None,
+                    &mut Payload::Single(&mut out),
+                );
+                cont(rt, out);
+                Step::Done
+            }),
+        }
+    }));
+}

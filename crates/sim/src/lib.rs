@@ -1,0 +1,239 @@
+//! Deterministic discrete-event simulation of skeleton execution.
+//!
+//! The paper's evaluation ran on a 12-core / 24-thread Xeon; the autonomic
+//! *mechanism*, however, is platform independent (the paper says so
+//! explicitly, §4/§6). This crate provides that platform as a simulator: it
+//! interprets the same AST as `askel-engine`, emits the same events through
+//! the same listener registry, and honours the same LIFO / no-preemption
+//! scheduling discipline — but time is **virtual**: muscle durations come
+//! from a [`CostModel`](cost::CostModel) and a [`ManualClock`] advances
+//! through a completion-event queue.
+//!
+//! Why this exists:
+//!
+//! * the evaluation figures (Figs. 5–7) need 24 hardware threads to
+//!   reproduce; the simulator provides any LP on any host, deterministically;
+//! * the autonomic controller (`askel-core`) is a plain event listener with
+//!   an LP actuator, so the *identical* controller code runs against either
+//!   engine — the simulator changes only where timestamps come from.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use askel_sim::{cost::TableCost, SimEngine};
+//! use askel_skeletons::{map, seq, MuscleId, MuscleRole, TimeNs};
+//!
+//! let program = map(
+//!     |v: Vec<i64>| v.into_iter().map(|x| vec![x]).collect::<Vec<_>>(),
+//!     seq(|v: Vec<i64>| v[0]),
+//!     |parts: Vec<i64>| parts.into_iter().sum::<i64>(),
+//! );
+//! // Every muscle takes 1s of virtual time.
+//! let cost = Arc::new(TableCost::new(TimeNs::from_secs(1)));
+//! let mut sim = SimEngine::new(2, cost);
+//! let outcome = sim.run(&program, vec![1, 2, 3, 4]).unwrap();
+//! assert_eq!(outcome.result, 10);
+//! // split(1s) + 4 executes over 2 workers (2s) + merge(1s) = 4s
+//! assert_eq!(outcome.wct, TimeNs::from_secs(4));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cost;
+mod exec;
+mod rt;
+pub mod workers;
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use askel_events::ListenerRegistry;
+use askel_pool::PoolTelemetry;
+use askel_skeletons::{Clock, EvalError, ManualClock, Skel, TimeNs};
+
+use cost::CostModel;
+use workers::{UniformWorkers, WorkerModel};
+
+/// Why a simulated run failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// Structural error (same vocabulary as the reference interpreter).
+    Eval(EvalError),
+    /// A muscle (or listener) panicked; the panic was caught.
+    MusclePanic(String),
+    /// Work remained but no worker could ever pick it up (LP driven to 0).
+    Stalled {
+        /// Virtual time at which the simulation stalled.
+        at: TimeNs,
+        /// Ready tasks that could not start.
+        ready: usize,
+    },
+    /// The root result failed to downcast (impossible through the typed
+    /// API).
+    WrongResultType,
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Eval(e) => write!(f, "structural error: {e}"),
+            SimError::MusclePanic(m) => write!(f, "muscle panicked: {m}"),
+            SimError::Stalled { at, ready } => {
+                write!(f, "simulation stalled at {at} with {ready} ready task(s) and LP 0")
+            }
+            SimError::WrongResultType => write!(f, "root result had an unexpected type"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<EvalError> for SimError {
+    fn from(e: EvalError) -> Self {
+        SimError::Eval(e)
+    }
+}
+
+/// Result of one simulated submission.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimOutcome<R> {
+    /// The skeleton's result (computed by the real muscle functions).
+    pub result: R,
+    /// Virtual time at which the run started.
+    pub started_at: TimeNs,
+    /// Virtual time at which the result was delivered.
+    pub finished_at: TimeNs,
+    /// `finished_at - started_at`: the run's wall-clock time.
+    pub wct: TimeNs,
+}
+
+/// Handle through which a listener (the autonomic controller) requests LP
+/// changes while the simulation runs. Requests are applied at the current
+/// virtual instant; shrinking never preempts running activities.
+#[derive(Clone)]
+pub struct SimLpControl {
+    request: Arc<AtomicUsize>,
+}
+
+impl SimLpControl {
+    const NONE: usize = usize::MAX;
+
+    /// Requests that the LP become `lp`.
+    pub fn request(&self, lp: usize) {
+        self.request.store(lp, Ordering::SeqCst);
+    }
+
+    pub(crate) fn take(&self) -> Option<usize> {
+        let v = self.request.swap(Self::NONE, Ordering::SeqCst);
+        (v != Self::NONE).then_some(v)
+    }
+}
+
+/// The discrete-event skeleton simulator.
+///
+/// Reusable: consecutive [`run`](SimEngine::run) calls share the clock
+/// (time keeps advancing), the telemetry and the registry, so listeners
+/// accumulate history across runs exactly as they would on a long-lived
+/// engine.
+pub struct SimEngine {
+    registry: Arc<ListenerRegistry>,
+    clock: Arc<ManualClock>,
+    telemetry: Arc<PoolTelemetry>,
+    cost: Arc<dyn CostModel>,
+    workers: Option<Box<dyn WorkerModel>>,
+    lp_control: SimLpControl,
+}
+
+impl SimEngine {
+    /// A simulator with `lp` identical local workers and the given cost
+    /// model.
+    pub fn new(lp: usize, cost: Arc<dyn CostModel>) -> Self {
+        Self::with_workers(Box::new(UniformWorkers::new(lp)), cost)
+    }
+
+    /// A simulator over an explicit worker model (heterogeneous clusters,
+    /// per-slot communication overheads — see `askel-dist`).
+    pub fn with_workers(workers: Box<dyn WorkerModel>, cost: Arc<dyn CostModel>) -> Self {
+        SimEngine {
+            registry: ListenerRegistry::new(),
+            clock: ManualClock::new(),
+            telemetry: Arc::new(PoolTelemetry::new()),
+            cost,
+            workers: Some(workers),
+            lp_control: SimLpControl {
+                request: Arc::new(AtomicUsize::new(SimLpControl::NONE)),
+            },
+        }
+    }
+
+    /// The listener registry (identical type to the threaded engine's).
+    pub fn registry(&self) -> &Arc<ListenerRegistry> {
+        &self.registry
+    }
+
+    /// The virtual clock.
+    pub fn clock(&self) -> &Arc<ManualClock> {
+        &self.clock
+    }
+
+    /// Telemetry: active-activity timeline, peak LP, etc.
+    pub fn telemetry(&self) -> &Arc<PoolTelemetry> {
+        &self.telemetry
+    }
+
+    /// The LP-request handle to hand to an autonomic controller.
+    pub fn lp_control(&self) -> SimLpControl {
+        self.lp_control.clone()
+    }
+
+    /// Current LP (between runs; during a run the pending request applies).
+    pub fn lp(&self) -> usize {
+        self.workers.as_ref().map(|w| w.capacity()).unwrap_or(0)
+    }
+
+    /// Sets the LP used by the next run (clamped by the worker model).
+    pub fn set_lp(&mut self, lp: usize) {
+        if let Some(w) = self.workers.as_mut() {
+            w.set_capacity(lp);
+        }
+    }
+
+    /// Runs one submission to completion in virtual time.
+    pub fn run<P, R>(&mut self, skel: &Skel<P, R>, input: P) -> Result<SimOutcome<R>, SimError>
+    where
+        P: Send + 'static,
+        R: Send + 'static,
+    {
+        let started_at = self.clock.now();
+        let workers = self.workers.take().expect("worker model is always restored");
+        self.telemetry.record_target(started_at, workers.capacity());
+        let outcome = rt::run(
+            Arc::clone(&self.registry),
+            Arc::clone(&self.clock),
+            Arc::clone(&self.telemetry),
+            Arc::clone(&self.cost),
+            workers,
+            self.lp_control.clone(),
+            skel.node(),
+            Box::new(input),
+        );
+        let result = match outcome {
+            Ok((result, workers)) => {
+                self.workers = Some(workers);
+                result
+            }
+            Err((err, workers)) => {
+                self.workers = Some(workers);
+                return Err(err);
+            }
+        };
+        let finished_at = self.clock.now();
+        let result = *result.downcast::<R>().map_err(|_| SimError::WrongResultType)?;
+        Ok(SimOutcome {
+            result,
+            started_at,
+            finished_at,
+            wct: finished_at.saturating_sub(started_at),
+        })
+    }
+}

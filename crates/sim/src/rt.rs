@@ -1,0 +1,292 @@
+//! The discrete-event runtime: virtual clock, worker tokens, ready stack
+//! and completion queue.
+
+use std::any::Any;
+use std::collections::{BinaryHeap, HashMap};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use askel_events::{Event, EventInfo, ListenerRegistry, Payload, Trace, When, Where};
+use askel_pool::PoolTelemetry;
+use askel_skeletons::{Clock, Data, InstanceId, ManualClock, MuscleId, Node, TimeNs};
+
+use crate::cost::{CostModel, MuscleCall};
+use crate::exec;
+use crate::workers::WorkerModel;
+use crate::{SimError, SimLpControl};
+
+/// A unit of simulated work. Returning [`Step::Busy`] keeps the worker
+/// occupied until `now + dur`, when `then` runs; [`Step::Done`] releases
+/// the worker.
+pub(crate) type SimWork = Box<dyn FnOnce(&mut SimRt) -> Step>;
+
+/// Continuation receiving a node's result at the virtual instant it is
+/// produced.
+pub(crate) type SimCont = Box<dyn FnOnce(&mut SimRt, Data)>;
+
+/// Outcome of one work step.
+pub(crate) enum Step {
+    /// Worker stays busy for `dur`; `then` runs at completion time.
+    Busy {
+        /// Virtual duration of the muscle just metered.
+        dur: TimeNs,
+        /// Continuation at completion time.
+        then: SimWork,
+    },
+    /// Chain finished; the worker token is released.
+    Done,
+}
+
+struct Completion {
+    at: TimeNs,
+    seq: u64,
+    work: SimWork,
+    slot: usize,
+}
+
+impl PartialEq for Completion {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Completion {}
+impl PartialOrd for Completion {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Completion {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest
+        // completion (ties broken by insertion order) on top.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// The simulator's mutable state, threaded through every work step.
+pub(crate) struct SimRt {
+    pub(crate) now: TimeNs,
+    clock: Arc<ManualClock>,
+    registry: Arc<ListenerRegistry>,
+    cost: Arc<dyn CostModel>,
+    telemetry: Arc<PoolTelemetry>,
+    lp_control: SimLpControl,
+    ready: Vec<SimWork>,
+    completions: BinaryHeap<Completion>,
+    comp_seq: u64,
+    workers: Box<dyn WorkerModel>,
+    occupied: std::collections::BTreeSet<usize>,
+    muscle_counts: HashMap<MuscleId, u64>,
+    pub(crate) error: Option<SimError>,
+    pub(crate) result: Option<Data>,
+}
+
+impl SimRt {
+    /// Queues simulated work on the LIFO ready stack.
+    pub(crate) fn push_ready(&mut self, work: SimWork) {
+        self.ready.push(work);
+    }
+
+    /// Emits an event at the current virtual instant.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn emit(
+        &self,
+        node: &Node,
+        trace: &Trace,
+        index: InstanceId,
+        when: When,
+        wher: Where,
+        info: EventInfo,
+        payload: &mut Payload<'_>,
+    ) {
+        if self.registry.is_empty() {
+            return;
+        }
+        let event = Event {
+            node: node.id,
+            kind: node.tag(),
+            when,
+            wher,
+            index,
+            trace: trace.clone(),
+            timestamp: self.now,
+            info,
+        };
+        self.registry.emit(payload, &event);
+    }
+
+    /// Asks the cost model for this invocation's duration and advances the
+    /// muscle's invocation counter.
+    pub(crate) fn cost_of(&mut self, muscle: MuscleId, items: usize, payload: &dyn Any) -> TimeNs {
+        let seq_no = {
+            let c = self.muscle_counts.entry(muscle).or_insert(0);
+            let s = *c;
+            *c += 1;
+            s
+        };
+        self.cost.duration(&MuscleCall {
+            muscle,
+            role: muscle.role,
+            seq_no,
+            items,
+            payload,
+        })
+    }
+
+    /// Runs a muscle, converting a panic into a simulation failure.
+    /// Returns `None` when the run is now poisoned.
+    pub(crate) fn guard<T>(&mut self, f: impl FnOnce() -> T) -> Option<T> {
+        match catch_unwind(AssertUnwindSafe(f)) {
+            Ok(v) => Some(v),
+            Err(p) => {
+                self.fail(SimError::MusclePanic(panic_message(p.as_ref())));
+                None
+            }
+        }
+    }
+
+    /// Poisons the run (first failure wins).
+    pub(crate) fn fail(&mut self, err: SimError) {
+        if self.error.is_none() {
+            self.error = Some(err);
+        }
+    }
+
+    fn apply_lp_request(&mut self) {
+        if let Some(lp) = self.lp_control.take() {
+            if lp != self.workers.capacity() {
+                self.workers.set_capacity(lp);
+                self.telemetry.record_target(self.now, self.workers.capacity());
+            }
+        }
+    }
+
+    /// Smallest free worker slot below the current capacity, if any.
+    fn acquire_slot(&mut self) -> Option<usize> {
+        let capacity = self.workers.capacity();
+        let slot = (0..capacity).find(|slot| !self.occupied.contains(slot))?;
+        self.occupied.insert(slot);
+        Some(slot)
+    }
+
+    fn execute(&mut self, work: SimWork, slot: usize, overhead: TimeNs) {
+        match work(self) {
+            Step::Busy { dur, then } => {
+                self.comp_seq += 1;
+                self.completions.push(Completion {
+                    at: self.now + dur + overhead,
+                    seq: self.comp_seq,
+                    work: then,
+                    slot,
+                });
+            }
+            Step::Done => {
+                self.occupied.remove(&slot);
+                self.telemetry.record_task_end(self.now, false);
+            }
+        }
+    }
+
+    fn run_loop(&mut self) {
+        loop {
+            if self.error.is_some() {
+                return;
+            }
+            self.apply_lp_request();
+            // Start ready work while worker slots are free (LIFO). The
+            // slot's communication overhead (zero for local workers) is
+            // charged on the chain's first busy segment.
+            loop {
+                if self.ready.is_empty() {
+                    break;
+                }
+                let Some(slot) = self.acquire_slot() else { break };
+                let work = self.ready.pop().expect("checked non-empty");
+                let overhead = self.workers.chain_overhead(slot);
+                self.telemetry.record_task_start(self.now);
+                self.execute(work, slot, overhead);
+                if self.error.is_some() {
+                    return;
+                }
+                self.apply_lp_request();
+            }
+            // Advance virtual time to the next completion.
+            let Some(c) = self.completions.pop() else {
+                if !self.ready.is_empty() && self.occupied.is_empty() {
+                    let (at, ready) = (self.now, self.ready.len());
+                    self.fail(SimError::Stalled { at, ready });
+                }
+                return;
+            };
+            self.now = self.now.max(c.at);
+            self.clock.advance_to(self.now);
+            self.execute(c.work, c.slot, TimeNs::ZERO);
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Outcome of one simulated run: the erased result (or error) plus the
+/// worker model handed back to the engine either way.
+pub(crate) type RunResult = Result<(Data, Box<dyn WorkerModel>), (SimError, Box<dyn WorkerModel>)>;
+
+/// Runs one submission to completion; returns the erased result and the
+/// final worker model.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run(
+    registry: Arc<ListenerRegistry>,
+    clock: Arc<ManualClock>,
+    telemetry: Arc<PoolTelemetry>,
+    cost: Arc<dyn CostModel>,
+    workers: Box<dyn WorkerModel>,
+    lp_control: SimLpControl,
+    node: &Arc<Node>,
+    input: Data,
+) -> RunResult {
+    let mut rt = SimRt {
+        now: clock.now(),
+        clock,
+        registry,
+        cost,
+        telemetry,
+        lp_control,
+        ready: Vec::new(),
+        completions: BinaryHeap::new(),
+        comp_seq: 0,
+        workers,
+        occupied: std::collections::BTreeSet::new(),
+        muscle_counts: HashMap::new(),
+        error: None,
+        result: None,
+    };
+    let root_cont: SimCont = Box::new(|rt, data| {
+        rt.result = Some(data);
+    });
+    exec::schedule_node(&mut rt, node, None, input, root_cont);
+    rt.run_loop();
+    if let Some(err) = rt.error {
+        return Err((err, rt.workers));
+    }
+    match rt.result {
+        Some(data) => Ok((data, rt.workers)),
+        None => {
+            let err = SimError::Stalled {
+                at: rt.now,
+                ready: rt.ready.len(),
+            };
+            Err((err, rt.workers))
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! Worker models: what the simulator's worker slots *are*.
+//!
+//! The default [`UniformWorkers`] reproduces plain multicore threads
+//! (identical slots, no communication cost). The `askel-dist` crate builds
+//! heterogeneous clusters on this trait — the paper's §4/§6 future work of
+//! running the same autonomic loop over "a distributed set of workers,
+//! adding or removing workers like adding or removing threads in a
+//! centralised manner".
+//!
+//! Slots are identified by index; the scheduler always picks the *lowest*
+//! free slot below the current capacity, so a model can assign meaning to
+//! slot ranges (e.g. "slots 0–3 are the local node, 4–11 the remote one")
+//! and capacity growth brings slots online in a deterministic order.
+
+use askel_skeletons::TimeNs;
+
+/// The simulator's supply of workers.
+pub trait WorkerModel: Send {
+    /// Slots currently usable: indices `0..capacity()`.
+    fn capacity(&self) -> usize;
+
+    /// Requests a new capacity (the controller's LP). Models may clamp
+    /// (e.g. a cluster cannot exceed its provisioned slots).
+    fn set_capacity(&mut self, n: usize);
+
+    /// Communication overhead charged once per task chain executed on
+    /// `slot` (dispatch + result return, folded together). Zero for local
+    /// workers.
+    fn chain_overhead(&self, slot: usize) -> TimeNs {
+        let _ = slot;
+        TimeNs::ZERO
+    }
+}
+
+/// Identical local workers — plain threads on one machine.
+#[derive(Debug, Clone)]
+pub struct UniformWorkers {
+    capacity: usize,
+}
+
+impl UniformWorkers {
+    /// `n` interchangeable zero-overhead workers.
+    pub fn new(n: usize) -> Self {
+        UniformWorkers { capacity: n }
+    }
+}
+
+impl WorkerModel for UniformWorkers {
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn set_capacity(&mut self, n: usize) {
+        self.capacity = n;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_workers_resize_freely() {
+        let mut w = UniformWorkers::new(2);
+        assert_eq!(w.capacity(), 2);
+        w.set_capacity(10);
+        assert_eq!(w.capacity(), 10);
+        assert_eq!(w.chain_overhead(3), TimeNs::ZERO);
+    }
+}

@@ -1,0 +1,165 @@
+//! Stable identifiers for skeleton nodes, muscles and runtime instances.
+//!
+//! The autonomic layer keys its estimators by [`MuscleId`], so identifiers
+//! must be *stable across executions of the same AST*: a node receives its
+//! [`NodeId`] once, when constructed, from a process-wide counter, and keeps
+//! it for the lifetime of the program. Re-running the same `Skel` therefore
+//! accumulates history in the same estimator slots, which is exactly the
+//! "history-based estimation" behaviour of the paper.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Identifier of one AST node (one syntactic occurrence of a skeleton).
+///
+/// Allocated from a process-wide counter at construction time; two distinct
+/// `seq(...)` calls produce two distinct `NodeId`s, while cloning a
+/// [`Skel`](crate::skel::Skel) (or nesting it twice) shares the id — and
+/// therefore shares estimator history, like shared muscle objects do in
+/// Skandium.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u64);
+
+impl NodeId {
+    /// Allocates the next process-unique node id.
+    pub fn fresh() -> Self {
+        static NEXT: AtomicU64 = AtomicU64::new(1);
+        NodeId(NEXT.fetch_add(1, Ordering::Relaxed))
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Identifier of one *runtime instance* of a skeleton: each time an engine
+/// begins executing some node on some data item it mints a fresh
+/// `InstanceId`.
+///
+/// This is the event parameter the paper calls `i`: it correlates the
+/// `Before` and `After` events of the same muscle execution and is the guard
+/// (`[idx == i]`) of the state machines in Figs. 3–4.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct InstanceId(pub u64);
+
+impl InstanceId {
+    /// Allocates the next process-unique instance id.
+    pub fn fresh() -> Self {
+        static NEXT: AtomicU64 = AtomicU64::new(1);
+        InstanceId(NEXT.fetch_add(1, Ordering::Relaxed))
+    }
+}
+
+impl fmt::Debug for InstanceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "i{}", self.0)
+    }
+}
+
+impl fmt::Display for InstanceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "i{}", self.0)
+    }
+}
+
+/// The four muscle flavours of the skeleton language.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub enum MuscleRole {
+    /// `fe : P → R` — wraps the sequential business logic.
+    Execute,
+    /// `fs : P → {R}` — divides a problem into sub-problems.
+    Split,
+    /// `fm : {P} → R` — combines sub-results.
+    Merge,
+    /// `fc : P → bool` — drives `while`, `if` and `d&C`.
+    Condition,
+}
+
+impl fmt::Display for MuscleRole {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            MuscleRole::Execute => "fe",
+            MuscleRole::Split => "fs",
+            MuscleRole::Merge => "fm",
+            MuscleRole::Condition => "fc",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Identifier of one muscle: the node it belongs to plus its role within
+/// that node.
+///
+/// This is the estimator key: `t(m)` and `|m|` in the paper are functions of
+/// the muscle, and a muscle is uniquely determined by (node, role) because no
+/// skeleton kind has two muscles of the same role.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MuscleId {
+    /// The AST node owning the muscle.
+    pub node: NodeId,
+    /// The muscle's role within that node.
+    pub role: MuscleRole,
+}
+
+impl MuscleId {
+    /// Convenience constructor.
+    pub fn new(node: NodeId, role: MuscleRole) -> Self {
+        MuscleId { node, role }
+    }
+}
+
+impl fmt::Debug for MuscleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.node, self.role)
+    }
+}
+
+impl fmt::Display for MuscleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.node, self.role)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_ids_are_unique_and_monotonic() {
+        let a = NodeId::fresh();
+        let b = NodeId::fresh();
+        assert_ne!(a, b);
+        assert!(b.0 > a.0);
+    }
+
+    #[test]
+    fn instance_ids_are_unique() {
+        let a = InstanceId::fresh();
+        let b = InstanceId::fresh();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn muscle_id_display_is_compact() {
+        let m = MuscleId::new(NodeId(7), MuscleRole::Split);
+        assert_eq!(m.to_string(), "n7.fs");
+        assert_eq!(format!("{m:?}"), "n7.fs");
+    }
+
+    #[test]
+    fn muscle_ids_distinguish_roles() {
+        let n = NodeId::fresh();
+        assert_ne!(
+            MuscleId::new(n, MuscleRole::Split),
+            MuscleId::new(n, MuscleRole::Merge)
+        );
+    }
+}

@@ -1,0 +1,23 @@
+//! Deterministic workloads for evaluating autonomic skeletons.
+//!
+//! The paper's evaluation (§5) counts hashtags and commented-users over
+//! 1.2 million Colombian tweets (July 25 – August 5, 2013). That corpus is
+//! no longer available (the Google Drive link is dead), so [`tweets`]
+//! generates a synthetic corpus with the same *cost structure*: a stream
+//! of short texts with Zipf-distributed hashtags and @-mentions, fully
+//! determined by a seed. [`wordcount`] provides the paper's program —
+//! `map(fs, map(fs, seq(fe), fm), fm)` — over that corpus.
+//!
+//! [`numeric`] adds the kernels used by the examples and the wider test
+//! suite: a d&C mergesort, a Monte-Carlo π map, and a parse/aggregate
+//! pipeline.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod numeric;
+pub mod tweets;
+pub mod wordcount;
+
+pub use tweets::{generate_corpus, TweetGenConfig};
+pub use wordcount::{count_tokens, merge_counts, Counts, WordCountProgram};

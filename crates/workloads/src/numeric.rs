@@ -1,0 +1,204 @@
+//! Numeric kernels used by examples, tests and benches: a d&C mergesort, a
+//! Monte-Carlo π map, and a parse/aggregate pipeline.
+
+use askel_skeletons::{dac, map, pipe, seq, Skel};
+
+/// Merges two sorted runs (helper for [`mergesort`]).
+fn merge_sorted(parts: Vec<Vec<i64>>) -> Vec<i64> {
+    let mut it = parts.into_iter();
+    let mut acc = it.next().unwrap_or_default();
+    for part in it {
+        let mut merged = Vec::with_capacity(acc.len() + part.len());
+        let (mut i, mut j) = (0, 0);
+        while i < acc.len() && j < part.len() {
+            if acc[i] <= part[j] {
+                merged.push(acc[i]);
+                i += 1;
+            } else {
+                merged.push(part[j]);
+                j += 1;
+            }
+        }
+        merged.extend_from_slice(&acc[i..]);
+        merged.extend_from_slice(&part[j..]);
+        acc = merged;
+    }
+    acc
+}
+
+/// Divide-and-conquer mergesort: divides while the slice is longer than
+/// `threshold`, sorts base cases sequentially, merges sorted runs.
+pub fn mergesort(threshold: usize) -> Skel<Vec<i64>, Vec<i64>> {
+    let threshold = threshold.max(2);
+    dac(
+        move |v: &Vec<i64>| v.len() > threshold,
+        |v: Vec<i64>| {
+            let mid = v.len() / 2;
+            let (a, b) = v.split_at(mid);
+            vec![a.to_vec(), b.to_vec()]
+        },
+        seq(|mut v: Vec<i64>| {
+            v.sort_unstable();
+            v
+        }),
+        merge_sorted,
+    )
+}
+
+/// Monte-Carlo π over `chunks` chunks of `samples_per_chunk` pseudo-random
+/// points each (deterministic per chunk index).
+///
+/// Input: the base seed. Output: the π estimate.
+pub fn monte_carlo_pi(chunks: usize, samples_per_chunk: usize) -> Skel<u64, f64> {
+    let chunks = chunks.max(1);
+    map(
+        move |seed: u64| (0..chunks as u64).map(|k| (seed, k)).collect::<Vec<_>>(),
+        seq(move |(seed, k): (u64, u64)| {
+            // SplitMix64-driven uniform points; no shared state.
+            let mut state = seed ^ (k.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let mut next = move || {
+                state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            let mut inside = 0u64;
+            for _ in 0..samples_per_chunk {
+                let x = next() as f64 / u64::MAX as f64;
+                let y = next() as f64 / u64::MAX as f64;
+                if x * x + y * y <= 1.0 {
+                    inside += 1;
+                }
+            }
+            inside
+        }),
+        move |parts: Vec<u64>| {
+            let inside: u64 = parts.iter().sum();
+            4.0 * inside as f64 / (chunks * samples_per_chunk) as f64
+        },
+    )
+}
+
+/// A record parsed by the [`stats_pipeline`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct Record {
+    /// Measurement key.
+    pub key: String,
+    /// Measurement value.
+    pub value: f64,
+}
+
+/// Summary statistics produced by the [`stats_pipeline`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct Stats {
+    /// Records parsed.
+    pub count: usize,
+    /// Sum of values.
+    pub sum: f64,
+    /// Minimum value (0 when empty).
+    pub min: f64,
+    /// Maximum value (0 when empty).
+    pub max: f64,
+}
+
+/// `pipe(seq(parse), seq(aggregate))`: parses `key=value` lines, then
+/// aggregates summary statistics — the staged-computation example.
+pub fn stats_pipeline() -> Skel<Vec<String>, Stats> {
+    pipe(
+        seq(|lines: Vec<String>| {
+            lines
+                .iter()
+                .filter_map(|l| {
+                    let (key, value) = l.split_once('=')?;
+                    Some(Record {
+                        key: key.trim().to_string(),
+                        value: value.trim().parse().ok()?,
+                    })
+                })
+                .collect::<Vec<Record>>()
+        }),
+        seq(|records: Vec<Record>| {
+            let count = records.len();
+            let sum: f64 = records.iter().map(|r| r.value).sum();
+            let (mut min, mut max) = (f64::INFINITY, f64::NEG_INFINITY);
+            for r in &records {
+                min = min.min(r.value);
+                max = max.max(r.value);
+            }
+            if count == 0 {
+                min = 0.0;
+                max = 0.0;
+            }
+            Stats {
+                count,
+                sum,
+                min,
+                max,
+            }
+        }),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mergesort_sorts() {
+        let s = mergesort(4);
+        let input: Vec<i64> = (0..100).map(|i| (i * 31) % 57 - 20).collect();
+        let mut expected = input.clone();
+        expected.sort_unstable();
+        assert_eq!(s.apply(input), expected);
+        assert_eq!(s.apply(vec![]), Vec::<i64>::new());
+        assert_eq!(s.apply(vec![3]), vec![3]);
+    }
+
+    #[test]
+    fn merge_sorted_is_stable_merge() {
+        assert_eq!(
+            merge_sorted(vec![vec![1, 4, 6], vec![2, 3, 5]]),
+            vec![1, 2, 3, 4, 5, 6]
+        );
+        assert_eq!(merge_sorted(vec![]), Vec::<i64>::new());
+    }
+
+    #[test]
+    fn pi_is_roughly_pi() {
+        let s = monte_carlo_pi(8, 20_000);
+        let pi = s.apply(42);
+        assert!((pi - std::f64::consts::PI).abs() < 0.05, "got {pi}");
+    }
+
+    #[test]
+    fn pi_is_deterministic_for_a_seed() {
+        let s = monte_carlo_pi(4, 1_000);
+        assert_eq!(s.apply(7), s.apply(7));
+        assert_ne!(s.apply(7), s.apply(8));
+    }
+
+    #[test]
+    fn pipeline_parses_and_aggregates() {
+        let s = stats_pipeline();
+        let input = vec![
+            "a=1.5".to_string(),
+            "b=2.5".to_string(),
+            "malformed".to_string(),
+            "c=-1".to_string(),
+        ];
+        let stats = s.apply(input);
+        assert_eq!(stats.count, 3);
+        assert_eq!(stats.sum, 3.0);
+        assert_eq!(stats.min, -1.0);
+        assert_eq!(stats.max, 2.5);
+    }
+
+    #[test]
+    fn pipeline_handles_empty_input() {
+        let s = stats_pipeline();
+        let stats = s.apply(vec![]);
+        assert_eq!(stats.count, 0);
+        assert_eq!(stats.min, 0.0);
+    }
+}

@@ -1,0 +1,171 @@
+//! Synthetic tweet corpus generation.
+//!
+//! Substitutes the paper's 1.2 M Colombian tweets (see DESIGN.md §4): the
+//! autonomic behaviour depends on the *cost structure* of the word-count
+//! (chunk sizes, token distribution shaping hash-map sizes), not on the
+//! tweet contents, so a seeded generator with Zipf-distributed hashtags
+//! and mentions preserves everything the experiment exercises.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Corpus generator configuration.
+#[derive(Clone, Debug)]
+pub struct TweetGenConfig {
+    /// Number of tweets (the paper used 1.2 M).
+    pub tweets: usize,
+    /// RNG seed; same seed ⇒ byte-identical corpus.
+    pub seed: u64,
+    /// Distinct hashtags available (Zipf-distributed usage).
+    pub hashtag_pool: usize,
+    /// Distinct users available for @-mentions (Zipf-distributed).
+    pub mention_pool: usize,
+    /// Zipf exponent (1.0 ≈ natural language popularity).
+    pub zipf_exponent: f64,
+}
+
+impl Default for TweetGenConfig {
+    fn default() -> Self {
+        TweetGenConfig {
+            tweets: 10_000,
+            seed: 2013_0725, // the paper corpus's start date
+
+            hashtag_pool: 500,
+            mention_pool: 2_000,
+            zipf_exponent: 1.0,
+        }
+    }
+}
+
+impl TweetGenConfig {
+    /// A config producing `tweets` tweets with the default pools.
+    pub fn with_tweets(tweets: usize) -> Self {
+        TweetGenConfig {
+            tweets,
+            ..Default::default()
+        }
+    }
+}
+
+/// Cumulative Zipf distribution for O(log n) sampling.
+struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    fn new(n: usize, exponent: f64) -> Self {
+        let mut cumulative = Vec::with_capacity(n.max(1));
+        let mut total = 0.0;
+        for k in 1..=n.max(1) {
+            total += 1.0 / (k as f64).powf(exponent);
+            cumulative.push(total);
+        }
+        for c in &mut cumulative {
+            *c /= total;
+        }
+        Zipf { cumulative }
+    }
+
+    /// Samples a 0-based rank.
+    fn sample(&self, rng: &mut impl Rng) -> usize {
+        let u: f64 = rng.gen();
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&u).expect("no NaN in cdf"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cumulative.len() - 1),
+        }
+    }
+}
+
+const FILLER: &[&str] = &[
+    "que", "buen", "dia", "hoy", "vamos", "gracias", "por", "todo", "este", "partido", "gol",
+    "nunca", "siempre", "mejor", "jaja", "feliz", "con", "los", "amigos", "para", "nada", "bien",
+];
+
+/// Generates a deterministic synthetic corpus: one string per tweet.
+pub fn generate_corpus(cfg: &TweetGenConfig) -> Vec<String> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let hashtags = Zipf::new(cfg.hashtag_pool, cfg.zipf_exponent);
+    let mentions = Zipf::new(cfg.mention_pool, cfg.zipf_exponent);
+    let mut corpus = Vec::with_capacity(cfg.tweets);
+    let mut text = String::with_capacity(160);
+    for _ in 0..cfg.tweets {
+        text.clear();
+        let words = rng.gen_range(4..=12);
+        for w in 0..words {
+            if w > 0 {
+                text.push(' ');
+            }
+            text.push_str(FILLER[rng.gen_range(0..FILLER.len())]);
+        }
+        for _ in 0..rng.gen_range(0..=3u32) {
+            text.push_str(" #tema");
+            let tag = hashtags.sample(&mut rng);
+            text.push_str(&tag.to_string());
+        }
+        for _ in 0..rng.gen_range(0..=2u32) {
+            text.push_str(" @usuario");
+            let user = mentions.sample(&mut rng);
+            text.push_str(&user.to_string());
+        }
+        corpus.push(text.clone());
+    }
+    corpus
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = TweetGenConfig::with_tweets(200);
+        let a = generate_corpus(&cfg);
+        let b = generate_corpus(&cfg);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 200);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut cfg = TweetGenConfig::with_tweets(100);
+        let a = generate_corpus(&cfg);
+        cfg.seed += 1;
+        let b = generate_corpus(&cfg);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn corpus_contains_hashtags_and_mentions() {
+        let cfg = TweetGenConfig::with_tweets(500);
+        let corpus = generate_corpus(&cfg);
+        let tags = corpus.iter().filter(|t| t.contains('#')).count();
+        let ats = corpus.iter().filter(|t| t.contains('@')).count();
+        assert!(tags > 100, "too few hashtag tweets: {tags}");
+        assert!(ats > 100, "too few mention tweets: {ats}");
+    }
+
+    #[test]
+    fn zipf_is_head_heavy() {
+        // Rank 0 must be sampled far more often than rank 50.
+        let z = Zipf::new(100, 1.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = vec![0usize; 100];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[50] * 5);
+        assert!(counts[0] > counts[10]);
+    }
+
+    #[test]
+    fn zipf_handles_tiny_pools() {
+        let z = Zipf::new(1, 1.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut rng), 0);
+        }
+    }
+}

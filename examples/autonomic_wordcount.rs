@@ -1,0 +1,86 @@
+//! The paper's §5 evaluation in miniature: the autonomic word-count with a
+//! Wall-Clock-Time goal, on the deterministic simulator. Prints the
+//! active-thread timeline (the Figs. 5–7 series) and the controller's
+//! decision log.
+//!
+//! Run with: `cargo run --example autonomic_wordcount`
+
+use std::sync::Arc;
+
+use autonomic_skeletons::prelude::*;
+use autonomic_skeletons::workloads::tweets::{generate_corpus, TweetGenConfig};
+use autonomic_skeletons::workloads::wordcount::WordCountProgram;
+
+fn main() {
+    // The paper's program: map(fs, map(fs, seq(fe), fm), fm).
+    let program = WordCountProgram::new(5, 7);
+    let corpus = generate_corpus(&TweetGenConfig::with_tweets(2_000));
+
+    // Cost model shaped like the paper's testbed: outer split 6.4s (file
+    // read), inner splits ≈7× faster, fe/fm 40ms.
+    let mut table = TableCost::new(TimeNs::from_millis(40));
+    table.set(
+        program.muscle(program.outer, MuscleRole::Split),
+        TimeNs::from_millis(6_400),
+    );
+    table.set(
+        program.muscle(program.inner, MuscleRole::Split),
+        TimeNs::from_micros(914_286),
+    );
+
+    // WCT goal 9.5s, at most 24 threads, estimates initialized from a
+    // previous run — the paper's "Goal with initialization" scenario.
+    let mut config = ControllerConfig::new(TimeNs::from_millis(9_500), 24).initial_lp(1);
+    for (m, canonical) in program.shared_muscle_aliases() {
+        config = config.alias(m, canonical);
+    }
+
+    // Warm-up run (cold estimates).
+    let mut auto = AutonomicSim::new(program.skel.clone(), config.clone(), Arc::new(table));
+    let cold = auto.run(corpus.clone()).expect("cold run failed");
+    let snapshot = auto.controller().snapshot();
+    println!(
+        "cold run:        wct {:.2}s, {} decisions",
+        cold.wct.as_secs_f64(),
+        auto.controller().decisions().len()
+    );
+
+    // Initialized run.
+    let table2 = {
+        let mut t = TableCost::new(TimeNs::from_millis(40));
+        t.set(
+            program.muscle(program.outer, MuscleRole::Split),
+            TimeNs::from_millis(6_400),
+        );
+        t.set(
+            program.muscle(program.inner, MuscleRole::Split),
+            TimeNs::from_micros(914_286),
+        );
+        t
+    };
+    let mut auto2 = AutonomicSim::new(program.skel.clone(), config, Arc::new(table2));
+    auto2.init_estimates(&snapshot);
+    let warm = auto2.run(corpus).expect("warm run failed");
+
+    println!(
+        "initialized run: wct {:.2}s (goal 9.5s, paper: 8.4s)",
+        warm.wct.as_secs_f64()
+    );
+    println!("\ndecision log (initialized run):");
+    for d in auto2.controller().decisions() {
+        println!(
+            "  t={:>5.2}s  LP {:>2} -> {:<2} ({:?}, predicted WCT {:.2}s)",
+            d.at.as_secs_f64(),
+            d.from_lp,
+            d.to_lp,
+            d.reason,
+            d.predicted_wct.as_secs_f64()
+        );
+    }
+    println!("\nactive-thread timeline (initialized run):");
+    for p in auto2.sim().telemetry().active_timeline() {
+        println!("  {:>8.0}ms  {}", p.at.as_millis_f64(), p.active);
+    }
+    assert!(warm.wct <= TimeNs::from_millis(9_500));
+    assert!(warm.wct < cold.wct, "initialization must help");
+}

@@ -1,0 +1,40 @@
+//! Divide & conquer on the threaded engine: mergesort as
+//! `d&C(fc, fs, seq(sort), fm)`, with the level of parallelism changed
+//! while the skeleton runs.
+//!
+//! Run with: `cargo run --example dc_mergesort`
+
+use autonomic_skeletons::prelude::*;
+use autonomic_skeletons::workloads::numeric::mergesort;
+
+fn main() {
+    let sort: Skel<Vec<i64>, Vec<i64>> = mergesort(1_000);
+
+    let input: Vec<i64> = (0..200_000).map(|i| (i * 1_103_515_245 + 12_345) % 100_000).collect();
+    let mut expected = input.clone();
+    expected.sort_unstable();
+
+    let engine = Engine::new(1);
+    println!("sorting {} integers on 1 worker…", input.len());
+    let t0 = std::time::Instant::now();
+    let sorted = engine.submit(&sort, input.clone()).get().unwrap();
+    println!("  done in {:?}", t0.elapsed());
+    assert_eq!(sorted, expected);
+
+    // Grow the pool mid-flight: submit, then raise the LP.
+    engine.set_lp(4);
+    println!("sorting again on 4 workers…");
+    let t0 = std::time::Instant::now();
+    let future = engine.submit(&sort, input);
+    let sorted = future.get().unwrap();
+    println!("  done in {:?}", t0.elapsed());
+    assert_eq!(sorted, expected);
+
+    let telemetry = engine.pool().telemetry();
+    println!(
+        "peak concurrent activities: {} (tasks run: {})",
+        telemetry.peak_active(),
+        telemetry.tasks_finished()
+    );
+    engine.shutdown();
+}

@@ -1,0 +1,49 @@
+//! The paper's Listing 2: a generic logger listener registered on all
+//! events of a skeleton — non-functional code with zero changes to the
+//! muscles.
+//!
+//! Run with: `cargo run --example logger_listener`
+
+use std::sync::Arc;
+
+use autonomic_skeletons::events::util::LoggerListener;
+use autonomic_skeletons::prelude::*;
+
+fn main() {
+    // A small nested map so the event stream stays readable.
+    let program: Skel<Vec<i64>, i64> = map(
+        |v: Vec<i64>| v.chunks(2).map(|c| c.to_vec()).collect::<Vec<_>>(),
+        seq(|chunk: Vec<i64>| chunk.into_iter().sum::<i64>()),
+        |parts: Vec<i64>| parts.into_iter().sum::<i64>(),
+    );
+
+    let engine = Engine::new(2);
+
+    // Listing 2's logger: CURRSKEL / WHEN/WHERE / INDEX / partial solution,
+    // executed on the same thread as the related muscle.
+    engine
+        .registry()
+        .add_listener(Arc::new(LoggerListener::new(|line| println!("{line}"))));
+
+    // A second listener that *transforms* the partial solution (the
+    // paper's motivating use: e.g. encrypting partial results): here it
+    // doubles every leaf result after the execute muscle.
+    engine.registry().add_filtered(
+        EventFilter::all()
+            .kind(autonomic_skeletons::skeletons::KindTag::Seq)
+            .when(When::After)
+            .wher(Where::Skeleton),
+        Arc::new(FnListener(
+            |payload: &mut Payload<'_>, _event: &autonomic_skeletons::events::Event| {
+                if let Some(x) = payload.downcast_mut::<i64>() {
+                    *x *= 2;
+                }
+            },
+        )),
+    );
+
+    let result = engine.submit(&program, vec![1, 2, 3, 4]).get().unwrap();
+    println!("result (doubled by the transforming listener): {result}");
+    assert_eq!(result, 20);
+    engine.shutdown();
+}

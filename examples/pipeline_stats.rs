@@ -1,0 +1,33 @@
+//! Staged computation: `pipe(seq(parse), seq(aggregate))` with several
+//! inputs in flight — stages of different inputs overlap on the pool,
+//! which is where `pipe`'s parallelism comes from.
+//!
+//! Run with: `cargo run --example pipeline_stats`
+
+use autonomic_skeletons::prelude::*;
+use autonomic_skeletons::workloads::numeric::{stats_pipeline, Stats};
+
+fn main() {
+    let pipeline: Skel<Vec<String>, Stats> = stats_pipeline();
+    let engine = Engine::new(2);
+
+    // Ten batches of "sensor readings" streamed through the pipeline with
+    // at most four in flight; stages of different batches interleave on
+    // the pool, and results come back in submission order.
+    let mut stream = StreamSession::new(&engine, &pipeline).max_in_flight(4);
+    for batch in 0..10 {
+        let lines: Vec<String> = (0..1000)
+            .map(|i| format!("sensor_{}={}.{}", i % 7, (batch * 37 + i) % 100, i % 10))
+            .collect();
+        stream.feed(lines);
+    }
+    for (batch, result) in stream.drain().enumerate() {
+        let stats = result.expect("pipeline failed");
+        println!(
+            "batch {batch}: n={} sum={:.1} min={:.1} max={:.1}",
+            stats.count, stats.sum, stats.min, stats.max
+        );
+        assert_eq!(stats.count, 1000);
+    }
+    engine.shutdown();
+}

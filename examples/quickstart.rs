@@ -1,0 +1,44 @@
+//! Quickstart: the paper's Listing 1 in Rust — a nested map
+//! (`map(fs, map(fs, seq(fe), fm), fm)`) counting hashtags and mentioned
+//! users, submitted to the threaded engine through a future.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use autonomic_skeletons::prelude::*;
+use autonomic_skeletons::workloads::tweets::{generate_corpus, TweetGenConfig};
+use autonomic_skeletons::workloads::wordcount::{count_tokens, merge_counts, Counts};
+
+fn main() {
+    // Muscle definitions (the paper's fs / fe / fm).
+    let inner_split = |chunk: Vec<String>| -> Vec<Vec<String>> {
+        chunk.chunks(250).map(|c| c.to_vec()).collect()
+    };
+    let outer_split = |corpus: Vec<String>| -> Vec<Vec<String>> {
+        corpus.chunks(1000).map(|c| c.to_vec()).collect()
+    };
+    let fe = |lines: Vec<String>| -> Counts { count_tokens(&lines) };
+
+    // Skeleton definition: two nested maps.
+    let nested: Skel<Vec<String>, Counts> = map(inner_split, seq(fe), merge_counts);
+    let program: Skel<Vec<String>, Counts> = map(outer_split, nested, merge_counts);
+
+    // Input: a synthetic tweet corpus (substitute for the paper's 1.2M
+    // Colombian tweets; see DESIGN.md).
+    let corpus = generate_corpus(&TweetGenConfig::with_tweets(10_000));
+    println!("counting tokens in {} tweets…", corpus.len());
+
+    // Input parameter → future → result (Listing 1's flow).
+    let engine = Engine::new(4);
+    let future = engine.submit(&program, corpus);
+    // … do something else …
+    let counts = future.get().expect("skeleton failed");
+
+    let mut top: Vec<(&String, &u64)> = counts.iter().collect();
+    top.sort_by_key(|(token, n)| (std::cmp::Reverse(**n), (*token).clone()));
+    println!("distinct tokens: {}", counts.len());
+    println!("top 5:");
+    for (token, n) in top.iter().take(5) {
+        println!("  {token:<14} {n}");
+    }
+    engine.shutdown();
+}

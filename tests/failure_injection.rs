@@ -1,0 +1,173 @@
+//! Failure injection across the stack: panicking muscles, structural
+//! errors, pathological listeners, and resource floor/ceiling abuse.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use autonomic_skeletons::prelude::*;
+use autonomic_skeletons::AutonomicSim;
+
+#[test]
+fn panic_in_nested_child_poisons_only_that_submission() {
+    let program: Skel<Vec<i64>, i64> = map(
+        |v: Vec<i64>| v.into_iter().map(|x| vec![x]).collect::<Vec<_>>(),
+        seq(|v: Vec<i64>| {
+            if v[0] == 13 {
+                panic!("unlucky child");
+            }
+            v[0]
+        }),
+        |parts: Vec<i64>| parts.into_iter().sum::<i64>(),
+    );
+    let engine = Engine::new(2);
+    let poisoned = engine.submit(&program, vec![1, 13, 3]);
+    let healthy = engine.submit(&program, vec![1, 2, 3]);
+    assert!(matches!(
+        poisoned.get_timeout(Duration::from_secs(30)).unwrap(),
+        Err(EngineError::MusclePanic(_))
+    ));
+    assert_eq!(
+        healthy
+            .get_timeout(Duration::from_secs(30))
+            .unwrap()
+            .unwrap(),
+        6
+    );
+    engine.shutdown();
+}
+
+#[test]
+fn panicking_listener_poisons_like_a_muscle() {
+    let program: Skel<i64, i64> = seq(|x: i64| x);
+    let engine = Engine::new(1);
+    engine.registry().add_listener(Arc::new(FnListener(
+        |_: &mut Payload<'_>, _: &autonomic_skeletons::events::Event| {
+            panic!("listener bug");
+        },
+    )));
+    let err = engine
+        .submit(&program, 1)
+        .get_timeout(Duration::from_secs(30))
+        .unwrap()
+        .unwrap_err();
+    assert!(matches!(err, EngineError::MusclePanic(m) if m.contains("listener bug")));
+    engine.shutdown();
+}
+
+#[test]
+fn controller_survives_a_poisoned_run_and_supervises_the_next() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    let explode = Arc::new(AtomicBool::new(true));
+    let e2 = Arc::clone(&explode);
+    let program: Skel<Vec<i64>, i64> = map(
+        |v: Vec<i64>| v.into_iter().map(|x| vec![x]).collect::<Vec<_>>(),
+        seq(move |v: Vec<i64>| {
+            if e2.load(Ordering::SeqCst) && v[0] == 2 {
+                panic!("first run explodes");
+            }
+            v[0]
+        }),
+        |parts: Vec<i64>| parts.into_iter().sum::<i64>(),
+    );
+    let cost = Arc::new(TableCost::new(TimeNs::from_millis(10)));
+    let config = ControllerConfig::new(TimeNs::from_millis(100), 4).initial_lp(1);
+    let mut auto = AutonomicSim::new(program, config, cost);
+    assert!(auto.run(vec![1, 2, 3]).is_err());
+    explode.store(false, std::sync::atomic::Ordering::SeqCst);
+    let ok = auto.run(vec![1, 2, 3]).unwrap();
+    assert_eq!(ok.result, 6);
+}
+
+#[test]
+fn fork_arity_mismatch_reported_by_both_engines() {
+    let program: Skel<i64, i64> = fork(
+        |x: i64| vec![x; 5],
+        vec![seq(|x: i64| x), seq(|x: i64| x)],
+        |parts: Vec<i64>| parts.into_iter().sum(),
+    );
+    let engine = Engine::new(1);
+    let threaded = engine
+        .submit(&program, 1)
+        .get_timeout(Duration::from_secs(30))
+        .unwrap();
+    engine.shutdown();
+    assert!(matches!(threaded, Err(EngineError::Eval(_))));
+
+    let mut sim = SimEngine::new(1, Arc::new(ZeroCost));
+    assert!(matches!(
+        sim.run(&program, 1),
+        Err(autonomic_skeletons::sim::SimError::Eval(_))
+    ));
+}
+
+#[test]
+fn min_lp_floor_keeps_the_engine_alive() {
+    // A controller that would love to shrink to zero cannot go below
+    // min_lp = 1, so the run always completes.
+    let program: Skel<Vec<i64>, i64> = map(
+        |v: Vec<i64>| v.into_iter().map(|x| vec![x]).collect::<Vec<_>>(),
+        seq(|v: Vec<i64>| v[0]),
+        |parts: Vec<i64>| parts.into_iter().sum::<i64>(),
+    );
+    let muscles = program.node().collect_muscles();
+    let cost = Arc::new(TableCost::new(TimeNs::from_millis(1)));
+    // Goal so loose any LP meets it: maximal decrease pressure.
+    let config = ControllerConfig::new(TimeNs::from_secs(3_600), 8)
+        .initial_lp(4)
+        .decrease(DecreasePolicy::ToMinimal);
+    let mut auto = AutonomicSim::new(program, config, cost);
+    auto.controller().with_estimates(|est| {
+        for d in &muscles {
+            est.init_duration(d.id, TimeNs::from_millis(1));
+            if d.id.role == MuscleRole::Split {
+                est.init_cardinality(d.id, 16.0);
+            }
+        }
+    });
+    let out = auto.run((1..=16).collect()).unwrap();
+    assert_eq!(out.result, 136);
+    assert!(auto.controller().current_lp() >= 1);
+}
+
+#[test]
+fn zero_cardinality_splits_flow_through_the_autonomic_stack() {
+    let program: Skel<Vec<i64>, i64> = map(
+        |_: Vec<i64>| Vec::<Vec<i64>>::new(),
+        seq(|v: Vec<i64>| v[0]),
+        |parts: Vec<i64>| parts.into_iter().sum::<i64>(),
+    );
+    let cost = Arc::new(TableCost::new(TimeNs::from_millis(1)));
+    let config = ControllerConfig::new(TimeNs::from_millis(100), 4).initial_lp(1);
+    let mut auto = AutonomicSim::new(program, config, cost);
+    let first = auto.run(vec![]).unwrap();
+    assert_eq!(first.result, 0);
+    // Second run predicts with |fs| ≈ 0 — must not panic or stall.
+    let second = auto.run(vec![]).unwrap();
+    assert_eq!(second.result, 0);
+}
+
+#[test]
+fn overdue_activities_do_not_break_estimation() {
+    // A muscle that takes far longer than its estimate: the past-clamp
+    // (tf = now) applies and the controller keeps functioning.
+    let program: Skel<Vec<i64>, i64> = map(
+        |v: Vec<i64>| v.into_iter().map(|x| vec![x]).collect::<Vec<_>>(),
+        seq(|v: Vec<i64>| v[0]),
+        |parts: Vec<i64>| parts.into_iter().sum::<i64>(),
+    );
+    let muscles = program.node().collect_muscles();
+    let cost = Arc::new(TableCost::new(TimeNs::from_secs(1)));
+    let config = ControllerConfig::new(TimeNs::from_secs(2), 8).initial_lp(1);
+    let mut auto = AutonomicSim::new(program, config, cost);
+    auto.controller().with_estimates(|est| {
+        for d in &muscles {
+            // Wildly optimistic: everything "should" take 1ms.
+            est.init_duration(d.id, TimeNs::from_millis(1));
+            if d.id.role == MuscleRole::Split {
+                est.init_cardinality(d.id, 4.0);
+            }
+        }
+    });
+    let out = auto.run((1..=4).collect()).unwrap();
+    assert_eq!(out.result, 10);
+}
