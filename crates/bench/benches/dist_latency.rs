@@ -23,7 +23,9 @@ fn main() {
     let children = 24usize;
     let fe = TimeNs::from_secs(2);
     let goal = TimeNs::from_secs(10);
-    println!("# Distributed scaling: {children} × {fe} tasks, goal {goal}, 2 local + 22 remote slots");
+    println!(
+        "# Distributed scaling: {children} × {fe} tasks, goal {goal}, 2 local + 22 remote slots"
+    );
     println!("# round_trip(ms)\twct(s)\tpeak_workers\tgoal_met\tnodes(enabled/provisioned)");
     for rt_ms in [0u64, 200, 500, 1_000] {
         let program = fan();

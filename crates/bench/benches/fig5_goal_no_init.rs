@@ -31,12 +31,11 @@ fn main() {
     );
     println!(
         "first adaptation at = {:>6.2}s  (paper: 7.6s, at the first merge)",
-        out.first_decision_at.map(|t| t.as_secs_f64()).unwrap_or(0.0)
+        out.first_decision_at
+            .map(|t| t.as_secs_f64())
+            .unwrap_or(0.0)
     );
-    println!(
-        "peak active threads = {:>6}   (paper: 17)",
-        out.peak_active
-    );
+    println!("peak active threads = {:>6}   (paper: 17)", out.peak_active);
     println!("decisions:");
     for d in &out.decisions {
         println!(

@@ -18,7 +18,9 @@ fn main() {
     let warmup = scenarios.run(goal, None);
     let out = scenarios.run(goal, Some(&warmup.snapshot));
 
-    println!("# Figure 6 — \"Goal with initialization\" (goal 9.5s, estimates from a previous run)");
+    println!(
+        "# Figure 6 — \"Goal with initialization\" (goal 9.5s, estimates from a previous run)"
+    );
     println!("# time(ms)\tactive-threads");
     print!("{}", render_rows(&out.active_timeline));
     println!("#");
@@ -33,7 +35,9 @@ fn main() {
     );
     println!(
         "first adaptation at  = {:>6.2}s  (paper: 6.4s, at the end of the first split)",
-        out.first_decision_at.map(|t| t.as_secs_f64()).unwrap_or(0.0)
+        out.first_decision_at
+            .map(|t| t.as_secs_f64())
+            .unwrap_or(0.0)
     );
     println!(
         "peak active threads  = {:>6}   (paper: 19)",

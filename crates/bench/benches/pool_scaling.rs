@@ -12,26 +12,22 @@ fn bench_dispatch(c: &mut Criterion) {
     let mut group = c.benchmark_group("pool_dispatch_1k_tasks");
     group.sample_size(15);
     for workers in [1usize, 2, 4] {
-        group.bench_with_input(
-            BenchmarkId::new("workers", workers),
-            &workers,
-            |b, &w| {
-                let pool = ResizablePool::new(w);
-                pool.telemetry().set_recording(false);
-                b.iter(|| {
-                    let done = Arc::new(AtomicUsize::new(0));
-                    for _ in 0..1000 {
-                        let d = Arc::clone(&done);
-                        pool.submit(Box::new(move || {
-                            d.fetch_add(1, Ordering::Relaxed);
-                        }));
-                    }
-                    pool.wait_idle();
-                    assert_eq!(done.load(Ordering::Relaxed), 1000);
-                });
-                pool.shutdown_and_join();
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("workers", workers), &workers, |b, &w| {
+            let pool = ResizablePool::new(w);
+            pool.telemetry().set_recording(false);
+            b.iter(|| {
+                let done = Arc::new(AtomicUsize::new(0));
+                for _ in 0..1000 {
+                    let d = Arc::clone(&done);
+                    pool.submit(Box::new(move || {
+                        d.fetch_add(1, Ordering::Relaxed);
+                    }));
+                }
+                pool.wait_idle();
+                assert_eq!(done.load(Ordering::Relaxed), 1000);
+            });
+            pool.shutdown_and_join();
+        });
     }
     group.finish();
 }

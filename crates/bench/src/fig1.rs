@@ -99,26 +99,143 @@ impl Fig1Fixture {
             info,
         };
 
-        sink(ev(self.outer, KindTag::Map, When::Before, Where::Skeleton, O, root_trace(O), sec(0), EventInfo::None));
-        sink(ev(self.outer, KindTag::Map, When::Before, Where::Split, O, root_trace(O), sec(0), EventInfo::None));
-        sink(ev(self.outer, KindTag::Map, When::After, Where::Split, O, root_trace(O), sec(10), EventInfo::SplitCardinality(3)));
+        sink(ev(
+            self.outer,
+            KindTag::Map,
+            When::Before,
+            Where::Skeleton,
+            O,
+            root_trace(O),
+            sec(0),
+            EventInfo::None,
+        ));
+        sink(ev(
+            self.outer,
+            KindTag::Map,
+            When::Before,
+            Where::Split,
+            O,
+            root_trace(O),
+            sec(0),
+            EventInfo::None,
+        ));
+        sink(ev(
+            self.outer,
+            KindTag::Map,
+            When::After,
+            Where::Split,
+            O,
+            root_trace(O),
+            sec(10),
+            EventInfo::SplitCardinality(3),
+        ));
         for inst in [A, B] {
-            sink(ev(self.inner, KindTag::Map, When::Before, Where::Skeleton, inst, inner_trace(O, inst), sec(10), EventInfo::None));
-            sink(ev(self.inner, KindTag::Map, When::Before, Where::Split, inst, inner_trace(O, inst), sec(10), EventInfo::None));
-            sink(ev(self.inner, KindTag::Map, When::After, Where::Split, inst, inner_trace(O, inst), sec(20), EventInfo::SplitCardinality(3)));
+            sink(ev(
+                self.inner,
+                KindTag::Map,
+                When::Before,
+                Where::Skeleton,
+                inst,
+                inner_trace(O, inst),
+                sec(10),
+                EventInfo::None,
+            ));
+            sink(ev(
+                self.inner,
+                KindTag::Map,
+                When::Before,
+                Where::Split,
+                inst,
+                inner_trace(O, inst),
+                sec(10),
+                EventInfo::None,
+            ));
+            sink(ev(
+                self.inner,
+                KindTag::Map,
+                When::After,
+                Where::Split,
+                inst,
+                inner_trace(O, inst),
+                sec(20),
+                EventInfo::SplitCardinality(3),
+            ));
         }
         for (k, (start, end)) in [(20u64, 35u64), (35, 50), (50, 65)].iter().enumerate() {
             for (parent, leaf_inst) in [(A, 9_000_110 + k as u64), (B, 9_000_120 + k as u64)] {
                 let tr = leaf_trace(O, parent, leaf_inst);
-                sink(ev(self.leaf, KindTag::Seq, When::Before, Where::Skeleton, leaf_inst, tr.clone(), sec(*start), EventInfo::None));
-                sink(ev(self.leaf, KindTag::Seq, When::After, Where::Skeleton, leaf_inst, tr, sec(*end), EventInfo::None));
+                sink(ev(
+                    self.leaf,
+                    KindTag::Seq,
+                    When::Before,
+                    Where::Skeleton,
+                    leaf_inst,
+                    tr.clone(),
+                    sec(*start),
+                    EventInfo::None,
+                ));
+                sink(ev(
+                    self.leaf,
+                    KindTag::Seq,
+                    When::After,
+                    Where::Skeleton,
+                    leaf_inst,
+                    tr,
+                    sec(*end),
+                    EventInfo::None,
+                ));
             }
         }
-        sink(ev(self.inner, KindTag::Map, When::Before, Where::Merge, A, inner_trace(O, A), sec(65), EventInfo::None));
-        sink(ev(self.inner, KindTag::Map, When::After, Where::Merge, A, inner_trace(O, A), sec(70), EventInfo::None));
-        sink(ev(self.inner, KindTag::Map, When::After, Where::Skeleton, A, inner_trace(O, A), sec(70), EventInfo::None));
-        sink(ev(self.inner, KindTag::Map, When::Before, Where::Skeleton, C, inner_trace(O, C), sec(65), EventInfo::None));
-        sink(ev(self.inner, KindTag::Map, When::Before, Where::Split, C, inner_trace(O, C), sec(65), EventInfo::None));
+        sink(ev(
+            self.inner,
+            KindTag::Map,
+            When::Before,
+            Where::Merge,
+            A,
+            inner_trace(O, A),
+            sec(65),
+            EventInfo::None,
+        ));
+        sink(ev(
+            self.inner,
+            KindTag::Map,
+            When::After,
+            Where::Merge,
+            A,
+            inner_trace(O, A),
+            sec(70),
+            EventInfo::None,
+        ));
+        sink(ev(
+            self.inner,
+            KindTag::Map,
+            When::After,
+            Where::Skeleton,
+            A,
+            inner_trace(O, A),
+            sec(70),
+            EventInfo::None,
+        ));
+        sink(ev(
+            self.inner,
+            KindTag::Map,
+            When::Before,
+            Where::Skeleton,
+            C,
+            inner_trace(O, C),
+            sec(65),
+            EventInfo::None,
+        ));
+        sink(ev(
+            self.inner,
+            KindTag::Map,
+            When::Before,
+            Where::Split,
+            C,
+            inner_trace(O, C),
+            sec(65),
+            EventInfo::None,
+        ));
     }
 }
 

@@ -17,9 +17,7 @@
 
 use std::sync::Arc;
 
-use askel_core::{
-    AutonomicController, ControllerConfig, Decision, FnActuator, Snapshot,
-};
+use askel_core::{AutonomicController, ControllerConfig, Decision, FnActuator, Snapshot};
 use askel_pool::TimelinePoint;
 use askel_sim::cost::{CostModel, JitterCost, MuscleCall, PerMuscleCost, TableCost};
 use askel_sim::SimEngine;
@@ -127,11 +125,7 @@ pub struct ScenarioOutcome {
 impl ScenarioOutcome {
     /// Highest LP target the controller requested.
     pub fn peak_lp_target(&self) -> usize {
-        self.lp_timeline
-            .iter()
-            .map(|p| p.active)
-            .max()
-            .unwrap_or(0)
+        self.lp_timeline.iter().map(|p| p.active).max().unwrap_or(0)
     }
 }
 
@@ -192,15 +186,27 @@ impl PaperScenarios {
         )
         .route(
             program.muscle(program.inner, MuscleRole::Split),
-            Arc::new(JitterCost::new(table.clone(), params.split_jitter, params.seed)),
+            Arc::new(JitterCost::new(
+                table.clone(),
+                params.split_jitter,
+                params.seed,
+            )),
         )
         .route(
             program.muscle(program.outer, MuscleRole::Merge),
-            Arc::new(JitterCost::new(table.clone(), params.merge_jitter, params.seed)),
+            Arc::new(JitterCost::new(
+                table.clone(),
+                params.merge_jitter,
+                params.seed,
+            )),
         )
         .route(
             program.muscle(program.inner, MuscleRole::Merge),
-            Arc::new(JitterCost::new(table.clone(), params.merge_jitter, params.seed)),
+            Arc::new(JitterCost::new(
+                table.clone(),
+                params.merge_jitter,
+                params.seed,
+            )),
         );
         PaperScenarios {
             params,
@@ -292,10 +298,8 @@ impl Default for PaperScenarios {
 /// A raw-cost probe used by unit tests: total sequential work implied by
 /// the cost table (without jitter).
 pub fn nominal_sequential_work(params: &ScenarioParams) -> TimeNs {
-    let splits = params.outer_split_cost.0
-        + params.outer_chunks as u64 * params.inner_split_cost.0;
-    let executes =
-        (params.outer_chunks * params.inner_chunks) as u64 * params.execute_cost.0;
+    let splits = params.outer_split_cost.0 + params.outer_chunks as u64 * params.inner_split_cost.0;
+    let executes = (params.outer_chunks * params.inner_chunks) as u64 * params.execute_cost.0;
     let merges = (params.outer_chunks as u64 + 1) * params.merge_cost.0;
     TimeNs(splits + executes + merges)
 }

@@ -16,11 +16,19 @@ pub fn render_rows(points: &[TimelinePoint]) -> String {
 
 /// Renders a step function as a JSON array of `[ms, value]` pairs.
 pub fn render_json(points: &[TimelinePoint]) -> String {
-    let pairs: Vec<(f64, usize)> = points
-        .iter()
-        .map(|p| (p.at.as_millis_f64(), p.active))
-        .collect();
-    serde_json::to_string(&pairs).expect("series serialization cannot fail")
+    use askel_core::json::Json;
+    Json::Arr(
+        points
+            .iter()
+            .map(|p| {
+                Json::Arr(vec![
+                    Json::Num(p.at.as_millis_f64()),
+                    Json::Num(p.active as f64),
+                ])
+            })
+            .collect(),
+    )
+    .render()
 }
 
 /// A fixed-width ASCII sketch of the series (handy in terminals).
@@ -81,9 +89,18 @@ mod tests {
 
     fn pts() -> Vec<TimelinePoint> {
         vec![
-            TimelinePoint { at: TimeNs::ZERO, active: 0 },
-            TimelinePoint { at: TimeNs::from_millis(10), active: 2 },
-            TimelinePoint { at: TimeNs::from_millis(20), active: 0 },
+            TimelinePoint {
+                at: TimeNs::ZERO,
+                active: 0,
+            },
+            TimelinePoint {
+                at: TimeNs::from_millis(10),
+                active: 2,
+            },
+            TimelinePoint {
+                at: TimeNs::from_millis(20),
+                active: 0,
+            },
         ]
     }
 
@@ -96,7 +113,19 @@ mod tests {
     #[test]
     fn json_round_trips() {
         let s = render_json(&pts());
-        let v: Vec<(f64, usize)> = serde_json::from_str(&s).unwrap();
+        let doc = askel_core::json::Json::parse(&s).unwrap();
+        let v: Vec<(f64, usize)> = doc
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|pair| {
+                let pair = pair.as_array().unwrap();
+                (
+                    pair[0].as_f64().unwrap(),
+                    pair[1].as_f64().unwrap() as usize,
+                )
+            })
+            .collect();
         assert_eq!(v.len(), 3);
         assert_eq!(v[1], (10.0, 2));
     }

@@ -242,9 +242,14 @@ impl<'a> AdgBuilder<'a> {
             (NodeKind::While { inner, .. }, KindTag::While) => {
                 self.while_exits(rec, node, inner, preds)
             }
-            (NodeKind::If { then_branch, else_branch, .. }, KindTag::If) => {
-                self.if_exits(rec, node, then_branch, else_branch, preds)
-            }
+            (
+                NodeKind::If {
+                    then_branch,
+                    else_branch,
+                    ..
+                },
+                KindTag::If,
+            ) => self.if_exits(rec, node, then_branch, else_branch, preds),
             (NodeKind::Map { inner, .. }, KindTag::Map) => {
                 self.fan_exits(rec, node, FanChildren::Uniform(inner), preds)
             }
@@ -299,7 +304,13 @@ impl<'a> AdgBuilder<'a> {
         // Actual history: cond_0, body_0, cond_1, body_1, …
         let mut bodies = 0usize;
         for (k, cond) in rec.conds.iter().enumerate() {
-            let idx = self.push_span(node, MuscleRole::Condition, Some(cond.span), rec.started, preds.clone());
+            let idx = self.push_span(
+                node,
+                MuscleRole::Condition,
+                Some(cond.span),
+                rec.started,
+                preds.clone(),
+            );
             preds = vec![idx];
             match cond.verdict {
                 Some(true) => {
@@ -413,7 +424,8 @@ impl<'a> AdgBuilder<'a> {
         if child_exits.is_empty() {
             child_exits.push(split_idx);
         }
-        let merge_idx = self.push_span(node, MuscleRole::Merge, rec.merge, rec.started, child_exits);
+        let merge_idx =
+            self.push_span(node, MuscleRole::Merge, rec.merge, rec.started, child_exits);
         vec![merge_idx]
     }
 
@@ -446,8 +458,7 @@ impl<'a> AdgBuilder<'a> {
                     .unwrap_or_else(|| self.card(node, MuscleRole::Split, 1));
                 let mut child_exits = Vec::new();
                 for k in 0..expected {
-                    let exits = match rec.children.get(k).and_then(|c| self.tracker.instance(*c))
-                    {
+                    let exits = match rec.children.get(k).and_then(|c| self.tracker.instance(*c)) {
                         Some(child) => self.instance_exits(child, node, vec![split_idx]),
                         None => {
                             // A child sits one level deeper: it divides
@@ -579,7 +590,12 @@ impl<'a> AdgBuilder<'a> {
     /// Predicts one `d&C` recursion subtree: a cond, then — depth budget
     /// permitting — split, `|fs|` recursive subtrees, merge; otherwise the
     /// base skeleton.
-    fn dac_predict(&mut self, node: &Arc<Node>, preds: Vec<usize>, depth_left: usize) -> Vec<usize> {
+    fn dac_predict(
+        &mut self,
+        node: &Arc<Node>,
+        preds: Vec<usize>,
+        depth_left: usize,
+    ) -> Vec<usize> {
         self.node_exits(node, preds, Some(depth_left))
     }
 
@@ -633,7 +649,9 @@ impl<'a> AdgBuilder<'a> {
             }
             NodeKind::Map { inner, .. } => {
                 let fan = self.card(node, MuscleRole::Split, 1) as f64;
-                d(MuscleRole::Split) + fan * self.seq_work(inner, depth_guard + 1) + d(MuscleRole::Merge)
+                d(MuscleRole::Split)
+                    + fan * self.seq_work(inner, depth_guard + 1)
+                    + d(MuscleRole::Merge)
             }
             NodeKind::Fork { inners, .. } => {
                 d(MuscleRole::Split)

@@ -280,7 +280,11 @@ pub struct AutonomicController {
 impl AutonomicController {
     /// A controller for submissions of the skeleton rooted at `ast`,
     /// driving `actuator`.
-    pub fn new(ast: Arc<Node>, config: ControllerConfig, actuator: Arc<dyn LpActuator>) -> Arc<Self> {
+    pub fn new(
+        ast: Arc<Node>,
+        config: ControllerConfig,
+        actuator: Arc<dyn LpActuator>,
+    ) -> Arc<Self> {
         let muscles = ast.collect_muscles();
         let initial_lp = config.initial_lp;
         let mut tracker = SmTracker::new(config.rho);

@@ -21,7 +21,7 @@
 
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
+use crate::json::{Json, JsonError};
 
 use askel_skeletons::{KindTag, MuscleDescriptor, MuscleId, MuscleRole, NodeId, TimeNs};
 
@@ -252,8 +252,7 @@ impl EstimatorTable {
             .iter()
             .filter(|d| {
                 self.duration(d.id).is_none()
-                    || (role_has_cardinality(d.tag, d.id.role)
-                        && self.cardinality(d.id).is_none())
+                    || (role_has_cardinality(d.tag, d.id.role) && self.cardinality(d.id).is_none())
             })
             .collect()
     }
@@ -307,7 +306,7 @@ impl EstimatorTable {
 }
 
 /// One serialized estimate.
-#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct SnapshotEntry {
     /// Raw node id.
     pub node: u64,
@@ -345,7 +344,7 @@ impl SnapshotEntry {
 /// that allocated the same ids) for a snapshot to be meaningful; snapshots
 /// are meant for consecutive runs inside one process, or for goldens in
 /// tests and benches.
-#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Snapshot {
     /// The ρ the table was using.
     pub rho: f64,
@@ -354,22 +353,91 @@ pub struct Snapshot {
     /// Positional cardinality estimates.
     pub cardinalities: Vec<SnapshotEntry>,
     /// Alias-group duration estimates (shared-muscle fallback history).
-    #[serde(default)]
     pub group_durations: Vec<SnapshotEntry>,
     /// Alias-group cardinality estimates.
-    #[serde(default)]
     pub group_cardinalities: Vec<SnapshotEntry>,
 }
 
 impl Snapshot {
     /// Serializes to JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("snapshot serialization cannot fail")
+        fn entries(list: &[SnapshotEntry]) -> Json {
+            Json::Arr(
+                list.iter()
+                    .map(|e| {
+                        Json::Obj(vec![
+                            ("node".to_string(), Json::Num(e.node as f64)),
+                            ("role".to_string(), Json::Str(e.role.clone())),
+                            ("value".to_string(), Json::Num(e.value)),
+                        ])
+                    })
+                    .collect(),
+            )
+        }
+        Json::Obj(vec![
+            ("rho".to_string(), Json::Num(self.rho)),
+            ("durations".to_string(), entries(&self.durations)),
+            ("cardinalities".to_string(), entries(&self.cardinalities)),
+            (
+                "group_durations".to_string(),
+                entries(&self.group_durations),
+            ),
+            (
+                "group_cardinalities".to_string(),
+                entries(&self.group_cardinalities),
+            ),
+        ])
+        .render_pretty()
     }
 
-    /// Parses from JSON.
-    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
-        serde_json::from_str(s)
+    /// Parses from JSON. The `group_*` fields may be absent (snapshots
+    /// predating alias groups), defaulting to empty.
+    pub fn from_json(s: &str) -> Result<Self, JsonError> {
+        let doc = Json::parse(s)?;
+        let field_err = |msg: &str| JsonError {
+            message: msg.to_string(),
+            offset: 0,
+        };
+        let entries = |key: &str, required: bool| -> Result<Vec<SnapshotEntry>, JsonError> {
+            let list = match doc.get(key) {
+                Some(v) => v
+                    .as_array()
+                    .ok_or_else(|| field_err(&format!("`{key}` must be an array")))?,
+                None if required => return Err(field_err(&format!("snapshot is missing `{key}`"))),
+                None => return Ok(Vec::new()),
+            };
+            list.iter()
+                .map(|item| {
+                    let node = item
+                        .get("node")
+                        .and_then(Json::as_f64)
+                        .ok_or_else(|| field_err("entry is missing numeric `node`"))?;
+                    let role = item
+                        .get("role")
+                        .and_then(Json::as_str)
+                        .ok_or_else(|| field_err("entry is missing string `role`"))?;
+                    let value = item
+                        .get("value")
+                        .and_then(Json::as_f64)
+                        .ok_or_else(|| field_err("entry is missing numeric `value`"))?;
+                    Ok(SnapshotEntry {
+                        node: node as u64,
+                        role: role.to_string(),
+                        value,
+                    })
+                })
+                .collect()
+        };
+        Ok(Snapshot {
+            rho: doc
+                .get("rho")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| field_err("snapshot is missing numeric `rho`"))?,
+            durations: entries("durations", true)?,
+            cardinalities: entries("cardinalities", true)?,
+            group_durations: entries("group_durations", false)?,
+            group_cardinalities: entries("group_cardinalities", false)?,
+        })
     }
 }
 

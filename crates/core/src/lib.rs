@@ -31,6 +31,7 @@
 pub mod adg;
 pub mod controller;
 pub mod estimate;
+pub mod json;
 pub mod render;
 pub mod strategy;
 pub mod tracker;

@@ -27,9 +27,7 @@ pub fn to_dot(adg: &Adg, schedule: Option<&Schedule>) -> String {
             ),
             None => a.muscle.to_string(),
         };
-        out.push_str(&format!(
-            "  a{i} [label=\"{label}\", fillcolor={color}];\n"
-        ));
+        out.push_str(&format!("  a{i} [label=\"{label}\", fillcolor={color}];\n"));
     }
     for (i, a) in adg.activities.iter().enumerate() {
         for &p in &a.preds {

@@ -113,11 +113,7 @@ pub fn best_effort(adg: &Adg, now: TimeNs) -> Schedule {
             ActState::Done { start, end } => (start, end),
             ActState::Running { start } => (start, (start + a.est).max(now)),
             ActState::Pending => {
-                let ti = a
-                    .preds
-                    .iter()
-                    .map(|&p| spans[p].1)
-                    .fold(now, TimeNs::max); // past-clamp: ti ≥ now
+                let ti = a.preds.iter().map(|&p| spans[p].1).fold(now, TimeNs::max); // past-clamp: ti ≥ now
                 (ti, ti + a.est)
             }
         };
@@ -166,13 +162,13 @@ pub fn limited_lp(adg: &Adg, now: TimeNs, lp: usize) -> Schedule {
     let mut pending_left = 0usize;
 
     let resolve = |i: usize,
-                       end: TimeNs,
-                       missing_preds: &mut Vec<usize>,
-                       ready: &mut Vec<(TimeNs, usize)>,
-                       spans: &Vec<(TimeNs, TimeNs)>,
-                       succs: &Vec<Vec<usize>>,
-                       scheduled: &Vec<bool>,
-                       adg: &Adg| {
+                   end: TimeNs,
+                   missing_preds: &mut Vec<usize>,
+                   ready: &mut Vec<(TimeNs, usize)>,
+                   spans: &Vec<(TimeNs, TimeNs)>,
+                   succs: &Vec<Vec<usize>>,
+                   scheduled: &Vec<bool>,
+                   adg: &Adg| {
         let _ = end;
         for &s in &succs[i] {
             if missing_preds[s] > 0 {
@@ -490,10 +486,22 @@ mod tests {
         assert_eq!(
             tl,
             vec![
-                TimelinePoint { at: TimeNs(0), active: 1 },
-                TimelinePoint { at: TimeNs(10), active: 3 },
-                TimelinePoint { at: TimeNs(25), active: 1 },
-                TimelinePoint { at: TimeNs(30), active: 0 },
+                TimelinePoint {
+                    at: TimeNs(0),
+                    active: 1
+                },
+                TimelinePoint {
+                    at: TimeNs(10),
+                    active: 3
+                },
+                TimelinePoint {
+                    at: TimeNs(25),
+                    active: 1
+                },
+                TimelinePoint {
+                    at: TimeNs(30),
+                    active: 0
+                },
             ]
         );
         assert_eq!(s.max_concurrency_from(TimeNs(26)), 1);

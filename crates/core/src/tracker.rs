@@ -422,13 +422,49 @@ mod tests {
     fn seq_machine_updates_t_fe() {
         // Fig. 3 exactly: @b stores eti, @a updates t(fe) = ρ(now−eti)+(1−ρ)t(fe).
         let mut t = SmTracker::new(0.5);
-        t.observe(&ev(1, KindTag::Seq, When::Before, Where::Skeleton, 10, None, 100, EventInfo::None));
-        t.observe(&ev(1, KindTag::Seq, When::After, Where::Skeleton, 10, None, 160, EventInfo::None));
+        t.observe(&ev(
+            1,
+            KindTag::Seq,
+            When::Before,
+            Where::Skeleton,
+            10,
+            None,
+            100,
+            EventInfo::None,
+        ));
+        t.observe(&ev(
+            1,
+            KindTag::Seq,
+            When::After,
+            Where::Skeleton,
+            10,
+            None,
+            160,
+            EventInfo::None,
+        ));
         let fe = MuscleId::new(NodeId(1), MuscleRole::Execute);
         assert_eq!(t.estimates().duration(fe), Some(TimeNs(60)));
         // Second run: 100ns → estimate (60+100)/2 = 80.
-        t.observe(&ev(1, KindTag::Seq, When::Before, Where::Skeleton, 11, None, 200, EventInfo::None));
-        t.observe(&ev(1, KindTag::Seq, When::After, Where::Skeleton, 11, None, 300, EventInfo::None));
+        t.observe(&ev(
+            1,
+            KindTag::Seq,
+            When::Before,
+            Where::Skeleton,
+            11,
+            None,
+            200,
+            EventInfo::None,
+        ));
+        t.observe(&ev(
+            1,
+            KindTag::Seq,
+            When::After,
+            Where::Skeleton,
+            11,
+            None,
+            300,
+            EventInfo::None,
+        ));
         assert_eq!(t.estimates().duration(fe), Some(TimeNs(80)));
     }
 
@@ -436,12 +472,15 @@ mod tests {
     fn map_machine_updates_split_card_and_merge() {
         // Fig. 4: t(fs), |fs| at @as; t(fm) at @am.
         let mut t = SmTracker::new(0.5);
-        let map = |when, wher, at, info| {
-            ev(5, KindTag::Map, when, wher, 20, None, at, info)
-        };
+        let map = |when, wher, at, info| ev(5, KindTag::Map, when, wher, 20, None, at, info);
         t.observe(&map(When::Before, Where::Skeleton, 0, EventInfo::None));
         t.observe(&map(When::Before, Where::Split, 0, EventInfo::None));
-        t.observe(&map(When::After, Where::Split, 10, EventInfo::SplitCardinality(3)));
+        t.observe(&map(
+            When::After,
+            Where::Split,
+            10,
+            EventInfo::SplitCardinality(3),
+        ));
         t.observe(&map(When::Before, Where::Merge, 65, EventInfo::None));
         t.observe(&map(When::After, Where::Merge, 70, EventInfo::None));
         t.observe(&map(When::After, Where::Skeleton, 70, EventInfo::None));
@@ -458,7 +497,16 @@ mod tests {
     #[test]
     fn children_attach_to_parents_in_order() {
         let mut t = SmTracker::new(0.5);
-        t.observe(&ev(5, KindTag::Map, When::Before, Where::Skeleton, 20, None, 0, EventInfo::None));
+        t.observe(&ev(
+            5,
+            KindTag::Map,
+            When::Before,
+            Where::Skeleton,
+            20,
+            None,
+            0,
+            EventInfo::None,
+        ));
         for (i, at) in [(30u64, 10u64), (31, 10), (32, 65)] {
             t.observe(&ev(
                 6,
@@ -507,10 +555,25 @@ mod tests {
     fn dac_depth_reaches_the_recursion_root() {
         let mut t = SmTracker::new(0.5);
         // Root d&C instance 50 → child 51 → grandchild 52 (same node 9).
-        t.observe(&ev(9, KindTag::DivideConquer, When::Before, Where::Skeleton, 50, None, 0, EventInfo::None));
         t.observe(&ev(
-            9, KindTag::DivideConquer, When::Before, Where::Skeleton, 51,
-            Some((9, KindTag::DivideConquer, 50)), 10, EventInfo::None,
+            9,
+            KindTag::DivideConquer,
+            When::Before,
+            Where::Skeleton,
+            50,
+            None,
+            0,
+            EventInfo::None,
+        ));
+        t.observe(&ev(
+            9,
+            KindTag::DivideConquer,
+            When::Before,
+            Where::Skeleton,
+            51,
+            Some((9, KindTag::DivideConquer, 50)),
+            10,
+            EventInfo::None,
         ));
         // Grandchild: trace root(9,#50)/(9,#51)/(9,#52) — build manually.
         let trace = Trace::root(NodeId(9), InstanceId(50), KindTag::DivideConquer)
@@ -529,7 +592,16 @@ mod tests {
         assert_eq!(t.instance(InstanceId(52)).unwrap().dc_depth, 3);
         assert_eq!(t.instance(InstanceId(50)).unwrap().dc_max_depth, 3);
         // Root completion records |fc| = 3.
-        t.observe(&ev(9, KindTag::DivideConquer, When::After, Where::Skeleton, 50, None, 99, EventInfo::None));
+        t.observe(&ev(
+            9,
+            KindTag::DivideConquer,
+            When::After,
+            Where::Skeleton,
+            50,
+            None,
+            99,
+            EventInfo::None,
+        ));
         let fc = MuscleId::new(NodeId(9), MuscleRole::Condition);
         assert_eq!(t.estimates().cardinality(fc), Some(3.0));
     }
@@ -537,18 +609,72 @@ mod tests {
     #[test]
     fn new_root_becomes_current() {
         let mut t = SmTracker::new(0.5);
-        t.observe(&ev(1, KindTag::Seq, When::Before, Where::Skeleton, 60, None, 0, EventInfo::None));
-        t.observe(&ev(1, KindTag::Seq, When::After, Where::Skeleton, 60, None, 5, EventInfo::None));
-        t.observe(&ev(1, KindTag::Seq, When::Before, Where::Skeleton, 61, None, 10, EventInfo::None));
+        t.observe(&ev(
+            1,
+            KindTag::Seq,
+            When::Before,
+            Where::Skeleton,
+            60,
+            None,
+            0,
+            EventInfo::None,
+        ));
+        t.observe(&ev(
+            1,
+            KindTag::Seq,
+            When::After,
+            Where::Skeleton,
+            60,
+            None,
+            5,
+            EventInfo::None,
+        ));
+        t.observe(&ev(
+            1,
+            KindTag::Seq,
+            When::Before,
+            Where::Skeleton,
+            61,
+            None,
+            10,
+            EventInfo::None,
+        ));
         assert_eq!(t.current_root().unwrap().id, InstanceId(61));
     }
 
     #[test]
     fn prune_keeps_live_root_only() {
         let mut t = SmTracker::new(0.5);
-        t.observe(&ev(1, KindTag::Seq, When::Before, Where::Skeleton, 70, None, 0, EventInfo::None));
-        t.observe(&ev(1, KindTag::Seq, When::After, Where::Skeleton, 70, None, 5, EventInfo::None));
-        t.observe(&ev(1, KindTag::Seq, When::Before, Where::Skeleton, 71, None, 10, EventInfo::None));
+        t.observe(&ev(
+            1,
+            KindTag::Seq,
+            When::Before,
+            Where::Skeleton,
+            70,
+            None,
+            0,
+            EventInfo::None,
+        ));
+        t.observe(&ev(
+            1,
+            KindTag::Seq,
+            When::After,
+            Where::Skeleton,
+            70,
+            None,
+            5,
+            EventInfo::None,
+        ));
+        t.observe(&ev(
+            1,
+            KindTag::Seq,
+            When::Before,
+            Where::Skeleton,
+            71,
+            None,
+            10,
+            EventInfo::None,
+        ));
         assert_eq!(t.instance_count(), 2);
         t.prune_finished();
         assert_eq!(t.instance_count(), 1);
@@ -564,7 +690,16 @@ mod tests {
     fn stray_after_events_are_tolerated() {
         let mut t = SmTracker::new(0.5);
         // After without Before: no panic, no record.
-        t.observe(&ev(1, KindTag::Seq, When::After, Where::Skeleton, 80, None, 5, EventInfo::None));
+        t.observe(&ev(
+            1,
+            KindTag::Seq,
+            When::After,
+            Where::Skeleton,
+            80,
+            None,
+            5,
+            EventInfo::None,
+        ));
         assert!(t.current_root().is_none());
     }
 }

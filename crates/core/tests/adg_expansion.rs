@@ -55,14 +55,59 @@ fn while_mid_loop_predicts_remaining_iterations() {
     const WI: u64 = 8_100_000;
     let wt = Trace::root(w, InstanceId(WI), KindTag::While);
     let mut t = 0u64;
-    tracker.observe(&ev(w, KindTag::While, When::Before, Where::Skeleton, WI, wt.clone(), sec(0), EventInfo::None));
+    tracker.observe(&ev(
+        w,
+        KindTag::While,
+        When::Before,
+        Where::Skeleton,
+        WI,
+        wt.clone(),
+        sec(0),
+        EventInfo::None,
+    ));
     for k in 0..2u64 {
-        tracker.observe(&ev(w, KindTag::While, When::Before, Where::Condition, WI, wt.clone(), sec(t), EventInfo::None));
-        tracker.observe(&ev(w, KindTag::While, When::After, Where::Condition, WI, wt.clone(), sec(t + 1), EventInfo::ConditionResult(true)));
+        tracker.observe(&ev(
+            w,
+            KindTag::While,
+            When::Before,
+            Where::Condition,
+            WI,
+            wt.clone(),
+            sec(t),
+            EventInfo::None,
+        ));
+        tracker.observe(&ev(
+            w,
+            KindTag::While,
+            When::After,
+            Where::Condition,
+            WI,
+            wt.clone(),
+            sec(t + 1),
+            EventInfo::ConditionResult(true),
+        ));
         let b = WI + 10 + k;
         let bt = wt.child(body_id, InstanceId(b), KindTag::Seq);
-        tracker.observe(&ev(body_id, KindTag::Seq, When::Before, Where::Skeleton, b, bt.clone(), sec(t + 1), EventInfo::None));
-        tracker.observe(&ev(body_id, KindTag::Seq, When::After, Where::Skeleton, b, bt, sec(t + 4), EventInfo::None));
+        tracker.observe(&ev(
+            body_id,
+            KindTag::Seq,
+            When::Before,
+            Where::Skeleton,
+            b,
+            bt.clone(),
+            sec(t + 1),
+            EventInfo::None,
+        ));
+        tracker.observe(&ev(
+            body_id,
+            KindTag::Seq,
+            When::After,
+            Where::Skeleton,
+            b,
+            bt,
+            sec(t + 4),
+            EventInfo::None,
+        ));
         t += 4;
     }
     // Now at t = 8s, between iterations.
@@ -94,11 +139,38 @@ fn for_mid_loop_predicts_remaining_iterations() {
 
     const FI: u64 = 8_200_000;
     let ft = Trace::root(f, InstanceId(FI), KindTag::For);
-    tracker.observe(&ev(f, KindTag::For, When::Before, Where::Skeleton, FI, ft.clone(), sec(0), EventInfo::None));
+    tracker.observe(&ev(
+        f,
+        KindTag::For,
+        When::Before,
+        Where::Skeleton,
+        FI,
+        ft.clone(),
+        sec(0),
+        EventInfo::None,
+    ));
     let b = FI + 1;
     let bt = ft.child(body_id, InstanceId(b), KindTag::Seq);
-    tracker.observe(&ev(body_id, KindTag::Seq, When::Before, Where::Skeleton, b, bt.clone(), sec(0), EventInfo::None));
-    tracker.observe(&ev(body_id, KindTag::Seq, When::After, Where::Skeleton, b, bt, sec(2), EventInfo::None));
+    tracker.observe(&ev(
+        body_id,
+        KindTag::Seq,
+        When::Before,
+        Where::Skeleton,
+        b,
+        bt.clone(),
+        sec(0),
+        EventInfo::None,
+    ));
+    tracker.observe(&ev(
+        body_id,
+        KindTag::Seq,
+        When::After,
+        Where::Skeleton,
+        b,
+        bt,
+        sec(2),
+        EventInfo::None,
+    ));
 
     let adg = AdgBuilder::new(&tracker).build(program.node());
     assert_eq!(adg.len(), 4, "1 actual + 3 predicted bodies");
@@ -135,11 +207,56 @@ fn dac_mid_recursion_predicts_missing_subtrees() {
 
     const DI: u64 = 8_300_000;
     let dt = Trace::root(d, InstanceId(DI), KindTag::DivideConquer);
-    tracker.observe(&ev(d, KindTag::DivideConquer, When::Before, Where::Skeleton, DI, dt.clone(), sec(0), EventInfo::None));
-    tracker.observe(&ev(d, KindTag::DivideConquer, When::Before, Where::Condition, DI, dt.clone(), sec(0), EventInfo::None));
-    tracker.observe(&ev(d, KindTag::DivideConquer, When::After, Where::Condition, DI, dt.clone(), sec(1), EventInfo::ConditionResult(true)));
-    tracker.observe(&ev(d, KindTag::DivideConquer, When::Before, Where::Split, DI, dt.clone(), sec(1), EventInfo::None));
-    tracker.observe(&ev(d, KindTag::DivideConquer, When::After, Where::Split, DI, dt.clone(), sec(3), EventInfo::SplitCardinality(2)));
+    tracker.observe(&ev(
+        d,
+        KindTag::DivideConquer,
+        When::Before,
+        Where::Skeleton,
+        DI,
+        dt.clone(),
+        sec(0),
+        EventInfo::None,
+    ));
+    tracker.observe(&ev(
+        d,
+        KindTag::DivideConquer,
+        When::Before,
+        Where::Condition,
+        DI,
+        dt.clone(),
+        sec(0),
+        EventInfo::None,
+    ));
+    tracker.observe(&ev(
+        d,
+        KindTag::DivideConquer,
+        When::After,
+        Where::Condition,
+        DI,
+        dt.clone(),
+        sec(1),
+        EventInfo::ConditionResult(true),
+    ));
+    tracker.observe(&ev(
+        d,
+        KindTag::DivideConquer,
+        When::Before,
+        Where::Split,
+        DI,
+        dt.clone(),
+        sec(1),
+        EventInfo::None,
+    ));
+    tracker.observe(&ev(
+        d,
+        KindTag::DivideConquer,
+        When::After,
+        Where::Split,
+        DI,
+        dt.clone(),
+        sec(3),
+        EventInfo::SplitCardinality(2),
+    ));
 
     // Neither child has begun. Now = 3s.
     let adg = AdgBuilder::new(&tracker).build(program.node());
@@ -182,9 +299,36 @@ fn dac_base_case_has_no_recursion() {
     }
     const DI: u64 = 8_400_000;
     let dt = Trace::root(d, InstanceId(DI), KindTag::DivideConquer);
-    tracker.observe(&ev(d, KindTag::DivideConquer, When::Before, Where::Skeleton, DI, dt.clone(), sec(0), EventInfo::None));
-    tracker.observe(&ev(d, KindTag::DivideConquer, When::Before, Where::Condition, DI, dt.clone(), sec(0), EventInfo::None));
-    tracker.observe(&ev(d, KindTag::DivideConquer, When::After, Where::Condition, DI, dt, sec(1), EventInfo::ConditionResult(false)));
+    tracker.observe(&ev(
+        d,
+        KindTag::DivideConquer,
+        When::Before,
+        Where::Skeleton,
+        DI,
+        dt.clone(),
+        sec(0),
+        EventInfo::None,
+    ));
+    tracker.observe(&ev(
+        d,
+        KindTag::DivideConquer,
+        When::Before,
+        Where::Condition,
+        DI,
+        dt.clone(),
+        sec(0),
+        EventInfo::None,
+    ));
+    tracker.observe(&ev(
+        d,
+        KindTag::DivideConquer,
+        When::After,
+        Where::Condition,
+        DI,
+        dt,
+        sec(1),
+        EventInfo::ConditionResult(false),
+    ));
 
     let adg = AdgBuilder::new(&tracker).build(program.node());
     assert_eq!(adg.len(), 2, "cond + predicted base only");

@@ -68,11 +68,20 @@ fn fixture() -> Fixture {
 fn init_estimates(tracker: &mut SmTracker, f: &Fixture) {
     let est = tracker.estimates_mut();
     for node in [f.outer, f.inner] {
-        est.init_duration(askel_skeletons::MuscleId::new(node, MuscleRole::Split), t(10));
-        est.init_duration(askel_skeletons::MuscleId::new(node, MuscleRole::Merge), t(5));
+        est.init_duration(
+            askel_skeletons::MuscleId::new(node, MuscleRole::Split),
+            t(10),
+        );
+        est.init_duration(
+            askel_skeletons::MuscleId::new(node, MuscleRole::Merge),
+            t(5),
+        );
         est.init_cardinality(askel_skeletons::MuscleId::new(node, MuscleRole::Split), 3.0);
     }
-    est.init_duration(askel_skeletons::MuscleId::new(f.leaf, MuscleRole::Execute), t(15));
+    est.init_duration(
+        askel_skeletons::MuscleId::new(f.leaf, MuscleRole::Execute),
+        t(15),
+    );
 }
 
 struct EventFeeder<'a> {
@@ -126,31 +135,148 @@ impl<'a> EventFeeder<'a> {
         const B: u64 = 102;
         const C: u64 = 103;
         // Root map: begin + split [0, 10], card 3.
-        sink(self.ev(f.outer, KindTag::Map, When::Before, Where::Skeleton, O, self.root_trace(O), t(0), EventInfo::None));
-        sink(self.ev(f.outer, KindTag::Map, When::Before, Where::Split, O, self.root_trace(O), t(0), EventInfo::None));
-        sink(self.ev(f.outer, KindTag::Map, When::After, Where::Split, O, self.root_trace(O), t(10), EventInfo::SplitCardinality(3)));
+        sink(self.ev(
+            f.outer,
+            KindTag::Map,
+            When::Before,
+            Where::Skeleton,
+            O,
+            self.root_trace(O),
+            t(0),
+            EventInfo::None,
+        ));
+        sink(self.ev(
+            f.outer,
+            KindTag::Map,
+            When::Before,
+            Where::Split,
+            O,
+            self.root_trace(O),
+            t(0),
+            EventInfo::None,
+        ));
+        sink(self.ev(
+            f.outer,
+            KindTag::Map,
+            When::After,
+            Where::Split,
+            O,
+            self.root_trace(O),
+            t(10),
+            EventInfo::SplitCardinality(3),
+        ));
         // Inner maps A and B: begin + split [10, 20], card 3 each.
         for inst in [A, B] {
-            sink(self.ev(f.inner, KindTag::Map, When::Before, Where::Skeleton, inst, self.inner_trace(O, inst), t(10), EventInfo::None));
-            sink(self.ev(f.inner, KindTag::Map, When::Before, Where::Split, inst, self.inner_trace(O, inst), t(10), EventInfo::None));
-            sink(self.ev(f.inner, KindTag::Map, When::After, Where::Split, inst, self.inner_trace(O, inst), t(20), EventInfo::SplitCardinality(3)));
+            sink(self.ev(
+                f.inner,
+                KindTag::Map,
+                When::Before,
+                Where::Skeleton,
+                inst,
+                self.inner_trace(O, inst),
+                t(10),
+                EventInfo::None,
+            ));
+            sink(self.ev(
+                f.inner,
+                KindTag::Map,
+                When::Before,
+                Where::Split,
+                inst,
+                self.inner_trace(O, inst),
+                t(10),
+                EventInfo::None,
+            ));
+            sink(self.ev(
+                f.inner,
+                KindTag::Map,
+                When::After,
+                Where::Split,
+                inst,
+                self.inner_trace(O, inst),
+                t(20),
+                EventInfo::SplitCardinality(3),
+            ));
         }
         // Six fe's, two at a time: waves [20,35], [35,50], [50,65].
         // Wave k runs A's k-th and B's k-th leaf.
         for (k, (start, end)) in [(20u64, 35u64), (35, 50), (50, 65)].iter().enumerate() {
             for (parent, leaf_inst) in [(A, 110 + k as u64), (B, 120 + k as u64)] {
                 let tr = self.leaf_trace(O, parent, leaf_inst);
-                sink(self.ev(f.leaf, KindTag::Seq, When::Before, Where::Skeleton, leaf_inst, tr.clone(), t(*start), EventInfo::None));
-                sink(self.ev(f.leaf, KindTag::Seq, When::After, Where::Skeleton, leaf_inst, tr, t(*end), EventInfo::None));
+                sink(self.ev(
+                    f.leaf,
+                    KindTag::Seq,
+                    When::Before,
+                    Where::Skeleton,
+                    leaf_inst,
+                    tr.clone(),
+                    t(*start),
+                    EventInfo::None,
+                ));
+                sink(self.ev(
+                    f.leaf,
+                    KindTag::Seq,
+                    When::After,
+                    Where::Skeleton,
+                    leaf_inst,
+                    tr,
+                    t(*end),
+                    EventInfo::None,
+                ));
             }
         }
         // A's merge [65, 70]; A completes at 70.
-        sink(self.ev(f.inner, KindTag::Map, When::Before, Where::Merge, A, self.inner_trace(O, A), t(65), EventInfo::None));
-        sink(self.ev(f.inner, KindTag::Map, When::After, Where::Merge, A, self.inner_trace(O, A), t(70), EventInfo::None));
-        sink(self.ev(f.inner, KindTag::Map, When::After, Where::Skeleton, A, self.inner_trace(O, A), t(70), EventInfo::None));
+        sink(self.ev(
+            f.inner,
+            KindTag::Map,
+            When::Before,
+            Where::Merge,
+            A,
+            self.inner_trace(O, A),
+            t(65),
+            EventInfo::None,
+        ));
+        sink(self.ev(
+            f.inner,
+            KindTag::Map,
+            When::After,
+            Where::Merge,
+            A,
+            self.inner_trace(O, A),
+            t(70),
+            EventInfo::None,
+        ));
+        sink(self.ev(
+            f.inner,
+            KindTag::Map,
+            When::After,
+            Where::Skeleton,
+            A,
+            self.inner_trace(O, A),
+            t(70),
+            EventInfo::None,
+        ));
         // C begins at 65; its split is still running at the snapshot.
-        sink(self.ev(f.inner, KindTag::Map, When::Before, Where::Skeleton, C, self.inner_trace(O, C), t(65), EventInfo::None));
-        sink(self.ev(f.inner, KindTag::Map, When::Before, Where::Split, C, self.inner_trace(O, C), t(65), EventInfo::None));
+        sink(self.ev(
+            f.inner,
+            KindTag::Map,
+            When::Before,
+            Where::Skeleton,
+            C,
+            self.inner_trace(O, C),
+            t(65),
+            EventInfo::None,
+        ));
+        sink(self.ev(
+            f.inner,
+            KindTag::Map,
+            When::Before,
+            Where::Split,
+            C,
+            self.inner_trace(O, C),
+            t(65),
+            EventInfo::None,
+        ));
     }
 }
 
@@ -191,11 +317,26 @@ fn best_effort_wct_is_100_and_optimal_lp_is_3() {
     assert_eq!(
         tl,
         vec![
-            TimelinePoint { at: t(0), active: 1 },
-            TimelinePoint { at: t(10), active: 2 },
-            TimelinePoint { at: t(75), active: 3 },
-            TimelinePoint { at: t(90), active: 1 },
-            TimelinePoint { at: t(100), active: 0 },
+            TimelinePoint {
+                at: t(0),
+                active: 1
+            },
+            TimelinePoint {
+                at: t(10),
+                active: 2
+            },
+            TimelinePoint {
+                at: t(75),
+                active: 3
+            },
+            TimelinePoint {
+                at: t(90),
+                active: 1
+            },
+            TimelinePoint {
+                at: t(100),
+                active: 0
+            },
         ],
         "Fig. 2 best-effort series"
     );
@@ -214,10 +355,22 @@ fn limited_lp_2_finishes_at_115() {
     assert_eq!(
         tl,
         vec![
-            TimelinePoint { at: t(0), active: 1 },
-            TimelinePoint { at: t(10), active: 2 },
-            TimelinePoint { at: t(90), active: 1 },
-            TimelinePoint { at: t(115), active: 0 },
+            TimelinePoint {
+                at: t(0),
+                active: 1
+            },
+            TimelinePoint {
+                at: t(10),
+                active: 2
+            },
+            TimelinePoint {
+                at: t(90),
+                active: 1
+            },
+            TimelinePoint {
+                at: t(115),
+                active: 0
+            },
         ],
         "Fig. 2 limited-LP(2) series"
     );
@@ -259,8 +412,8 @@ fn activity_intervals_match_figure_1() {
             (MuscleRole::Execute, (t(75), t(90))), // fe C ×3
             (MuscleRole::Execute, (t(75), t(90))),
             (MuscleRole::Execute, (t(75), t(90))),
-            (MuscleRole::Merge, (t(90), t(95))),   // merge C
-            (MuscleRole::Merge, (t(95), t(100))),  // root merge
+            (MuscleRole::Merge, (t(90), t(95))),  // merge C
+            (MuscleRole::Merge, (t(95), t(100))), // root merge
         ],
         "Fig. 1 best-effort intervals"
     );
@@ -304,11 +457,20 @@ fn controller_raises_lp_2_to_3_for_goal_100() {
     );
     controller.with_estimates(|est| {
         for node in [f.outer, f.inner] {
-            est.init_duration(askel_skeletons::MuscleId::new(node, MuscleRole::Split), t(10));
-            est.init_duration(askel_skeletons::MuscleId::new(node, MuscleRole::Merge), t(5));
+            est.init_duration(
+                askel_skeletons::MuscleId::new(node, MuscleRole::Split),
+                t(10),
+            );
+            est.init_duration(
+                askel_skeletons::MuscleId::new(node, MuscleRole::Merge),
+                t(5),
+            );
             est.init_cardinality(askel_skeletons::MuscleId::new(node, MuscleRole::Split), 3.0);
         }
-        est.init_duration(askel_skeletons::MuscleId::new(f.leaf, MuscleRole::Execute), t(15));
+        est.init_duration(
+            askel_skeletons::MuscleId::new(f.leaf, MuscleRole::Execute),
+            t(15),
+        );
     });
     let feeder = EventFeeder { f: &f };
     use askel_events::{Listener, Payload};
@@ -346,11 +508,20 @@ fn controller_with_loose_goal_keeps_lp_2() {
     );
     controller.with_estimates(|est| {
         for node in [f.outer, f.inner] {
-            est.init_duration(askel_skeletons::MuscleId::new(node, MuscleRole::Split), t(10));
-            est.init_duration(askel_skeletons::MuscleId::new(node, MuscleRole::Merge), t(5));
+            est.init_duration(
+                askel_skeletons::MuscleId::new(node, MuscleRole::Split),
+                t(10),
+            );
+            est.init_duration(
+                askel_skeletons::MuscleId::new(node, MuscleRole::Merge),
+                t(5),
+            );
             est.init_cardinality(askel_skeletons::MuscleId::new(node, MuscleRole::Split), 3.0);
         }
-        est.init_duration(askel_skeletons::MuscleId::new(f.leaf, MuscleRole::Execute), t(15));
+        est.init_duration(
+            askel_skeletons::MuscleId::new(f.leaf, MuscleRole::Execute),
+            t(15),
+        );
     });
     let feeder = EventFeeder { f: &f };
     use askel_events::{Listener, Payload};

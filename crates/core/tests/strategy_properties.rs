@@ -14,7 +14,8 @@ fn adg_strategy() -> impl Strategy<Value = (Adg, TimeNs)> {
     n_range
         .prop_flat_map(|n| {
             let durations = proptest::collection::vec(0u64..40, n);
-            let pred_seeds = proptest::collection::vec(proptest::collection::vec(any::<u32>(), 0..3), n);
+            let pred_seeds =
+                proptest::collection::vec(proptest::collection::vec(any::<u32>(), 0..3), n);
             let done_cut = 0..=n;
             (Just(n), durations, pred_seeds, done_cut, 0usize..4)
         })
@@ -26,10 +27,8 @@ fn adg_strategy() -> impl Strategy<Value = (Adg, TimeNs)> {
                 let preds: Vec<usize> = if i == 0 {
                     vec![]
                 } else {
-                    let mut p: Vec<usize> = pred_seeds[i]
-                        .iter()
-                        .map(|s| (*s as usize) % i)
-                        .collect();
+                    let mut p: Vec<usize> =
+                        pred_seeds[i].iter().map(|s| (*s as usize) % i).collect();
                     p.sort_unstable();
                     p.dedup();
                     p

@@ -1,0 +1,295 @@
+//! Distributed worker models for the simulator — the paper's §4/§6
+//! future-work direction, realized: "the same autonomic loop over a
+//! distributed set of workers, adding or removing workers like adding or
+//! removing threads in a centralised manner".
+//!
+//! A [`Cluster`] is an ordered set of [`NodeSpec`]s, each contributing a
+//! block of worker slots to the simulator. Slots come online in node
+//! order as the controller raises the LP (the simulator always fills the
+//! lowest free slot), so placing local nodes first means remote capacity
+//! is only recruited once local capacity is exhausted — and every task
+//! chain run on a remote node pays that node's communication round-trip
+//! in virtual time, which the controller observes through the ordinary
+//! event stream and compensates for by provisioning more workers.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use askel_dist::{Cluster, NodeSpec};
+//! use askel_sim::{cost::TableCost, SimEngine};
+//! use askel_skeletons::{map, seq, TimeNs};
+//!
+//! let cluster = Cluster::new(vec![
+//!     NodeSpec::local("master", 2),
+//!     NodeSpec::remote("worker-node", 4, TimeNs::from_millis(250)),
+//! ])
+//! .with_capacity(2); // start on the master only
+//!
+//! let program = map(
+//!     |v: Vec<i64>| v.into_iter().map(|x| vec![x]).collect::<Vec<_>>(),
+//!     seq(|v: Vec<i64>| v[0]),
+//!     |parts: Vec<i64>| parts.into_iter().sum::<i64>(),
+//! );
+//! let cost = Arc::new(TableCost::new(TimeNs::from_secs(1)));
+//! let mut sim = SimEngine::with_workers(Box::new(cluster), cost);
+//! let out = sim.run(&program, vec![1, 2, 3]).unwrap();
+//! assert_eq!(out.result, 6);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use askel_sim::workers::WorkerModel;
+use askel_skeletons::TimeNs;
+
+/// One node of a cluster: a named block of worker slots with a per-task
+/// communication round-trip (zero for local nodes).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NodeSpec {
+    name: String,
+    slots: usize,
+    round_trip: TimeNs,
+}
+
+impl NodeSpec {
+    /// A local node: `slots` workers with no communication overhead
+    /// (threads of the controller's own process).
+    pub fn local(name: impl Into<String>, slots: usize) -> Self {
+        NodeSpec {
+            name: name.into(),
+            slots,
+            round_trip: TimeNs::ZERO,
+        }
+    }
+
+    /// A remote node: `slots` workers, each executed task chain paying
+    /// `round_trip` of virtual time for dispatch plus result return.
+    pub fn remote(name: impl Into<String>, slots: usize, round_trip: TimeNs) -> Self {
+        NodeSpec {
+            name: name.into(),
+            slots,
+            round_trip,
+        }
+    }
+
+    /// The node's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Provisioned worker slots on this node.
+    pub fn slots(&self) -> usize {
+        self.slots
+    }
+
+    /// Communication round-trip charged per task chain (zero ⇒ local).
+    pub fn round_trip(&self) -> TimeNs {
+        self.round_trip
+    }
+
+    /// Whether this node is local (no communication overhead).
+    pub fn is_local(&self) -> bool {
+        self.round_trip == TimeNs::ZERO
+    }
+}
+
+/// A heterogeneous set of worker nodes behind one centralised controller.
+///
+/// Implements [`WorkerModel`], so it plugs directly into
+/// [`askel_sim::SimEngine::with_workers`]. The controller keeps talking
+/// in plain LP numbers; the cluster translates "LP = n" into "the first
+/// `n` provisioned slots, in node order" and charges each slot its
+/// owning node's round-trip.
+#[derive(Clone, Debug)]
+pub struct Cluster {
+    nodes: Vec<NodeSpec>,
+    /// Slot index where each node's block starts; `starts[i] +
+    /// nodes[i].slots()` is the block's end.
+    starts: Vec<usize>,
+    provisioned: usize,
+    capacity: usize,
+}
+
+impl Cluster {
+    /// A cluster over `nodes` (slot blocks in the given order), initially
+    /// enabled at full provisioned capacity.
+    pub fn new(nodes: Vec<NodeSpec>) -> Self {
+        let mut starts = Vec::with_capacity(nodes.len());
+        let mut total = 0usize;
+        for n in &nodes {
+            starts.push(total);
+            total += n.slots();
+        }
+        Cluster {
+            nodes,
+            starts,
+            provisioned: total,
+            capacity: total,
+        }
+    }
+
+    /// Sets the initially-enabled capacity (clamped to the provisioned
+    /// total) — typically the controller's `initial_lp`.
+    pub fn with_capacity(mut self, capacity: usize) -> Self {
+        self.capacity = capacity.min(self.provisioned);
+        self
+    }
+
+    /// Total provisioned slots across all nodes (the LP ceiling).
+    pub fn provisioned(&self) -> usize {
+        self.provisioned
+    }
+
+    /// The nodes, in slot order.
+    pub fn nodes(&self) -> &[NodeSpec] {
+        &self.nodes
+    }
+
+    /// The node owning `slot`, if the slot is provisioned.
+    pub fn node_of_slot(&self, slot: usize) -> Option<&NodeSpec> {
+        if slot >= self.provisioned {
+            return None;
+        }
+        // Last node whose block starts at or before `slot`.
+        let idx = match self.starts.binary_search(&slot) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        // Blocks of empty nodes share a start; walk to the owning one.
+        self.nodes[idx..]
+            .iter()
+            .zip(&self.starts[idx..])
+            .find(|(n, &s)| slot >= s && slot < s + n.slots())
+            .map(|(n, _)| n)
+    }
+
+    /// How many of each node's slots are enabled at the current capacity,
+    /// as `(node, enabled)` pairs in slot order.
+    pub fn enabled_per_node(&self) -> Vec<(&NodeSpec, usize)> {
+        self.nodes
+            .iter()
+            .zip(&self.starts)
+            .map(|(n, &start)| {
+                let enabled = self.capacity.saturating_sub(start).min(n.slots());
+                (n, enabled)
+            })
+            .collect()
+    }
+
+    /// `enabled/provisioned` per node, e.g. `master:2/2 worker:5/12` —
+    /// the shape the dist benches print.
+    pub fn utilization(&self) -> String {
+        self.enabled_per_node()
+            .iter()
+            .map(|(n, e)| format!("{}:{}/{}", n.name(), e, n.slots()))
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
+impl WorkerModel for Cluster {
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn set_capacity(&mut self, n: usize) {
+        self.capacity = n.min(self.provisioned);
+    }
+
+    fn chain_overhead(&self, slot: usize) -> TimeNs {
+        self.node_of_slot(slot)
+            .map(NodeSpec::round_trip)
+            .unwrap_or(TimeNs::ZERO)
+    }
+}
+
+impl std::fmt::Display for Cluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "cluster[{} nodes, {}/{} slots enabled: {}]",
+            self.nodes.len(),
+            self.capacity,
+            self.provisioned,
+            self.utilization()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_node() -> Cluster {
+        Cluster::new(vec![
+            NodeSpec::local("master", 2),
+            NodeSpec::remote("worker", 12, TimeNs::from_millis(300)),
+        ])
+    }
+
+    #[test]
+    fn slots_map_to_nodes_in_order() {
+        let c = two_node();
+        assert_eq!(c.provisioned(), 14);
+        assert_eq!(c.node_of_slot(0).unwrap().name(), "master");
+        assert_eq!(c.node_of_slot(1).unwrap().name(), "master");
+        assert_eq!(c.node_of_slot(2).unwrap().name(), "worker");
+        assert_eq!(c.node_of_slot(13).unwrap().name(), "worker");
+        assert!(c.node_of_slot(14).is_none());
+    }
+
+    #[test]
+    fn local_slots_are_free_remote_slots_pay_the_round_trip() {
+        let c = two_node();
+        assert_eq!(c.chain_overhead(0), TimeNs::ZERO);
+        assert_eq!(c.chain_overhead(1), TimeNs::ZERO);
+        assert_eq!(c.chain_overhead(2), TimeNs::from_millis(300));
+        assert_eq!(c.chain_overhead(13), TimeNs::from_millis(300));
+        assert_eq!(c.chain_overhead(99), TimeNs::ZERO);
+    }
+
+    #[test]
+    fn capacity_clamps_to_provisioned_slots() {
+        let mut c = two_node().with_capacity(1);
+        assert_eq!(c.capacity(), 1);
+        c.set_capacity(9);
+        assert_eq!(c.capacity(), 9);
+        c.set_capacity(10_000);
+        assert_eq!(c.capacity(), 14, "a cluster cannot exceed provisioning");
+        c.set_capacity(0);
+        assert_eq!(c.capacity(), 0);
+    }
+
+    #[test]
+    fn enabled_per_node_splits_capacity_across_blocks() {
+        let mut c = two_node();
+        c.set_capacity(5);
+        let enabled: Vec<(String, usize)> = c
+            .enabled_per_node()
+            .into_iter()
+            .map(|(n, e)| (n.name().to_string(), e))
+            .collect();
+        assert_eq!(enabled, vec![("master".into(), 2), ("worker".into(), 3)]);
+        assert_eq!(c.utilization(), "master:2/2 worker:3/12");
+    }
+
+    #[test]
+    fn empty_and_zero_slot_nodes_are_harmless() {
+        let c = Cluster::new(vec![
+            NodeSpec::local("idle", 0),
+            NodeSpec::remote("r", 3, TimeNs::from_millis(10)),
+        ]);
+        assert_eq!(c.provisioned(), 3);
+        assert_eq!(c.node_of_slot(0).unwrap().name(), "r");
+        let empty = Cluster::new(vec![]);
+        assert_eq!(empty.provisioned(), 0);
+        assert!(empty.node_of_slot(0).is_none());
+    }
+
+    #[test]
+    fn display_summarizes_the_cluster() {
+        let c = two_node().with_capacity(3);
+        let s = format!("{c}");
+        assert!(s.contains("master:2/2"), "{s}");
+        assert!(s.contains("worker:1/12"), "{s}");
+    }
+}

@@ -675,12 +675,20 @@ fn exec_map(
             EventInfo::SplitCardinality(parts.len()),
             &mut Payload::Many(&mut parts),
         );
-        fan_out(ctx, Arc::clone(&node), trace.clone(), inst, parts, cont, |node, _| {
-            let NodeKind::Map { inner, .. } = &node.kind else {
-                unreachable!()
-            };
-            Arc::clone(inner)
-        });
+        fan_out(
+            ctx,
+            Arc::clone(&node),
+            trace.clone(),
+            inst,
+            parts,
+            cont,
+            |node, _| {
+                let NodeKind::Map { inner, .. } = &node.kind else {
+                    unreachable!()
+                };
+                Arc::clone(inner)
+            },
+        );
     });
 }
 
@@ -733,12 +741,20 @@ fn exec_fork(
             }));
             return;
         }
-        fan_out(ctx, Arc::clone(&node), trace.clone(), inst, parts, cont, |node, k| {
-            let NodeKind::Fork { inners, .. } = &node.kind else {
-                unreachable!()
-            };
-            Arc::clone(&inners[k])
-        });
+        fan_out(
+            ctx,
+            Arc::clone(&node),
+            trace.clone(),
+            inst,
+            parts,
+            cont,
+            |node, k| {
+                let NodeKind::Fork { inners, .. } = &node.kind else {
+                    unreachable!()
+                };
+                Arc::clone(&inners[k])
+            },
+        );
     });
 }
 
@@ -808,9 +824,15 @@ fn exec_dac(
                 return;
             }
             // Children are new instances of this same d&C node.
-            fan_out(ctx, Arc::clone(&node), trace.clone(), inst, parts, cont, |node, _| {
-                Arc::clone(node)
-            });
+            fan_out(
+                ctx,
+                Arc::clone(&node),
+                trace.clone(),
+                inst,
+                parts,
+                cont,
+                |node, _| Arc::clone(node),
+            );
         } else {
             ctx.emit(
                 &node,
@@ -904,10 +926,7 @@ fn fan_out(
                     &mut Payload::Single(&mut out),
                 );
                 if let Some(results) = join.complete(k, out) {
-                    let cont = cont
-                        .lock()
-                        .take()
-                        .expect("join completed twice");
+                    let cont = cont.lock().take().expect("join completed twice");
                     schedule_merge(ctx, node2, trace2, inst, results, cont);
                 }
             }),

@@ -73,7 +73,8 @@ where
             let oldest = self.in_flight.pop_front().expect("non-empty by bound");
             self.ready.push_back(oldest.get());
         }
-        self.in_flight.push_back(self.engine.submit(&self.skel, input));
+        self.in_flight
+            .push_back(self.engine.submit(&self.skel, input));
         self.fed += 1;
     }
 

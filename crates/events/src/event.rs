@@ -199,10 +199,7 @@ mod tests {
 
     #[test]
     fn info_accessors() {
-        assert_eq!(
-            EventInfo::SplitCardinality(7).split_cardinality(),
-            Some(7)
-        );
+        assert_eq!(EventInfo::SplitCardinality(7).split_cardinality(), Some(7));
         assert_eq!(EventInfo::None.split_cardinality(), None);
         assert_eq!(
             EventInfo::ConditionResult(true).condition_result(),

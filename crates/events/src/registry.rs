@@ -126,9 +126,11 @@ mod tests {
         let order = Arc::new(Mutex::new(Vec::new()));
         for tag in ["first", "second", "third"] {
             let order = Arc::clone(&order);
-            reg.add_listener(Arc::new(FnListener(move |_: &mut Payload<'_>, _: &Event| {
-                order.lock().unwrap().push(tag);
-            })));
+            reg.add_listener(Arc::new(FnListener(
+                move |_: &mut Payload<'_>, _: &Event| {
+                    order.lock().unwrap().push(tag);
+                },
+            )));
         }
         reg.emit(&mut Payload::None, &ev(1, When::Before, Where::Skeleton));
         assert_eq!(*order.lock().unwrap(), vec!["first", "second", "third"]);
@@ -188,9 +190,11 @@ mod tests {
     fn handlers_may_register_more_listeners() {
         let reg = ListenerRegistry::new();
         let reg2 = Arc::clone(&reg);
-        reg.add_listener(Arc::new(FnListener(move |_: &mut Payload<'_>, _: &Event| {
-            reg2.add_listener(Arc::new(FnListener(|_: &mut Payload<'_>, _: &Event| {})));
-        })));
+        reg.add_listener(Arc::new(FnListener(
+            move |_: &mut Payload<'_>, _: &Event| {
+                reg2.add_listener(Arc::new(FnListener(|_: &mut Payload<'_>, _: &Event| {})));
+            },
+        )));
         reg.emit(&mut Payload::None, &ev(1, When::Before, Where::Skeleton));
         assert_eq!(reg.len(), 2);
     }

@@ -268,7 +268,9 @@ mod tests {
             let tx = tx.clone();
             pool.submit(Box::new(move || tx.send(i).unwrap()));
         }
-        let mut got: Vec<i32> = (0..10).map(|_| rx.recv_timeout(Duration::from_secs(5)).unwrap()).collect();
+        let mut got: Vec<i32> = (0..10)
+            .map(|_| rx.recv_timeout(Duration::from_secs(5)).unwrap())
+            .collect();
         got.sort_unstable();
         assert_eq!(got, (0..10).collect::<Vec<_>>());
         pool.shutdown_and_join();

@@ -131,13 +131,11 @@ impl PoolTelemetry {
             self.panics.fetch_add(1, Ordering::Relaxed);
         }
         if self.recording.load(Ordering::Relaxed) {
-            self.samples
-                .lock()
-                .push(TelemetrySample::TaskEnd {
-                    at,
-                    active,
-                    panicked,
-                });
+            self.samples.lock().push(TelemetrySample::TaskEnd {
+                at,
+                active,
+                panicked,
+            });
         }
     }
 
@@ -235,16 +233,34 @@ mod tests {
         assert_eq!(
             tl,
             vec![
-                TimelinePoint { at: TimeNs(0), active: 0 },
-                TimelinePoint { at: TimeNs(10), active: 1 },
-                TimelinePoint { at: TimeNs(20), active: 2 },
-                TimelinePoint { at: TimeNs(30), active: 1 },
-                TimelinePoint { at: TimeNs(40), active: 0 },
+                TimelinePoint {
+                    at: TimeNs(0),
+                    active: 0
+                },
+                TimelinePoint {
+                    at: TimeNs(10),
+                    active: 1
+                },
+                TimelinePoint {
+                    at: TimeNs(20),
+                    active: 2
+                },
+                TimelinePoint {
+                    at: TimeNs(30),
+                    active: 1
+                },
+                TimelinePoint {
+                    at: TimeNs(40),
+                    active: 0
+                },
             ]
         );
         assert_eq!(
             t.target_timeline(),
-            vec![TimelinePoint { at: TimeNs(15), active: 4 }]
+            vec![TimelinePoint {
+                at: TimeNs(15),
+                active: 4
+            }]
         );
     }
 
@@ -257,8 +273,14 @@ mod tests {
         assert_eq!(
             tl,
             vec![
-                TimelinePoint { at: TimeNs(0), active: 0 },
-                TimelinePoint { at: TimeNs(10), active: 0 },
+                TimelinePoint {
+                    at: TimeNs(0),
+                    active: 0
+                },
+                TimelinePoint {
+                    at: TimeNs(10),
+                    active: 0
+                },
             ]
         );
     }

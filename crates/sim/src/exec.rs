@@ -11,9 +11,7 @@ use std::rc::Rc;
 use std::sync::Arc;
 
 use askel_events::{EventInfo, Payload, Trace, When, Where};
-use askel_skeletons::{
-    Data, EvalError, InstanceId, KindTag, MuscleId, MuscleRole, Node, NodeKind,
-};
+use askel_skeletons::{Data, EvalError, InstanceId, KindTag, MuscleId, MuscleRole, Node, NodeKind};
 
 use crate::rt::{SimCont, SimRt, Step};
 use crate::SimError;
@@ -757,9 +755,7 @@ fn sim_dac(
                                 &mut Payload::Many(&mut parts),
                             );
                             if parts.is_empty() {
-                                rt.fail(SimError::Eval(EvalError::EmptySplit {
-                                    node: node.id,
-                                }));
+                                rt.fail(SimError::Eval(EvalError::EmptySplit { node: node.id }));
                                 return Step::Done;
                             }
                             // Children are new instances of this d&C node.

@@ -79,7 +79,10 @@ impl std::fmt::Display for SimError {
             SimError::Eval(e) => write!(f, "structural error: {e}"),
             SimError::MusclePanic(m) => write!(f, "muscle panicked: {m}"),
             SimError::Stalled { at, ready } => {
-                write!(f, "simulation stalled at {at} with {ready} ready task(s) and LP 0")
+                write!(
+                    f,
+                    "simulation stalled at {at} with {ready} ready task(s) and LP 0"
+                )
             }
             SimError::WrongResultType => write!(f, "root result had an unexpected type"),
         }
@@ -205,7 +208,10 @@ impl SimEngine {
         R: Send + 'static,
     {
         let started_at = self.clock.now();
-        let workers = self.workers.take().expect("worker model is always restored");
+        let workers = self
+            .workers
+            .take()
+            .expect("worker model is always restored");
         self.telemetry.record_target(started_at, workers.capacity());
         let outcome = rt::run(
             Arc::clone(&self.registry),
@@ -228,7 +234,9 @@ impl SimEngine {
             }
         };
         let finished_at = self.clock.now();
-        let result = *result.downcast::<R>().map_err(|_| SimError::WrongResultType)?;
+        let result = *result
+            .downcast::<R>()
+            .map_err(|_| SimError::WrongResultType)?;
         Ok(SimOutcome {
             result,
             started_at,

@@ -159,7 +159,8 @@ impl SimRt {
         if let Some(lp) = self.lp_control.take() {
             if lp != self.workers.capacity() {
                 self.workers.set_capacity(lp);
-                self.telemetry.record_target(self.now, self.workers.capacity());
+                self.telemetry
+                    .record_target(self.now, self.workers.capacity());
             }
         }
     }
@@ -203,7 +204,9 @@ impl SimRt {
                 if self.ready.is_empty() {
                     break;
                 }
-                let Some(slot) = self.acquire_slot() else { break };
+                let Some(slot) = self.acquire_slot() else {
+                    break;
+                };
                 let work = self.ready.pop().expect("checked non-empty");
                 let overhead = self.workers.chain_overhead(slot);
                 self.telemetry.record_task_start(self.now);

@@ -175,9 +175,11 @@ fn lp_raise_mid_run_takes_effect() {
     let lp = sim.lp_control();
     sim.registry().add_filtered(
         EventFilter::all().wher(Where::Split).when(When::After),
-        Arc::new(FnListener(move |_: &mut askel_events::Payload<'_>, _: &askel_events::Event| {
-            lp.request(4);
-        })),
+        Arc::new(FnListener(
+            move |_: &mut askel_events::Payload<'_>, _: &askel_events::Event| {
+                lp.request(4);
+            },
+        )),
     );
     let out = sim.run(&program, (1..=8).collect()).unwrap();
     assert_eq!(out.wct, secs(20));
@@ -203,9 +205,11 @@ fn lp_shrink_never_preempts() {
     let lp = sim.lp_control();
     sim.registry().add_filtered(
         EventFilter::all().wher(Where::Split).when(When::After),
-        Arc::new(FnListener(move |_: &mut askel_events::Payload<'_>, _: &askel_events::Event| {
-            lp.request(1);
-        })),
+        Arc::new(FnListener(
+            move |_: &mut askel_events::Payload<'_>, _: &askel_events::Event| {
+                lp.request(1);
+            },
+        )),
     );
     let out = sim.run(&program, (1..=4).collect()).unwrap();
     assert_eq!(out.wct, secs(40));

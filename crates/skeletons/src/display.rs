@@ -122,7 +122,10 @@ mod tests {
             inner,
             |c: Vec<usize>| c.into_iter().sum::<usize>(),
         );
-        assert_eq!(structure(program.node()), "map(fs, map(fs, seq(fe), fm), fm)");
+        assert_eq!(
+            structure(program.node()),
+            "map(fs, map(fs, seq(fe), fm), fm)"
+        );
     }
 
     #[test]

@@ -222,7 +222,11 @@ mod tests {
     #[test]
     fn merge_erasure_collects_in_order() {
         let fm = MergeFn::new(|parts: Vec<i64>| parts.iter().sum::<i64>());
-        let out = fm.call(vec![Box::new(1i64) as Data, Box::new(2i64), Box::new(39i64)]);
+        let out = fm.call(vec![
+            Box::new(1i64) as Data,
+            Box::new(2i64),
+            Box::new(39i64),
+        ]);
         assert_eq!(*out.downcast::<i64>().unwrap(), 42);
     }
 

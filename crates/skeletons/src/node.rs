@@ -191,14 +191,10 @@ impl Node {
             NodeKind::Seq { .. } => &[MuscleRole::Execute],
             NodeKind::Farm { .. } | NodeKind::Pipe { .. } | NodeKind::For { .. } => &[],
             NodeKind::While { .. } | NodeKind::If { .. } => &[MuscleRole::Condition],
-            NodeKind::Map { .. } | NodeKind::Fork { .. } => {
-                &[MuscleRole::Split, MuscleRole::Merge]
+            NodeKind::Map { .. } | NodeKind::Fork { .. } => &[MuscleRole::Split, MuscleRole::Merge],
+            NodeKind::DivideConquer { .. } => {
+                &[MuscleRole::Condition, MuscleRole::Split, MuscleRole::Merge]
             }
-            NodeKind::DivideConquer { .. } => &[
-                MuscleRole::Condition,
-                MuscleRole::Split,
-                MuscleRole::Merge,
-            ],
         }
     }
 
@@ -256,12 +252,7 @@ impl Node {
 
     /// Maximum nesting depth (a lone `seq` has depth 1).
     pub fn depth(&self) -> usize {
-        1 + self
-            .children()
-            .iter()
-            .map(|c| c.depth())
-            .max()
-            .unwrap_or(0)
+        1 + self.children().iter().map(|c| c.depth()).max().unwrap_or(0)
     }
 
     fn walk(self: &Arc<Node>, f: &mut impl FnMut(&Arc<Node>)) {

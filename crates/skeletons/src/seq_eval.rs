@@ -146,7 +146,7 @@ mod tests {
     #[test]
     fn fork_arity_mismatch_is_reported() {
         let f: Skel<i64, i64> = fork(
-            |x: i64| vec![x, x, x], // three parts...
+            |x: i64| vec![x, x, x],                 // three parts...
             vec![seq(|x: i64| x), seq(|x: i64| x)], // ...two branches
             |parts: Vec<i64>| parts[0],
         );

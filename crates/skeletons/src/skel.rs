@@ -54,7 +54,12 @@ impl<P, R> Clone for Skel<P, R> {
 
 impl<P, R> std::fmt::Debug for Skel<P, R> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "Skel<{}>({})", std::any::type_name::<fn(P) -> R>(), self.node.id)
+        write!(
+            f,
+            "Skel<{}>({})",
+            std::any::type_name::<fn(P) -> R>(),
+            self.node.id
+        )
     }
 }
 
@@ -173,7 +178,11 @@ where
 }
 
 /// `if(fc, ∆true, ∆false)` — conditional branching.
-pub fn sif<P, R>(fc: impl Condition<P>, then_branch: Skel<P, R>, else_branch: Skel<P, R>) -> Skel<P, R>
+pub fn sif<P, R>(
+    fc: impl Condition<P>,
+    then_branch: Skel<P, R>,
+    else_branch: Skel<P, R>,
+) -> Skel<P, R>
 where
     P: Send + 'static,
     R: Send + 'static,
@@ -198,11 +207,7 @@ where
 
 /// `map(fs, ∆, fm)` — splits the problem, applies `∆` to every
 /// sub-problem (in parallel under a parallel engine), merges the results.
-pub fn map<P, Q, S, R>(
-    fs: impl Split<P, Q>,
-    inner: Skel<Q, S>,
-    fm: impl Merge<S, R>,
-) -> Skel<P, R>
+pub fn map<P, Q, S, R>(fs: impl Split<P, Q>, inner: Skel<Q, S>, fm: impl Merge<S, R>) -> Skel<P, R>
 where
     P: Send + 'static,
     Q: Send + 'static,

@@ -10,7 +10,9 @@ use autonomic_skeletons::workloads::numeric::mergesort;
 fn main() {
     let sort: Skel<Vec<i64>, Vec<i64>> = mergesort(1_000);
 
-    let input: Vec<i64> = (0..200_000).map(|i| (i * 1_103_515_245 + 12_345) % 100_000).collect();
+    let input: Vec<i64> = (0..200_000)
+        .map(|i| (i * 1_103_515_245 + 12_345) % 100_000)
+        .collect();
     let mut expected = input.clone();
     expected.sort_unstable();
 

@@ -36,7 +36,9 @@ fn main() {
     let controller = autonomic_skeletons::core::AutonomicController::new(
         program.node().clone(),
         ControllerConfig::new(TimeNs::from_secs(9), 14).initial_lp(1),
-        Arc::new(autonomic_skeletons::core::FnActuator(move |n| lp.request(n))),
+        Arc::new(autonomic_skeletons::core::FnActuator(move |n| {
+            lp.request(n)
+        })),
     );
     controller.with_estimates(|est| {
         for m in &muscles {

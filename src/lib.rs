@@ -241,7 +241,10 @@ mod tests {
         );
         let decisions = auto.controller().decisions();
         let peak = decisions.iter().map(|d| d.to_lp).max().unwrap_or(1);
-        assert!(peak > 1, "controller must have raised the LP: {decisions:?}");
+        assert!(
+            peak > 1,
+            "controller must have raised the LP: {decisions:?}"
+        );
     }
 
     #[test]

@@ -44,7 +44,10 @@ fn threaded_controller_raises_lp_with_real_threads() {
     assert_eq!(result, 78);
     let decisions = auto.controller().decisions();
     let peak = decisions.iter().map(|d| d.to_lp).max().unwrap_or(1);
-    assert!(peak > 1, "controller should have raised the LP: {decisions:?}");
+    assert!(
+        peak > 1,
+        "controller should have raised the LP: {decisions:?}"
+    );
     assert!(auto.engine().pool().telemetry().peak_active() > 1);
     auto.shutdown();
 }

@@ -61,17 +61,22 @@ fn program_strategy() -> impl Strategy<Value = Program> {
                 skel: sfor(n, a.skel),
                 desc: format!("for({n}, {})", a.desc),
             }),
-            // while(x < bound, body = a then clamp-up) — guaranteed to
-            // terminate: the body strictly increases below the bound.
+            // while(x < bound, clamp-up body) after a — guaranteed to
+            // terminate: the body strictly increases below the bound and
+            // first lifts the value to at least -bound, so the loop runs
+            // O(bound) iterations. (Running `a` *inside* the body is not
+            // safe: an arbitrary sub-program can drift the value down by
+            // a little every iteration, and the loop then needs ~2^63
+            // steps to wrap around.)
             (1i64..50, inner.clone()).prop_map(|(bound, a)| Program {
-                skel: swhile(
-                    move |x: &i64| *x < bound,
-                    pipe(
-                        a.skel,
-                        seq(move |x: i64| if x < bound { bound.min(x.saturating_add(7)) } else { x }),
+                skel: pipe(
+                    a.skel,
+                    swhile(
+                        move |x: &i64| *x < bound,
+                        seq(move |x: i64| bound.min(x.max(-bound).saturating_add(7))),
                     ),
                 ),
-                desc: format!("while(<{bound}, {}+7)", a.desc),
+                desc: format!("pipe({}, while(<{bound}, +7))", a.desc),
             }),
             // if(even, a, b)
             (inner.clone(), inner.clone()).prop_map(|(a, b)| Program {
@@ -96,15 +101,21 @@ fn program_strategy() -> impl Strategy<Value = Program> {
                 ),
                 desc: format!("fork({}, {})", a.desc, b.desc),
             }),
-            // d&C: halve positive values above a threshold, base = a.
+            // d&C: normalize into [0, 200) — upstream stages can inflate
+            // the value arbitrarily (wrapping products), and the split
+            // produces ~x/threshold leaves — then halve values above the
+            // threshold; base = a.
             (4i64..32, inner).prop_map(|(threshold, a)| Program {
-                skel: dac(
-                    move |x: &i64| *x > threshold,
-                    |x: i64| vec![x / 2, x - x / 2],
-                    a.skel,
-                    |parts: Vec<i64>| parts.iter().fold(0i64, |s, v| s.wrapping_add(*v)),
+                skel: pipe(
+                    seq(|x: i64| x.rem_euclid(200)),
+                    dac(
+                        move |x: &i64| *x > threshold,
+                        |x: i64| vec![x / 2, x - x / 2],
+                        a.skel,
+                        |parts: Vec<i64>| parts.iter().fold(0i64, |s, v| s.wrapping_add(*v)),
+                    ),
                 ),
-                desc: format!("dac(>{threshold}, {})", a.desc),
+                desc: format!("dac(>{threshold}, %200 {})", a.desc),
             }),
         ]
     })

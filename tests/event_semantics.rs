@@ -64,8 +64,11 @@ fn sim_events_are_paired_and_deterministic() {
     assert_paired(&a);
     let b = run();
     // Same structure run-to-run (instance ids differ; shapes must match).
-    let shape =
-        |evs: &[RecordedEvent]| evs.iter().map(|e| (e.node, e.when, e.wher)).collect::<Vec<_>>();
+    let shape = |evs: &[RecordedEvent]| {
+        evs.iter()
+            .map(|e| (e.node, e.when, e.wher))
+            .collect::<Vec<_>>()
+    };
     assert_eq!(shape(&a), shape(&b));
 }
 
@@ -106,9 +109,13 @@ fn seq_before_and_after_fire_on_the_muscles_thread() {
     let et = Arc::clone(&event_threads);
     engine.registry().add_filtered(
         EventFilter::all().kind(askel_skeletons::KindTag::Seq),
-        Arc::new(FnListener(move |_: &mut askel_events::Payload<'_>, e: &askel_events::Event| {
-            et.lock().unwrap().push((e.when, std::thread::current().id()));
-        })),
+        Arc::new(FnListener(
+            move |_: &mut askel_events::Payload<'_>, e: &askel_events::Event| {
+                et.lock()
+                    .unwrap()
+                    .push((e.when, std::thread::current().id()));
+            },
+        )),
     );
     engine.submit(&program, 21).get().unwrap();
     engine.shutdown();
@@ -137,7 +144,11 @@ fn split_cardinality_is_reported() {
         .filter(|e| e.node == program.id() && e.wher == Where::Split && e.when == When::After)
         .filter_map(|e| e.info.split_cardinality())
         .collect();
-    assert_eq!(outer_card, vec![3], "6 items / chunks of 2 = 3 sub-problems");
+    assert_eq!(
+        outer_card,
+        vec![3],
+        "6 items / chunks of 2 = 3 sub-problems"
+    );
 }
 
 #[test]
@@ -196,7 +207,10 @@ fn instance_indices_correlate_before_and_after() {
     // per-instance protocol (skeleton b/a at least).
     let mut per_instance: HashMap<InstanceId, Vec<(When, Where)>> = HashMap::new();
     for e in collector.snapshot() {
-        per_instance.entry(e.index).or_default().push((e.when, e.wher));
+        per_instance
+            .entry(e.index)
+            .or_default()
+            .push((e.when, e.wher));
     }
     for (inst, evs) in per_instance {
         assert!(

@@ -106,10 +106,7 @@ fn timelines_start_single_threaded_during_the_file_read() {
     // (the 6.4s file read) runs — no scenario may show >1 active before
     // 6.4s.
     let testbed = testbed();
-    for out in [
-        testbed.run(GOAL_95, None),
-        testbed.run(GOAL_105, None),
-    ] {
+    for out in [testbed.run(GOAL_95, None), testbed.run(GOAL_105, None)] {
         for p in &out.active_timeline {
             if p.at < TimeNs::from_millis(6_400) {
                 assert!(

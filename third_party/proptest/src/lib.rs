@@ -1,0 +1,199 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! shim implements the subset of proptest the workspace's property tests
+//! use: composable [`strategy::Strategy`] values (ranges, tuples,
+//! [`strategy::Just`], [`arbitrary::any`], [`collection::vec`],
+//! `prop_map` / `prop_flat_map` / `prop_recursive` / `prop_oneof!`) and
+//! the [`proptest!`] / [`prop_assert!`] / [`prop_assert_eq!`] macros.
+//!
+//! Semantics match upstream where the tests can observe them — each
+//! `#[test]` runs `ProptestConfig::cases` generated cases and fails with
+//! the offending inputs' `Debug` rendering — except that failing cases
+//! are **not shrunk** and generation streams differ from upstream.
+//! Deterministic per test unless `PROPTEST_RNG_SEED` overrides the seed.
+
+#![forbid(unsafe_code)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Everything the property tests import.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr)
+     $($(#[$meta:meta])*
+       fn $name:ident ( $($pat:pat in $strat:expr),+ $(,)? ) $body:block)*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __runner = $crate::test_runner::TestRunner::new($cfg);
+                let __strats = ($($strat,)+);
+                for __case in 0..__runner.cases() {
+                    let mut __rng = __runner.rng_for(stringify!($name), __case);
+                    let __values =
+                        $crate::strategy::Strategy::generate(&__strats, &mut __rng);
+                    let __debug = format!("{:?}", __values);
+                    let ($($pat,)+) = __values;
+                    let __result: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            $body
+                            ::core::result::Result::Ok(())
+                        })();
+                    if let ::core::result::Result::Err(e) = __result {
+                        panic!(
+                            "proptest `{}` failed at case {}/{}: {}\n  inputs: {}",
+                            stringify!($name),
+                            __case,
+                            __runner.cases(),
+                            e,
+                            __debug,
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Uniform (or `weight =>`-weighted) choice among strategies of one value
+/// type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::weighted(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($arm)),)+
+        ])
+    };
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm),)+
+        ])
+    };
+}
+
+/// Asserts inside a `proptest!` body, reporting the generated inputs on
+/// failure instead of panicking outright.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Equality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: `{} == {}`\n  left: `{:?}`\n right: `{:?}`",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError(format!(
+                "{}\n  left: `{:?}`\n right: `{:?}`",
+                format!($($fmt)+),
+                l,
+                r
+            )));
+        }
+    }};
+}
+
+/// Inequality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l != r,
+            "assertion failed: `{} != {}`, both: `{:?}`",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+#[cfg(test)]
+mod macro_tests {
+    use crate::prelude::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    static FAIL_CASES: AtomicUsize = AtomicUsize::new(0);
+    static SEEN: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 10, ..ProptestConfig::default() })]
+
+        // Meta attributes pass through; the runner really loops and
+        // reports the failing case index.
+        #[test]
+        #[should_panic(expected = "failed at case 5")]
+        fn failure_reports_the_case_index(x in 0u64..1000) {
+            let _ = x;
+            let case = FAIL_CASES.fetch_add(1, Ordering::SeqCst);
+            prop_assert!(case < 5, "boom at case {case}");
+        }
+
+        #[test]
+        fn tuple_patterns_and_multiple_args((a, b) in (0u32..10, 10u32..20), c in 0usize..3) {
+            prop_assert!(a < 10);
+            prop_assert!((10..20).contains(&b));
+            prop_assert!(c < 3);
+            prop_assert_eq!(a + b, b + a);
+            prop_assert_ne!(a, b);
+        }
+
+        #[test]
+        fn generated_values_vary_across_cases(x in 0u64..u64::MAX) {
+            let mut seen = SEEN.lock().unwrap();
+            seen.push(x);
+            if seen.len() == 10 {
+                let mut unique = seen.clone();
+                unique.sort_unstable();
+                unique.dedup();
+                prop_assert!(unique.len() > 8, "only {} distinct draws", unique.len());
+            }
+        }
+    }
+}

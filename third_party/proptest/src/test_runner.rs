@@ -1,0 +1,131 @@
+//! The case-running side: configuration, the per-test RNG, and the error
+//! type `prop_assert!` produces.
+
+/// How a property test runs. Field names match upstream so
+/// `ProptestConfig { cases: 256, ..ProptestConfig::default() }` works.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+    /// Accepted for upstream compatibility; the shim never shrinks.
+    pub max_shrink_iters: u32,
+    /// Accepted for upstream compatibility; unused.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_shrink_iters: 1024,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+/// A failed property (carries the formatted assertion message).
+#[derive(Clone, Debug)]
+pub struct TestCaseError(pub String);
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Drives one `proptest!`-declared test: hands out per-case RNGs.
+pub struct TestRunner {
+    config: ProptestConfig,
+    seed: u64,
+}
+
+impl TestRunner {
+    /// A runner for `config`. The base seed is fixed (deterministic runs)
+    /// unless `PROPTEST_RNG_SEED` is set in the environment.
+    pub fn new(config: ProptestConfig) -> Self {
+        let seed = std::env::var("PROPTEST_RNG_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0x5EED_CAFE_F00D_D00D);
+        TestRunner { config, seed }
+    }
+
+    /// Number of cases to run.
+    pub fn cases(&self) -> u32 {
+        self.config.cases
+    }
+
+    /// The RNG for one case: seeded from the test name and case index so
+    /// every test sees an independent, reproducible stream.
+    pub fn rng_for(&self, test_name: &str, case: u32) -> TestRng {
+        let mut h = self.seed;
+        for b in test_name.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x100_0000_01B3);
+        }
+        TestRng::from_seed(h ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+}
+
+/// The generation RNG (SplitMix64 — tiny, fast, and plenty for tests).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// An RNG at `seed`.
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_case_rngs_are_reproducible() {
+        let runner = TestRunner::new(ProptestConfig::default());
+        let mut a = runner.rng_for("t", 3);
+        let mut b = runner.rng_for("t", 3);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = runner.rng_for("t", 4);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut rng = TestRng::from_seed(1);
+        for bound in [1u64, 2, 3, 17, 1 << 40] {
+            for _ in 0..200 {
+                assert!(rng.below(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn config_literal_update_syntax_works() {
+        let cfg = ProptestConfig {
+            cases: 48,
+            ..ProptestConfig::default()
+        };
+        assert_eq!(cfg.cases, 48);
+    }
+}

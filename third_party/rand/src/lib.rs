@@ -1,0 +1,233 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! shim provides exactly the API surface the workspace uses — `StdRng`,
+//! [`SeedableRng::seed_from_u64`], [`Rng::gen`] and [`Rng::gen_range`] —
+//! backed by xoshiro256** seeded through SplitMix64. Deterministic for a
+//! given seed (which is all the workloads require), but the streams are
+//! **not** bit-compatible with upstream `rand`.
+
+#![forbid(unsafe_code)]
+
+/// Types that can be sampled uniformly from an RNG (the `Standard`
+/// distribution in upstream `rand`).
+pub trait Standard: Sized {
+    /// Draws one value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 random mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges that [`Rng::gen_range`] accepts.
+pub trait SampleRange<T> {
+    /// Draws one value from the range. Panics if the range is empty.
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + (uniform_u128(rng, span) as i128)) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                (lo as i128 + (uniform_u128(rng, span) as i128)) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Uniform draw in `[0, span)` via Lemire-style widening reduction
+/// (`span` of 0 means the full 2^64 range collapsed — not reachable from
+/// the integer range impls above).
+fn uniform_u128<R: RngCore + ?Sized>(rng: &mut R, span: u128) -> u128 {
+    debug_assert!(span > 0);
+    if span > u64::MAX as u128 {
+        // Only reachable from 128-bit-wide spans, which the integer
+        // impls cannot produce for types ≤ 64 bits... except u64/i64
+        // full-range inclusive; handle by rejection-free composition.
+        let hi = uniform_u128(rng, span >> 64) << 64;
+        return hi | rng.next_u64() as u128;
+    }
+    (rng.next_u64() as u128 * span) >> 64
+}
+
+/// Low-level uniform bit source.
+pub trait RngCore {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Convenience sampling layer over [`RngCore`] (upstream `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Samples a value of any [`Standard`]-distributed type.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Samples uniformly from `range`.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample(self)
+    }
+
+    /// Bernoulli draw with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+impl<T: RngCore + ?Sized> RngCore for &mut T {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// RNGs that can be built from seeds.
+pub trait SeedableRng: Sized {
+    /// Builds the RNG from a 64-bit seed (expanded via SplitMix64).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// The workspace's standard RNG: xoshiro256** (Blackman & Vigna).
+#[derive(Clone, Debug)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // SplitMix64 expansion, as recommended by the xoshiro authors.
+        let mut x = seed;
+        let mut next = move || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        StdRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+/// RNG module layout mirroring upstream `rand::rngs`.
+pub mod rngs {
+    pub use super::StdRng;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn unit_floats_stay_in_range() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let u: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn ranges_cover_without_escaping() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut seen = [false; 9];
+        for _ in 0..1_000 {
+            let v = rng.gen_range(4..=12);
+            assert!((4..=12).contains(&v));
+            seen[(v - 4) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values of 4..=12 reachable");
+        for _ in 0..1_000 {
+            let v: usize = rng.gen_range(0..22);
+            assert!(v < 22);
+        }
+        for _ in 0..1_000 {
+            let v = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn works_through_mut_references() {
+        fn draw(rng: &mut impl Rng) -> usize {
+            rng.gen_range(0..10)
+        }
+        let mut rng = StdRng::seed_from_u64(3);
+        let v = draw(&mut rng);
+        assert!(v < 10);
+    }
+}
