@@ -66,9 +66,9 @@ impl Fig1Fixture {
     }
 
     /// Feeds the WCT-70 event history (LP 2) into `sink`:
-    /// root split [0,10]·card 3; inner splits A,B [10,20]·card 3; six fe's
-    /// two-at-a-time over [20,65]; A's merge [65,70]; C's split running
-    /// from 65.
+    /// root split \[0,10\]·card 3; inner splits A,B \[10,20\]·card 3;
+    /// six fe's two-at-a-time over \[20,65\]; A's merge \[65,70\]; C's
+    /// split running from 65.
     pub fn feed_history(&self, mut sink: impl FnMut(Event)) {
         const O: u64 = 9_000_100;
         const A: u64 = 9_000_101;

@@ -12,6 +12,12 @@
 //! in virtual time, which the controller observes through the ordinary
 //! event stream and compensates for by provisioning more workers.
 //!
+//! In the crate layering (see `docs/ARCHITECTURE.md`), this sits above
+//! the simulator: a [`Cluster`] is an `askel_sim` worker model, driven
+//! by the same centralised event → analyze → plan → resize loop that
+//! scales the threaded engine's work-stealing pool — the paper's
+//! "adding or removing workers like adding or removing threads".
+//!
 //! ```
 //! use std::sync::Arc;
 //! use askel_dist::{Cluster, NodeSpec};

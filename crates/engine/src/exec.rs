@@ -14,6 +14,15 @@
 //! * the whole task body (muscle + listeners + continuation) is guarded:
 //!   a panic poisons the submission and short-circuits its remaining
 //!   tasks.
+//!
+//! Dispatch detail: a muscle kind's entry step is built as a plain pool
+//! task value ([`node_task`]) rather than submitted eagerly, so fan-out
+//! hands all children to the pool in **one batch** (one queue-lock
+//! acquisition, one wake-up sweep) instead of a submit per child. Tasks
+//! scheduled from a worker land on that worker's own deque and run LIFO,
+//! which keeps `split → executes → merge` chains on a warm cache; idle
+//! workers steal the oldest children, giving the paper's fan-out
+//! parallelism without a central queue (see `docs/ARCHITECTURE.md`).
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -22,7 +31,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use askel_events::{Event, EventInfo, ListenerRegistry, Payload, Trace, When, Where};
-use askel_pool::ResizablePool;
+use askel_pool::{ResizablePool, Task};
 use askel_skeletons::{Clock, Data, EvalError, InstanceId, Node, NodeKind, Skel};
 
 use crate::error::{panic_message, EngineError};
@@ -30,13 +39,65 @@ use crate::future::{pair, SkelFuture};
 
 /// Continuation invoked with a node's result, on the thread that produced
 /// it.
-type Cont = Box<dyn FnOnce(&Arc<SubCtx>, Data) + Send>;
+///
+/// The `Join` variant is the fan-out fast path: instead of boxing a
+/// fresh closure (plus `Arc` bumps for the parent node and trace) for
+/// every child, a child carries only the shared join handle and its
+/// slot index — the parent context lives once, inside the [`Join`].
+type BoxedCont = Box<dyn FnOnce(&Arc<SubCtx>, Data) + Send>;
+
+enum Cont {
+    /// A boxed general continuation.
+    F(BoxedCont),
+    /// The k-th child of a fan-out completes into its join.
+    Join { join: Arc<Join>, k: usize },
+}
+
+impl Cont {
+    fn f(f: impl FnOnce(&Arc<SubCtx>, Data) + Send + 'static) -> Self {
+        Cont::F(Box::new(f))
+    }
+
+    fn run(self, ctx: &Arc<SubCtx>, mut data: Data) {
+        match self {
+            Cont::F(f) => f(ctx, data),
+            Cont::Join { join, k } => {
+                ctx.emit(
+                    &join.node,
+                    &join.trace,
+                    join.inst,
+                    When::After,
+                    Where::NestedSkeleton,
+                    EventInfo::ChildIndex(k),
+                    &mut Payload::Single(&mut data),
+                );
+                if let Some((results, cont)) = join.complete(k, data) {
+                    spawn_merge(
+                        ctx,
+                        Arc::clone(&join.node),
+                        join.trace.clone(),
+                        join.inst,
+                        results,
+                        cont,
+                    );
+                }
+            }
+        }
+    }
+}
 
 /// Per-submission context: engine services plus the poisoning machinery.
 struct SubCtx {
     pool: ResizablePool,
     registry: Arc<ListenerRegistry>,
     clock: Arc<dyn Clock>,
+    /// Whether any listener was registered when this submission started.
+    /// Sampled once at submit time: when false, the whole event path —
+    /// instance ids, trace extension (an allocation per scheduled node)
+    /// and emission — is skipped for the submission's lifetime.
+    tracing: bool,
+    /// Shared zero-allocation stand-in trace used when `tracing` is off.
+    empty_trace: Trace,
     failed: AtomicBool,
     fail_fn: Box<dyn Fn(EngineError) + Send + Sync>,
 }
@@ -47,18 +108,24 @@ impl SubCtx {
         (self.fail_fn)(err); // the promise keeps only the first resolution
     }
 
-    /// Schedules a pool task that short-circuits if the submission is
-    /// poisoned and poisons it if the body panics.
-    fn spawn(self: &Arc<Self>, f: impl FnOnce(&Arc<SubCtx>) + Send + 'static) {
+    /// Wraps a step into a pool task that short-circuits if the
+    /// submission is poisoned and poisons it if the body panics.
+    fn task(self: &Arc<Self>, f: impl FnOnce(&Arc<SubCtx>) + Send + 'static) -> Task {
         let ctx = Arc::clone(self);
-        self.pool.submit(Box::new(move || {
+        Box::new(move || {
             if ctx.failed.load(Ordering::SeqCst) {
                 return;
             }
             if let Err(p) = catch_unwind(AssertUnwindSafe(|| f(&ctx))) {
                 ctx.fail(EngineError::MusclePanic(panic_message(p.as_ref())));
             }
-        }));
+        })
+    }
+
+    /// Builds and immediately schedules one guarded task.
+    fn spawn(self: &Arc<Self>, f: impl FnOnce(&Arc<SubCtx>) + Send + 'static) {
+        let task = self.task(f);
+        self.pool.submit(task);
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -72,7 +139,7 @@ impl SubCtx {
         info: EventInfo,
         payload: &mut Payload<'_>,
     ) {
-        if self.registry.is_empty() {
+        if !self.tracing || self.registry.is_empty() {
             return;
         }
         let event = Event {
@@ -89,22 +156,33 @@ impl SubCtx {
     }
 }
 
-/// Collects fan-out results in sub-problem order; the closer (last child)
-/// receives the full result vector.
+/// Collects fan-out results in sub-problem order and owns the parent's
+/// continuation plus the parent instance's identity (node, trace,
+/// instance id) — stored once here rather than cloned into every child;
+/// the closer (last child) receives the full result vector together with
+/// the continuation.
 struct Join {
+    node: Arc<Node>,
+    trace: Trace,
+    inst: InstanceId,
     slots: Mutex<Vec<Option<Data>>>,
     remaining: AtomicUsize,
+    cont: Mutex<Option<Cont>>,
 }
 
 impl Join {
-    fn new(n: usize) -> Arc<Self> {
+    fn new(n: usize, cont: Cont, node: Arc<Node>, trace: Trace, inst: InstanceId) -> Arc<Self> {
         Arc::new(Join {
+            node,
+            trace,
+            inst,
             slots: Mutex::new((0..n).map(|_| None).collect()),
             remaining: AtomicUsize::new(n),
+            cont: Mutex::new(Some(cont)),
         })
     }
 
-    fn complete(&self, k: usize, value: Data) -> Option<Vec<Data>> {
+    fn complete(&self, k: usize, value: Data) -> Option<(Vec<Data>, Cont)> {
         {
             let mut slots = self.slots.lock();
             debug_assert!(slots[k].is_none(), "child {k} completed twice");
@@ -112,12 +190,14 @@ impl Join {
         }
         if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
             let slots = std::mem::take(&mut *self.slots.lock());
-            Some(
+            let cont = self.cont.lock().take().expect("join completed twice");
+            Some((
                 slots
                     .into_iter()
                     .map(|s| s.expect("join closed with missing slot"))
                     .collect(),
-            )
+                cont,
+            ))
         } else {
             None
         }
@@ -138,14 +218,17 @@ where
 {
     let (future, promise) = pair::<R>();
     let fail_promise = promise.clone();
+    let tracing = !registry.is_empty();
     let ctx = Arc::new(SubCtx {
         pool,
         registry,
         clock,
+        tracing,
+        empty_trace: Trace::empty(),
         failed: AtomicBool::new(false),
         fail_fn: Box::new(move |e| fail_promise.fail(e)),
     });
-    let root_cont: Cont = Box::new(move |_ctx, data| match data.downcast::<R>() {
+    let root_cont: Cont = Cont::f(move |_ctx, data| match data.downcast::<R>() {
         Ok(r) => promise.fulfill(*r),
         Err(_) => promise.fail(EngineError::MusclePanic(
             "internal error: root result had an unexpected type".into(),
@@ -163,34 +246,85 @@ fn schedule_node(
     data: Data,
     cont: Cont,
 ) {
-    let inst = InstanceId::fresh();
-    let trace = match parent {
-        Some(t) => t.child(node.id, inst, node.tag()),
-        None => Trace::root(node.id, inst, node.tag()),
-    };
-    let node = Arc::clone(node);
-    match node.tag() {
-        askel_skeletons::KindTag::Seq => exec_seq(ctx, node, trace, inst, data, cont),
-        askel_skeletons::KindTag::Farm => exec_farm(ctx, node, trace, inst, data, cont),
-        askel_skeletons::KindTag::Pipe => exec_pipe(ctx, node, trace, inst, data, cont),
-        askel_skeletons::KindTag::While => exec_while(ctx, node, trace, inst, data, cont, 0),
-        askel_skeletons::KindTag::If => exec_if(ctx, node, trace, inst, data, cont),
-        askel_skeletons::KindTag::For => exec_for(ctx, node, trace, inst, data, cont),
-        askel_skeletons::KindTag::Map => exec_map(ctx, node, trace, inst, data, cont),
-        askel_skeletons::KindTag::Fork => exec_fork(ctx, node, trace, inst, data, cont),
-        askel_skeletons::KindTag::DivideConquer => exec_dac(ctx, node, trace, inst, data, cont),
+    if let Some(task) = node_task(ctx, node, parent, data, cont) {
+        ctx.pool.submit(task);
     }
 }
 
-fn exec_seq(
+/// Like [`schedule_node`], but muscle kinds push their entry task into
+/// `batch` instead of submitting it, so the caller can hand a whole
+/// fan-out to the pool at once. Structural kinds still execute inline.
+fn schedule_node_into(
+    ctx: &Arc<SubCtx>,
+    node: &Arc<Node>,
+    parent: Option<&Trace>,
+    data: Data,
+    cont: Cont,
+    batch: &mut Vec<Task>,
+) {
+    if let Some(task) = node_task(ctx, node, parent, data, cont) {
+        batch.push(task);
+    }
+}
+
+/// Builds the entry step for `node`.
+///
+/// Muscle-owning kinds (`seq`, `while`, `if`, `map`, `fork`, `d&C`)
+/// return their first pool task; structural kinds (`farm`, `pipe`,
+/// `for`) emit their events inline, recurse, and return `None`.
+fn node_task(
+    ctx: &Arc<SubCtx>,
+    node: &Arc<Node>,
+    parent: Option<&Trace>,
+    data: Data,
+    cont: Cont,
+) -> Option<Task> {
+    let (inst, trace) = if ctx.tracing {
+        let inst = InstanceId::fresh();
+        let trace = match parent {
+            Some(t) => t.child(node.id, inst, node.tag()),
+            None => Trace::root(node.id, inst, node.tag()),
+        };
+        (inst, trace)
+    } else {
+        // No listener can observe this submission: skip the id and the
+        // per-node trace allocation entirely.
+        (InstanceId(0), ctx.empty_trace.clone())
+    };
+    let node = Arc::clone(node);
+    match node.tag() {
+        askel_skeletons::KindTag::Seq => Some(task_seq(ctx, node, trace, inst, data, cont)),
+        askel_skeletons::KindTag::While => Some(task_while(ctx, node, trace, inst, data, cont, 0)),
+        askel_skeletons::KindTag::If => Some(task_if(ctx, node, trace, inst, data, cont)),
+        askel_skeletons::KindTag::Map => Some(task_map(ctx, node, trace, inst, data, cont)),
+        askel_skeletons::KindTag::Fork => Some(task_fork(ctx, node, trace, inst, data, cont)),
+        askel_skeletons::KindTag::DivideConquer => {
+            Some(task_dac(ctx, node, trace, inst, data, cont))
+        }
+        askel_skeletons::KindTag::Farm => {
+            exec_farm(ctx, node, trace, inst, data, cont);
+            None
+        }
+        askel_skeletons::KindTag::Pipe => {
+            exec_pipe(ctx, node, trace, inst, data, cont);
+            None
+        }
+        askel_skeletons::KindTag::For => {
+            exec_for(ctx, node, trace, inst, data, cont);
+            None
+        }
+    }
+}
+
+fn task_seq(
     ctx: &Arc<SubCtx>,
     node: Arc<Node>,
     trace: Trace,
     inst: InstanceId,
     data: Data,
     cont: Cont,
-) {
-    ctx.spawn(move |ctx| {
+) -> Task {
+    ctx.task(move |ctx| {
         let mut data = data;
         ctx.emit(
             &node,
@@ -214,8 +348,8 @@ fn exec_seq(
             EventInfo::None,
             &mut Payload::Single(&mut out),
         );
-        cont(ctx, out);
-    });
+        cont.run(ctx, out);
+    })
 }
 
 fn exec_farm(
@@ -255,7 +389,7 @@ fn exec_farm(
         &inner,
         Some(&trace),
         data,
-        Box::new(move |ctx, mut out| {
+        Cont::f(move |ctx, mut out| {
             ctx.emit(
                 &node2,
                 &trace2,
@@ -274,7 +408,7 @@ fn exec_farm(
                 EventInfo::None,
                 &mut Payload::Single(&mut out),
             );
-            cont(ctx, out);
+            cont.run(ctx, out);
         }),
     );
 }
@@ -321,7 +455,7 @@ fn pipe_stage(
             EventInfo::None,
             &mut Payload::Single(&mut data),
         );
-        cont(ctx, data);
+        cont.run(ctx, data);
         return;
     }
     ctx.emit(
@@ -341,7 +475,7 @@ fn pipe_stage(
         &stage,
         Some(&trace),
         data,
-        Box::new(move |ctx, mut out| {
+        Cont::f(move |ctx, mut out| {
             ctx.emit(
                 &node2,
                 &trace2,
@@ -356,7 +490,7 @@ fn pipe_stage(
     );
 }
 
-fn exec_while(
+fn task_while(
     ctx: &Arc<SubCtx>,
     node: Arc<Node>,
     trace: Trace,
@@ -364,8 +498,8 @@ fn exec_while(
     data: Data,
     cont: Cont,
     iter: usize,
-) {
-    ctx.spawn(move |ctx| {
+) -> Task {
+    ctx.task(move |ctx| {
         let mut data = data;
         if iter == 0 {
             ctx.emit(
@@ -418,7 +552,7 @@ fn exec_while(
                 &inner,
                 Some(&trace),
                 data,
-                Box::new(move |ctx, mut out| {
+                Cont::f(move |ctx, mut out| {
                     ctx.emit(
                         &node2,
                         &trace2,
@@ -428,7 +562,8 @@ fn exec_while(
                         EventInfo::ChildIndex(iter),
                         &mut Payload::Single(&mut out),
                     );
-                    exec_while(ctx, node2, trace2, inst, out, cont, iter + 1);
+                    let next = task_while(ctx, node2, trace2, inst, out, cont, iter + 1);
+                    ctx.pool.submit(next);
                 }),
             );
         } else {
@@ -441,20 +576,20 @@ fn exec_while(
                 EventInfo::None,
                 &mut Payload::Single(&mut data),
             );
-            cont(ctx, data);
+            cont.run(ctx, data);
         }
-    });
+    })
 }
 
-fn exec_if(
+fn task_if(
     ctx: &Arc<SubCtx>,
     node: Arc<Node>,
     trace: Trace,
     inst: InstanceId,
     data: Data,
     cont: Cont,
-) {
-    ctx.spawn(move |ctx| {
+) -> Task {
+    ctx.task(move |ctx| {
         let mut data = data;
         ctx.emit(
             &node,
@@ -513,7 +648,7 @@ fn exec_if(
             &branch,
             Some(&trace),
             data,
-            Box::new(move |ctx, mut out| {
+            Cont::f(move |ctx, mut out| {
                 ctx.emit(
                     &node2,
                     &trace2,
@@ -532,10 +667,10 @@ fn exec_if(
                     EventInfo::None,
                     &mut Payload::Single(&mut out),
                 );
-                cont(ctx, out);
+                cont.run(ctx, out);
             }),
         );
-    });
+    })
 }
 
 fn exec_for(
@@ -569,7 +704,7 @@ fn exec_for(
             EventInfo::None,
             &mut Payload::Single(&mut data),
         );
-        cont(ctx, data);
+        cont.run(ctx, data);
         return;
     }
     for_iteration(ctx, node, trace, inst, data, cont, 0, n);
@@ -606,7 +741,7 @@ fn for_iteration(
         &inner,
         Some(&trace),
         data,
-        Box::new(move |ctx, mut out| {
+        Cont::f(move |ctx, mut out| {
             ctx.emit(
                 &node2,
                 &trace2,
@@ -628,21 +763,21 @@ fn for_iteration(
                     EventInfo::None,
                     &mut Payload::Single(&mut out),
                 );
-                cont(ctx, out);
+                cont.run(ctx, out);
             }
         }),
     );
 }
 
-fn exec_map(
+fn task_map(
     ctx: &Arc<SubCtx>,
     node: Arc<Node>,
     trace: Trace,
     inst: InstanceId,
     data: Data,
     cont: Cont,
-) {
-    ctx.spawn(move |ctx| {
+) -> Task {
+    ctx.task(move |ctx| {
         let mut data = data;
         ctx.emit(
             &node,
@@ -689,18 +824,18 @@ fn exec_map(
                 Arc::clone(inner)
             },
         );
-    });
+    })
 }
 
-fn exec_fork(
+fn task_fork(
     ctx: &Arc<SubCtx>,
     node: Arc<Node>,
     trace: Trace,
     inst: InstanceId,
     data: Data,
     cont: Cont,
-) {
-    ctx.spawn(move |ctx| {
+) -> Task {
+    ctx.task(move |ctx| {
         let mut data = data;
         ctx.emit(
             &node,
@@ -755,18 +890,18 @@ fn exec_fork(
                 Arc::clone(&inners[k])
             },
         );
-    });
+    })
 }
 
-fn exec_dac(
+fn task_dac(
     ctx: &Arc<SubCtx>,
     node: Arc<Node>,
     trace: Trace,
     inst: InstanceId,
     data: Data,
     cont: Cont,
-) {
-    ctx.spawn(move |ctx| {
+) -> Task {
+    ctx.task(move |ctx| {
         let mut data = data;
         ctx.emit(
             &node,
@@ -851,7 +986,7 @@ fn exec_dac(
                 &inner,
                 Some(&trace),
                 data,
-                Box::new(move |ctx, mut out| {
+                Cont::f(move |ctx, mut out| {
                     ctx.emit(
                         &node2,
                         &trace2,
@@ -870,16 +1005,20 @@ fn exec_dac(
                         EventInfo::None,
                         &mut Payload::Single(&mut out),
                     );
-                    cont(ctx, out);
+                    cont.run(ctx, out);
                 }),
             );
         }
-    });
+    })
 }
 
 /// Fans `parts` out to child skeletons chosen by `pick_child(node, k)`,
 /// joins the results in order, then schedules the merge task which also
 /// closes the parent instance (`After, Merge` then `After, Skeleton`).
+///
+/// Muscle-kind children are submitted to the pool as **one batch** after
+/// the loop (structural children still start inline), so a wide split
+/// costs one queue-lock acquisition instead of one per child.
 fn fan_out(
     ctx: &Arc<SubCtx>,
     node: Arc<Node>,
@@ -890,51 +1029,41 @@ fn fan_out(
     pick_child: impl Fn(&Arc<Node>, usize) -> Arc<Node> + Copy,
 ) {
     if parts.is_empty() {
-        schedule_merge(ctx, node, trace, inst, Vec::new(), cont);
+        spawn_merge(ctx, node, trace, inst, Vec::new(), cont);
         return;
     }
-    let join = Join::new(parts.len());
-    let cont = Arc::new(Mutex::new(Some(cont)));
+    let n = parts.len();
+    let join = Join::new(n, cont, node, trace, inst);
+    let mut batch: Vec<Task> = Vec::with_capacity(n);
     for (k, mut part) in parts.into_iter().enumerate() {
         ctx.emit(
-            &node,
-            &trace,
+            &join.node,
+            &join.trace,
             inst,
             When::Before,
             Where::NestedSkeleton,
             EventInfo::ChildIndex(k),
             &mut Payload::Single(&mut part),
         );
-        let child = pick_child(&node, k);
-        let join = Arc::clone(&join);
-        let cont = Arc::clone(&cont);
-        let node2 = Arc::clone(&node);
-        let trace2 = trace.clone();
-        schedule_node(
+        let child = pick_child(&join.node, k);
+        schedule_node_into(
             ctx,
             &child,
-            Some(&trace),
+            Some(&join.trace),
             part,
-            Box::new(move |ctx, mut out| {
-                ctx.emit(
-                    &node2,
-                    &trace2,
-                    inst,
-                    When::After,
-                    Where::NestedSkeleton,
-                    EventInfo::ChildIndex(k),
-                    &mut Payload::Single(&mut out),
-                );
-                if let Some(results) = join.complete(k, out) {
-                    let cont = cont.lock().take().expect("join completed twice");
-                    schedule_merge(ctx, node2, trace2, inst, results, cont);
-                }
-            }),
+            Cont::Join {
+                join: Arc::clone(&join),
+                k,
+            },
+            &mut batch,
         );
     }
+    ctx.pool.submit_batch(batch);
 }
 
-fn schedule_merge(
+/// Schedules the merge as its own pool task (the paper's discipline: the
+/// merge is one more "active thread", started by the last child).
+fn spawn_merge(
     ctx: &Arc<SubCtx>,
     node: Arc<Node>,
     trace: Trace,
@@ -978,6 +1107,6 @@ fn schedule_merge(
             EventInfo::None,
             &mut Payload::Single(&mut out),
         );
-        cont(ctx, out);
+        cont.run(ctx, out);
     });
 }

@@ -11,6 +11,18 @@
 //! counter and schedule their merge as a fresh task, so the pool's
 //! active-task count *is* the paper's "number of active threads".
 //!
+//! Dispatch rides the pool's sharded work-stealing queue (see
+//! `docs/ARCHITECTURE.md`): continuations land on the scheduling
+//! worker's own deque and run LIFO on a warm cache, fan-out children
+//! are handed to the pool as one batch, and idle workers steal the
+//! oldest children — so raising the LP mid-run immediately gives the
+//! new workers something to take.
+//!
+//! The listener set is sampled when a submission starts: if no listener
+//! is registered at that moment, the submission skips the entire event
+//! path (instance ids, traces, emission) for its lifetime. Register
+//! listeners before submitting.
+//!
 //! ```
 //! use askel_engine::Engine;
 //! use askel_skeletons::{map, seq};
@@ -106,6 +118,10 @@ impl Engine {
     ///
     /// Multiple submissions may be in flight concurrently; they share the
     /// pool, so pipeline stages of different inputs overlap naturally.
+    ///
+    /// The listener set is sampled now: a submission started while the
+    /// registry is empty emits no events, even if listeners are added
+    /// later while it runs.
     pub fn submit<P, R>(&self, skel: &Skel<P, R>, input: P) -> SkelFuture<R>
     where
         P: Send + 'static,

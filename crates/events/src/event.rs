@@ -12,7 +12,7 @@
 //! | all others | (Before/After, Skeleton) plus their muscles' pairs |
 //!
 //! Every event carries the instance index `i` (see
-//! [`InstanceId`](askel_skeletons::InstanceId)), the trace, a timestamp from
+//! [`askel_skeletons::InstanceId`]), the trace, a timestamp from
 //! the engine's [`Clock`](askel_skeletons::Clock), and the extra runtime
 //! information the paper mentions (e.g. "Map After Split provides the number
 //! of sub-problems created").

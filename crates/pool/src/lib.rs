@@ -1,4 +1,5 @@
-//! A dynamically resizable worker pool.
+//! A dynamically resizable worker pool over a sharded, work-stealing
+//! ready queue.
 //!
 //! The paper's self-optimization loop works by *changing the number of
 //! threads allocated to a running skeleton*. Rayon-style pools fix their
@@ -6,58 +7,159 @@
 //! under the hood: a pool whose worker count can be raised and lowered
 //! while tasks are in flight.
 //!
-//! Semantics chosen to match the behaviour the paper reports:
+//! Dispatch is sharded (`docs/ARCHITECTURE.md` has the full picture):
 //!
-//! * **LIFO ready queue** — Skandium's scheduler finishes the most recently
-//!   produced work first (§5 of the paper observes `split → all its
-//!   executes → its merge` completing before sibling splits start); a LIFO
-//!   stack reproduces that order, and the discrete-event simulator uses the
-//!   same discipline so both engines agree.
+//! * **Per-worker deques** — a task submitted from inside a worker (the
+//!   engine's continuations) lands on that worker's own deque and is
+//!   popped LIFO, so the most recently produced work runs next on a warm
+//!   cache. Skandium's scheduler has the same discipline (§5 of the paper
+//!   observes `split → all its executes → its merge` completing before
+//!   sibling splits start), and the discrete-event simulator mirrors it.
+//! * **Global injector** — external `submit`/`submit_all` push onto a
+//!   LIFO overflow stack; idle workers grab small batches from its top.
+//! * **Work stealing** — a worker with nothing local and an empty
+//!   injector steals the oldest half of another worker's deque (FIFO from
+//!   the victim, so thieves pick up the work least likely to be
+//!   cache-resident at the victim).
+//! * **Parker-based sleep** — an idle worker registers itself as a
+//!   sleeper and parks on its own one-token parker; submitters wake
+//!   exactly as many sleepers as they queued tasks. There is no broadcast
+//!   condvar and no thundering herd.
+//!
+//! Resize stays autonomic-correct under sharding:
+//!
+//! * **Immediate grow** — raising the target spawns workers right away;
+//!   they participate in injector grabs and stealing from their first
+//!   loop iteration, so an autonomic increase takes effect at the next
+//!   ready task.
 //! * **Cooperative shrink** — running tasks are never preempted; lowering
-//!   the target lets surplus workers retire when they next go idle. This is
-//!   why the paper "does not reduce the LP as fast as it increases it".
-//! * **Immediate grow** — raising the target spawns workers right away, so
-//!   an autonomic increase takes effect at the next ready task.
+//!   the target lets surplus workers retire when they next reach the top
+//!   of their loop. A retiring worker first drains its own deque back
+//!   into the injector so no queued task is stranded. This is why the
+//!   paper "does not reduce the LP as fast as it increases it".
 //!
-//! [`PoolTelemetry`] records a timestamped timeline of active-task counts
-//! and target changes; the figure benches plot it directly.
+//! The pool keeps an exact count of queued tasks across the injector
+//! *and* every worker deque, so [`ResizablePool::queued_tasks`] and
+//! [`ResizablePool::wait_idle`] cannot miss work resident in a local
+//! deque. [`PoolTelemetry`] records a timestamped timeline of active-task
+//! counts and target changes; the figure benches plot it directly.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod queue;
 pub mod telemetry;
 
+use std::cell::RefCell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use parking_lot::{Condvar, Mutex};
+use parking_lot::{Mutex, RwLock};
 
-use askel_skeletons::{Clock, RealClock};
+use askel_skeletons::{Clock, RealClock, TimeNs};
 
+use queue::{Injector, Parker, Shard};
 pub use telemetry::{PoolTelemetry, TelemetrySample, TimelinePoint};
 
 /// A unit of work for the pool.
 pub type Task = Box<dyn FnOnce() + Send>;
 
-struct PoolState {
-    /// LIFO stack of ready tasks.
-    queue: Vec<Task>,
+/// Slow-path state: worker lifecycle and the sleeper registry.
+///
+/// Guarded by one mutex, but only touched on resize, retire, sleep and
+/// wake transitions — never on the submit/pop fast path.
+struct Coordinator {
     /// Desired number of workers (the LP).
     target: usize,
     /// Workers currently alive (idle or running).
     live: usize,
     /// Set once; workers drain out.
     shutdown: bool,
+    /// Id for the next spawned worker's shard.
+    next_worker_id: u64,
     /// Handles of every worker ever spawned (joined at shutdown).
     handles: Vec<JoinHandle<()>>,
+    /// Parkers of workers currently asleep (or about to park).
+    sleepers: Vec<Arc<Parker>>,
 }
 
 struct PoolInner {
-    state: Mutex<PoolState>,
-    cond: Condvar,
+    coord: Mutex<Coordinator>,
+    /// Shards of currently registered workers (steal targets).
+    shards: RwLock<Vec<Arc<Shard>>>,
+    /// Overflow queue for external submissions.
+    injector: Injector,
+    /// Monotonic count of tasks ever submitted. Together with the
+    /// telemetry's started/finished counters this gives exact queue
+    /// accounting without a decrement on the pop fast path:
+    /// `queued = submitted - started`, `idle = (submitted == finished)`.
+    submitted: AtomicUsize,
+    /// Mirror of `sleepers.len()` for the lock-free wake fast path.
+    sleeping: AtomicUsize,
+    /// Lock-free mirrors of the coordinator's lifecycle fields.
+    target: AtomicUsize,
+    live: AtomicUsize,
+    shutdown: AtomicBool,
     telemetry: PoolTelemetry,
     clock: Arc<dyn Clock>,
+}
+
+/// The worker this thread belongs to, if any; lets `submit` route tasks
+/// produced on a worker straight to that worker's own deque.
+struct CurrentWorker {
+    /// Address of the owning pool's `PoolInner`, for identity checks.
+    pool: usize,
+    shard: Arc<Shard>,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<CurrentWorker>> = const { RefCell::new(None) };
+}
+
+impl PoolInner {
+    /// Identity of this pool for thread-local routing.
+    fn addr(self: &Arc<Self>) -> usize {
+        Arc::as_ptr(self) as usize
+    }
+
+    /// Wakes up to `n` sleeping workers.
+    fn wake(&self, n: usize) {
+        if n == 0 || self.sleeping.load(Ordering::SeqCst) == 0 {
+            return;
+        }
+        let popped = {
+            let mut coord = self.coord.lock();
+            let keep = coord.sleepers.len().saturating_sub(n);
+            let popped = coord.sleepers.split_off(keep);
+            self.sleeping.store(coord.sleepers.len(), Ordering::SeqCst);
+            popped
+        };
+        for p in popped {
+            p.unpark();
+        }
+    }
+
+    /// Wakes every sleeping worker (resize and shutdown transitions).
+    fn wake_all(&self) {
+        self.wake(usize::MAX);
+    }
+
+    /// A timestamp for telemetry samples; skips the clock read entirely
+    /// when sample recording is off (the counters don't need it).
+    fn sample_time(&self) -> TimeNs {
+        if self.telemetry.is_recording() {
+            self.clock.now()
+        } else {
+            TimeNs::ZERO
+        }
+    }
+
+    /// Whether some submitted task has not been picked up yet.
+    fn has_queued(&self) -> bool {
+        self.telemetry.tasks_started() < self.submitted.load(Ordering::SeqCst)
+    }
 }
 
 /// A worker pool whose size can change while work is in flight.
@@ -88,14 +190,21 @@ impl ResizablePool {
     /// Creates a pool with an explicit clock (tests use a manual clock).
     pub fn with_clock(workers: usize, clock: Arc<dyn Clock>) -> Self {
         let inner = Arc::new(PoolInner {
-            state: Mutex::new(PoolState {
-                queue: Vec::new(),
+            coord: Mutex::new(Coordinator {
                 target: 0,
                 live: 0,
                 shutdown: false,
+                next_worker_id: 0,
                 handles: Vec::new(),
+                sleepers: Vec::new(),
             }),
-            cond: Condvar::new(),
+            shards: RwLock::new(Vec::new()),
+            injector: Injector::new(),
+            submitted: AtomicUsize::new(0),
+            sleeping: AtomicUsize::new(0),
+            target: AtomicUsize::new(0),
+            live: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
             telemetry: PoolTelemetry::new(),
             clock,
         });
@@ -106,66 +215,127 @@ impl ResizablePool {
 
     /// Submits one task. Panics in the task are caught and recorded in the
     /// telemetry; they never kill a worker.
+    ///
+    /// Called from a worker thread of this pool, the task goes to that
+    /// worker's own deque (and runs next, LIFO); called from anywhere
+    /// else it goes to the global injector.
     pub fn submit(&self, task: Task) {
-        let mut state = self.inner.state.lock();
-        assert!(!state.shutdown, "submit on a shut-down pool");
-        state.queue.push(task);
-        drop(state);
-        self.inner.cond.notify_one();
+        // Reserve the submitted slot *before* checking shutdown: workers
+        // only exit once `shutdown && started == submitted`, so after
+        // this increment they cannot all drain away between the check
+        // and the push below. If shutdown already happened, roll the
+        // reservation back and panic like the old lock-guarded assert.
+        self.inner.submitted.fetch_add(1, Ordering::SeqCst);
+        if self.inner.shutdown.load(Ordering::SeqCst) {
+            self.inner.submitted.fetch_sub(1, Ordering::SeqCst);
+            panic!("submit on a shut-down pool");
+        }
+        let addr = self.inner.addr();
+        let overflow = CURRENT.with(|c| match &*c.borrow() {
+            Some(w) if w.pool == addr => {
+                w.shard.push(task);
+                None
+            }
+            _ => Some(task),
+        });
+        if let Some(task) = overflow {
+            self.inner.injector.push(task);
+        }
+        self.inner.wake(1);
     }
 
-    /// Submits several tasks at once; they are stacked in order, so the
-    /// *last* one is picked up first (LIFO).
+    /// Submits several tasks at once, taking the destination queue's lock
+    /// only once; they are stacked in order, so the *last* one is picked
+    /// up first (LIFO).
     pub fn submit_all(&self, tasks: impl IntoIterator<Item = Task>) {
-        let mut state = self.inner.state.lock();
-        assert!(!state.shutdown, "submit on a shut-down pool");
-        state.queue.extend(tasks);
-        drop(state);
-        self.inner.cond.notify_all();
+        self.submit_batch(tasks.into_iter().collect());
+    }
+
+    /// Batch submission: one queue-lock acquisition, then wakes as many
+    /// sleeping workers as there are new tasks.
+    pub fn submit_batch(&self, tasks: Vec<Task>) {
+        if tasks.is_empty() {
+            return;
+        }
+        let n = tasks.len();
+        // Same reserve-then-check dance as `submit`: see the comment there.
+        self.inner.submitted.fetch_add(n, Ordering::SeqCst);
+        if self.inner.shutdown.load(Ordering::SeqCst) {
+            self.inner.submitted.fetch_sub(n, Ordering::SeqCst);
+            panic!("submit on a shut-down pool");
+        }
+        let addr = self.inner.addr();
+        let overflow = CURRENT.with(|c| match &*c.borrow() {
+            Some(w) if w.pool == addr => {
+                w.shard.push_batch(tasks);
+                None
+            }
+            _ => Some(tasks),
+        });
+        if let Some(tasks) = overflow {
+            self.inner.injector.push_batch(tasks);
+        }
+        self.inner.wake(n);
     }
 
     /// Changes the desired worker count (the skeleton's LP).
     ///
-    /// Growth spawns workers immediately; shrink lets surplus workers
-    /// retire when they next go idle (running tasks finish undisturbed).
+    /// Growth spawns workers immediately; they steal and grab from the
+    /// injector from their first iteration. Shrink lets surplus workers
+    /// retire when they next go idle (running tasks finish undisturbed),
+    /// and a retiring worker drains its deque back into the injector.
     pub fn set_target_workers(&self, target: usize) {
-        let mut state = self.inner.state.lock();
-        if state.shutdown {
+        let mut coord = self.inner.coord.lock();
+        if coord.shutdown {
             return;
         }
-        let now = self.inner.clock.now();
-        if target != state.target {
-            self.inner.telemetry.record_target(now, target);
+        if target != coord.target {
+            self.inner
+                .telemetry
+                .record_target(self.inner.clock.now(), target);
         }
-        state.target = target;
-        while state.live < target {
-            state.live += 1;
+        let shrinking = target < coord.target;
+        coord.target = target;
+        self.inner.target.store(target, Ordering::SeqCst);
+        while coord.live < target {
+            coord.live += 1;
+            self.inner.live.store(coord.live, Ordering::SeqCst);
+            let id = coord.next_worker_id;
+            coord.next_worker_id += 1;
+            let shard = Arc::new(Shard::new(id));
+            self.inner.shards.write().push(Arc::clone(&shard));
             let inner = Arc::clone(&self.inner);
             let handle = std::thread::Builder::new()
                 .name("askel-worker".to_string())
-                .spawn(move || worker_loop(inner))
+                .spawn(move || worker_loop(inner, shard))
                 .expect("failed to spawn pool worker");
-            state.handles.push(handle);
+            coord.handles.push(handle);
         }
-        drop(state);
-        // Wake idle workers so surplus ones notice and retire.
-        self.inner.cond.notify_all();
+        drop(coord);
+        if shrinking {
+            // Wake idle workers so surplus ones notice and retire.
+            self.inner.wake_all();
+        }
     }
 
     /// The current worker target (the LP the controller last requested).
     pub fn target_workers(&self) -> usize {
-        self.inner.state.lock().target
+        self.inner.target.load(Ordering::SeqCst)
     }
 
     /// Workers currently alive (may exceed the target briefly while a
     /// shrink drains).
     pub fn live_workers(&self) -> usize {
-        self.inner.state.lock().live
+        self.inner.live.load(Ordering::SeqCst)
     }
 
-    /// Tasks currently queued (not yet picked up).
+    /// Tasks currently queued (not yet picked up), counting the injector
+    /// *and* every worker-local deque.
     pub fn queued_tasks(&self) -> usize {
-        self.inner.state.lock().queue.len()
+        self.inner
+            .submitted
+            .load(Ordering::SeqCst)
+            .saturating_sub(self.inner.telemetry.tasks_started())
     }
 
     /// Tasks currently executing.
@@ -183,21 +353,34 @@ impl ResizablePool {
         &self.inner.clock
     }
 
-    /// Blocks until the queue is empty and no task is running.
+    /// Blocks until no task is queued anywhere (injector or any worker
+    /// deque) and no task is running.
     ///
     /// Only meaningful when no concurrent submitter keeps adding work that
     /// the caller doesn't know about; the engine uses futures instead, this
     /// is a convenience for tests and benches.
     pub fn wait_idle(&self) {
+        let mut spins = 0u32;
         loop {
-            {
-                let state = self.inner.state.lock();
-                if state.queue.is_empty() && self.inner.telemetry.active_now() == 0 {
-                    return;
-                }
+            // Both counters are monotonic and `finished <= submitted`
+            // always holds, so reading `finished` *first* makes equality
+            // a proof of quiescence: at the moment `submitted` is read,
+            // finished' >= finished = submitted >= submitted' implies
+            // every task submitted so far (including tasks spawned by
+            // tasks, and any task currently in a worker's hands) has
+            // finished. No lock and no queue inspection needed.
+            let finished = self.inner.telemetry.tasks_finished();
+            if self.inner.submitted.load(Ordering::SeqCst) == finished {
+                return;
             }
-            std::thread::yield_now();
-            std::thread::sleep(std::time::Duration::from_micros(50));
+            spins += 1;
+            if spins < 64 {
+                std::hint::spin_loop();
+            } else if spins < 256 {
+                std::thread::yield_now();
+            } else {
+                std::thread::sleep(std::time::Duration::from_micros(50));
+            }
         }
     }
 
@@ -205,15 +388,16 @@ impl ResizablePool {
     /// executed, then workers exit and are joined.
     pub fn shutdown_and_join(&self) {
         let handles = {
-            let mut state = self.inner.state.lock();
-            if state.shutdown {
+            let mut coord = self.inner.coord.lock();
+            if coord.shutdown {
                 Vec::new()
             } else {
-                state.shutdown = true;
-                std::mem::take(&mut state.handles)
+                coord.shutdown = true;
+                self.inner.shutdown.store(true, Ordering::SeqCst);
+                std::mem::take(&mut coord.handles)
             }
         };
-        self.inner.cond.notify_all();
+        self.inner.wake_all();
         for h in handles {
             let _ = h.join();
         }
@@ -228,28 +412,138 @@ impl Drop for ResizablePool {
     }
 }
 
-fn worker_loop(inner: Arc<PoolInner>) {
+/// Looks for a ready task: own deque first (LIFO), then a batch off the
+/// injector, then stealing the oldest half of another worker's deque.
+///
+/// On success, if work remains queued, one more sleeper is woken — the
+/// "pass the torch" scheme: submitters wake at most one worker per
+/// submission and each worker that finds work recruits the next, so a
+/// burst fans the whole pool out without a thundering herd, and the
+/// wake check is a single atomic load once everyone is awake.
+fn find_task(inner: &Arc<PoolInner>, shard: &Arc<Shard>) -> Option<Task> {
+    let task = shard.pop().or_else(|| {
+        let mut batch = inner.injector.grab_batch();
+        if batch.is_empty() {
+            batch = steal(inner, shard);
+        }
+        let task = batch.pop();
+        shard.push_batch(batch);
+        task
+    })?;
+    inner.telemetry.record_task_start(inner.sample_time());
+    if inner.has_queued() {
+        inner.wake(1);
+    }
+    Some(task)
+}
+
+/// Steals a batch from some other registered shard, trying victims in a
+/// ring starting after this worker's own position.
+///
+/// The returned batch is oldest-first; the caller pops its *back* (the
+/// newest stolen task) and keeps the rest.
+fn steal(inner: &Arc<PoolInner>, shard: &Arc<Shard>) -> Vec<Task> {
+    let shards = inner.shards.read();
+    let n = shards.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let me = shards
+        .iter()
+        .position(|s| s.id() == shard.id())
+        .unwrap_or(0);
+    for k in 1..=n {
+        let victim = &shards[(me + k) % n];
+        if victim.id() == shard.id() {
+            continue;
+        }
+        let batch = victim.steal_batch();
+        if !batch.is_empty() {
+            return batch;
+        }
+    }
+    Vec::new()
+}
+
+/// Unregisters `shard` and drains any tasks it still holds back into the
+/// injector (the shrink drain protocol), waking workers to pick them up.
+fn retire_shard(inner: &Arc<PoolInner>, shard: &Arc<Shard>) {
+    inner.shards.write().retain(|s| s.id() != shard.id());
+    let orphans = shard.drain_all();
+    if !orphans.is_empty() {
+        let n = orphans.len();
+        inner.injector.push_batch(orphans);
+        inner.wake(n);
+    }
+    CURRENT.with(|c| c.borrow_mut().take());
+}
+
+fn worker_loop(inner: Arc<PoolInner>, shard: Arc<Shard>) {
+    CURRENT.with(|c| {
+        *c.borrow_mut() = Some(CurrentWorker {
+            pool: inner.addr(),
+            shard: Arc::clone(&shard),
+        });
+    });
+    let parker = Arc::new(Parker::new());
     loop {
-        let task = {
-            let mut state = inner.state.lock();
-            loop {
-                if state.live > state.target || (state.shutdown && state.queue.is_empty()) {
-                    state.live -= 1;
-                    return;
-                }
-                if let Some(task) = state.queue.pop() {
-                    // Record the start while still holding the queue lock:
-                    // otherwise `wait_idle` could observe an empty queue
-                    // with zero active tasks while this one is in hand.
-                    inner.telemetry.record_task_start(inner.clock.now());
-                    break task;
-                }
-                inner.cond.wait(&mut state);
+        // Retire if surplus (confirmed under the coordinator lock so
+        // exactly `live - target` workers retire).
+        if inner.live.load(Ordering::SeqCst) > inner.target.load(Ordering::SeqCst) {
+            let mut coord = inner.coord.lock();
+            if coord.live > coord.target {
+                coord.live -= 1;
+                inner.live.store(coord.live, Ordering::SeqCst);
+                drop(coord);
+                retire_shard(&inner, &shard);
+                return;
             }
-        };
-        let result = catch_unwind(AssertUnwindSafe(task));
-        let end = inner.clock.now();
-        inner.telemetry.record_task_end(end, result.is_err());
+        }
+        // Exit once shutdown is requested and nothing is queued anywhere.
+        if inner.shutdown.load(Ordering::SeqCst) && !inner.has_queued() {
+            let mut coord = inner.coord.lock();
+            coord.live -= 1;
+            inner.live.store(coord.live, Ordering::SeqCst);
+            drop(coord);
+            retire_shard(&inner, &shard);
+            return;
+        }
+        if let Some(task) = find_task(&inner, &shard) {
+            let result = catch_unwind(AssertUnwindSafe(task));
+            inner
+                .telemetry
+                .record_task_end(inner.sample_time(), result.is_err());
+            continue;
+        }
+        // Sleep protocol: register as a sleeper *first*, then re-check
+        // for work/lifecycle changes, then park. A submitter increments
+        // `submitted` before it reads `sleeping` (both SeqCst), so
+        // either it sees this registration and wakes someone, or the
+        // re-check below sees the new task — a wakeup is never lost.
+        {
+            let mut coord = inner.coord.lock();
+            if coord.shutdown || coord.live > coord.target {
+                continue;
+            }
+            coord.sleepers.push(Arc::clone(&parker));
+            inner.sleeping.store(coord.sleepers.len(), Ordering::SeqCst);
+        }
+        if inner.has_queued()
+            || inner.shutdown.load(Ordering::SeqCst)
+            || inner.live.load(Ordering::SeqCst) > inner.target.load(Ordering::SeqCst)
+        {
+            // Something arrived between registering and parking: cancel
+            // the registration (if a waker already popped us, the stale
+            // parker token just makes a future park return early, which
+            // the loop tolerates) and go around again.
+            let mut coord = inner.coord.lock();
+            coord.sleepers.retain(|p| !Arc::ptr_eq(p, &parker));
+            inner.sleeping.store(coord.sleepers.len(), Ordering::SeqCst);
+            drop(coord);
+            std::thread::yield_now();
+            continue;
+        }
+        parker.park();
     }
 }
 
@@ -287,6 +581,31 @@ mod tests {
         pool.set_target_workers(1);
         pool.wait_idle();
         assert_eq!(*order.lock(), vec![4, 3, 2, 1, 0]);
+        pool.shutdown_and_join();
+    }
+
+    #[test]
+    fn worker_local_spawns_run_lifo_before_injected_work() {
+        // A task spawned from a worker goes to that worker's deque and
+        // runs before older injected work (the engine's split → executes
+        // → merge discipline).
+        let pool = ResizablePool::new(0);
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let o = Arc::clone(&order);
+        let p2 = pool.clone();
+        pool.submit(Box::new(move || {
+            o.lock().push("parent");
+            let o2 = Arc::clone(&o);
+            p2.submit(Box::new(move || o2.lock().push("child")));
+        }));
+        let o = Arc::clone(&order);
+        pool.submit(Box::new(move || o.lock().push("other")));
+        pool.set_target_workers(1);
+        pool.wait_idle();
+        // LIFO: "other" was submitted last, so it runs first; then
+        // "parent", whose locally spawned "child" runs before anything
+        // else could (had more injected work existed).
+        assert_eq!(*order.lock(), vec!["other", "parent", "child"]);
         pool.shutdown_and_join();
     }
 
@@ -388,6 +707,47 @@ mod tests {
         }
         pool.shutdown_and_join();
         assert_eq!(done.load(Ordering::SeqCst), 20);
+    }
+
+    #[test]
+    fn submit_batch_runs_everything() {
+        let pool = ResizablePool::new(3);
+        let done = Arc::new(AtomicUsize::new(0));
+        let tasks: Vec<Task> = (0..100)
+            .map(|_| {
+                let d = Arc::clone(&done);
+                Box::new(move || {
+                    d.fetch_add(1, Ordering::SeqCst);
+                }) as Task
+            })
+            .collect();
+        pool.submit_batch(tasks);
+        pool.wait_idle();
+        assert_eq!(done.load(Ordering::SeqCst), 100);
+        pool.shutdown_and_join();
+    }
+
+    #[test]
+    fn queued_counts_worker_local_tasks() {
+        // Park the only worker inside a task that has already spawned
+        // children into its local deque: queued_tasks must see them.
+        let pool = ResizablePool::new(1);
+        let (started_tx, started_rx) = mpsc::channel();
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let p2 = pool.clone();
+        pool.submit(Box::new(move || {
+            for _ in 0..5 {
+                p2.submit(Box::new(|| {}));
+            }
+            started_tx.send(()).unwrap();
+            release_rx.recv().unwrap();
+        }));
+        started_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(pool.queued_tasks(), 5, "local-deque tasks are queued");
+        release_tx.send(()).unwrap();
+        pool.wait_idle();
+        assert_eq!(pool.queued_tasks(), 0);
+        pool.shutdown_and_join();
     }
 
     #[test]

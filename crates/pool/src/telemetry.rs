@@ -61,9 +61,13 @@ pub struct TimelinePoint {
 }
 
 /// Shared telemetry for one pool.
+///
+/// Only two atomic increments run per task (`started` at pick-up,
+/// `finished` at completion); the active count is derived as
+/// `started - finished` instead of being maintained separately, which
+/// keeps the dispatch fast path at one read-modify-write per side.
 #[derive(Default)]
 pub struct PoolTelemetry {
-    active: AtomicUsize,
     peak: AtomicUsize,
     started: AtomicUsize,
     finished: AtomicUsize,
@@ -85,9 +89,21 @@ impl PoolTelemetry {
         self.recording.store(on, Ordering::Relaxed);
     }
 
+    /// Whether timeline samples are being recorded. The pool checks this
+    /// to skip clock reads entirely on the hot path when recording is
+    /// off (the counters don't need timestamps).
+    pub fn is_recording(&self) -> bool {
+        self.recording.load(Ordering::Relaxed)
+    }
+
     /// Tasks currently executing.
+    ///
+    /// Derived as `started - finished`; `finished` is read first, so a
+    /// concurrent completion can only make the result transiently high,
+    /// never negative.
     pub fn active_now(&self) -> usize {
-        self.active.load(Ordering::Acquire)
+        let finished = self.finished.load(Ordering::SeqCst);
+        self.started.load(Ordering::SeqCst).saturating_sub(finished)
     }
 
     /// Highest concurrent task count observed (the paper's "maximum number
@@ -96,14 +112,15 @@ impl PoolTelemetry {
         self.peak.load(Ordering::Acquire)
     }
 
-    /// Tasks started so far.
+    /// Tasks started so far (monotonic; the pool's queue accounting and
+    /// idle detection compare this against its submitted count).
     pub fn tasks_started(&self) -> usize {
-        self.started.load(Ordering::Acquire)
+        self.started.load(Ordering::SeqCst)
     }
 
-    /// Tasks finished so far.
+    /// Tasks finished so far (monotonic).
     pub fn tasks_finished(&self) -> usize {
-        self.finished.load(Ordering::Acquire)
+        self.finished.load(Ordering::SeqCst)
     }
 
     /// Tasks that panicked.
@@ -113,9 +130,12 @@ impl PoolTelemetry {
 
     /// Records a task start at `at` (engine-internal).
     pub fn record_task_start(&self, at: TimeNs) {
-        let active = self.active.fetch_add(1, Ordering::AcqRel) + 1;
-        self.started.fetch_add(1, Ordering::Relaxed);
-        self.peak.fetch_max(active, Ordering::AcqRel);
+        let started = self.started.fetch_add(1, Ordering::SeqCst) + 1;
+        let active = started.saturating_sub(self.finished.load(Ordering::SeqCst));
+        // Steady-state fast path: one load instead of a fetch_max.
+        if active > self.peak.load(Ordering::Relaxed) {
+            self.peak.fetch_max(active, Ordering::AcqRel);
+        }
         if self.recording.load(Ordering::Relaxed) {
             self.samples
                 .lock()
@@ -125,11 +145,11 @@ impl PoolTelemetry {
 
     /// Records a task end at `at` (engine-internal).
     pub fn record_task_end(&self, at: TimeNs, panicked: bool) {
-        let active = self.active.fetch_sub(1, Ordering::AcqRel) - 1;
-        self.finished.fetch_add(1, Ordering::Relaxed);
+        let finished = self.finished.fetch_add(1, Ordering::SeqCst) + 1;
         if panicked {
             self.panics.fetch_add(1, Ordering::Relaxed);
         }
+        let active = self.started.load(Ordering::SeqCst).saturating_sub(finished);
         if self.recording.load(Ordering::Relaxed) {
             self.samples.lock().push(TelemetrySample::TaskEnd {
                 at,

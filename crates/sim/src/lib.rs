@@ -6,7 +6,7 @@
 //! interprets the same AST as `askel-engine`, emits the same events through
 //! the same listener registry, and honours the same LIFO / no-preemption
 //! scheduling discipline — but time is **virtual**: muscle durations come
-//! from a [`CostModel`](cost::CostModel) and a [`ManualClock`] advances
+//! from a [`cost::CostModel`] and a [`ManualClock`] advances
 //! through a completion-event queue.
 //!
 //! Why this exists:

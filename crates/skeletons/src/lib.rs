@@ -19,13 +19,13 @@
 //! * Condition `fc: P → bool`
 //!
 //! The public API is the typed [`Skel<P, R>`](skel::Skel) handle and its
-//! constructor functions ([`seq`](skel::seq), [`map`](skel::map), …), which
+//! constructor functions ([`seq`](skel::seq()), [`map`](skel::map()), …), which
 //! enforce muscle/skeleton type agreement at compile time and then erase into
 //! the runtime representation ([`node::Node`]) that the execution engines
 //! (`askel-engine`, `askel-sim`) interpret.
 //!
 //! The crate also ships a **sequential reference interpreter**
-//! ([`seq_eval`]) that defines the functional semantics every engine must
+//! ([`seq_eval()`]) that defines the functional semantics every engine must
 //! agree with; the engines are property-tested against it.
 //!
 //! Nothing in this crate spawns threads or measures time; those concerns live
