@@ -88,6 +88,11 @@ impl Engine {
     }
 
     /// The listener registry; register non-functional concerns here.
+    ///
+    /// Register listeners **before** submitting: each submission samples
+    /// the registry once when it starts (see [`Engine::submit`]), so a
+    /// listener added while a submission is in flight observes no events
+    /// from it — only from submissions started afterwards.
     pub fn registry(&self) -> &Arc<ListenerRegistry> {
         &self.registry
     }
@@ -119,9 +124,12 @@ impl Engine {
     /// Multiple submissions may be in flight concurrently; they share the
     /// pool, so pipeline stages of different inputs overlap naturally.
     ///
-    /// The listener set is sampled now: a submission started while the
-    /// registry is empty emits no events, even if listeners are added
-    /// later while it runs.
+    /// The listener set is sampled **now, once for the submission's whole
+    /// lifetime**: a submission started while the registry is empty emits
+    /// no events, even if listeners are registered later while it runs.
+    /// (This is deliberate — an empty registry lets the submission skip
+    /// instance ids, trace extension and emission entirely.) Register
+    /// listeners before submitting.
     pub fn submit<P, R>(&self, skel: &Skel<P, R>, input: P) -> SkelFuture<R>
     where
         P: Send + 'static,

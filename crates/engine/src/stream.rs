@@ -17,6 +17,11 @@ use crate::Engine;
 
 /// An ordered stream of inputs through one skeleton.
 ///
+/// Each [`feed`](StreamSession::feed) is an independent
+/// [`Engine::submit`], so the engine's listener snapshot applies per
+/// input: an item fed while the registry is empty emits no events even
+/// if listeners are registered later. Register listeners before feeding.
+///
 /// ```
 /// use askel_engine::{Engine, StreamSession};
 /// use askel_skeletons::{farm, seq};

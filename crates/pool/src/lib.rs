@@ -465,6 +465,17 @@ fn steal(inner: &Arc<PoolInner>, shard: &Arc<Shard>) -> Vec<Task> {
     Vec::new()
 }
 
+/// Removes `parker` from the sleeper registry (all copies), if present.
+///
+/// Workers call this whenever they abandon a registration while awake,
+/// preserving the registry invariant "in `sleepers` ⟹ parked or about
+/// to park" that `wake` relies on.
+fn deregister_sleeper(inner: &PoolInner, parker: &Arc<Parker>) {
+    let mut coord = inner.coord.lock();
+    coord.sleepers.retain(|p| !Arc::ptr_eq(p, parker));
+    inner.sleeping.store(coord.sleepers.len(), Ordering::SeqCst);
+}
+
 /// Unregisters `shard` and drains any tasks it still holds back into the
 /// injector (the shrink drain protocol), waking workers to pick them up.
 fn retire_shard(inner: &Arc<PoolInner>, shard: &Arc<Shard>) {
@@ -533,17 +544,26 @@ fn worker_loop(inner: Arc<PoolInner>, shard: Arc<Shard>) {
             || inner.live.load(Ordering::SeqCst) > inner.target.load(Ordering::SeqCst)
         {
             // Something arrived between registering and parking: cancel
-            // the registration (if a waker already popped us, the stale
-            // parker token just makes a future park return early, which
-            // the loop tolerates) and go around again.
-            let mut coord = inner.coord.lock();
-            coord.sleepers.retain(|p| !Arc::ptr_eq(p, &parker));
-            inner.sleeping.store(coord.sleepers.len(), Ordering::SeqCst);
-            drop(coord);
+            // the registration and go around again. A waker may have
+            // popped us concurrently and left the parker token set; the
+            // unconditional deregistration after `park()` below keeps
+            // that stale token harmless.
+            deregister_sleeper(&inner, &parker);
             std::thread::yield_now();
             continue;
         }
         parker.park();
+        // Deregister unconditionally before continuing, restoring the
+        // invariant "in `sleepers` ⟹ parked or about to park". After a
+        // genuine wake the waker already popped the registration and
+        // this is a no-op, but a stale token (deposited by a waker that
+        // popped us while we took the cancel path above) makes `park`
+        // return instantly with the fresh registration still in place.
+        // Left there, the entry would go stale the moment this worker
+        // picks up a task: a later `wake(1)` could pop it and unpark an
+        // already-busy worker while a real sleeper stays parked with
+        // work queued — a stall that pass-the-torch cannot recover from.
+        deregister_sleeper(&inner, &parker);
     }
 }
 

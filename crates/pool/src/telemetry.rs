@@ -62,13 +62,16 @@ pub struct TimelinePoint {
 
 /// Shared telemetry for one pool.
 ///
-/// Only two atomic increments run per task (`started` at pick-up,
-/// `finished` at completion); the active count is derived as
-/// `started - finished` instead of being maintained separately, which
-/// keeps the dispatch fast path at one read-modify-write per side.
+/// The hot counters are all lock-free: the monotonic `started`/`finished`
+/// pair is what the pool's queue accounting and idle detection build on,
+/// while `active` is an exact concurrency counter maintained on its own —
+/// deriving it from two separate loads of `started` and `finished` could
+/// transiently undercount and make `peak` miss a momentary maximum, and
+/// the peak is the paper's "maximum number of active threads" figure.
 #[derive(Default)]
 pub struct PoolTelemetry {
     peak: AtomicUsize,
+    active: AtomicUsize,
     started: AtomicUsize,
     finished: AtomicUsize,
     panics: AtomicUsize,
@@ -96,14 +99,10 @@ impl PoolTelemetry {
         self.recording.load(Ordering::Relaxed)
     }
 
-    /// Tasks currently executing.
-    ///
-    /// Derived as `started - finished`; `finished` is read first, so a
-    /// concurrent completion can only make the result transiently high,
-    /// never negative.
+    /// Tasks currently executing (exact: its own counter, incremented at
+    /// pick-up and decremented at completion).
     pub fn active_now(&self) -> usize {
-        let finished = self.finished.load(Ordering::SeqCst);
-        self.started.load(Ordering::SeqCst).saturating_sub(finished)
+        self.active.load(Ordering::SeqCst)
     }
 
     /// Highest concurrent task count observed (the paper's "maximum number
@@ -130,8 +129,8 @@ impl PoolTelemetry {
 
     /// Records a task start at `at` (engine-internal).
     pub fn record_task_start(&self, at: TimeNs) {
-        let started = self.started.fetch_add(1, Ordering::SeqCst) + 1;
-        let active = started.saturating_sub(self.finished.load(Ordering::SeqCst));
+        self.started.fetch_add(1, Ordering::SeqCst);
+        let active = self.active.fetch_add(1, Ordering::SeqCst) + 1;
         // Steady-state fast path: one load instead of a fetch_max.
         if active > self.peak.load(Ordering::Relaxed) {
             self.peak.fetch_max(active, Ordering::AcqRel);
@@ -144,12 +143,16 @@ impl PoolTelemetry {
     }
 
     /// Records a task end at `at` (engine-internal).
+    ///
+    /// The `active` decrement runs before the `finished` increment so a
+    /// racing `active_now` can only see the task as still active, never
+    /// as both finished and active.
     pub fn record_task_end(&self, at: TimeNs, panicked: bool) {
-        let finished = self.finished.fetch_add(1, Ordering::SeqCst) + 1;
+        let active = self.active.fetch_sub(1, Ordering::SeqCst) - 1;
+        self.finished.fetch_add(1, Ordering::SeqCst);
         if panicked {
             self.panics.fetch_add(1, Ordering::Relaxed);
         }
-        let active = self.started.load(Ordering::SeqCst).saturating_sub(finished);
         if self.recording.load(Ordering::Relaxed) {
             self.samples.lock().push(TelemetrySample::TaskEnd {
                 at,

@@ -173,6 +173,46 @@ fn retiring_worker_drains_its_deque() {
     }
 }
 
+/// Lost-wakeup regression: drive workers through the register → cancel →
+/// re-register → park window over and over while submissions race it.
+///
+/// The sleeper registry used to admit stale entries: a waker popping a
+/// registration while the worker took the sleep-cancel path left the
+/// parker token set, the next `park` returned instantly with the fresh
+/// registration still listed, and once that worker picked up a task a
+/// later `wake(1)` could spend its wakeup on the busy worker while a
+/// real sleeper stayed parked with work queued. With the bug, a round
+/// below eventually strands its tasks and the `recv_timeout` fires.
+#[test]
+fn no_wakeup_lost_when_submit_races_the_sleep_path() {
+    let pool = ResizablePool::new(3);
+    pool.telemetry().set_recording(false);
+    let (tx, rx) = std::sync::mpsc::channel();
+    const ROUNDS: usize = 300;
+    const PER_ROUND: usize = 8;
+    for _ in 0..ROUNDS {
+        for k in 0..PER_ROUND {
+            let tx = tx.clone();
+            // One slow task per round keeps a worker busy long enough
+            // for a misdirected wakeup to strand the fast ones.
+            let slow = k == 0;
+            pool.submit(Box::new(move || {
+                if slow {
+                    std::thread::sleep(Duration::from_micros(300));
+                }
+                tx.send(()).unwrap();
+            }));
+        }
+        // Drain the round so every worker goes back to sleep and the
+        // next round's submits race the register→park transitions.
+        for _ in 0..PER_ROUND {
+            rx.recv_timeout(Duration::from_secs(10))
+                .expect("task stranded behind a sleeping worker (lost wakeup)");
+        }
+    }
+    pool.shutdown_and_join();
+}
+
 /// One step of a random schedule.
 #[derive(Clone, Debug)]
 enum Op {
