@@ -72,5 +72,25 @@ fn bench_for_chain(c: &mut Criterion) {
     engine.shutdown();
 }
 
-criterion_group!(benches, bench_map, bench_dac, bench_for_chain);
+/// The engine's fixed round-trip floor: one trivial muscle, so the
+/// number is almost purely submit → dispatch → future-resolution cost.
+/// Subtract it from the other engine benches to see interpreter
+/// overhead separate from the per-submission overhead.
+fn bench_seq_roundtrip(c: &mut Criterion) {
+    let program = seq(|x: i64| x + 1);
+    let engine = Engine::new(1);
+    engine.pool().telemetry().set_recording(false);
+    c.bench_function("seq_roundtrip_threaded_engine_lp1", |b| {
+        b.iter(|| engine.submit(&program, 1i64).get().unwrap())
+    });
+    engine.shutdown();
+}
+
+criterion_group!(
+    benches,
+    bench_map,
+    bench_dac,
+    bench_for_chain,
+    bench_seq_roundtrip
+);
 criterion_main!(benches);

@@ -15,6 +15,11 @@ pub enum EngineError {
     /// A muscle panicked; the payload is the panic message when it was a
     /// string, or a placeholder otherwise.
     MusclePanic(String),
+    /// The engine detected an internal inconsistency (e.g. a fan-out
+    /// child completing its join twice after a racing failure). The
+    /// submission is poisoned and reports this instead of panicking the
+    /// worker thread that noticed.
+    Internal(&'static str),
     /// The engine shut down before the submission finished.
     Shutdown,
 }
@@ -24,6 +29,7 @@ impl std::fmt::Display for EngineError {
         match self {
             EngineError::Eval(e) => write!(f, "structural error: {e}"),
             EngineError::MusclePanic(msg) => write!(f, "muscle panicked: {msg}"),
+            EngineError::Internal(msg) => write!(f, "engine internal error: {msg}"),
             EngineError::Shutdown => write!(f, "engine shut down"),
         }
     }

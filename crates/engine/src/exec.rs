@@ -4,28 +4,35 @@
 //! so both engines raise the same event sequences):
 //!
 //! * kinds that own muscles (`seq`, `map`, `fork`, `d&C`, `while`, `if`)
-//!   run each muscle inside **one pool task**, emitting the bracketing
-//!   events on that task's thread;
+//!   run each muscle inside **one guarded step**, emitting the
+//!   bracketing events on the thread that executes it;
 //! * purely structural kinds (`farm`, `pipe`, `for`) emit their
 //!   skeleton-level events inline on the scheduling/continuation thread —
 //!   they have no muscle for the thread guarantee to bind to;
-//! * `map`/`fork`/`d&C` children are fanned out via a join counter; the
-//!   merge runs as a fresh task scheduled by the last child to finish;
-//! * the whole task body (muscle + listeners + continuation) is guarded:
-//!   a panic poisons the submission and short-circuits its remaining
-//!   tasks.
+//! * `map`/`fork`/`d&C` children are fanned out via a [`Join`]; the
+//!   merge is started by the last child to finish, on its thread;
+//! * every step body (muscle + listeners + continuation) is guarded
+//!   ([`SubCtx::guarded`]): a panic poisons the submission and
+//!   short-circuits its remaining steps.
 //!
-//! Dispatch detail: a muscle kind's entry step is built as a plain pool
-//! task value ([`node_task`]) rather than submitted eagerly, so fan-out
-//! hands all children to the pool in **one batch** (one queue-lock
-//! acquisition, one wake-up sweep) instead of a submit per child. Tasks
-//! scheduled from a worker land on that worker's own deque and run LIFO,
-//! which keeps `split → executes → merge` chains on a warm cache; idle
-//! workers steal the oldest children, giving the paper's fan-out
-//! parallelism without a central queue (see `docs/ARCHITECTURE.md`).
+//! Dispatch detail: a fan-out hands all children *but the last* to the
+//! pool — one direct submit for the binary d&C case, one batch (one
+//! queue-lock acquisition, one wake-up sweep) for wider splits — and
+//! **descends into the last child inline in the parent's own task**,
+//! like rayon's `join`: sequential by default, parallel when workers
+//! are idle and steal the batched siblings. Single-continuation steps
+//! (pipe stages, while/for iterations, the fan-out merge returned by
+//! [`Join::complete`] to its last-completing worker, the last child
+//! itself) go through [`run_step`]: inline on the current worker with
+//! no closure box and no dispatch while the depth cap allows, then via
+//! the pool's TLS next-task slot (`ResizablePool::submit_next`) — one
+//! trip through the worker loop that resets the stack — and from
+//! non-worker threads (the initial submission) a plain pool submit.
+//! Steady-state chains therefore touch neither deque nor injector (see
+//! `docs/ARCHITECTURE.md`).
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -71,15 +78,20 @@ impl Cont {
                     EventInfo::ChildIndex(k),
                     &mut Payload::Single(&mut data),
                 );
-                if let Some((results, cont)) = join.complete(k, data) {
-                    spawn_merge(
+                match join.complete(k, data) {
+                    Ok(Some((slots, cont))) => spawn_merge(
                         ctx,
                         Arc::clone(&join.node),
                         join.trace.clone(),
                         join.inst,
-                        results,
+                        slots,
                         cont,
-                    );
+                    ),
+                    Ok(None) => {}
+                    // A racing failure (e.g. a sibling's poisoned retry
+                    // path) left the join inconsistent: poison the
+                    // submission instead of panicking the worker.
+                    Err(msg) => ctx.fail(EngineError::Internal(msg)),
                 }
             }
         }
@@ -108,24 +120,23 @@ impl SubCtx {
         (self.fail_fn)(err); // the promise keeps only the first resolution
     }
 
-    /// Wraps a step into a pool task that short-circuits if the
-    /// submission is poisoned and poisons it if the body panics.
-    fn task(self: &Arc<Self>, f: impl FnOnce(&Arc<SubCtx>) + Send + 'static) -> Task {
-        let ctx = Arc::clone(self);
-        Box::new(move || {
-            if ctx.failed.load(Ordering::SeqCst) {
-                return;
-            }
-            if let Err(p) = catch_unwind(AssertUnwindSafe(|| f(&ctx))) {
-                ctx.fail(EngineError::MusclePanic(panic_message(p.as_ref())));
-            }
-        })
+    /// Runs a step now: short-circuits if the submission is poisoned,
+    /// poisons it if the body panics. The guard both inline execution
+    /// and pool tasks run under — a step behaves identically wherever
+    /// it executes.
+    fn guarded(self: &Arc<Self>, f: impl FnOnce(&Arc<SubCtx>)) {
+        if self.failed.load(Ordering::SeqCst) {
+            return;
+        }
+        if let Err(p) = catch_unwind(AssertUnwindSafe(|| f(self))) {
+            self.fail(EngineError::MusclePanic(panic_message(p.as_ref())));
+        }
     }
 
-    /// Builds and immediately schedules one guarded task.
-    fn spawn(self: &Arc<Self>, f: impl FnOnce(&Arc<SubCtx>) + Send + 'static) {
-        let task = self.task(f);
-        self.pool.submit(task);
+    /// Wraps a step into a guarded pool task.
+    fn task(self: &Arc<Self>, f: impl FnOnce(&Arc<SubCtx>) + Send + 'static) -> Task {
+        let ctx = Arc::clone(self);
+        Box::new(move || ctx.guarded(f))
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -165,9 +176,16 @@ struct Join {
     node: Arc<Node>,
     trace: Trace,
     inst: InstanceId,
-    slots: Mutex<Vec<Option<Data>>>,
-    remaining: AtomicUsize,
-    cont: Mutex<Option<Cont>>,
+    /// Slots, countdown and continuation under **one** lock: a
+    /// completing child takes exactly one uncontended lock acquisition
+    /// instead of a lock + an atomic (+ two more locks for the closer).
+    state: Mutex<JoinState>,
+}
+
+struct JoinState {
+    slots: Vec<Option<Data>>,
+    remaining: usize,
+    cont: Option<Cont>,
 }
 
 impl Join {
@@ -176,30 +194,45 @@ impl Join {
             node,
             trace,
             inst,
-            slots: Mutex::new((0..n).map(|_| None).collect()),
-            remaining: AtomicUsize::new(n),
-            cont: Mutex::new(Some(cont)),
+            state: Mutex::new(JoinState {
+                slots: (0..n).map(|_| None).collect(),
+                remaining: n,
+                cont: Some(cont),
+            }),
         })
     }
 
-    fn complete(&self, k: usize, value: Data) -> Option<(Vec<Data>, Cont)> {
-        {
-            let mut slots = self.slots.lock();
-            debug_assert!(slots[k].is_none(), "child {k} completed twice");
-            slots[k] = Some(value);
+    /// Records child `k`'s result. For the closing child, returns the
+    /// full slot vector (in sub-problem order, every slot filled)
+    /// together with the parent's continuation — handed over **as-is**,
+    /// without re-collecting into a `Vec<Data>`; the merge consumes it
+    /// directly via [`askel_skeletons::MergeFn::call_slots`].
+    ///
+    /// Inconsistencies (a child completing twice, the continuation
+    /// already consumed) are reported as `Err` instead of panicking: the
+    /// caller routes them through `SubCtx::fail`, so a race against a
+    /// poisoned sibling poisons the submission rather than the worker.
+    #[allow(clippy::type_complexity)]
+    fn complete(
+        &self,
+        k: usize,
+        value: Data,
+    ) -> Result<Option<(Vec<Option<Data>>, Cont)>, &'static str> {
+        let mut state = self.state.lock();
+        match state.slots.get_mut(k) {
+            Some(slot @ None) => *slot = Some(value),
+            Some(Some(_)) => return Err("fan-out child completed its join twice"),
+            None => return Err("fan-out child index out of join bounds"),
         }
-        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
-            let slots = std::mem::take(&mut *self.slots.lock());
-            let cont = self.cont.lock().take().expect("join completed twice");
-            Some((
-                slots
-                    .into_iter()
-                    .map(|s| s.expect("join closed with missing slot"))
-                    .collect(),
-                cont,
-            ))
+        state.remaining -= 1;
+        if state.remaining == 0 {
+            let slots = std::mem::take(&mut state.slots);
+            match state.cont.take() {
+                Some(cont) => Ok(Some((slots, cont))),
+                None => Err("fan-out join continuation consumed twice"),
+            }
         } else {
-            None
+            Ok(None)
         }
     }
 }
@@ -238,48 +271,11 @@ where
     future
 }
 
-/// Schedules the execution of `node` on `data`; `cont` receives the result.
-fn schedule_node(
-    ctx: &Arc<SubCtx>,
-    node: &Arc<Node>,
-    parent: Option<&Trace>,
-    data: Data,
-    cont: Cont,
-) {
-    if let Some(task) = node_task(ctx, node, parent, data, cont) {
-        ctx.pool.submit(task);
-    }
-}
-
-/// Like [`schedule_node`], but muscle kinds push their entry task into
-/// `batch` instead of submitting it, so the caller can hand a whole
-/// fan-out to the pool at once. Structural kinds still execute inline.
-fn schedule_node_into(
-    ctx: &Arc<SubCtx>,
-    node: &Arc<Node>,
-    parent: Option<&Trace>,
-    data: Data,
-    cont: Cont,
-    batch: &mut Vec<Task>,
-) {
-    if let Some(task) = node_task(ctx, node, parent, data, cont) {
-        batch.push(task);
-    }
-}
-
-/// Builds the entry step for `node`.
-///
-/// Muscle-owning kinds (`seq`, `while`, `if`, `map`, `fork`, `d&C`)
-/// return their first pool task; structural kinds (`farm`, `pipe`,
-/// `for`) emit their events inline, recurse, and return `None`.
-fn node_task(
-    ctx: &Arc<SubCtx>,
-    node: &Arc<Node>,
-    parent: Option<&Trace>,
-    data: Data,
-    cont: Cont,
-) -> Option<Task> {
-    let (inst, trace) = if ctx.tracing {
+/// Allocates the instance identity (fresh id + extended trace) for one
+/// scheduled node — or the shared zero-cost stand-ins when no listener
+/// can observe this submission.
+fn instance(ctx: &Arc<SubCtx>, node: &Arc<Node>, parent: Option<&Trace>) -> (InstanceId, Trace) {
+    if ctx.tracing {
         let inst = InstanceId::fresh();
         let trace = match parent {
             Some(t) => t.child(node.id, inst, node.tag()),
@@ -290,66 +286,126 @@ fn node_task(
         // No listener can observe this submission: skip the id and the
         // per-node trace allocation entirely.
         (InstanceId(0), ctx.empty_trace.clone())
-    };
-    let node = Arc::clone(node);
-    match node.tag() {
-        askel_skeletons::KindTag::Seq => Some(task_seq(ctx, node, trace, inst, data, cont)),
-        askel_skeletons::KindTag::While => Some(task_while(ctx, node, trace, inst, data, cont, 0)),
-        askel_skeletons::KindTag::If => Some(task_if(ctx, node, trace, inst, data, cont)),
-        askel_skeletons::KindTag::Map => Some(task_map(ctx, node, trace, inst, data, cont)),
-        askel_skeletons::KindTag::Fork => Some(task_fork(ctx, node, trace, inst, data, cont)),
-        askel_skeletons::KindTag::DivideConquer => {
-            Some(task_dac(ctx, node, trace, inst, data, cont))
-        }
-        askel_skeletons::KindTag::Farm => {
-            exec_farm(ctx, node, trace, inst, data, cont);
-            None
-        }
-        askel_skeletons::KindTag::Pipe => {
-            exec_pipe(ctx, node, trace, inst, data, cont);
-            None
-        }
-        askel_skeletons::KindTag::For => {
-            exec_for(ctx, node, trace, inst, data, cont);
-            None
-        }
     }
 }
 
-fn task_seq(
+/// Runs the entry step of a muscle-owning kind. Must not be called for
+/// structural kinds — the dispatchers below route those to `exec_*`.
+fn muscle_step(
     ctx: &Arc<SubCtx>,
     node: Arc<Node>,
     trace: Trace,
     inst: InstanceId,
     data: Data,
     cont: Cont,
-) -> Task {
-    ctx.task(move |ctx| {
-        let mut data = data;
-        ctx.emit(
-            &node,
-            &trace,
-            inst,
-            When::Before,
-            Where::Skeleton,
-            EventInfo::None,
-            &mut Payload::Single(&mut data),
-        );
-        let NodeKind::Seq { fe } = &node.kind else {
-            unreachable!("tag checked by dispatcher")
-        };
-        let mut out = fe.call(data);
-        ctx.emit(
-            &node,
-            &trace,
-            inst,
-            When::After,
-            Where::Skeleton,
-            EventInfo::None,
-            &mut Payload::Single(&mut out),
-        );
-        cont.run(ctx, out);
-    })
+) {
+    match node.tag() {
+        askel_skeletons::KindTag::Seq => step_seq(ctx, node, trace, inst, data, cont),
+        askel_skeletons::KindTag::While => step_while(ctx, node, trace, inst, data, cont, 0),
+        askel_skeletons::KindTag::If => step_if(ctx, node, trace, inst, data, cont),
+        askel_skeletons::KindTag::Map => step_map(ctx, node, trace, inst, data, cont),
+        askel_skeletons::KindTag::Fork => step_fork(ctx, node, trace, inst, data, cont),
+        askel_skeletons::KindTag::DivideConquer => step_dac(ctx, node, trace, inst, data, cont),
+        tag => unreachable!("muscle_step on structural kind {tag:?}"),
+    }
+}
+
+/// Where a scheduled muscle-kind step goes. Structural kinds always
+/// execute inline regardless of the sink; this only picks the path for
+/// the entry step of muscle-owning kinds.
+enum Sink<'a> {
+    /// Run inline on the current worker when the depth cap allows,
+    /// else defer via the TLS next-task slot / a plain submit
+    /// ([`run_step`]) — the tail-position single-continuation path.
+    Run,
+    /// Submit straight to the pool (a binary fan-out's lone sibling).
+    Submit,
+    /// Push into a fan-out batch for one bulk submission.
+    Batch(&'a mut Vec<Task>),
+}
+
+/// Schedules the execution of `node` on `data` into `sink`; `cont`
+/// receives the result.
+///
+/// Structural kinds (`farm`, `pipe`, `for`) emit their events and
+/// recurse inline, as always. For muscle kinds, [`Sink::Run`] call
+/// sites are tail positions scheduling exactly one follow-on step (a
+/// pipe's next stage, an if/farm/d&C-leaf body, a for iteration, a
+/// fan-out's last child): on a worker the step runs inline in the
+/// current task — no closure box, no dispatch — deferring to the TLS
+/// next-task slot past the depth cap, and from outside the pool (the
+/// initial submission) it becomes a plain injector submit, keeping
+/// `Engine::submit` non-blocking. Fan-out siblings use
+/// [`Sink::Submit`]/[`Sink::Batch`] so thieves can take them.
+fn schedule_node_to(
+    ctx: &Arc<SubCtx>,
+    node: &Arc<Node>,
+    parent: Option<&Trace>,
+    data: Data,
+    cont: Cont,
+    sink: Sink<'_>,
+) {
+    let (inst, trace) = instance(ctx, node, parent);
+    let node = Arc::clone(node);
+    match node.tag() {
+        askel_skeletons::KindTag::Farm => exec_farm(ctx, node, trace, inst, data, cont),
+        askel_skeletons::KindTag::Pipe => exec_pipe(ctx, node, trace, inst, data, cont),
+        askel_skeletons::KindTag::For => exec_for(ctx, node, trace, inst, data, cont),
+        _ => {
+            let step = move |ctx: &Arc<SubCtx>| muscle_step(ctx, node, trace, inst, data, cont);
+            match sink {
+                Sink::Run => run_step(ctx, step),
+                Sink::Submit => ctx.pool.submit(ctx.task(step)),
+                Sink::Batch(batch) => batch.push(ctx.task(step)),
+            }
+        }
+    }
+}
+
+/// [`schedule_node_to`] with the [`Sink::Run`] path — the common
+/// single-continuation case.
+fn schedule_node(
+    ctx: &Arc<SubCtx>,
+    node: &Arc<Node>,
+    parent: Option<&Trace>,
+    data: Data,
+    cont: Cont,
+) {
+    schedule_node_to(ctx, node, parent, data, cont, Sink::Run);
+}
+
+fn step_seq(
+    ctx: &Arc<SubCtx>,
+    node: Arc<Node>,
+    trace: Trace,
+    inst: InstanceId,
+    data: Data,
+    cont: Cont,
+) {
+    let mut data = data;
+    ctx.emit(
+        &node,
+        &trace,
+        inst,
+        When::Before,
+        Where::Skeleton,
+        EventInfo::None,
+        &mut Payload::Single(&mut data),
+    );
+    let NodeKind::Seq { fe } = &node.kind else {
+        unreachable!("tag checked by dispatcher")
+    };
+    let mut out = fe.call(data);
+    ctx.emit(
+        &node,
+        &trace,
+        inst,
+        When::After,
+        Where::Skeleton,
+        EventInfo::None,
+        &mut Payload::Single(&mut out),
+    );
+    cont.run(ctx, out);
 }
 
 fn exec_farm(
@@ -382,13 +438,11 @@ fn exec_farm(
         unreachable!("tag checked by dispatcher")
     };
     let inner = Arc::clone(inner);
-    let trace2 = trace.clone();
-    let node2 = Arc::clone(&node);
-    schedule_node(
-        ctx,
-        &inner,
-        Some(&trace),
-        data,
+    // The closing wrapper only emits events; with no listener the
+    // parent's continuation passes through without a fresh box.
+    let cont = if ctx.tracing {
+        let trace2 = trace.clone();
+        let node2 = Arc::clone(&node);
         Cont::f(move |ctx, mut out| {
             ctx.emit(
                 &node2,
@@ -409,8 +463,11 @@ fn exec_farm(
                 &mut Payload::Single(&mut out),
             );
             cont.run(ctx, out);
-        }),
-    );
+        })
+    } else {
+        cont
+    };
+    schedule_node(ctx, &inner, Some(&trace), data, cont);
 }
 
 fn exec_pipe(
@@ -490,7 +547,7 @@ fn pipe_stage(
     );
 }
 
-fn task_while(
+fn step_while(
     ctx: &Arc<SubCtx>,
     node: Arc<Node>,
     trace: Trace,
@@ -498,99 +555,9 @@ fn task_while(
     data: Data,
     cont: Cont,
     iter: usize,
-) -> Task {
-    ctx.task(move |ctx| {
-        let mut data = data;
-        if iter == 0 {
-            ctx.emit(
-                &node,
-                &trace,
-                inst,
-                When::Before,
-                Where::Skeleton,
-                EventInfo::None,
-                &mut Payload::Single(&mut data),
-            );
-        }
-        let NodeKind::While { fc, inner } = &node.kind else {
-            unreachable!("tag checked by dispatcher")
-        };
-        ctx.emit(
-            &node,
-            &trace,
-            inst,
-            When::Before,
-            Where::Condition,
-            EventInfo::None,
-            &mut Payload::Single(&mut data),
-        );
-        let verdict = fc.call(&data);
-        ctx.emit(
-            &node,
-            &trace,
-            inst,
-            When::After,
-            Where::Condition,
-            EventInfo::ConditionResult(verdict),
-            &mut Payload::Single(&mut data),
-        );
-        if verdict {
-            ctx.emit(
-                &node,
-                &trace,
-                inst,
-                When::Before,
-                Where::NestedSkeleton,
-                EventInfo::ChildIndex(iter),
-                &mut Payload::Single(&mut data),
-            );
-            let inner = Arc::clone(inner);
-            let node2 = Arc::clone(&node);
-            let trace2 = trace.clone();
-            schedule_node(
-                ctx,
-                &inner,
-                Some(&trace),
-                data,
-                Cont::f(move |ctx, mut out| {
-                    ctx.emit(
-                        &node2,
-                        &trace2,
-                        inst,
-                        When::After,
-                        Where::NestedSkeleton,
-                        EventInfo::ChildIndex(iter),
-                        &mut Payload::Single(&mut out),
-                    );
-                    let next = task_while(ctx, node2, trace2, inst, out, cont, iter + 1);
-                    ctx.pool.submit(next);
-                }),
-            );
-        } else {
-            ctx.emit(
-                &node,
-                &trace,
-                inst,
-                When::After,
-                Where::Skeleton,
-                EventInfo::None,
-                &mut Payload::Single(&mut data),
-            );
-            cont.run(ctx, data);
-        }
-    })
-}
-
-fn task_if(
-    ctx: &Arc<SubCtx>,
-    node: Arc<Node>,
-    trace: Trace,
-    inst: InstanceId,
-    data: Data,
-    cont: Cont,
-) -> Task {
-    ctx.task(move |ctx| {
-        let mut data = data;
+) {
+    let mut data = data;
+    if iter == 0 {
         ctx.emit(
             &node,
             &trace,
@@ -600,52 +567,45 @@ fn task_if(
             EventInfo::None,
             &mut Payload::Single(&mut data),
         );
-        let NodeKind::If {
-            fc,
-            then_branch,
-            else_branch,
-        } = &node.kind
-        else {
-            unreachable!("tag checked by dispatcher")
-        };
-        ctx.emit(
-            &node,
-            &trace,
-            inst,
-            When::Before,
-            Where::Condition,
-            EventInfo::None,
-            &mut Payload::Single(&mut data),
-        );
-        let verdict = fc.call(&data);
-        ctx.emit(
-            &node,
-            &trace,
-            inst,
-            When::After,
-            Where::Condition,
-            EventInfo::ConditionResult(verdict),
-            &mut Payload::Single(&mut data),
-        );
-        let (branch, k) = if verdict {
-            (Arc::clone(then_branch), 0)
-        } else {
-            (Arc::clone(else_branch), 1)
-        };
+    }
+    let NodeKind::While { fc, inner } = &node.kind else {
+        unreachable!("tag checked by dispatcher")
+    };
+    ctx.emit(
+        &node,
+        &trace,
+        inst,
+        When::Before,
+        Where::Condition,
+        EventInfo::None,
+        &mut Payload::Single(&mut data),
+    );
+    let verdict = fc.call(&data);
+    ctx.emit(
+        &node,
+        &trace,
+        inst,
+        When::After,
+        Where::Condition,
+        EventInfo::ConditionResult(verdict),
+        &mut Payload::Single(&mut data),
+    );
+    if verdict {
         ctx.emit(
             &node,
             &trace,
             inst,
             When::Before,
             Where::NestedSkeleton,
-            EventInfo::ChildIndex(k),
+            EventInfo::ChildIndex(iter),
             &mut Payload::Single(&mut data),
         );
+        let inner = Arc::clone(inner);
         let node2 = Arc::clone(&node);
         let trace2 = trace.clone();
         schedule_node(
             ctx,
-            &branch,
+            &inner,
             Some(&trace),
             data,
             Cont::f(move |ctx, mut out| {
@@ -655,22 +615,116 @@ fn task_if(
                     inst,
                     When::After,
                     Where::NestedSkeleton,
-                    EventInfo::ChildIndex(k),
+                    EventInfo::ChildIndex(iter),
                     &mut Payload::Single(&mut out),
                 );
-                ctx.emit(
-                    &node2,
-                    &trace2,
-                    inst,
-                    When::After,
-                    Where::Skeleton,
-                    EventInfo::None,
-                    &mut Payload::Single(&mut out),
-                );
-                cont.run(ctx, out);
+                run_step(ctx, move |ctx| {
+                    step_while(ctx, node2, trace2, inst, out, cont, iter + 1)
+                });
             }),
         );
-    })
+    } else {
+        ctx.emit(
+            &node,
+            &trace,
+            inst,
+            When::After,
+            Where::Skeleton,
+            EventInfo::None,
+            &mut Payload::Single(&mut data),
+        );
+        cont.run(ctx, data);
+    }
+}
+
+fn step_if(
+    ctx: &Arc<SubCtx>,
+    node: Arc<Node>,
+    trace: Trace,
+    inst: InstanceId,
+    data: Data,
+    cont: Cont,
+) {
+    let mut data = data;
+    ctx.emit(
+        &node,
+        &trace,
+        inst,
+        When::Before,
+        Where::Skeleton,
+        EventInfo::None,
+        &mut Payload::Single(&mut data),
+    );
+    let NodeKind::If {
+        fc,
+        then_branch,
+        else_branch,
+    } = &node.kind
+    else {
+        unreachable!("tag checked by dispatcher")
+    };
+    ctx.emit(
+        &node,
+        &trace,
+        inst,
+        When::Before,
+        Where::Condition,
+        EventInfo::None,
+        &mut Payload::Single(&mut data),
+    );
+    let verdict = fc.call(&data);
+    ctx.emit(
+        &node,
+        &trace,
+        inst,
+        When::After,
+        Where::Condition,
+        EventInfo::ConditionResult(verdict),
+        &mut Payload::Single(&mut data),
+    );
+    let (branch, k) = if verdict {
+        (Arc::clone(then_branch), 0)
+    } else {
+        (Arc::clone(else_branch), 1)
+    };
+    ctx.emit(
+        &node,
+        &trace,
+        inst,
+        When::Before,
+        Where::NestedSkeleton,
+        EventInfo::ChildIndex(k),
+        &mut Payload::Single(&mut data),
+    );
+    // Branch-closing wrapper: identity without a listener.
+    let cont = if ctx.tracing {
+        let node2 = Arc::clone(&node);
+        let trace2 = trace.clone();
+        Cont::f(move |ctx, mut out| {
+            ctx.emit(
+                &node2,
+                &trace2,
+                inst,
+                When::After,
+                Where::NestedSkeleton,
+                EventInfo::ChildIndex(k),
+                &mut Payload::Single(&mut out),
+            );
+            ctx.emit(
+                &node2,
+                &trace2,
+                inst,
+                When::After,
+                Where::Skeleton,
+                EventInfo::None,
+                &mut Payload::Single(&mut out),
+            );
+            cont.run(ctx, out);
+        })
+    } else {
+        cont
+    };
+    schedule_node(ctx, &branch, Some(&trace), data, cont);
 }
 
 fn exec_for(
@@ -769,86 +823,167 @@ fn for_iteration(
     );
 }
 
-fn task_map(
+fn step_map(
     ctx: &Arc<SubCtx>,
     node: Arc<Node>,
     trace: Trace,
     inst: InstanceId,
     data: Data,
     cont: Cont,
-) -> Task {
-    ctx.task(move |ctx| {
-        let mut data = data;
-        ctx.emit(
-            &node,
-            &trace,
-            inst,
-            When::Before,
-            Where::Skeleton,
-            EventInfo::None,
-            &mut Payload::Single(&mut data),
-        );
-        let NodeKind::Map { fs, .. } = &node.kind else {
-            unreachable!("tag checked by dispatcher")
-        };
-        ctx.emit(
-            &node,
-            &trace,
-            inst,
-            When::Before,
-            Where::Split,
-            EventInfo::None,
-            &mut Payload::Single(&mut data),
-        );
-        let mut parts = fs.call(data);
-        ctx.emit(
-            &node,
-            &trace,
-            inst,
-            When::After,
-            Where::Split,
-            EventInfo::SplitCardinality(parts.len()),
-            &mut Payload::Many(&mut parts),
-        );
-        fan_out(
-            ctx,
-            Arc::clone(&node),
-            trace.clone(),
-            inst,
-            parts,
-            cont,
-            |node, _| {
-                let NodeKind::Map { inner, .. } = &node.kind else {
-                    unreachable!()
-                };
-                Arc::clone(inner)
-            },
-        );
-    })
+) {
+    let mut data = data;
+    ctx.emit(
+        &node,
+        &trace,
+        inst,
+        When::Before,
+        Where::Skeleton,
+        EventInfo::None,
+        &mut Payload::Single(&mut data),
+    );
+    let NodeKind::Map { fs, .. } = &node.kind else {
+        unreachable!("tag checked by dispatcher")
+    };
+    ctx.emit(
+        &node,
+        &trace,
+        inst,
+        When::Before,
+        Where::Split,
+        EventInfo::None,
+        &mut Payload::Single(&mut data),
+    );
+    let mut parts = fs.call(data);
+    ctx.emit(
+        &node,
+        &trace,
+        inst,
+        When::After,
+        Where::Split,
+        EventInfo::SplitCardinality(parts.len()),
+        &mut Payload::Many(&mut parts),
+    );
+    fan_out(
+        ctx,
+        Arc::clone(&node),
+        trace.clone(),
+        inst,
+        parts,
+        cont,
+        |node, _| {
+            let NodeKind::Map { inner, .. } = &node.kind else {
+                unreachable!()
+            };
+            Arc::clone(inner)
+        },
+    );
 }
 
-fn task_fork(
+fn step_fork(
     ctx: &Arc<SubCtx>,
     node: Arc<Node>,
     trace: Trace,
     inst: InstanceId,
     data: Data,
     cont: Cont,
-) -> Task {
-    ctx.task(move |ctx| {
-        let mut data = data;
-        ctx.emit(
-            &node,
-            &trace,
-            inst,
-            When::Before,
-            Where::Skeleton,
-            EventInfo::None,
-            &mut Payload::Single(&mut data),
-        );
-        let NodeKind::Fork { fs, inners, .. } = &node.kind else {
-            unreachable!("tag checked by dispatcher")
-        };
+) {
+    let mut data = data;
+    ctx.emit(
+        &node,
+        &trace,
+        inst,
+        When::Before,
+        Where::Skeleton,
+        EventInfo::None,
+        &mut Payload::Single(&mut data),
+    );
+    let NodeKind::Fork { fs, inners, .. } = &node.kind else {
+        unreachable!("tag checked by dispatcher")
+    };
+    ctx.emit(
+        &node,
+        &trace,
+        inst,
+        When::Before,
+        Where::Split,
+        EventInfo::None,
+        &mut Payload::Single(&mut data),
+    );
+    let mut parts = fs.call(data);
+    ctx.emit(
+        &node,
+        &trace,
+        inst,
+        When::After,
+        Where::Split,
+        EventInfo::SplitCardinality(parts.len()),
+        &mut Payload::Many(&mut parts),
+    );
+    if parts.len() != inners.len() {
+        ctx.fail(EngineError::Eval(EvalError::ForkArityMismatch {
+            node: node.id,
+            branches: inners.len(),
+            produced: parts.len(),
+        }));
+        return;
+    }
+    fan_out(
+        ctx,
+        Arc::clone(&node),
+        trace.clone(),
+        inst,
+        parts,
+        cont,
+        |node, k| {
+            let NodeKind::Fork { inners, .. } = &node.kind else {
+                unreachable!()
+            };
+            Arc::clone(&inners[k])
+        },
+    );
+}
+
+fn step_dac(
+    ctx: &Arc<SubCtx>,
+    node: Arc<Node>,
+    trace: Trace,
+    inst: InstanceId,
+    data: Data,
+    cont: Cont,
+) {
+    let mut data = data;
+    ctx.emit(
+        &node,
+        &trace,
+        inst,
+        When::Before,
+        Where::Skeleton,
+        EventInfo::None,
+        &mut Payload::Single(&mut data),
+    );
+    let NodeKind::DivideConquer { fc, fs, inner, .. } = &node.kind else {
+        unreachable!("tag checked by dispatcher")
+    };
+    ctx.emit(
+        &node,
+        &trace,
+        inst,
+        When::Before,
+        Where::Condition,
+        EventInfo::None,
+        &mut Payload::Single(&mut data),
+    );
+    let divide = fc.call(&data);
+    ctx.emit(
+        &node,
+        &trace,
+        inst,
+        When::After,
+        Where::Condition,
+        EventInfo::ConditionResult(divide),
+        &mut Payload::Single(&mut data),
+    );
+    if divide {
         ctx.emit(
             &node,
             &trace,
@@ -868,14 +1003,11 @@ fn task_fork(
             EventInfo::SplitCardinality(parts.len()),
             &mut Payload::Many(&mut parts),
         );
-        if parts.len() != inners.len() {
-            ctx.fail(EngineError::Eval(EvalError::ForkArityMismatch {
-                node: node.id,
-                branches: inners.len(),
-                produced: parts.len(),
-            }));
+        if parts.is_empty() {
+            ctx.fail(EngineError::Eval(EvalError::EmptySplit { node: node.id }));
             return;
         }
+        // Children are new instances of this same d&C node.
         fan_out(
             ctx,
             Arc::clone(&node),
@@ -883,142 +1015,102 @@ fn task_fork(
             inst,
             parts,
             cont,
-            |node, k| {
-                let NodeKind::Fork { inners, .. } = &node.kind else {
-                    unreachable!()
-                };
-                Arc::clone(&inners[k])
-            },
+            |node, _| Arc::clone(node),
         );
-    })
-}
-
-fn task_dac(
-    ctx: &Arc<SubCtx>,
-    node: Arc<Node>,
-    trace: Trace,
-    inst: InstanceId,
-    data: Data,
-    cont: Cont,
-) -> Task {
-    ctx.task(move |ctx| {
-        let mut data = data;
+    } else {
         ctx.emit(
             &node,
             &trace,
             inst,
             When::Before,
-            Where::Skeleton,
-            EventInfo::None,
+            Where::NestedSkeleton,
+            EventInfo::ChildIndex(0),
             &mut Payload::Single(&mut data),
         );
-        let NodeKind::DivideConquer { fc, fs, inner, .. } = &node.kind else {
-            unreachable!("tag checked by dispatcher")
-        };
-        ctx.emit(
-            &node,
-            &trace,
-            inst,
-            When::Before,
-            Where::Condition,
-            EventInfo::None,
-            &mut Payload::Single(&mut data),
-        );
-        let divide = fc.call(&data);
-        ctx.emit(
-            &node,
-            &trace,
-            inst,
-            When::After,
-            Where::Condition,
-            EventInfo::ConditionResult(divide),
-            &mut Payload::Single(&mut data),
-        );
-        if divide {
-            ctx.emit(
-                &node,
-                &trace,
-                inst,
-                When::Before,
-                Where::Split,
-                EventInfo::None,
-                &mut Payload::Single(&mut data),
-            );
-            let mut parts = fs.call(data);
-            ctx.emit(
-                &node,
-                &trace,
-                inst,
-                When::After,
-                Where::Split,
-                EventInfo::SplitCardinality(parts.len()),
-                &mut Payload::Many(&mut parts),
-            );
-            if parts.is_empty() {
-                ctx.fail(EngineError::Eval(EvalError::EmptySplit { node: node.id }));
-                return;
-            }
-            // Children are new instances of this same d&C node.
-            fan_out(
-                ctx,
-                Arc::clone(&node),
-                trace.clone(),
-                inst,
-                parts,
-                cont,
-                |node, _| Arc::clone(node),
-            );
-        } else {
-            ctx.emit(
-                &node,
-                &trace,
-                inst,
-                When::Before,
-                Where::NestedSkeleton,
-                EventInfo::ChildIndex(0),
-                &mut Payload::Single(&mut data),
-            );
-            let inner = Arc::clone(inner);
+        let inner = Arc::clone(inner);
+        // The base-case wrapper exists only to emit the closing events;
+        // with no listener it is the identity, so the parent's
+        // continuation passes through without a fresh box.
+        let cont = if ctx.tracing {
             let node2 = Arc::clone(&node);
             let trace2 = trace.clone();
-            schedule_node(
-                ctx,
-                &inner,
-                Some(&trace),
-                data,
-                Cont::f(move |ctx, mut out| {
-                    ctx.emit(
-                        &node2,
-                        &trace2,
-                        inst,
-                        When::After,
-                        Where::NestedSkeleton,
-                        EventInfo::ChildIndex(0),
-                        &mut Payload::Single(&mut out),
-                    );
-                    ctx.emit(
-                        &node2,
-                        &trace2,
-                        inst,
-                        When::After,
-                        Where::Skeleton,
-                        EventInfo::None,
-                        &mut Payload::Single(&mut out),
-                    );
-                    cont.run(ctx, out);
-                }),
-            );
+            Cont::f(move |ctx, mut out| {
+                ctx.emit(
+                    &node2,
+                    &trace2,
+                    inst,
+                    When::After,
+                    Where::NestedSkeleton,
+                    EventInfo::ChildIndex(0),
+                    &mut Payload::Single(&mut out),
+                );
+                ctx.emit(
+                    &node2,
+                    &trace2,
+                    inst,
+                    When::After,
+                    Where::Skeleton,
+                    EventInfo::None,
+                    &mut Payload::Single(&mut out),
+                );
+                cont.run(ctx, out);
+            })
+        } else {
+            cont
+        };
+        schedule_node(ctx, &inner, Some(&trace), data, cont);
+    }
+}
+
+/// How deep inline continuation execution may nest on one worker before
+/// deferring to the pool's next-task slot. Balanced d&C recursions stay
+/// logarithmic and never get near this; the cap keeps degenerate shapes
+/// (a one-element-per-level split, a long while/pipe chain) from
+/// growing the worker's stack without bound — past it, the chain takes
+/// one slot round-trip through the worker loop and the depth resets.
+const MAX_INLINE_DEPTH: usize = 64;
+
+thread_local! {
+    /// Current inline nesting depth on this thread.
+    static INLINE_DEPTH: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
+}
+
+/// Executes a step **inline in the current task** when the calling
+/// thread is a pool worker and the depth cap allows — guarded, but with
+/// no closure box and no dispatch — and otherwise boxes it and defers
+/// to the pool ([`ResizablePool::submit_next`]: the worker's TLS slot
+/// on a worker, a plain submit elsewhere — the latter keeps
+/// `Engine::submit` non-blocking on the caller's thread).
+///
+/// Inline execution behaves exactly like pool execution: the same
+/// poison short-circuit and panic guard apply, and the enclosing pool
+/// task is still running, so `wait_idle` cannot miss it.
+fn run_step(ctx: &Arc<SubCtx>, step: impl FnOnce(&Arc<SubCtx>) + Send + 'static) {
+    if ctx.pool.on_worker_thread() {
+        let depth = INLINE_DEPTH.get();
+        if depth < MAX_INLINE_DEPTH {
+            INLINE_DEPTH.set(depth + 1);
+            ctx.guarded(step);
+            INLINE_DEPTH.set(depth);
+            return;
         }
-    })
+    }
+    ctx.pool.submit_next(ctx.task(step));
 }
 
 /// Fans `parts` out to child skeletons chosen by `pick_child(node, k)`,
 /// joins the results in order, then schedules the merge task which also
 /// closes the parent instance (`After, Merge` then `After, Skeleton`).
 ///
-/// Muscle-kind children are submitted to the pool as **one batch** after
-/// the loop (structural children still start inline), so a wide split
-/// costs one queue-lock acquisition instead of one per child.
+/// All children but the last are handed to the pool as **one batch**
+/// (structural children still start inline), so a wide split costs one
+/// queue-lock acquisition instead of one per child. The **last child
+/// runs inline in the parent's task**: the parent would otherwise die
+/// right after submitting it, and under LIFO scheduling this worker
+/// would pop that exact task next anyway — inlining skips the
+/// queue round-trip entirely while idle workers steal the batched
+/// siblings. Inline nesting is depth-capped ([`MAX_INLINE_DEPTH`]); past
+/// the cap the last child is submitted like its siblings.
 fn fan_out(
     ctx: &Arc<SubCtx>,
     node: Arc<Node>,
@@ -1034,7 +1126,14 @@ fn fan_out(
     }
     let n = parts.len();
     let join = Join::new(n, cont, node, trace, inst);
-    let mut batch: Vec<Task> = Vec::with_capacity(n);
+    // A binary fan-out (every recursive d&C) has exactly one batched
+    // sibling: submit it directly and skip the batch vector.
+    let mut batch: Vec<Task> = if n > 2 {
+        Vec::with_capacity(n - 1)
+    } else {
+        Vec::new()
+    };
+    let mut last: Option<(Arc<Node>, Data)> = None;
     for (k, mut part) in parts.into_iter().enumerate() {
         ctx.emit(
             &join.node,
@@ -1046,49 +1145,88 @@ fn fan_out(
             &mut Payload::Single(&mut part),
         );
         let child = pick_child(&join.node, k);
-        schedule_node_into(
-            ctx,
-            &child,
-            Some(&join.trace),
-            part,
-            Cont::Join {
+        if k + 1 == n {
+            // Held back: the last child starts only after its siblings
+            // are in the pool for thieves, then runs inline here.
+            last = Some((child, part));
+        } else {
+            let child_cont = Cont::Join {
                 join: Arc::clone(&join),
                 k,
-            },
-            &mut batch,
-        );
+            };
+            if n == 2 {
+                schedule_node_to(
+                    ctx,
+                    &child,
+                    Some(&join.trace),
+                    part,
+                    child_cont,
+                    Sink::Submit,
+                );
+            } else {
+                schedule_node_to(
+                    ctx,
+                    &child,
+                    Some(&join.trace),
+                    part,
+                    child_cont,
+                    Sink::Batch(&mut batch),
+                );
+            }
+        }
     }
     ctx.pool.submit_batch(batch);
+    if let Some((child, part)) = last {
+        let child_cont = Cont::Join {
+            join: Arc::clone(&join),
+            k: n - 1,
+        };
+        schedule_node(ctx, &child, Some(&join.trace), part, child_cont);
+    }
 }
 
-/// Schedules the merge as its own pool task (the paper's discipline: the
-/// merge is one more "active thread", started by the last child).
+/// Runs the merge on the worker that closed the join — inline in the
+/// closing child's task when the depth cap allows, via the pool's TLS
+/// slot otherwise. Either way the merge is started by the last child
+/// and runs on its thread (the paper's discipline and its listener
+/// thread guarantee); inlining merely merges the task identities.
 fn spawn_merge(
     ctx: &Arc<SubCtx>,
     node: Arc<Node>,
     trace: Trace,
     inst: InstanceId,
-    results: Vec<Data>,
+    slots: Vec<Option<Data>>,
     cont: Cont,
 ) {
-    ctx.spawn(move |ctx| {
-        let mut results = results;
-        ctx.emit(
-            &node,
-            &trace,
-            inst,
-            When::Before,
-            Where::Merge,
-            EventInfo::None,
-            &mut Payload::Many(&mut results),
-        );
+    run_step(ctx, move |ctx| {
         let fm = match &node.kind {
             NodeKind::Map { fm, .. }
             | NodeKind::Fork { fm, .. }
             | NodeKind::DivideConquer { fm, .. } => fm,
             _ => unreachable!("merge scheduled on a kind without a merge muscle"),
         };
-        let mut out = fm.call(results);
+        let mut out = if ctx.tracing {
+            // Listeners may transform the partial results, so the
+            // event payload needs the plain vector shape.
+            let mut results: Vec<Data> = slots
+                .into_iter()
+                .map(|s| s.expect("fan-out result slot unfilled at merge"))
+                .collect();
+            ctx.emit(
+                &node,
+                &trace,
+                inst,
+                When::Before,
+                Where::Merge,
+                EventInfo::None,
+                &mut Payload::Many(&mut results),
+            );
+            fm.call(results)
+        } else {
+            // No listener can observe this submission: the join's slot
+            // vector feeds the merge muscle as-is, with no re-collect.
+            fm.call_slots(slots)
+        };
         ctx.emit(
             &node,
             &trace,

@@ -6,17 +6,18 @@
 //! `askel-events` around every muscle, **on the thread that executes the
 //! muscle** (the paper's thread guarantee for listeners).
 //!
-//! Execution is continuation-passing: every muscle execution is one pool
-//! task; data-parallel kinds (`map`, `fork`, `d&C`) fan out through a join
-//! counter and schedule their merge as a fresh task, so the pool's
-//! active-task count *is* the paper's "number of active threads".
-//!
-//! Dispatch rides the pool's sharded work-stealing queue (see
-//! `docs/ARCHITECTURE.md`): continuations land on the scheduling
-//! worker's own deque and run LIFO on a warm cache, fan-out children
-//! are handed to the pool as one batch, and idle workers steal the
-//! oldest children — so raising the LP mid-run immediately gives the
-//! new workers something to take.
+//! Execution is continuation-passing over the pool's sharded
+//! work-stealing queue (see `docs/ARCHITECTURE.md`). Data-parallel
+//! kinds (`map`, `fork`, `d&C`) fan their children out through a join
+//! counter: all children but the last go to the pool as one batch for
+//! idle workers to steal, while the **last child — and each
+//! single-continuation step (pipe stages, while/for iterations, the
+//! join's merge) — runs inline on the worker that produced it**
+//! (depth-capped, deferring to the pool's TLS next-task slot past the
+//! cap). Steady-state chains therefore never touch the ready queue;
+//! the pool's active-task count still tracks the paper's "number of
+//! active threads" at fan-out/steal boundaries, and raising the LP
+//! mid-run immediately gives new workers the batched children to take.
 //!
 //! The listener set is sampled when a submission starts: if no listener
 //! is registered at that moment, the submission skips the entire event

@@ -183,6 +183,72 @@ fn panic_in_one_map_child_poisons_the_submission() {
 }
 
 #[test]
+fn panic_in_one_dac_child_while_sibling_completes_poisons_cleanly() {
+    // One d&C half panics while the other (often the inline-run last
+    // child on the same worker) completes into the shared join. The
+    // submission must resolve to an error — never a worker-thread panic
+    // from the join bookkeeping — and the engine must stay usable.
+    for _ in 0..50 {
+        let engine = Engine::new(2);
+        let program: Skel<Vec<i64>, Vec<i64>> = dac(
+            |v: &Vec<i64>| v.len() > 2,
+            |v: Vec<i64>| {
+                let mid = v.len() / 2;
+                let (a, b) = v.split_at(mid);
+                vec![a.to_vec(), b.to_vec()]
+            },
+            seq(|v: Vec<i64>| {
+                if v.contains(&13) {
+                    panic!("unlucky leaf")
+                }
+                v
+            }),
+            |parts: Vec<Vec<i64>>| parts.into_iter().flatten().collect(),
+        );
+        let err = engine
+            .submit(&program, (0..32).collect())
+            .get_timeout(Duration::from_secs(30))
+            .expect("poisoned submission must still resolve")
+            .unwrap_err();
+        assert!(
+            matches!(err, EngineError::MusclePanic(_)),
+            "unexpected error {err:?}"
+        );
+        // The sibling's completion path must not have corrupted the
+        // engine: a fresh submission still works.
+        let ok = seq(|x: i64| x + 1);
+        assert_eq!(get(&engine, &ok, 1), 2);
+        engine.shutdown();
+    }
+}
+
+#[test]
+fn deep_unbalanced_dac_does_not_blow_the_stack() {
+    // A degenerate split peels one element off per level, driving the
+    // inline last-child recursion as deep as the input is long; past
+    // MAX_INLINE_DEPTH the engine must fall back to pool submission
+    // instead of growing the worker's stack without bound.
+    let engine = Engine::new(2);
+    let program: Skel<Vec<i64>, Vec<i64>> = dac(
+        |v: &Vec<i64>| v.len() > 1,
+        |v: Vec<i64>| {
+            let (head, tail) = v.split_at(1);
+            vec![head.to_vec(), tail.to_vec()]
+        },
+        seq(|v: Vec<i64>| v),
+        |parts: Vec<Vec<i64>>| parts.into_iter().flatten().collect(),
+    );
+    let input: Vec<i64> = (0..2000).collect();
+    let got = engine
+        .submit(&program, input.clone())
+        .get_timeout(Duration::from_secs(60))
+        .unwrap()
+        .unwrap();
+    assert_eq!(got, input);
+    engine.shutdown();
+}
+
+#[test]
 fn fork_arity_mismatch_is_a_structural_error() {
     let engine = Engine::new(2);
     let program: Skel<i64, i64> = fork(

@@ -21,6 +21,14 @@
 //!   injector steals the oldest half of another worker's deque (FIFO from
 //!   the victim, so thieves pick up the work least likely to be
 //!   cache-resident at the victim).
+//! * **TLS next-task slot** — a task that produces exactly one
+//!   continuation can hand it straight to the worker running it
+//!   ([`ResizablePool::submit_next`]): the follow-on task runs
+//!   immediately after the current one returns, bypassing the deque and
+//!   the injector entirely. Under LIFO scheduling the newest submission
+//!   would run next on that worker anyway, so the slot changes dispatch
+//!   cost, not order; slot tasks stay visible to the exact accounting
+//!   below and are drained (never dropped) across shrink and shutdown.
 //! * **Parker-based sleep** — an idle worker registers itself as a
 //!   sleeper and parks on its own one-token parker; submitters wake
 //!   exactly as many sleepers as they queued tasks. There is no broadcast
@@ -50,7 +58,7 @@
 mod queue;
 pub mod telemetry;
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -96,6 +104,15 @@ struct PoolInner {
     /// accounting without a decrement on the pop fast path:
     /// `queued = submitted - started`, `idle = (submitted == finished)`.
     submitted: AtomicUsize,
+    /// Tasks currently resident in some worker's TLS next-task slot.
+    /// They are counted in `submitted` (so `queued_tasks`/`wait_idle`
+    /// stay exact) but are invisible to other workers — only the
+    /// depositing worker can run them — so the sleep protocol and the
+    /// pass-the-torch checks subtract this count: otherwise an idle
+    /// worker could never park while any slot was occupied (its park
+    /// re-check would see phantom queued work and spin at 100% CPU for
+    /// the duration of the depositor's current task).
+    slotted: AtomicUsize,
     /// Mirror of `sleepers.len()` for the lock-free wake fast path.
     sleeping: AtomicUsize,
     /// Lock-free mirrors of the coordinator's lifecycle fields.
@@ -107,11 +124,19 @@ struct PoolInner {
 }
 
 /// The worker this thread belongs to, if any; lets `submit` route tasks
-/// produced on a worker straight to that worker's own deque.
+/// produced on a worker straight to that worker's own deque and
+/// [`ResizablePool::submit_next`] hand a continuation straight to the
+/// worker itself.
 struct CurrentWorker {
     /// Address of the owning pool's `PoolInner`, for identity checks.
     pool: usize,
     shard: Arc<Shard>,
+    /// The TLS next-task slot: a task deposited here by `submit_next`
+    /// runs on this worker immediately after the current task returns,
+    /// without ever touching the deque or the injector. Holds at most
+    /// one task; a second deposit spills the first to the deque so LIFO
+    /// order ("most recent submission runs next") is preserved.
+    next: Cell<Option<Task>>,
 }
 
 thread_local! {
@@ -160,6 +185,19 @@ impl PoolInner {
     fn has_queued(&self) -> bool {
         self.telemetry.tasks_started() < self.submitted.load(Ordering::SeqCst)
     }
+
+    /// Whether some not-yet-started task is visible to *other* workers
+    /// (injector or any deque) — i.e. queued work excluding slot-resident
+    /// tasks. This is what parking and torch-passing decisions use: a
+    /// slot task never justifies keeping a peer awake, since only its
+    /// depositor can run it (and the depositor is, by construction, a
+    /// worker that is currently awake inside a task). Saturating because
+    /// the three counters are read separately and `slotted` moves both
+    /// ways; a transiently high read only costs one spurious pass.
+    fn has_stealable(&self) -> bool {
+        let accounted = self.telemetry.tasks_started() + self.slotted.load(Ordering::SeqCst);
+        self.submitted.load(Ordering::SeqCst) > accounted
+    }
 }
 
 /// A worker pool whose size can change while work is in flight.
@@ -201,6 +239,7 @@ impl ResizablePool {
             shards: RwLock::new(Vec::new()),
             injector: Injector::new(),
             submitted: AtomicUsize::new(0),
+            slotted: AtomicUsize::new(0),
             sleeping: AtomicUsize::new(0),
             target: AtomicUsize::new(0),
             live: AtomicUsize::new(0),
@@ -244,6 +283,71 @@ impl ResizablePool {
         self.inner.wake(1);
     }
 
+    /// Submits a task as the calling worker's *next* task: it is placed
+    /// in the worker's TLS next-task slot and runs on this worker
+    /// immediately after the current task returns, without touching the
+    /// deque or the injector (and without waking anyone — the runner is
+    /// the caller itself).
+    ///
+    /// This is the handoff for single-continuation chains (pipe stages,
+    /// while/for iterations, a fan-out's merge): under LIFO scheduling
+    /// the most recent submission would run next on this worker anyway,
+    /// so the slot changes only the cost, not the order. If the slot is
+    /// already occupied, the older occupant spills to the worker's deque
+    /// (where, as the deque's newest task, it still runs right after the
+    /// slot drains — exactly the pure-LIFO order).
+    ///
+    /// Called from outside the pool's workers this is a plain
+    /// [`submit`](Self::submit).
+    ///
+    /// Slot tasks count in `submitted`/`started`/`finished` like any
+    /// other task, so [`queued_tasks`](Self::queued_tasks) sees a
+    /// deposited-but-not-started slot task and
+    /// [`wait_idle`](Self::wait_idle) cannot return while one is
+    /// pending. A retiring
+    /// or shutting-down worker never strands its slot: the drain loop
+    /// pushes the occupant back onto the deque first, and the retire
+    /// path drains the deque to the injector.
+    pub fn submit_next(&self, task: Task) {
+        // Same reserve-then-check dance as `submit`: see the comment there.
+        self.inner.submitted.fetch_add(1, Ordering::SeqCst);
+        if self.inner.shutdown.load(Ordering::SeqCst) {
+            self.inner.submitted.fetch_sub(1, Ordering::SeqCst);
+            panic!("submit on a shut-down pool");
+        }
+        let addr = self.inner.addr();
+        let (overflow, spilled) = CURRENT.with(|c| match &*c.borrow() {
+            Some(w) if w.pool == addr => {
+                let spilled = match w.next.replace(Some(task)) {
+                    // Spill the older occupant to the deque; the newest
+                    // submission keeps the slot (LIFO order preserved).
+                    // The spilled task is stealable, so a peer gets a
+                    // wake for it like any worker-local submit. Net
+                    // slot residency is unchanged (one left, one
+                    // entered), so `slotted` moves only on a first
+                    // deposit.
+                    Some(prev) => {
+                        w.shard.push(prev);
+                        true
+                    }
+                    None => {
+                        self.inner.slotted.fetch_add(1, Ordering::SeqCst);
+                        false
+                    }
+                };
+                (None, spilled)
+            }
+            _ => (Some(task), false),
+        });
+        let wake = overflow.is_some() || spilled;
+        if let Some(task) = overflow {
+            self.inner.injector.push(task);
+        }
+        if wake {
+            self.inner.wake(1);
+        }
+    }
+
     /// Submits several tasks at once, taking the destination queue's lock
     /// only once; they are stacked in order, so the *last* one is picked
     /// up first (LIFO).
@@ -276,6 +380,16 @@ impl ResizablePool {
             self.inner.injector.push_batch(tasks);
         }
         self.inner.wake(n);
+    }
+
+    /// Whether the calling thread is one of this pool's workers.
+    ///
+    /// Engines use this to decide between running a continuation inline
+    /// (safe only inside a worker, where the task is already counted)
+    /// and submitting it.
+    pub fn on_worker_thread(&self) -> bool {
+        let addr = self.inner.addr();
+        CURRENT.with(|c| matches!(&*c.borrow(), Some(w) if w.pool == addr))
     }
 
     /// Changes the desired worker count (the skeleton's LP).
@@ -329,8 +443,8 @@ impl ResizablePool {
         self.inner.live.load(Ordering::SeqCst)
     }
 
-    /// Tasks currently queued (not yet picked up), counting the injector
-    /// *and* every worker-local deque.
+    /// Tasks currently queued (not yet picked up), counting the injector,
+    /// every worker-local deque, *and* any occupied next-task slot.
     pub fn queued_tasks(&self) -> usize {
         self.inner
             .submitted
@@ -431,10 +545,56 @@ fn find_task(inner: &Arc<PoolInner>, shard: &Arc<Shard>) -> Option<Task> {
         task
     })?;
     inner.telemetry.record_task_start(inner.sample_time());
-    if inner.has_queued() {
+    if inner.has_stealable() {
         inner.wake(1);
     }
     Some(task)
+}
+
+/// Executes one picked-up task whose start has already been recorded,
+/// recording its end. Panics are caught and counted; they never kill the
+/// worker.
+fn run_task(inner: &Arc<PoolInner>, task: Task) {
+    let result = catch_unwind(AssertUnwindSafe(task));
+    inner
+        .telemetry
+        .record_task_end(inner.sample_time(), result.is_err());
+}
+
+/// Runs the chain of tasks deposited in this worker's TLS next-task slot
+/// (see [`ResizablePool::submit_next`]): each completed task may hand the
+/// worker its continuation, which runs immediately — no deque, no
+/// injector, no wake.
+///
+/// Every link is recorded in `started`/`finished` exactly like a queued
+/// task, so `queued_tasks`/`wait_idle` stay exact, and the torch is
+/// passed exactly as in [`find_task`] (the check runs *after* the link is
+/// marked started, so the link itself never triggers a spurious wake).
+/// Between links the worker re-checks shutdown and shrink: if it has to
+/// stop, the pending link goes back onto its deque — from where the
+/// retire path drains it to the injector — so a retiring worker never
+/// strands its slot.
+fn drain_next_slot(inner: &Arc<PoolInner>, shard: &Arc<Shard>) {
+    loop {
+        let next = CURRENT.with(|c| c.borrow().as_ref().and_then(|w| w.next.take()));
+        let Some(task) = next else {
+            return;
+        };
+        // The task leaves the slot either way below (run now, or pushed
+        // back to the deque where it is visible to thieves again).
+        inner.slotted.fetch_sub(1, Ordering::SeqCst);
+        if inner.shutdown.load(Ordering::SeqCst)
+            || inner.live.load(Ordering::SeqCst) > inner.target.load(Ordering::SeqCst)
+        {
+            shard.push(task);
+            return;
+        }
+        inner.telemetry.record_task_start(inner.sample_time());
+        if inner.has_stealable() {
+            inner.wake(1);
+        }
+        run_task(inner, task);
+    }
 }
 
 /// Steals a batch from some other registered shard, trying victims in a
@@ -480,7 +640,15 @@ fn deregister_sleeper(inner: &PoolInner, parker: &Arc<Parker>) {
 /// injector (the shrink drain protocol), waking workers to pick them up.
 fn retire_shard(inner: &Arc<PoolInner>, shard: &Arc<Shard>) {
     inner.shards.write().retain(|s| s.id() != shard.id());
-    let orphans = shard.drain_all();
+    let mut orphans = shard.drain_all();
+    // The drain loop empties the TLS slot before any retire, but belt and
+    // braces: a task still in the slot joins the orphans instead of being
+    // dropped with the thread-local.
+    let slot = CURRENT.with(|c| c.borrow().as_ref().and_then(|w| w.next.take()));
+    if slot.is_some() {
+        inner.slotted.fetch_sub(1, Ordering::SeqCst);
+    }
+    orphans.extend(slot);
     if !orphans.is_empty() {
         let n = orphans.len();
         inner.injector.push_batch(orphans);
@@ -494,9 +662,26 @@ fn worker_loop(inner: Arc<PoolInner>, shard: Arc<Shard>) {
         *c.borrow_mut() = Some(CurrentWorker {
             pool: inner.addr(),
             shard: Arc::clone(&shard),
+            next: Cell::new(None),
         });
     });
     let parker = Arc::new(Parker::new());
+    // Bounded spin-before-park: how many empty find_task rounds this
+    // worker tolerates (first busy-spinning, then yielding) before it
+    // registers as a sleeper and parks. Fan-out-heavy workloads submit
+    // work in quick pulses; a worker that naps through the gap instead
+    // of parking skips a futex wake on the submitter *and* a futex wait
+    // on itself for the next pulse. Bounded, so an idle pool still
+    // parks (no spinning herd), and every round re-checks the
+    // retire/shutdown conditions at the top of the loop.
+    // Default chosen by measurement on the engine-throughput benches
+    // (fan-out pulses land well within the window); overridable for
+    // tuning via `ASKEL_POOL_SPIN_ROUNDS`.
+    let spin_rounds: u32 = std::env::var("ASKEL_POOL_SPIN_ROUNDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(256);
+    let mut idle_rounds = 0u32;
     loop {
         // Retire if surplus (confirmed under the coordinator lock so
         // exactly `live - target` workers retire).
@@ -520,12 +705,21 @@ fn worker_loop(inner: Arc<PoolInner>, shard: Arc<Shard>) {
             return;
         }
         if let Some(task) = find_task(&inner, &shard) {
-            let result = catch_unwind(AssertUnwindSafe(task));
-            inner
-                .telemetry
-                .record_task_end(inner.sample_time(), result.is_err());
+            idle_rounds = 0;
+            run_task(&inner, task);
+            drain_next_slot(&inner, &shard);
             continue;
         }
+        idle_rounds += 1;
+        if idle_rounds < spin_rounds {
+            if idle_rounds < 4 {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+            continue;
+        }
+        idle_rounds = 0;
         // Sleep protocol: register as a sleeper *first*, then re-check
         // for work/lifecycle changes, then park. A submitter increments
         // `submitted` before it reads `sleeping` (both SeqCst), so
@@ -539,7 +733,7 @@ fn worker_loop(inner: Arc<PoolInner>, shard: Arc<Shard>) {
             coord.sleepers.push(Arc::clone(&parker));
             inner.sleeping.store(coord.sleepers.len(), Ordering::SeqCst);
         }
-        if inner.has_queued()
+        if inner.has_stealable()
             || inner.shutdown.load(Ordering::SeqCst)
             || inner.live.load(Ordering::SeqCst) > inner.target.load(Ordering::SeqCst)
         {
@@ -767,6 +961,41 @@ mod tests {
         release_tx.send(()).unwrap();
         pool.wait_idle();
         assert_eq!(pool.queued_tasks(), 0);
+        pool.shutdown_and_join();
+    }
+
+    #[test]
+    fn peers_can_park_while_a_slot_is_occupied() {
+        // A deposited slot task is invisible to other workers, so it
+        // must not keep them awake: while the depositor blocks inside
+        // its current task, the idle peer has to get through its park
+        // re-check (slot tasks are subtracted from the stealable count)
+        // and actually register as a sleeper. With the phantom-work bug
+        // the peer cancels every park attempt and spins at 100% CPU
+        // until the depositor's task ends.
+        let pool = ResizablePool::new(2);
+        let (deposited_tx, deposited_rx) = mpsc::channel();
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let p2 = pool.clone();
+        pool.submit(Box::new(move || {
+            p2.submit_next(Box::new(|| {}));
+            deposited_tx.send(()).unwrap();
+            release_rx.recv().unwrap();
+        }));
+        deposited_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        let parked = (0..1000).any(|_| {
+            if pool.inner.sleeping.load(Ordering::SeqCst) >= 1 {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+            false
+        });
+        assert!(
+            parked,
+            "idle peer never parked while a slot task was deposited"
+        );
+        release_tx.send(()).unwrap();
+        pool.wait_idle();
         pool.shutdown_and_join();
     }
 

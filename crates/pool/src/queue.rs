@@ -21,6 +21,7 @@
 //! resize drain protocol.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use parking_lot::{Condvar, Mutex};
 
@@ -33,9 +34,16 @@ pub(crate) const GRAB_BATCH: usize = 16;
 /// One worker's local deque.
 ///
 /// Owner operations use the back of the deque; steals use the front.
+/// A lock-free length mirror lets probes (an idle worker's spin rounds,
+/// the thief's victim scan) skip empty shards without touching the
+/// lock; a stale read costs at most one extra probe round, and the
+/// sleep protocol's counter-based re-check — not this mirror — is what
+/// guarantees a worker never parks over queued work.
 pub(crate) struct Shard {
     id: u64,
     deque: Mutex<VecDeque<Task>>,
+    /// Mirror of `deque.len()`, updated while holding the lock.
+    len: AtomicUsize,
 }
 
 impl Shard {
@@ -43,6 +51,7 @@ impl Shard {
         Shard {
             id,
             deque: Mutex::new(VecDeque::new()),
+            len: AtomicUsize::new(0),
         }
     }
 
@@ -50,20 +59,38 @@ impl Shard {
         self.id
     }
 
+    /// Lock-free emptiness probe (possibly stale; see the type docs).
+    pub(crate) fn is_empty_hint(&self) -> bool {
+        self.len.load(Ordering::Acquire) == 0
+    }
+
     /// Owner push: newest at the back.
     pub(crate) fn push(&self, task: Task) {
-        self.deque.lock().push_back(task);
+        let mut deque = self.deque.lock();
+        deque.push_back(task);
+        self.len.store(deque.len(), Ordering::Release);
     }
 
     /// Owner batch push, locking once; order is preserved, so the last
     /// task of `tasks` is the next one the owner pops.
-    pub(crate) fn push_batch(&self, tasks: impl IntoIterator<Item = Task>) {
-        self.deque.lock().extend(tasks);
+    pub(crate) fn push_batch(&self, tasks: Vec<Task>) {
+        if tasks.is_empty() {
+            return;
+        }
+        let mut deque = self.deque.lock();
+        deque.extend(tasks);
+        self.len.store(deque.len(), Ordering::Release);
     }
 
     /// Owner pop: newest first (LIFO).
     pub(crate) fn pop(&self) -> Option<Task> {
-        self.deque.lock().pop_back()
+        if self.is_empty_hint() {
+            return None;
+        }
+        let mut deque = self.deque.lock();
+        let task = deque.pop_back();
+        self.len.store(deque.len(), Ordering::Release);
+        task
     }
 
     /// Steals up to half of this shard's tasks (capped at
@@ -71,14 +98,22 @@ impl Shard {
     /// pushing into the thief directly so no two deque locks are ever
     /// held at once (symmetric steals cannot deadlock).
     pub(crate) fn steal_batch(&self) -> Vec<Task> {
+        if self.is_empty_hint() {
+            return Vec::new();
+        }
         let mut deque = self.deque.lock();
         let n = deque.len().div_ceil(2).min(GRAB_BATCH);
-        deque.drain(..n).collect()
+        let batch = deque.drain(..n).collect();
+        self.len.store(deque.len(), Ordering::Release);
+        batch
     }
 
     /// Empties the shard (the retire/drain protocol), oldest first.
     pub(crate) fn drain_all(&self) -> Vec<Task> {
-        self.deque.lock().drain(..).collect()
+        let mut deque = self.deque.lock();
+        let batch = deque.drain(..).collect();
+        self.len.store(0, Ordering::Release);
+        batch
     }
 
     #[cfg(test)]
@@ -91,24 +126,36 @@ impl Shard {
 ///
 /// A LIFO stack: `pop` returns the most recently pushed task, matching
 /// the single-queue pool this replaced (and the discrete-event
-/// simulator's discipline).
+/// simulator's discipline). Carries the same lock-free length mirror as
+/// [`Shard`], so the (usually empty) injector costs idle probes one
+/// atomic load instead of a lock acquisition.
 pub(crate) struct Injector {
     stack: Mutex<Vec<Task>>,
+    /// Mirror of `stack.len()`, updated while holding the lock.
+    len: AtomicUsize,
 }
 
 impl Injector {
     pub(crate) fn new() -> Self {
         Injector {
             stack: Mutex::new(Vec::new()),
+            len: AtomicUsize::new(0),
         }
     }
 
     pub(crate) fn push(&self, task: Task) {
-        self.stack.lock().push(task);
+        let mut stack = self.stack.lock();
+        stack.push(task);
+        self.len.store(stack.len(), Ordering::Release);
     }
 
-    pub(crate) fn push_batch(&self, tasks: impl IntoIterator<Item = Task>) {
-        self.stack.lock().extend(tasks);
+    pub(crate) fn push_batch(&self, tasks: Vec<Task>) {
+        if tasks.is_empty() {
+            return;
+        }
+        let mut stack = self.stack.lock();
+        stack.extend(tasks);
+        self.len.store(stack.len(), Ordering::Release);
     }
 
     /// Takes up to [`GRAB_BATCH`] tasks off the top of the stack.
@@ -117,9 +164,14 @@ impl Injector {
     /// that appends it to its shard and pops from the back executes the
     /// tasks in exactly the order repeated `pop` calls would have.
     pub(crate) fn grab_batch(&self) -> Vec<Task> {
+        if self.len.load(Ordering::Acquire) == 0 {
+            return Vec::new();
+        }
         let mut stack = self.stack.lock();
         let at = stack.len() - stack.len().min(GRAB_BATCH);
-        stack.split_off(at)
+        let batch = stack.split_off(at);
+        self.len.store(stack.len(), Ordering::Release);
+        batch
     }
 
     #[cfg(test)]

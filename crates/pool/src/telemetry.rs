@@ -63,8 +63,13 @@ pub struct TimelinePoint {
 /// Shared telemetry for one pool.
 ///
 /// The hot counters are all lock-free: the monotonic `started`/`finished`
-/// pair is what the pool's queue accounting and idle detection build on,
-/// while `active` is an exact concurrency counter maintained on its own —
+/// pair is what the pool's queue accounting and idle detection build on.
+/// Tasks run from a worker's TLS next-task slot (`submit_next`) are
+/// recorded here exactly like queued tasks — the slot changes where a
+/// task waits, never whether it is counted — so `wait_idle`'s
+/// quiescence proof and `queued_tasks` stay exact under inline
+/// continuation chains. `active` is an exact concurrency counter
+/// maintained on its own —
 /// deriving it from two separate loads of `started` and `finished` could
 /// transiently undercount and make `peak` miss a momentary maximum, and
 /// the peak is the paper's "maximum number of active threads" figure.

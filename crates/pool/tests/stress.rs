@@ -173,6 +173,144 @@ fn retiring_worker_drains_its_deque() {
     }
 }
 
+/// Builds a `submit_next` chain: each link hands the following link to
+/// the current worker's TLS slot as its last act.
+fn slot_chain(pool: ResizablePool, ledger: Arc<Ledger>, id: usize, last: usize) -> Task {
+    Box::new(move || {
+        std::thread::sleep(Duration::from_micros(200));
+        ledger.task(id)();
+        if id < last {
+            let next = slot_chain(pool.clone(), Arc::clone(&ledger), id + 1, last);
+            pool.submit_next(next);
+        }
+    })
+}
+
+/// `wait_idle` must not return while an inline (slot-run) continuation
+/// chain is still executing: every link is deposited *during* its
+/// predecessor, so an implementation that did not count slot tasks in
+/// `submitted` would see `finished == submitted` between links.
+#[test]
+fn wait_idle_covers_inline_slot_chains() {
+    const LINKS: usize = 50;
+    let pool = ResizablePool::new(1);
+    let ledger = Ledger::new(LINKS);
+    pool.submit(slot_chain(pool.clone(), Arc::clone(&ledger), 0, LINKS - 1));
+    pool.wait_idle();
+    ledger.assert_exactly_once(LINKS);
+    assert_eq!(pool.queued_tasks(), 0);
+    pool.shutdown_and_join();
+}
+
+/// Every slot-run task counts in the telemetry's monotonic
+/// `started`/`finished` pair exactly like a queued task.
+#[test]
+fn telemetry_counts_inline_slot_tasks() {
+    const LINKS: usize = 8;
+    let pool = ResizablePool::new(1);
+    let ledger = Ledger::new(LINKS);
+    let started_before = pool.telemetry().tasks_started();
+    let finished_before = pool.telemetry().tasks_finished();
+    pool.submit(slot_chain(pool.clone(), Arc::clone(&ledger), 0, LINKS - 1));
+    pool.wait_idle();
+    ledger.assert_exactly_once(LINKS);
+    assert_eq!(
+        pool.telemetry().tasks_started() - started_before,
+        LINKS,
+        "each slot-run task must be recorded as started"
+    );
+    assert_eq!(
+        pool.telemetry().tasks_finished() - finished_before,
+        LINKS,
+        "each slot-run task must be recorded as finished"
+    );
+    pool.shutdown_and_join();
+}
+
+/// A deposited-but-not-yet-started slot task is visible to
+/// `queued_tasks` (it is submitted work the pool has not picked up).
+#[test]
+fn queued_tasks_sees_a_deposited_slot_task() {
+    let pool = ResizablePool::new(1);
+    let (deposited_tx, deposited_rx) = std::sync::mpsc::channel();
+    let (release_tx, release_rx) = std::sync::mpsc::channel::<()>();
+    let p2 = pool.clone();
+    pool.submit(Box::new(move || {
+        p2.submit_next(Box::new(|| {}));
+        deposited_tx.send(()).unwrap();
+        release_rx.recv().unwrap();
+    }));
+    deposited_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+    assert_eq!(pool.queued_tasks(), 1, "the slot task is queued work");
+    release_tx.send(()).unwrap();
+    pool.wait_idle();
+    assert_eq!(pool.queued_tasks(), 0);
+    pool.shutdown_and_join();
+}
+
+/// Called from outside the pool's workers, `submit_next` degrades to a
+/// plain submit and the task still runs.
+#[test]
+fn submit_next_from_foreign_thread_is_a_plain_submit() {
+    let pool = ResizablePool::new(1);
+    let (tx, rx) = std::sync::mpsc::channel();
+    pool.submit_next(Box::new(move || tx.send(17).unwrap()));
+    assert_eq!(rx.recv_timeout(Duration::from_secs(5)).unwrap(), 17);
+    pool.shutdown_and_join();
+}
+
+/// A second deposit in one task spills the first to the deque (LIFO
+/// order: the newest deposit runs first) and nothing is lost.
+#[test]
+fn double_deposit_spills_without_losing_tasks() {
+    let pool = ResizablePool::new(1);
+    let order = Arc::new(parking_lot::Mutex::new(Vec::new()));
+    let p2 = pool.clone();
+    let o2 = Arc::clone(&order);
+    pool.submit(Box::new(move || {
+        let o_first = Arc::clone(&o2);
+        let o_second = Arc::clone(&o2);
+        p2.submit_next(Box::new(move || o_first.lock().push("first")));
+        p2.submit_next(Box::new(move || o_second.lock().push("second")));
+    }));
+    pool.wait_idle();
+    assert_eq!(*order.lock(), vec!["second", "first"]);
+    pool.shutdown_and_join();
+}
+
+/// Slot chains survive the worker target oscillating (including through
+/// zero) mid-chain: a retiring worker pushes the pending link back to
+/// its deque, whose retire drain sends it to the injector for a
+/// successor to adopt. Exactly-once must hold throughout.
+#[test]
+fn slot_chains_survive_target_oscillation() {
+    const CHAINS: usize = 4;
+    const LINKS: usize = 25;
+    let pool = ResizablePool::new(2);
+    pool.telemetry().set_recording(false);
+    let ledger = Ledger::new(CHAINS * LINKS);
+    for c in 0..CHAINS {
+        let base = c * LINKS;
+        pool.submit(slot_chain(
+            pool.clone(),
+            Arc::clone(&ledger),
+            base,
+            base + LINKS - 1,
+        ));
+    }
+    for _ in 0..40 {
+        for target in [3usize, 0, 1, 4, 2] {
+            pool.set_target_workers(target);
+            std::thread::sleep(Duration::from_micros(100));
+        }
+    }
+    pool.set_target_workers(2);
+    pool.wait_idle();
+    ledger.assert_exactly_once(CHAINS * LINKS);
+    assert_eq!(pool.queued_tasks(), 0);
+    pool.shutdown_and_join();
+}
+
 /// Lost-wakeup regression: drive workers through the register → cancel →
 /// re-register → park window over and over while submissions race it.
 ///

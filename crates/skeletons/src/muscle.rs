@@ -147,8 +147,14 @@ impl SplitFn {
 }
 
 /// Type-erased Merge muscle stored in the runtime AST.
+///
+/// The erased closure consumes `Vec<Option<Data>>` — the exact shape a
+/// fan-out join accumulates results in — so an engine can hand its slot
+/// vector over as-is instead of re-collecting it into a `Vec<Data>`
+/// first ([`MergeFn::call_slots`]). `Option<Data>` has the same size as
+/// `Data` (niche optimization), so the `Some` wrapper costs nothing.
 #[derive(Clone)]
-pub struct MergeFn(Arc<dyn Fn(Vec<Data>) -> Data + Send + Sync>);
+pub struct MergeFn(Arc<dyn Fn(Vec<Option<Data>>) -> Data + Send + Sync>);
 
 impl MergeFn {
     /// Erases a typed Merge muscle.
@@ -160,7 +166,10 @@ impl MergeFn {
         MergeFn(Arc::new(move |parts| {
             let typed: Vec<P> = parts
                 .into_iter()
-                .map(|d| downcast::<P>(d, "merge"))
+                .map(|d| {
+                    let d = d.expect("merge called with an unfilled result slot");
+                    downcast::<P>(d, "merge")
+                })
                 .collect();
             Box::new(f.merge(typed))
         }))
@@ -168,6 +177,13 @@ impl MergeFn {
 
     /// Runs the muscle on erased data.
     pub fn call(&self, parts: Vec<Data>) -> Data {
+        (self.0)(parts.into_iter().map(Some).collect())
+    }
+
+    /// Runs the muscle on a join's result-slot vector, in sub-problem
+    /// order, without re-collecting it. Every slot must be filled;
+    /// an unfilled slot is an engine bug and panics.
+    pub fn call_slots(&self, parts: Vec<Option<Data>>) -> Data {
         (self.0)(parts)
     }
 }

@@ -101,9 +101,9 @@ pub fn seq_eval(node: &Arc<Node>, input: Data) -> Result<Data, EvalError> {
             let parts = fs.call(input);
             let mut results = Vec::with_capacity(parts.len());
             for p in parts {
-                results.push(seq_eval(inner, p)?);
+                results.push(Some(seq_eval(inner, p)?));
             }
-            Ok(fm.call(results))
+            Ok(fm.call_slots(results))
         }
         NodeKind::Fork { fs, inners, fm } => {
             let parts = fs.call(input);
@@ -116,9 +116,9 @@ pub fn seq_eval(node: &Arc<Node>, input: Data) -> Result<Data, EvalError> {
             }
             let mut results = Vec::with_capacity(parts.len());
             for (p, branch) in parts.into_iter().zip(inners) {
-                results.push(seq_eval(branch, p)?);
+                results.push(Some(seq_eval(branch, p)?));
             }
-            Ok(fm.call(results))
+            Ok(fm.call_slots(results))
         }
         NodeKind::DivideConquer { fc, fs, inner, fm } => {
             if fc.call(&input) {
@@ -128,9 +128,9 @@ pub fn seq_eval(node: &Arc<Node>, input: Data) -> Result<Data, EvalError> {
                 }
                 let mut results = Vec::with_capacity(parts.len());
                 for p in parts {
-                    results.push(seq_eval(node, p)?);
+                    results.push(Some(seq_eval(node, p)?));
                 }
-                Ok(fm.call(results))
+                Ok(fm.call_slots(results))
             } else {
                 seq_eval(inner, input)
             }

@@ -8,10 +8,21 @@
 //! the [`proptest!`] / [`prop_assert!`] / [`prop_assert_eq!`] macros.
 //!
 //! Semantics match upstream where the tests can observe them — each
-//! `#[test]` runs `ProptestConfig::cases` generated cases and fails with
-//! the offending inputs' `Debug` rendering — except that failing cases
-//! are **not shrunk** and generation streams differ from upstream.
-//! Deterministic per test unless `PROPTEST_RNG_SEED` overrides the seed.
+//! `#[test]` runs `ProptestConfig::cases` generated cases, **shrinks** a
+//! failing case, and fails with the minimal counterexample's `Debug`
+//! rendering. Shrinking is draw-level (Hypothesis-style): the RNG
+//! records its raw `u64` draws, and the shrinker replays mutated logs,
+//! zeroing and halving draws toward zero (bounded by
+//! `ProptestConfig::max_shrink_iters`). Because every strategy maps
+//! draws to values monotonically, this shortens collections, lowers
+//! integers and picks earlier `prop_oneof!` arms while always staying
+//! inside the strategies' constraints — so pool/engine property
+//! failures print a minimal schedule instead of a full random `Debug`
+//! dump. Body panics (plain `assert!`s) shrink the same way as
+//! `prop_assert!` failures; each shrink attempt re-runs the body, so
+//! expect repeated panic hook output on the way to the minimal case.
+//! Generation streams differ from upstream. Deterministic per test
+//! unless `PROPTEST_RNG_SEED` overrides the seed.
 
 #![forbid(unsafe_code)]
 
@@ -49,34 +60,83 @@ macro_rules! __proptest_fns {
     ) => {
         $(
             $(#[$meta])*
+            // The immediately-called closure gives `prop_assert!` its
+            // early-`return` semantics; clippy flags the pattern.
+            #[allow(clippy::redundant_closure_call)]
             fn $name() {
-                let __runner = $crate::test_runner::TestRunner::new($cfg);
+                let __config = $cfg;
+                let __runner = $crate::test_runner::TestRunner::new(__config.clone());
                 let __strats = ($($strat,)+);
+                // Runs one case against `rng` (fresh or replaying):
+                // generates inputs, runs the body, and maps body panics
+                // to failures too so they shrink like `prop_assert!`s.
+                let mut __run_case = |__rng: &mut $crate::test_runner::TestRng| -> (
+                    ::core::result::Result<(), $crate::test_runner::TestCaseError>,
+                    ::std::string::String,
+                ) {
+                    let __values =
+                        $crate::strategy::Strategy::generate(&__strats, __rng);
+                    let __debug = format!("{:?}", __values);
+                    let __outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(|| {
+                            let ($($pat,)+) = __values;
+                            let __r: ::core::result::Result<
+                                (),
+                                $crate::test_runner::TestCaseError,
+                            > = (|| {
+                                $body
+                                ::core::result::Result::Ok(())
+                            })();
+                            __r
+                        }),
+                    );
+                    let __result = match __outcome {
+                        ::core::result::Result::Ok(r) => r,
+                        ::core::result::Result::Err(p) => ::core::result::Result::Err(
+                            $crate::test_runner::TestCaseError(
+                                $crate::__panic_payload_message(p.as_ref()),
+                            ),
+                        ),
+                    };
+                    (__result, __debug)
+                };
                 for __case in 0..__runner.cases() {
                     let mut __rng = __runner.rng_for(stringify!($name), __case);
-                    let __values =
-                        $crate::strategy::Strategy::generate(&__strats, &mut __rng);
-                    let __debug = format!("{:?}", __values);
-                    let ($($pat,)+) = __values;
-                    let __result: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
-                        (|| {
-                            $body
-                            ::core::result::Result::Ok(())
-                        })();
-                    if let ::core::result::Result::Err(e) = __result {
+                    let (__result, __debug) = __run_case(&mut __rng);
+                    if let ::core::result::Result::Err(__error) = __result {
+                        let __shrunk = $crate::test_runner::shrink_failure(
+                            &__config,
+                            __rng.take_log(),
+                            __error,
+                            __debug,
+                            &mut __run_case,
+                        );
                         panic!(
-                            "proptest `{}` failed at case {}/{}: {}\n  inputs: {}",
+                            "proptest `{}` failed at case {}/{}: {}\n  minimal failing inputs (after {} shrink runs): {}",
                             stringify!($name),
                             __case,
                             __runner.cases(),
-                            e,
-                            __debug,
+                            __shrunk.error,
+                            __shrunk.iters,
+                            __shrunk.debug,
                         );
                     }
                 }
             }
         )*
     };
+}
+
+/// Renders a caught panic payload as a message (shrinking support).
+#[doc(hidden)]
+pub fn __panic_payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
 }
 
 /// Uniform (or `weight =>`-weighted) choice among strategies of one value
@@ -194,6 +254,32 @@ mod macro_tests {
                 unique.dedup();
                 prop_assert!(unique.len() > 8, "only {} distinct draws", unique.len());
             }
+        }
+
+        // Shrinking finds the boundary: the minimal failing input for
+        // "fails iff x >= 1000" is exactly 1000, so the report must
+        // carry it rather than whatever large case failed first.
+        #[test]
+        #[should_panic(expected = "minimal failing inputs (after")]
+        fn integer_failures_shrink_to_the_boundary(x in 0u64..1_000_000) {
+            prop_assert!(x < 1000, "x too big");
+        }
+
+        // A failing vector case shrinks to the shortest, smallest vec
+        // that still fails (here: any vec of length >= 3 fails, so the
+        // minimum is [0, 0, 0]).
+        #[test]
+        #[should_panic(expected = "[0, 0, 0]")]
+        fn vec_failures_shrink_to_minimal_length(v in crate::collection::vec(0u32..100, 0..20)) {
+            prop_assert!(v.len() < 3, "vec too long");
+        }
+
+        // Plain `assert!` panics inside the body shrink exactly like
+        // `prop_assert!` failures.
+        #[test]
+        #[should_panic(expected = "shrink runs): (500,)")]
+        fn body_panics_are_shrunk_too(x in 0u64..100_000) {
+            assert!(x < 500, "boom");
         }
     }
 }

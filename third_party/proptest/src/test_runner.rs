@@ -7,7 +7,8 @@
 pub struct ProptestConfig {
     /// Number of generated cases per test.
     pub cases: u32,
-    /// Accepted for upstream compatibility; the shim never shrinks.
+    /// Upper bound on shrink attempts after a failing case (see
+    /// [`shrink_failure`]).
     pub max_shrink_iters: u32,
     /// Accepted for upstream compatibility; unused.
     pub max_global_rejects: u32,
@@ -69,31 +70,185 @@ impl TestRunner {
 }
 
 /// The generation RNG (SplitMix64 — tiny, fast, and plenty for tests).
+///
+/// Every draw is recorded in a log, and an RNG can be built to *replay*
+/// a (possibly mutated) log instead of generating fresh randomness —
+/// the shrinking machinery's substrate. Replay past the end of the log
+/// yields `0`, the minimal draw, so truncated logs generate minimal
+/// suffixes. `below` maps draws to values monotonically, so lowering a
+/// draw can only lower the generated value: halving draws halves
+/// integers, shortens collections, and picks earlier `prop_oneof!`
+/// arms, all while staying inside every strategy's constraints.
 #[derive(Clone, Debug)]
 pub struct TestRng {
     state: u64,
+    /// When set, draws replay this log (padded with 0) instead of
+    /// advancing `state`.
+    replay: Option<Vec<u64>>,
+    pos: usize,
+    /// Log of every draw handed out, in order.
+    log: Vec<u64>,
 }
 
 impl TestRng {
     /// An RNG at `seed`.
     pub fn from_seed(seed: u64) -> Self {
-        TestRng { state: seed }
+        TestRng {
+            state: seed,
+            replay: None,
+            pos: 0,
+            log: Vec::new(),
+        }
+    }
+
+    /// An RNG that replays `draws` (then yields 0 forever).
+    pub fn replaying(draws: Vec<u64>) -> Self {
+        TestRng {
+            state: 0,
+            replay: Some(draws),
+            pos: 0,
+            log: Vec::new(),
+        }
     }
 
     /// The next 64 random bits.
     pub fn next_u64(&mut self) -> u64 {
-        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = self.state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
+        let v = match &self.replay {
+            Some(draws) => {
+                let v = draws.get(self.pos).copied().unwrap_or(0);
+                self.pos += 1;
+                v
+            }
+            None => {
+                self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = self.state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            }
+        };
+        self.log.push(v);
+        v
+    }
+
+    /// Takes the draw log accumulated so far (resets it).
+    pub fn take_log(&mut self) -> Vec<u64> {
+        std::mem::take(&mut self.log)
     }
 
     /// Uniform draw in `[0, bound)`; `bound` must be non-zero.
+    ///
+    /// Multiply-shift: monotone in the raw draw, which is what lets the
+    /// shrinker lower values by lowering draws.
     pub fn below(&mut self, bound: u64) -> u64 {
         debug_assert!(bound > 0);
         ((self.next_u64() as u128 * bound as u128) >> 64) as u64
     }
+}
+
+/// One case execution's outcome: the property result plus the generated
+/// inputs' `Debug` rendering.
+pub type CaseOutcome = (Result<(), TestCaseError>, String);
+
+/// A minimized counterexample: the draws, the error and `Debug`
+/// rendering of the smallest failing case found, and how many shrink
+/// attempts were spent.
+pub struct ShrinkResult {
+    /// Draw log of the minimal failing case.
+    pub draws: Vec<u64>,
+    /// The failure it produced.
+    pub error: TestCaseError,
+    /// `Debug` rendering of its generated inputs.
+    pub debug: String,
+    /// Shrink attempts executed (bounded by `max_shrink_iters`).
+    pub iters: u32,
+}
+
+/// Minimizes a failing case by halving its raw draws toward zero.
+///
+/// `run` executes one case against the given RNG and reports the
+/// outcome plus the inputs' `Debug` rendering. Starting from the
+/// recorded failing log, each draw position is first zeroed and — if
+/// the property then passes — binary-searched for the smallest value
+/// that still fails; the canonical log of every accepted candidate is
+/// adopted (so draws that stop being consumed disappear). Passes repeat
+/// until a fixed point or until `max_shrink_iters` runs are spent.
+pub fn shrink_failure(
+    config: &ProptestConfig,
+    draws: Vec<u64>,
+    error: TestCaseError,
+    debug: String,
+    run: &mut dyn FnMut(&mut TestRng) -> CaseOutcome,
+) -> ShrinkResult {
+    let mut best = ShrinkResult {
+        draws,
+        error,
+        debug,
+        iters: 0,
+    };
+    let budget = config.max_shrink_iters;
+    // One shrink attempt: replay `draws`, keep it if it still fails.
+    // (A flaky pass — e.g. a concurrency property — just rejects the
+    // candidate; the kept counterexample is always a real failure.)
+    fn attempt(
+        draws: Vec<u64>,
+        run: &mut dyn FnMut(&mut TestRng) -> CaseOutcome,
+    ) -> Option<(Vec<u64>, TestCaseError, String)> {
+        let mut rng = TestRng::replaying(draws);
+        let (result, debug) = run(&mut rng);
+        match result {
+            Err(e) => Some((rng.take_log(), e, debug)),
+            Ok(()) => None,
+        }
+    }
+    let mut improved = true;
+    while improved && best.iters < budget {
+        improved = false;
+        let mut i = 0;
+        while i < best.draws.len() && best.iters < budget {
+            let original = best.draws[i];
+            if original == 0 {
+                i += 1;
+                continue;
+            }
+            // Try the minimal draw first; most shrinks end here.
+            let mut candidate = best.draws.clone();
+            candidate[i] = 0;
+            best.iters += 1;
+            if let Some((draws, error, debug)) = attempt(candidate, run) {
+                best.draws = draws;
+                best.error = error;
+                best.debug = debug;
+                improved = true;
+                i += 1;
+                continue;
+            }
+            // Binary-search the smallest still-failing draw at `i`.
+            // (An accepted candidate's canonical log may be shorter
+            // than the old one — re-check the bound each round.)
+            let (mut passes, mut fails) = (0u64, original);
+            while passes + 1 < fails && best.iters < budget && i < best.draws.len() {
+                let mid = passes + (fails - passes) / 2;
+                let mut candidate = best.draws.clone();
+                candidate[i] = mid;
+                best.iters += 1;
+                match attempt(candidate, run) {
+                    Some((draws, error, debug)) => {
+                        fails = mid;
+                        best.draws = draws;
+                        best.error = error;
+                        best.debug = debug;
+                    }
+                    None => passes = mid,
+                }
+            }
+            if fails < original {
+                improved = true;
+            }
+            i += 1;
+        }
+    }
+    best
 }
 
 #[cfg(test)]
