@@ -1,0 +1,55 @@
+//! Event-driven **self-configuration** for algorithmic skeletons:
+//! structural rewriting of a running skeleton at stream safe points.
+//!
+//! The source paper promises two autonomic properties. Self-*optimization*
+//! — tuning the Level of Parallelism against a WCT goal — lives in
+//! `askel-core`. This crate adds the second: self-*configuration*, adapting
+//! the *structure* of a skeleton in response to the same event stream, in
+//! the spirit of behavioural skeletons (Aldinucci, Danelutto & Kilpatrick)
+//! where an autonomic manager swaps pattern implementations while the
+//! computation runs.
+//!
+//! The MAPE split mirrors `askel-core`'s:
+//!
+//! * **Monitor/Analyze** — [`TriggerEngine`], an ordinary event
+//!   [`Listener`](askel_events::Listener): per-muscle EWMA durations and
+//!   cardinalities (the same state machines as the WCT controller, and
+//!   optionally *seeded from* a controller via
+//!   [`TriggerEngine::seed_from`]), plus item outcomes and input-size
+//!   hints that events cannot carry.
+//! * **Plan** — [`Rule`]s ([`Promote`], [`FallbackSwap`], [`RetuneWidth`],
+//!   [`RetuneGrain`]) evaluated once per safe point, each yielding at most
+//!   one [`RewriteAction`].
+//! * **Execute** — [`Reconfigurator`] applies fired rewrites to a
+//!   [`VersionedSkel`] **between stream items**: the tree is rebuilt
+//!   persistently (`Skel::rewritten`), the version bumps, an
+//!   `(After, Reconfigured)` event announces the change through the
+//!   registry, and an [`AdaptRecord`] lands in the decision log —
+//!   symmetric to the controller's `AnalysisRecord`.
+//!
+//! [`AdaptiveSession`] packages the loop over `askel-engine`'s
+//! `StreamSession`; the [`Reconfigurator`] alone drives the same loop over
+//! the discrete-event simulator (`askel-sim`), where rewrite decisions —
+//! timestamps included — replay deterministically.
+//!
+//! In-flight items always finish on the skeleton *tree* they were
+//! submitted with (versions are immutable `Arc` trees), so a subtree
+//! rewrite can never be observed mid-item; [`Knob`] retunes are the
+//! documented exception — a knob is a live shared atomic, so its muscles
+//! must be result-invariant across the knob's range (see [`Knob`]).
+//! With no rules registered an [`AdaptiveSession`] is behaviourally
+//! identical to a plain `StreamSession` (property-tested).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod rules;
+pub mod session;
+pub mod trigger;
+
+pub use rules::{
+    ErrorStats, FallbackSwap, Knob, Promote, RetuneGrain, RetuneWidth, RewriteAction, Rule,
+    RuleCtx, Trigger,
+};
+pub use session::{AdaptiveSession, Reconfigurator, VersionedSkel};
+pub use trigger::{AdaptRecord, PlannedRewrite, TriggerEngine};

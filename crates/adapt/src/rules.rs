@@ -1,0 +1,688 @@
+//! Rewrite rules: *when* to change a skeleton's structure, and *into what*.
+//!
+//! A [`Rule`] is evaluated at stream safe points against the statistics the
+//! [`TriggerEngine`](crate::TriggerEngine) derived from the event stream
+//! (EWMA muscle durations and cardinalities, observed input sizes, error
+//! streaks) and may produce one [`RewriteAction`]. Rules never apply
+//! anything themselves — application happens at the safe point, by the
+//! [`Reconfigurator`](crate::Reconfigurator), so a rewrite can never be
+//! observed mid-item.
+//!
+//! Four built-in rules cover the paper-adjacent adaptation repertoire:
+//!
+//! | rule | fires when | action |
+//! |------|-----------|--------|
+//! | [`Promote`] | its [`Trigger`]s all hold (e.g. input cardinality high) | replace a subtree (seq → map/farm) |
+//! | [`FallbackSwap`] | `n` consecutive item errors | replace a subtree with a fallback |
+//! | [`RetuneWidth`] | desired width ≠ current knob value | set a split-width [`Knob`] |
+//! | [`RetuneGrain`] | leaf duration outside its target band | halve/double a d&C grain [`Knob`] |
+//!
+//! The typed constructors ([`Promote::new`], [`FallbackSwap::new`]) take
+//! both sides as `Skel<P, R>`, so a replacement can never disagree with the
+//! subtree it replaces on input/output types.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use askel_core::EstimatorTable;
+use askel_skeletons::{MuscleId, Node, NodeId, Skel, TimeNs};
+
+/// Error statistics over the stream items observed so far.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ErrorStats {
+    /// Items whose outcome was recorded (ok or error).
+    pub items: usize,
+    /// Total errored items.
+    pub total: usize,
+    /// Current run of consecutive errors (reset by any success).
+    pub consecutive: usize,
+}
+
+/// Everything a rule may consult when deciding. Borrowed from the
+/// [`TriggerEngine`](crate::TriggerEngine) for the duration of one safe
+/// point.
+pub struct RuleCtx<'a> {
+    /// Event-derived EWMA estimates (durations, cardinalities).
+    pub estimates: &'a EstimatorTable,
+    /// Item error statistics.
+    pub errors: &'a ErrorStats,
+    /// EWMA of the input-size hints recorded by the session, if any.
+    pub input_size: Option<f64>,
+    /// Root of the skeleton version currently in use.
+    pub root: &'a Arc<Node>,
+    /// Current skeleton version (0 = as constructed).
+    pub version: u64,
+    /// The engine's current level of parallelism.
+    pub lp: usize,
+}
+
+/// A shared structural parameter read by a muscle and retuned by a rule —
+/// e.g. the chunk count of a map split or the grain threshold of a d&C
+/// condition. Cheap to clone; clones share the value.
+///
+/// **Visibility contract.** A knob value is never torn (a single atomic
+/// word), but — unlike a subtree replacement — a knob set at a safe point
+/// is visible *immediately*, including to items already in flight, and a
+/// muscle that reads the same knob several times within one item (a d&C
+/// condition, once per recursion level) may observe two different values.
+/// Knob-driven muscles must therefore treat **every** value in the knob's
+/// range as producing correct results — width and grain knobs qualify by
+/// construction (splitting/recursing more or less never changes the
+/// merged result); a knob that changes *semantics* (a sampling rate, a
+/// precision) does not belong in one. Sessions that must not expose
+/// in-flight items to a retune can bound `max_in_flight(1)` (feed/collect
+/// lock-step), which makes safe points quiescent.
+#[derive(Clone, Debug)]
+pub struct Knob {
+    name: Arc<str>,
+    value: Arc<AtomicUsize>,
+}
+
+impl Knob {
+    /// A named knob starting at `initial`.
+    pub fn new(name: impl Into<String>, initial: usize) -> Self {
+        Knob {
+            name: Arc::from(name.into().into_boxed_str()),
+            value: Arc::new(AtomicUsize::new(initial)),
+        }
+    }
+
+    /// Wraps an existing shared counter (e.g. one a workload crate already
+    /// threads through its split muscle) as a knob.
+    pub fn from_shared(name: impl Into<String>, value: Arc<AtomicUsize>) -> Self {
+        Knob {
+            name: Arc::from(name.into().into_boxed_str()),
+            value,
+        }
+    }
+
+    /// The knob's name (shows up in decision logs).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Reads the current value (muscles call this per execution).
+    pub fn get(&self) -> usize {
+        self.value.load(Ordering::SeqCst)
+    }
+
+    /// Sets the value. Public so manual tuning is possible, but normally
+    /// driven by [`RewriteAction::SetKnob`] application at a safe point.
+    pub fn set(&self, value: usize) {
+        self.value.store(value, Ordering::SeqCst);
+    }
+}
+
+/// What a fired rule wants done at the safe point.
+pub enum RewriteAction {
+    /// Replace the subtree rooted at `target` with `replacement`
+    /// (type agreement asserted by the typed rule constructors).
+    Replace {
+        /// Node to replace (every occurrence).
+        target: NodeId,
+        /// The substitute subtree.
+        replacement: Arc<Node>,
+    },
+    /// Set `knob` to `value`.
+    SetKnob {
+        /// The structural parameter to retune.
+        knob: Knob,
+        /// Its new value.
+        value: usize,
+    },
+}
+
+impl std::fmt::Debug for RewriteAction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RewriteAction::Replace {
+                target,
+                replacement,
+            } => write!(f, "replace {target} with {}", replacement.id),
+            RewriteAction::SetKnob { knob, value } => {
+                write!(f, "set knob `{}` {} -> {value}", knob.name(), knob.get())
+            }
+        }
+    }
+}
+
+/// An event-derived firing condition. A rule holding several triggers
+/// fires only when **all** of them hold.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Trigger {
+    /// The EWMA duration estimate `t(m)` is at least `min`. Never holds
+    /// while the muscle has no estimate.
+    DurationAtLeast(MuscleId, TimeNs),
+    /// `t(m)` is at most `max`. Never holds without an estimate.
+    DurationAtMost(MuscleId, TimeNs),
+    /// The EWMA cardinality estimate `|m|` is at least `min`. Never holds
+    /// without an estimate — `CardinalityAtLeast(m, 1.0)` therefore doubles
+    /// as "the split `m` has executed at least once".
+    CardinalityAtLeast(MuscleId, f64),
+    /// The EWMA of the session's input-size hints is at least `min`.
+    InputSizeAtLeast(f64),
+    /// At least `n` consecutive item errors.
+    ErrorStreakAtLeast(usize),
+}
+
+impl Trigger {
+    /// Does the condition hold under `ctx`?
+    pub fn holds(&self, ctx: &RuleCtx<'_>) -> bool {
+        match *self {
+            Trigger::DurationAtLeast(m, min) => ctx.estimates.duration(m).is_some_and(|d| d >= min),
+            Trigger::DurationAtMost(m, max) => ctx.estimates.duration(m).is_some_and(|d| d <= max),
+            Trigger::CardinalityAtLeast(m, min) => {
+                ctx.estimates.cardinality(m).is_some_and(|c| c >= min)
+            }
+            Trigger::InputSizeAtLeast(min) => ctx.input_size.is_some_and(|s| s >= min),
+            Trigger::ErrorStreakAtLeast(n) => ctx.errors.consecutive >= n,
+        }
+    }
+
+    /// Renders the condition with its observed value, for decision logs.
+    pub fn describe(&self, ctx: &RuleCtx<'_>) -> String {
+        match *self {
+            Trigger::DurationAtLeast(m, min) => format!(
+                "t({m})={:?} >= {min}",
+                ctx.estimates.duration(m).unwrap_or(TimeNs::ZERO)
+            ),
+            Trigger::DurationAtMost(m, max) => format!(
+                "t({m})={:?} <= {max}",
+                ctx.estimates.duration(m).unwrap_or(TimeNs::ZERO)
+            ),
+            Trigger::CardinalityAtLeast(m, min) => format!(
+                "|{m}|={:.1} >= {min:.1}",
+                ctx.estimates.cardinality(m).unwrap_or(0.0)
+            ),
+            Trigger::InputSizeAtLeast(min) => {
+                format!("input~{:.1} >= {min:.1}", ctx.input_size.unwrap_or(0.0))
+            }
+            Trigger::ErrorStreakAtLeast(n) => {
+                format!("error-streak {} >= {n}", ctx.errors.consecutive)
+            }
+        }
+    }
+}
+
+/// A self-configuration rule: evaluated once per safe point, may request
+/// one rewrite. Implementations must be deterministic functions of the
+/// [`RuleCtx`] so adaptation replays identically on the simulator.
+pub trait Rule: Send + Sync {
+    /// Name used in decision logs and `Reconfigured` reporting.
+    fn name(&self) -> &str;
+
+    /// `true` for rules that must fire at most once per session (subtree
+    /// replacements); the trigger engine retires them after they fire.
+    fn once(&self) -> bool {
+        false
+    }
+
+    /// Evaluates the rule. `Some((action, why))` requests a rewrite; `why`
+    /// records the observed statistics that justified it.
+    ///
+    /// Rules that request a [`RewriteAction::Replace`] should gate on
+    /// their target still occurring in `ctx.root`
+    /// (`ctx.root.find(target).is_some()`, as the built-ins do): an
+    /// earlier rewrite in the same session may have replaced the subtree
+    /// the rule was written against, and a rule that keeps firing on a
+    /// vanished target is re-armed and skipped at every safe point.
+    fn evaluate(&self, ctx: &RuleCtx<'_>) -> Option<(RewriteAction, String)>;
+}
+
+fn describe_all(triggers: &[Trigger], ctx: &RuleCtx<'_>) -> String {
+    triggers
+        .iter()
+        .map(|t| t.describe(ctx))
+        .collect::<Vec<_>>()
+        .join(" && ")
+}
+
+/// Promotes a subtree to a structurally different (typically data-parallel)
+/// implementation when its triggers hold — the seq → map/farm promotion of
+/// behavioural-skeleton work. Fires at most once.
+pub struct Promote {
+    name: String,
+    target: NodeId,
+    replacement: Arc<Node>,
+    triggers: Vec<Trigger>,
+}
+
+impl Promote {
+    /// A promotion of `target` into `replacement`. Both are typed
+    /// `Skel<P, R>`, so the swap cannot change the subtree's signature.
+    /// Add firing conditions with [`Promote::when`]; a promotion with no
+    /// trigger never fires.
+    pub fn new<P, R>(target: &Skel<P, R>, replacement: &Skel<P, R>) -> Self
+    where
+        P: Send + 'static,
+        R: Send + 'static,
+    {
+        Promote {
+            name: "promote".to_string(),
+            target: target.id(),
+            replacement: Arc::clone(replacement.node()),
+            triggers: Vec::new(),
+        }
+    }
+
+    /// Renames the rule (decision logs).
+    pub fn named(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Adds a firing condition (all conditions must hold).
+    pub fn when(mut self, trigger: Trigger) -> Self {
+        self.triggers.push(trigger);
+        self
+    }
+}
+
+impl Rule for Promote {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn once(&self) -> bool {
+        true
+    }
+
+    fn evaluate(&self, ctx: &RuleCtx<'_>) -> Option<(RewriteAction, String)> {
+        if self.triggers.is_empty() || !self.triggers.iter().all(|t| t.holds(ctx)) {
+            return None;
+        }
+        // The target may have been rewritten away by an earlier rule.
+        ctx.root.find(self.target)?;
+        Some((
+            RewriteAction::Replace {
+                target: self.target,
+                replacement: Arc::clone(&self.replacement),
+            },
+            describe_all(&self.triggers, ctx),
+        ))
+    }
+}
+
+/// Swaps a subtree for a fallback implementation after `after_errors`
+/// consecutive item errors — structural fault recovery. Fires at most once.
+pub struct FallbackSwap {
+    name: String,
+    target: NodeId,
+    fallback: Arc<Node>,
+    after_errors: usize,
+}
+
+impl FallbackSwap {
+    /// Swap `target` for `fallback` once `after_errors` consecutive items
+    /// have failed (`after_errors` is clamped to ≥ 1).
+    pub fn new<P, R>(target: &Skel<P, R>, fallback: &Skel<P, R>, after_errors: usize) -> Self
+    where
+        P: Send + 'static,
+        R: Send + 'static,
+    {
+        FallbackSwap {
+            name: "fallback-swap".to_string(),
+            target: target.id(),
+            fallback: Arc::clone(fallback.node()),
+            after_errors: after_errors.max(1),
+        }
+    }
+
+    /// Renames the rule (decision logs).
+    pub fn named(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+}
+
+impl Rule for FallbackSwap {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn once(&self) -> bool {
+        true
+    }
+
+    fn evaluate(&self, ctx: &RuleCtx<'_>) -> Option<(RewriteAction, String)> {
+        let trigger = Trigger::ErrorStreakAtLeast(self.after_errors);
+        if !trigger.holds(ctx) {
+            return None;
+        }
+        // The target may have been rewritten away by an earlier rule.
+        ctx.root.find(self.target)?;
+        Some((
+            RewriteAction::Replace {
+                target: self.target,
+                replacement: Arc::clone(&self.fallback),
+            },
+            trigger.describe(ctx),
+        ))
+    }
+}
+
+/// Retunes a farm/map width knob to `lp × tasks_per_worker` (clamped to
+/// `[min, max]`), so the split keeps every worker busy as the LP changes.
+/// Optional gating triggers (e.g. "the split has run at least once") keep
+/// it quiet until the knob's owner is actually in the live skeleton.
+pub struct RetuneWidth {
+    name: String,
+    knob: Knob,
+    tasks_per_worker: usize,
+    min: usize,
+    max: usize,
+    triggers: Vec<Trigger>,
+}
+
+impl RetuneWidth {
+    /// A width rule over `knob` targeting `tasks_per_worker` split chunks
+    /// per pool worker (clamped to ≥ 1), with default bounds `[1, 1024]`.
+    pub fn new(knob: Knob, tasks_per_worker: usize) -> Self {
+        RetuneWidth {
+            name: "width-retune".to_string(),
+            knob,
+            tasks_per_worker: tasks_per_worker.max(1),
+            min: 1,
+            max: 1024,
+            triggers: Vec::new(),
+        }
+    }
+
+    /// Renames the rule (decision logs).
+    pub fn named(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Clamps the computed width to `[min, max]`.
+    pub fn bounds(mut self, min: usize, max: usize) -> Self {
+        self.min = min.max(1);
+        self.max = max.max(self.min);
+        self
+    }
+
+    /// Adds a gating condition (all must hold before the rule may fire).
+    pub fn when(mut self, trigger: Trigger) -> Self {
+        self.triggers.push(trigger);
+        self
+    }
+}
+
+impl Rule for RetuneWidth {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn evaluate(&self, ctx: &RuleCtx<'_>) -> Option<(RewriteAction, String)> {
+        if !self.triggers.iter().all(|t| t.holds(ctx)) {
+            return None;
+        }
+        let want = (ctx.lp * self.tasks_per_worker).clamp(self.min, self.max);
+        let current = self.knob.get();
+        if want == current {
+            return None;
+        }
+        let why = if self.triggers.is_empty() {
+            format!("lp={} wants width {want}, knob at {current}", ctx.lp)
+        } else {
+            format!(
+                "lp={} wants width {want}, knob at {current} ({})",
+                ctx.lp,
+                describe_all(&self.triggers, ctx)
+            )
+        };
+        Some((
+            RewriteAction::SetKnob {
+                knob: self.knob.clone(),
+                value: want,
+            },
+            why,
+        ))
+    }
+}
+
+/// Adapts a divide-and-conquer grain threshold so the base-case leaf lands
+/// inside a target duration band: halves the grain (divides further) when
+/// the leaf's EWMA duration exceeds `2 × target`, doubles it (divides
+/// less) below `target / 2`, clamped to `[min, max]`.
+pub struct RetuneGrain {
+    name: String,
+    knob: Knob,
+    leaf: MuscleId,
+    target: TimeNs,
+    min: usize,
+    max: usize,
+}
+
+impl RetuneGrain {
+    /// A grain rule over `knob`, watching the EWMA duration of `leaf`
+    /// (typically the d&C base-case execute muscle) against `target`,
+    /// with default bounds `[1, 1 << 20]`.
+    pub fn new(knob: Knob, leaf: MuscleId, target: TimeNs) -> Self {
+        RetuneGrain {
+            name: "grain-retune".to_string(),
+            knob,
+            leaf,
+            target,
+            min: 1,
+            max: 1 << 20,
+        }
+    }
+
+    /// Renames the rule (decision logs).
+    pub fn named(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Clamps the grain to `[min, max]`.
+    pub fn bounds(mut self, min: usize, max: usize) -> Self {
+        self.min = min.max(1);
+        self.max = max.max(self.min);
+        self
+    }
+}
+
+impl Rule for RetuneGrain {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn evaluate(&self, ctx: &RuleCtx<'_>) -> Option<(RewriteAction, String)> {
+        let t = ctx.estimates.duration(self.leaf)?;
+        let grain = self.knob.get();
+        let (want, direction) = if t.0 > self.target.0.saturating_mul(2) {
+            ((grain / 2).max(self.min), "halve")
+        } else if t.0.saturating_mul(2) < self.target.0 {
+            (grain.saturating_mul(2).min(self.max), "double")
+        } else {
+            return None;
+        };
+        if want == grain {
+            return None;
+        }
+        Some((
+            RewriteAction::SetKnob {
+                knob: self.knob.clone(),
+                value: want,
+            },
+            format!(
+                "t({})={t:?} vs target {:?}: {direction} grain {grain} -> {want}",
+                self.leaf, self.target
+            ),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use askel_skeletons::{seq, MuscleRole};
+
+    fn ctx_with<'a>(
+        estimates: &'a EstimatorTable,
+        errors: &'a ErrorStats,
+        root: &'a Arc<Node>,
+        lp: usize,
+        input_size: Option<f64>,
+    ) -> RuleCtx<'a> {
+        RuleCtx {
+            estimates,
+            errors,
+            input_size,
+            root,
+            version: 0,
+            lp,
+        }
+    }
+
+    #[test]
+    fn knob_clones_share_value() {
+        let k = Knob::new("width", 4);
+        let k2 = k.clone();
+        k.set(9);
+        assert_eq!(k2.get(), 9);
+        assert_eq!(k2.name(), "width");
+    }
+
+    #[test]
+    fn promote_requires_all_triggers() {
+        let target = seq(|x: i64| x);
+        let replacement = seq(|x: i64| x);
+        let rule = Promote::new(&target, &replacement)
+            .when(Trigger::InputSizeAtLeast(100.0))
+            .when(Trigger::ErrorStreakAtLeast(0));
+        let est = EstimatorTable::new(0.5);
+        let errors = ErrorStats::default();
+        let root = Arc::clone(target.node());
+        assert!(rule
+            .evaluate(&ctx_with(&est, &errors, &root, 2, Some(50.0)))
+            .is_none());
+        let (action, why) = rule
+            .evaluate(&ctx_with(&est, &errors, &root, 2, Some(150.0)))
+            .expect("both triggers hold");
+        match action {
+            RewriteAction::Replace {
+                target: t,
+                replacement: r,
+            } => {
+                assert_eq!(t, target.id());
+                assert_eq!(r.id, replacement.id());
+            }
+            other => panic!("unexpected action {other:?}"),
+        }
+        assert!(why.contains("input~150.0"), "{why}");
+        assert!(rule.once());
+    }
+
+    #[test]
+    fn promotion_without_triggers_never_fires() {
+        let target = seq(|x: i64| x);
+        let rule = Promote::new(&target, &target);
+        let est = EstimatorTable::new(0.5);
+        let errors = ErrorStats::default();
+        let root = Arc::clone(target.node());
+        assert!(rule
+            .evaluate(&ctx_with(&est, &errors, &root, 2, Some(1e12)))
+            .is_none());
+    }
+
+    #[test]
+    fn fallback_fires_on_streak() {
+        let target = seq(|x: i64| x);
+        let fallback = seq(|x: i64| x);
+        let rule = FallbackSwap::new(&target, &fallback, 2);
+        let est = EstimatorTable::new(0.5);
+        let root = Arc::clone(target.node());
+        let one = ErrorStats {
+            items: 3,
+            total: 1,
+            consecutive: 1,
+        };
+        assert!(rule
+            .evaluate(&ctx_with(&est, &one, &root, 1, None))
+            .is_none());
+        let two = ErrorStats {
+            items: 4,
+            total: 2,
+            consecutive: 2,
+        };
+        let (_, why) = rule
+            .evaluate(&ctx_with(&est, &two, &root, 1, None))
+            .expect("streak reached");
+        assert!(why.contains("error-streak 2 >= 2"), "{why}");
+    }
+
+    #[test]
+    fn width_tracks_lp_and_respects_gates() {
+        let knob = Knob::new("width", 4);
+        let probe = seq(|x: i64| x);
+        let split = MuscleId::new(probe.id(), MuscleRole::Split);
+        let rule = RetuneWidth::new(knob.clone(), 3)
+            .bounds(2, 64)
+            .when(Trigger::CardinalityAtLeast(split, 1.0));
+        let mut est = EstimatorTable::new(0.5);
+        let errors = ErrorStats::default();
+        let root = Arc::clone(probe.node());
+        // Gate closed: no cardinality estimate yet.
+        assert!(rule
+            .evaluate(&ctx_with(&est, &errors, &root, 2, None))
+            .is_none());
+        est.observe_cardinality(split, 4.0);
+        let (action, _) = rule
+            .evaluate(&ctx_with(&est, &errors, &root, 2, None))
+            .expect("gate open, 2×3=6 != 4");
+        match action {
+            RewriteAction::SetKnob { value, .. } => assert_eq!(value, 6),
+            other => panic!("unexpected action {other:?}"),
+        }
+        knob.set(6);
+        assert!(
+            rule.evaluate(&ctx_with(&est, &errors, &root, 2, None))
+                .is_none(),
+            "already at the wanted width"
+        );
+        assert!(!rule.once());
+    }
+
+    #[test]
+    fn grain_halves_doubles_and_clamps() {
+        let probe = seq(|x: i64| x);
+        let leaf = MuscleId::new(probe.id(), MuscleRole::Execute);
+        let root = Arc::clone(probe.node());
+        let errors = ErrorStats::default();
+        let knob = Knob::new("grain", 64);
+        let rule = RetuneGrain::new(knob.clone(), leaf, TimeNs::from_millis(10)).bounds(16, 256);
+
+        let mut est = EstimatorTable::new(0.5);
+        assert!(
+            rule.evaluate(&ctx_with(&est, &errors, &root, 2, None))
+                .is_none(),
+            "no estimate, no decision"
+        );
+        // Way above the band: halve.
+        est.init_duration(leaf, TimeNs::from_millis(50));
+        match rule.evaluate(&ctx_with(&est, &errors, &root, 2, None)) {
+            Some((RewriteAction::SetKnob { value, .. }, _)) => assert_eq!(value, 32),
+            other => panic!("expected halve, got {other:?}"),
+        }
+        // Inside the band: quiet.
+        est.init_duration(leaf, TimeNs::from_millis(10));
+        assert!(rule
+            .evaluate(&ctx_with(&est, &errors, &root, 2, None))
+            .is_none());
+        // Below the band: double; clamp at max.
+        est.init_duration(leaf, TimeNs::from_millis(1));
+        knob.set(256);
+        assert!(
+            rule.evaluate(&ctx_with(&est, &errors, &root, 2, None))
+                .is_none(),
+            "clamped at max"
+        );
+        knob.set(128);
+        match rule.evaluate(&ctx_with(&est, &errors, &root, 2, None)) {
+            Some((RewriteAction::SetKnob { value, .. }, _)) => assert_eq!(value, 256),
+            other => panic!("expected double, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,534 @@
+//! Safe-point application: the *Plan/Execute* half of self-configuration.
+//!
+//! [`Reconfigurator`] turns the rewrites a [`TriggerEngine`] planned into an
+//! actual new skeleton version: it rewrites the tree (sharing untouched
+//! subtrees), bumps the version, emits a `(After, Reconfigured)` event
+//! through the listener registry and appends an [`AdaptRecord`] to the
+//! decision log. It is engine-agnostic — the same type drives the threaded
+//! engine and the discrete-event simulator, which is what makes rewrite
+//! decisions reproducible in tests and benches.
+//!
+//! [`AdaptiveSession`] wires it into a stream: a `StreamSession` whose
+//! skeleton is re-planned **between items** (the safe points). Items
+//! already in flight always finish on the *tree* they were submitted
+//! with; a subtree swap is only visible to subsequent feeds. Knob
+//! retunes are live immediately (see [`crate::Knob`] for the
+//! result-invariance contract that makes that safe).
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use askel_engine::{Engine, EngineError, StreamSession};
+use askel_events::{Event, EventInfo, ListenerRegistry, Payload, Trace, When, Where};
+use askel_skeletons::{Clock, InstanceId, Skel};
+
+use crate::rules::RewriteAction;
+use crate::trigger::{AdaptRecord, TriggerEngine};
+
+/// Input-size probe recorded per fed item.
+type SizeProbe<P> = Box<dyn Fn(&P) -> usize>;
+
+/// A skeleton plus its rewrite version: 0 as constructed, +1 per applied
+/// rewrite. In-flight executions keep the `Arc`'d version they started
+/// with, so versions never tear mid-item.
+#[derive(Clone)]
+pub struct VersionedSkel<P, R> {
+    skel: Skel<P, R>,
+    version: u64,
+}
+
+impl<P, R> VersionedSkel<P, R>
+where
+    P: Send + 'static,
+    R: Send + 'static,
+{
+    /// Version 0 of `skel`.
+    pub fn new(skel: &Skel<P, R>) -> Self {
+        VersionedSkel {
+            skel: skel.clone(),
+            version: 0,
+        }
+    }
+
+    /// The current skeleton.
+    pub fn skel(&self) -> &Skel<P, R> {
+        &self.skel
+    }
+
+    /// The current version (number of rewrites applied).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+}
+
+/// Applies planned rewrites at safe points; see the module docs.
+pub struct Reconfigurator {
+    registry: Arc<ListenerRegistry>,
+    clock: Arc<dyn Clock>,
+    trigger: Arc<TriggerEngine>,
+    lp: Box<dyn Fn() -> usize + Send + Sync>,
+}
+
+impl Reconfigurator {
+    /// A reconfigurator emitting through `registry` with timestamps from
+    /// `clock`. The LP source defaults to 1; see
+    /// [`lp_source`](Reconfigurator::lp_source).
+    pub fn new(
+        registry: Arc<ListenerRegistry>,
+        clock: Arc<dyn Clock>,
+        trigger: Arc<TriggerEngine>,
+    ) -> Self {
+        Reconfigurator {
+            registry,
+            clock,
+            trigger,
+            lp: Box::new(|| 1),
+        }
+    }
+
+    /// Convenience wiring for a threaded engine: its registry, its clock,
+    /// and its live LP as the width rules' input.
+    pub fn for_engine(engine: &Engine, trigger: Arc<TriggerEngine>) -> Self {
+        let pool = engine.pool().clone();
+        Reconfigurator::new(Arc::clone(engine.registry()), engine.clock(), trigger)
+            .lp_source(move || pool.target_workers())
+    }
+
+    /// Sets where the current level of parallelism is read from (rules
+    /// like `RetuneWidth` scale structure to it).
+    pub fn lp_source(mut self, f: impl Fn() -> usize + Send + Sync + 'static) -> Self {
+        self.lp = Box::new(f);
+        self
+    }
+
+    /// The trigger engine this reconfigurator plans with.
+    pub fn trigger(&self) -> &Arc<TriggerEngine> {
+        &self.trigger
+    }
+
+    /// One safe point: plans against the current statistics and applies
+    /// every fired rewrite to `vskel`, emitting one
+    /// `(After, Reconfigured)` event and one decision-log record per
+    /// applied rewrite. Returns how many rewrites were applied.
+    ///
+    /// A `Replace` whose target no longer occurs — an earlier rewrite *in
+    /// the same safe point* removed it — is not applied: the rule is
+    /// re-armed ([`TriggerEngine::rearm`], so a once-rule is not lost)
+    /// and a `skipped` entry lands in the decision log. At the next safe
+    /// point the rule re-evaluates against the new tree (the built-in
+    /// replacement rules gate on their target being present).
+    pub fn apply<P, R>(&self, vskel: &mut VersionedSkel<P, R>) -> usize
+    where
+        P: Send + 'static,
+        R: Send + 'static,
+    {
+        let now = self.clock.now();
+        let plans = self
+            .trigger
+            .plan(vskel.skel.node(), vskel.version, (self.lp)(), now);
+        let mut applied = 0;
+        for plan in plans {
+            let (record, event_node) = match plan.action {
+                RewriteAction::Replace {
+                    target,
+                    replacement,
+                } => {
+                    let Some(new_skel) = vskel.skel.rewritten(target, &replacement) else {
+                        self.trigger.rearm(plan.rule_index);
+                        self.trigger.record(AdaptRecord {
+                            at: now,
+                            version: vskel.version,
+                            rule: plan.rule,
+                            target: Some(target),
+                            action: format!("skipped: target {target} no longer in the skeleton"),
+                            why: plan.why,
+                        });
+                        continue;
+                    };
+                    vskel.skel = new_skel;
+                    vskel.version += 1;
+                    (
+                        AdaptRecord {
+                            at: now,
+                            version: vskel.version,
+                            rule: plan.rule,
+                            target: Some(target),
+                            action: format!("replace {target} with {}", replacement.id),
+                            why: plan.why,
+                        },
+                        Arc::clone(&replacement),
+                    )
+                }
+                RewriteAction::SetKnob { knob, value } => {
+                    let old = knob.get();
+                    if old == value {
+                        continue;
+                    }
+                    knob.set(value);
+                    vskel.version += 1;
+                    (
+                        AdaptRecord {
+                            at: now,
+                            version: vskel.version,
+                            rule: plan.rule,
+                            target: None,
+                            action: format!("set knob `{}` {old} -> {value}", knob.name()),
+                            why: plan.why,
+                        },
+                        Arc::clone(vskel.skel.node()),
+                    )
+                }
+            };
+            let event = Event {
+                node: event_node.id,
+                kind: event_node.tag(),
+                when: When::After,
+                wher: Where::Reconfigured,
+                index: InstanceId(vskel.version),
+                trace: Trace::root(event_node.id, InstanceId(vskel.version), event_node.tag()),
+                timestamp: now,
+                info: EventInfo::Reconfigured {
+                    version: vskel.version,
+                },
+            };
+            self.registry.emit(&mut Payload::None, &event);
+            self.trigger.record(record);
+            applied += 1;
+        }
+        applied
+    }
+}
+
+/// An ordered stream whose skeleton reshapes itself between items.
+///
+/// Wraps [`StreamSession`]: identical feeding/collection semantics (and —
+/// with no rules registered, or the trigger disabled — identical results,
+/// property-tested), plus a safe point before every submission where the
+/// [`TriggerEngine`]'s rules may rewrite the skeleton for subsequent
+/// items. Item outcomes are reported back to the trigger engine as results
+/// are collected, which is what drives fallback-swap rules.
+///
+/// ```
+/// use std::sync::Arc;
+/// use askel_adapt::{AdaptiveSession, FallbackSwap, TriggerEngine};
+/// use askel_engine::Engine;
+/// use askel_skeletons::seq;
+///
+/// let engine = Engine::new(2);
+/// let fragile = seq(|x: i64| {
+///     if x < 0 {
+///         panic!("negative input");
+///     }
+///     x * 2
+/// });
+/// let robust = seq(|x: i64| x.abs() * 2);
+/// let trigger = TriggerEngine::new(0.5);
+/// trigger.add_rule(FallbackSwap::new(&fragile, &robust, 2));
+/// let mut stream = AdaptiveSession::new(&engine, &fragile, trigger);
+/// for x in [1, -2, -3, -4, 5] {
+///     stream.feed(x);
+///     let _ = stream.next_result();
+/// }
+/// // Two consecutive errors swapped in the robust version: -4 succeeded.
+/// assert_eq!(stream.version(), 1);
+/// engine.shutdown();
+/// ```
+pub struct AdaptiveSession<'e, P, R> {
+    stream: StreamSession<'e, P, R>,
+    reconf: Reconfigurator,
+    vskel: VersionedSkel<P, R>,
+    /// Results already collected from the inner stream (in submission
+    /// order, older than anything the stream still holds).
+    out: VecDeque<Result<R, EngineError>>,
+    max_in_flight: usize,
+    size_of: Option<SizeProbe<P>>,
+}
+
+impl<'e, P, R> AdaptiveSession<'e, P, R>
+where
+    P: Send + 'static,
+    R: Send + 'static,
+{
+    /// A session feeding `skel` on `engine`, adapted by `trigger`'s rules,
+    /// with unbounded in-flight items by default.
+    ///
+    /// Registering `trigger` as a listener on `engine.registry()` is the
+    /// caller's choice: with it, rules see event-derived estimates; without
+    /// it, only outcome- and input-size-triggered rules can fire (and the
+    /// per-event overhead is avoided).
+    pub fn new(engine: &'e Engine, skel: &Skel<P, R>, trigger: Arc<TriggerEngine>) -> Self {
+        AdaptiveSession {
+            stream: StreamSession::new(engine, skel),
+            reconf: Reconfigurator::for_engine(engine, trigger),
+            vskel: VersionedSkel::new(skel),
+            out: VecDeque::new(),
+            max_in_flight: usize::MAX,
+            size_of: None,
+        }
+    }
+
+    /// Bounds how many items may be in flight (backpressure), like
+    /// [`StreamSession::max_in_flight`].
+    pub fn max_in_flight(mut self, n: usize) -> Self {
+        self.max_in_flight = n.max(1);
+        self
+    }
+
+    /// Records `f(input)` as an input-size hint per feed; promotion rules
+    /// gate on the EWMA of these (`Trigger::InputSizeAtLeast`).
+    pub fn input_size(mut self, f: impl Fn(&P) -> usize + 'static) -> Self {
+        self.size_of = Some(Box::new(f));
+        self
+    }
+
+    fn observe(&self, result: &Result<R, EngineError>) {
+        self.reconf.trigger().record_outcome(result.is_ok());
+    }
+
+    /// Collects the oldest outstanding result from the inner stream,
+    /// records its outcome, and buffers it for the consumer — the one
+    /// place the "every collected result is observed" invariant lives.
+    fn collect_one(&mut self) {
+        let r = self.stream.next_result().expect("checked by caller");
+        self.observe(&r);
+        self.out.push_back(r);
+    }
+
+    /// Collects every already-finished leading item without blocking,
+    /// reporting outcomes to the trigger engine.
+    fn harvest(&mut self) {
+        let ready = self.stream.poll_ready();
+        for _ in 0..ready {
+            self.collect_one();
+        }
+    }
+
+    /// Submits one input. Before the submission: finished items are
+    /// harvested (outcomes recorded), backpressure is applied, and the
+    /// safe point runs — rules may swap in a new skeleton version, which
+    /// this and all subsequent feeds then use.
+    pub fn feed(&mut self, input: P) {
+        self.harvest();
+        while self.stream.in_flight() >= self.max_in_flight {
+            self.collect_one();
+        }
+        if let Some(size_of) = &self.size_of {
+            self.reconf.trigger().observe_input_size(size_of(&input));
+        }
+        if self.reconf.apply(&mut self.vskel) > 0 {
+            self.stream.swap_skel(self.vskel.skel());
+        }
+        self.stream.feed(input);
+    }
+
+    /// The next result in submission order, blocking until it is ready;
+    /// `None` once every fed item has been collected.
+    pub fn next_result(&mut self) -> Option<Result<R, EngineError>> {
+        if let Some(r) = self.out.pop_front() {
+            return Some(r);
+        }
+        let r = self.stream.next_result()?;
+        self.observe(&r);
+        Some(r)
+    }
+
+    /// Blocks for every outstanding result, in submission order.
+    pub fn drain(mut self) -> impl Iterator<Item = Result<R, EngineError>> {
+        let mut results = Vec::new();
+        while let Some(r) = self.next_result() {
+            results.push(r);
+        }
+        results.into_iter()
+    }
+
+    /// The current skeleton version (rewrites applied so far).
+    pub fn version(&self) -> u64 {
+        self.vskel.version()
+    }
+
+    /// The skeleton the next feed will use.
+    pub fn skeleton(&self) -> &Skel<P, R> {
+        self.vskel.skel()
+    }
+
+    /// The trigger engine (decision log, statistics).
+    pub fn trigger(&self) -> &Arc<TriggerEngine> {
+        self.reconf.trigger()
+    }
+
+    /// Items fed so far.
+    pub fn fed(&self) -> usize {
+        self.stream.fed()
+    }
+
+    /// Items currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.stream.in_flight()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::{FallbackSwap, Knob, Promote, RetuneWidth, Trigger};
+    use askel_engine::Engine;
+    use askel_skeletons::{map, seq};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn doubler() -> Skel<i64, i64> {
+        seq(|x: i64| x * 2)
+    }
+
+    #[test]
+    fn no_rules_behaves_like_a_stream_session() {
+        let engine = Engine::new(2);
+        let program = doubler();
+        let trigger = TriggerEngine::new(0.5);
+        let mut adaptive = AdaptiveSession::new(&engine, &program, trigger).max_in_flight(3);
+        let mut plain = StreamSession::new(&engine, &program).max_in_flight(3);
+        for x in 0..32 {
+            adaptive.feed(x);
+            plain.feed(x);
+        }
+        let a: Vec<i64> = adaptive.drain().map(|r| r.unwrap()).collect();
+        let p: Vec<i64> = plain.drain().map(|r| r.unwrap()).collect();
+        assert_eq!(a, p);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn promotion_swaps_for_subsequent_items_only() {
+        let engine = Engine::new(2);
+        let v1 = seq(|x: i64| x + 1);
+        let v2 = seq(|x: i64| x + 100);
+        let trigger = TriggerEngine::new(1.0); // ρ=1: EWMA = last hint
+        trigger.add_rule(
+            Promote::new(&v1, &v2)
+                .named("test-promote")
+                .when(Trigger::InputSizeAtLeast(50.0)),
+        );
+        let mut stream =
+            AdaptiveSession::new(&engine, &v1, trigger).input_size(|x: &i64| *x as usize);
+        stream.feed(1); // hint 1: below threshold, v1
+        stream.feed(60); // hint 60: fires at this safe point, so 60 runs on v2
+        stream.feed(2); // still v2
+        let got: Vec<i64> = stream.drain().map(|r| r.unwrap()).collect();
+        assert_eq!(got, vec![2, 160, 102]);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn fallback_swap_recovers_the_stream() {
+        let engine = Engine::new(1);
+        let fragile = seq(|x: i64| {
+            if x < 0 {
+                panic!("fragile muscle rejects {x}");
+            }
+            x
+        });
+        let robust = seq(|x: i64| x.abs());
+        let trigger = TriggerEngine::new(0.5);
+        trigger.add_rule(FallbackSwap::new(&fragile, &robust, 2));
+        let mut stream = AdaptiveSession::new(&engine, &fragile, trigger.clone());
+        let mut results = Vec::new();
+        for x in [1, -2, -3, -4, 5] {
+            stream.feed(x);
+            results.push(stream.next_result().expect("one in flight"));
+        }
+        assert!(stream.next_result().is_none());
+        assert_eq!(results[0].as_ref().unwrap(), &1);
+        assert!(results[1].is_err() && results[2].is_err());
+        assert_eq!(results[3].as_ref().unwrap(), &4, "swapped before item -4");
+        assert_eq!(results[4].as_ref().unwrap(), &5);
+        assert_eq!(stream.version(), 1);
+        let log = trigger.decision_log();
+        assert_eq!(log.len(), 1);
+        assert_eq!(log[0].rule, "fallback-swap");
+        assert_eq!(log[0].target, Some(fragile.id()));
+        engine.shutdown();
+    }
+
+    #[test]
+    fn conflicting_replacements_in_one_safe_point_rearm_instead_of_losing_the_rule() {
+        // Two once-rules fire at the same safe point, both targeting the
+        // same node: the first applies; the second's target is gone, so
+        // it must be skipped *with* an audit record and re-armed — and
+        // its presence gate then keeps it quiescent, not firing forever.
+        let engine = Engine::new(1);
+        let target = seq(|x: i64| x);
+        let winner = seq(|x: i64| x + 10);
+        let loser = seq(|x: i64| x + 100);
+        let trigger = TriggerEngine::new(1.0);
+        trigger.add_rule(
+            Promote::new(&target, &winner)
+                .named("first")
+                .when(Trigger::InputSizeAtLeast(1.0)),
+        );
+        trigger.add_rule(
+            Promote::new(&target, &loser)
+                .named("second")
+                .when(Trigger::InputSizeAtLeast(1.0)),
+        );
+        let mut stream =
+            AdaptiveSession::new(&engine, &target, trigger.clone()).input_size(|_: &i64| 5);
+        for x in 0..3 {
+            stream.feed(x);
+            let _ = stream.next_result();
+        }
+        assert_eq!(stream.version(), 1, "only the first replacement applied");
+        let log = trigger.decision_log();
+        assert_eq!(log.len(), 2, "{log:?}");
+        assert_eq!(log[0].rule, "first");
+        assert_eq!(log[1].rule, "second");
+        assert!(log[1].action.contains("skipped"), "{:?}", log[1]);
+        assert_eq!(log[1].version, 1, "skips do not bump the version");
+        // The re-armed rule re-evaluated at later safe points but its
+        // presence gate held it silent — no further log entries.
+        assert!(trigger.evaluations() > 2);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn knob_retune_bumps_version_and_emits() {
+        let engine = Engine::new(2);
+        let width = Knob::new("width", 1);
+        let w = width.clone();
+        let program = map(
+            move |v: Vec<i64>| {
+                let chunks = w.get().max(1);
+                let per = v.len().div_ceil(chunks).max(1);
+                v.chunks(per).map(|c| c.to_vec()).collect::<Vec<_>>()
+            },
+            seq(|v: Vec<i64>| v.into_iter().sum::<i64>()),
+            |parts: Vec<i64>| parts.into_iter().sum::<i64>(),
+        );
+        let reconfigured = Arc::new(AtomicUsize::new(0));
+        let seen = Arc::clone(&reconfigured);
+        engine
+            .registry()
+            .add_listener(Arc::new(askel_events::FnListener(
+                move |_: &mut Payload<'_>, e: &Event| {
+                    if e.wher == Where::Reconfigured {
+                        assert_eq!(e.info.reconfigured_version(), Some(1));
+                        seen.fetch_add(1, Ordering::SeqCst);
+                    }
+                },
+            )));
+        let trigger = TriggerEngine::new(0.5);
+        trigger.add_rule(RetuneWidth::new(width.clone(), 2).bounds(1, 16));
+        let mut stream = AdaptiveSession::new(&engine, &program, trigger);
+        stream.feed((0..8).collect());
+        stream.feed((0..8).collect());
+        let version = stream.version();
+        let got: Vec<i64> = stream.drain().map(|r| r.unwrap()).collect();
+        assert_eq!(
+            got,
+            vec![28, 28],
+            "retuning the width never changes results"
+        );
+        assert_eq!(width.get(), 4, "lp 2 × 2 tasks per worker");
+        assert_eq!(version, 1);
+        assert_eq!(reconfigured.load(Ordering::SeqCst), 1);
+        engine.shutdown();
+    }
+}

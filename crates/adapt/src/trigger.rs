@@ -1,0 +1,360 @@
+//! The trigger engine: the *Monitor/Analyze* half of self-configuration.
+//!
+//! [`TriggerEngine`] is an ordinary [`Listener`]: registered on an engine's
+//! (or simulator's) `ListenerRegistry`, it replays every event through the
+//! same per-kind state machines the WCT controller uses
+//! ([`askel_core::SmTracker`]), maintaining EWMA duration and cardinality
+//! estimates per muscle. On top of the event stream it tracks two
+//! session-level statistics the events cannot carry: per-item outcomes
+//! (error streaks, fed by the adaptive session) and input-size hints.
+//!
+//! Rules ([`crate::rules`]) are evaluated **only** at safe points, via
+//! [`TriggerEngine::plan`] — never from inside `on_event` — so a rewrite
+//! can fire at most once per safe point and never mid-item. Every applied
+//! rewrite is recorded in an auditable decision log ([`AdaptRecord`]),
+//! symmetric to the controller's `AnalysisRecord`.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use askel_core::{AutonomicController, EstimatorTable, Ewma, SmTracker};
+use askel_events::{Event, Listener, Payload, When, Where};
+use askel_skeletons::{Node, NodeId, TimeNs};
+
+use crate::rules::{ErrorStats, RewriteAction, Rule, RuleCtx};
+
+/// One audited structural rewrite — the self-configuration counterpart of
+/// `askel_core::AnalysisRecord`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AdaptRecord {
+    /// When the rewrite was applied (engine or virtual time).
+    pub at: TimeNs,
+    /// The skeleton version the rewrite produced.
+    pub version: u64,
+    /// Name of the rule that fired.
+    pub rule: String,
+    /// The replaced node, for subtree rewrites.
+    pub target: Option<NodeId>,
+    /// What was done, e.g. `replace n3 with n17` or `set knob width 4 -> 6`.
+    pub action: String,
+    /// The observed statistics that justified the rewrite.
+    pub why: String,
+}
+
+/// A rewrite a rule requested at a safe point, awaiting application.
+pub struct PlannedRewrite {
+    /// Name of the rule that fired.
+    pub rule: String,
+    /// Registration index of that rule — pass it back to
+    /// [`TriggerEngine::rearm`] if the plan could not be applied, so a
+    /// once-rule retired at fire time is not lost.
+    pub rule_index: usize,
+    /// The requested change.
+    pub action: RewriteAction,
+    /// The statistics that justified it.
+    pub why: String,
+}
+
+struct TrigInner {
+    tracker: SmTracker,
+    errors: ErrorStats,
+    input_size: Ewma,
+    rules: Vec<Box<dyn Rule>>,
+    /// Parallel to `rules`: `true` once a once-rule has fired.
+    retired: Vec<bool>,
+    enabled: bool,
+    log: Vec<AdaptRecord>,
+    safe_points: usize,
+    evaluations: usize,
+}
+
+/// Event-driven rule host; see the module docs.
+pub struct TriggerEngine {
+    inner: Mutex<TrigInner>,
+}
+
+impl TriggerEngine {
+    /// A trigger engine whose EWMA estimators use weight `rho` (the
+    /// paper's ρ, 0.5 by convention).
+    pub fn new(rho: f64) -> Arc<Self> {
+        Arc::new(TriggerEngine {
+            inner: Mutex::new(TrigInner {
+                tracker: SmTracker::new(rho),
+                errors: ErrorStats::default(),
+                input_size: Ewma::new(rho.clamp(0.0, 1.0)),
+                rules: Vec::new(),
+                retired: Vec::new(),
+                enabled: true,
+                log: Vec::new(),
+                safe_points: 0,
+                evaluations: 0,
+            }),
+        })
+    }
+
+    /// Registers a rule. Rules are evaluated in registration order at each
+    /// safe point.
+    pub fn add_rule(&self, rule: impl Rule + 'static) {
+        let mut inner = self.inner.lock();
+        inner.rules.push(Box::new(rule));
+        inner.retired.push(false);
+    }
+
+    /// Number of registered rules (retired once-rules included).
+    pub fn rules(&self) -> usize {
+        self.inner.lock().rules.len()
+    }
+
+    /// Enables/disables every rule at once. A disabled trigger engine
+    /// still tracks statistics but [`plan`](TriggerEngine::plan) returns
+    /// nothing — the session behaves exactly like a plain `StreamSession`.
+    pub fn set_enabled(&self, enabled: bool) {
+        self.inner.lock().enabled = enabled;
+    }
+
+    /// Whether rules may fire.
+    pub fn enabled(&self) -> bool {
+        self.inner.lock().enabled
+    }
+
+    /// Records one stream item's outcome (the adaptive session calls this
+    /// as results are collected). Errors extend the consecutive streak;
+    /// any success resets it.
+    pub fn record_outcome(&self, ok: bool) {
+        let mut inner = self.inner.lock();
+        inner.errors.items += 1;
+        if ok {
+            inner.errors.consecutive = 0;
+        } else {
+            inner.errors.total += 1;
+            inner.errors.consecutive += 1;
+        }
+    }
+
+    /// Records an input-size hint for the item about to be fed; rules gate
+    /// on the EWMA of these via `Trigger::InputSizeAtLeast`.
+    pub fn observe_input_size(&self, size: usize) {
+        self.inner.lock().input_size.observe(size as f64);
+    }
+
+    /// Current error statistics.
+    pub fn error_stats(&self) -> ErrorStats {
+        self.inner.lock().errors
+    }
+
+    /// Read access to the event-derived estimator table.
+    pub fn read_estimates<T>(&self, f: impl FnOnce(&EstimatorTable) -> T) -> T {
+        let inner = self.inner.lock();
+        f(inner.tracker.estimates())
+    }
+
+    /// Seeds the trigger estimators from a WCT controller's live table —
+    /// the two autonomic layers (self-optimization in `askel-core`,
+    /// self-configuration here) then decide from one shared view of the
+    /// world, instead of each warming up separately.
+    pub fn seed_from(&self, controller: &AutonomicController) {
+        let table = controller.read_estimates(|t| t.clone());
+        *self.inner.lock().tracker.estimates_mut() = table;
+    }
+
+    /// Programmatic estimator initialization (tests, benches).
+    pub fn with_estimates(&self, f: impl FnOnce(&mut EstimatorTable)) {
+        f(self.inner.lock().tracker.estimates_mut());
+    }
+
+    /// One safe point: evaluates every live rule once against the current
+    /// statistics and returns the rewrites that fired (at most one per
+    /// rule). Once-rules that fire are retired. Returns nothing while
+    /// disabled. The caller (normally a
+    /// [`Reconfigurator`](crate::Reconfigurator)) applies the plans and
+    /// records them with [`TriggerEngine::record`].
+    pub fn plan(
+        &self,
+        root: &Arc<Node>,
+        version: u64,
+        lp: usize,
+        _now: TimeNs,
+    ) -> Vec<PlannedRewrite> {
+        let mut inner = self.inner.lock();
+        inner.safe_points += 1;
+        if !inner.enabled {
+            return Vec::new();
+        }
+        let TrigInner {
+            tracker,
+            errors,
+            input_size,
+            rules,
+            retired,
+            evaluations,
+            ..
+        } = &mut *inner;
+        let ctx = RuleCtx {
+            estimates: tracker.estimates(),
+            errors,
+            input_size: input_size.value(),
+            root,
+            version,
+            lp,
+        };
+        let mut plans = Vec::new();
+        for (index, (rule, retired)) in rules.iter().zip(retired.iter_mut()).enumerate() {
+            if *retired {
+                continue;
+            }
+            *evaluations += 1;
+            if let Some((action, why)) = rule.evaluate(&ctx) {
+                if rule.once() {
+                    *retired = true;
+                }
+                plans.push(PlannedRewrite {
+                    rule: rule.name().to_string(),
+                    rule_index: index,
+                    action,
+                    why,
+                });
+            }
+        }
+        plans
+    }
+
+    /// Un-retires the rule at `index` (as reported in
+    /// [`PlannedRewrite::rule_index`]). The
+    /// [`Reconfigurator`](crate::Reconfigurator) calls this when a
+    /// planned subtree replacement could not be applied — e.g. an earlier rewrite in the
+    /// same safe point removed its target — so the rule gets another
+    /// chance instead of being silently lost.
+    pub fn rearm(&self, index: usize) {
+        let mut inner = self.inner.lock();
+        if let Some(retired) = inner.retired.get_mut(index) {
+            *retired = false;
+        }
+    }
+
+    /// Appends one applied rewrite to the decision log.
+    pub fn record(&self, record: AdaptRecord) {
+        self.inner.lock().log.push(record);
+    }
+
+    /// The decision log: every applied rewrite, in order.
+    pub fn decision_log(&self) -> Vec<AdaptRecord> {
+        self.inner.lock().log.clone()
+    }
+
+    /// How many safe points have been evaluated.
+    pub fn safe_points(&self) -> usize {
+        self.inner.lock().safe_points
+    }
+
+    /// How many individual rule evaluations ran across all safe points.
+    pub fn evaluations(&self) -> usize {
+        self.inner.lock().evaluations
+    }
+}
+
+impl Listener for TriggerEngine {
+    fn on_event(&self, _payload: &mut Payload<'_>, event: &Event) {
+        let mut inner = self.inner.lock();
+        // A fresh root submission: drop finished instance records so the
+        // tracker's memory stays bounded on long streams (estimates are
+        // kept — they are the whole point).
+        if event.when == When::Before && event.wher == Where::Skeleton && event.trace.depth() == 1 {
+            inner.tracker.prune_finished();
+        }
+        inner.tracker.observe(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::{FallbackSwap, Knob, Promote, RetuneWidth, Trigger};
+    use askel_skeletons::seq;
+
+    #[test]
+    fn outcomes_track_streaks() {
+        let t = TriggerEngine::new(0.5);
+        t.record_outcome(false);
+        t.record_outcome(false);
+        assert_eq!(t.error_stats().consecutive, 2);
+        assert_eq!(t.error_stats().total, 2);
+        t.record_outcome(true);
+        assert_eq!(t.error_stats().consecutive, 0);
+        assert_eq!(t.error_stats().total, 2);
+        assert_eq!(t.error_stats().items, 3);
+    }
+
+    #[test]
+    fn once_rules_retire_after_firing() {
+        let target = seq(|x: i64| x);
+        let fallback = seq(|x: i64| x);
+        let t = TriggerEngine::new(0.5);
+        t.add_rule(FallbackSwap::new(&target, &fallback, 1));
+        t.record_outcome(false);
+        let root = Arc::clone(target.node());
+        let first = t.plan(&root, 0, 1, TimeNs::ZERO);
+        assert_eq!(first.len(), 1);
+        assert_eq!(first[0].rule, "fallback-swap");
+        // The streak still holds, but the once-rule is retired.
+        let second = t.plan(&root, 1, 1, TimeNs::ZERO);
+        assert!(second.is_empty());
+        assert_eq!(t.safe_points(), 2);
+        assert_eq!(t.evaluations(), 1, "retired rules are not re-evaluated");
+    }
+
+    #[test]
+    fn disabled_engine_plans_nothing() {
+        let target = seq(|x: i64| x);
+        let t = TriggerEngine::new(0.5);
+        t.add_rule(FallbackSwap::new(&target, &target, 1));
+        t.record_outcome(false);
+        t.set_enabled(false);
+        let root = Arc::clone(target.node());
+        assert!(t.plan(&root, 0, 1, TimeNs::ZERO).is_empty());
+        t.set_enabled(true);
+        assert_eq!(t.plan(&root, 0, 1, TimeNs::ZERO).len(), 1);
+    }
+
+    #[test]
+    fn input_size_hint_feeds_promotion() {
+        let target = seq(|x: i64| x);
+        let replacement = seq(|x: i64| x);
+        let t = TriggerEngine::new(0.5);
+        t.add_rule(Promote::new(&target, &replacement).when(Trigger::InputSizeAtLeast(100.0)));
+        let root = Arc::clone(target.node());
+        t.observe_input_size(10);
+        assert!(t.plan(&root, 0, 1, TimeNs::ZERO).is_empty());
+        t.observe_input_size(1000);
+        // EWMA(10, 1000) at ρ=0.5 is 505 ≥ 100.
+        assert_eq!(t.plan(&root, 0, 1, TimeNs::ZERO).len(), 1);
+    }
+
+    #[test]
+    fn at_most_one_plan_per_rule_per_safe_point() {
+        let target = seq(|x: i64| x);
+        let t = TriggerEngine::new(0.5);
+        t.add_rule(RetuneWidth::new(Knob::new("w", 1), 4));
+        t.record_outcome(false);
+        let root = Arc::clone(target.node());
+        let plans = t.plan(&root, 0, 2, TimeNs::ZERO);
+        assert_eq!(plans.len(), 1, "one rule, at most one plan");
+    }
+
+    #[test]
+    fn decision_log_records_applied_rewrites() {
+        let t = TriggerEngine::new(0.5);
+        t.record(AdaptRecord {
+            at: TimeNs::from_millis(5),
+            version: 1,
+            rule: "promote".into(),
+            target: Some(NodeId(3)),
+            action: "replace n3 with n9".into(),
+            why: "input~500 >= 100".into(),
+        });
+        let log = t.decision_log();
+        assert_eq!(log.len(), 1);
+        assert_eq!(log[0].version, 1);
+        assert_eq!(log[0].rule, "promote");
+    }
+}

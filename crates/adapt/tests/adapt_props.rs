@@ -1,0 +1,211 @@
+//! Property tests for the self-configuration runtime:
+//!
+//! * with every rule disabled (or none registered), an `AdaptiveSession`
+//!   is behaviourally identical to a plain `StreamSession`;
+//! * over random event interleavings, each rule fires **at most once per
+//!   safe point** and once-rules never fire twice;
+//! * rewrites are never observed mid-item: every item is processed
+//!   entirely by one skeleton version, and the version sequence over the
+//!   stream is monotone.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use askel_adapt::{AdaptiveSession, FallbackSwap, Promote, Trigger, TriggerEngine};
+use askel_engine::{Engine, StreamSession};
+use askel_events::{Event, EventInfo, Listener, Payload, Trace, When, Where};
+use askel_skeletons::{map, seq, InstanceId, KindTag, NodeId, Skel, TimeNs};
+
+fn map_program() -> Skel<Vec<i64>, i64> {
+    map(
+        |v: Vec<i64>| v.into_iter().map(|x| vec![x]).collect::<Vec<_>>(),
+        seq(|v: Vec<i64>| v[0] * 3),
+        |parts: Vec<i64>| parts.into_iter().sum::<i64>(),
+    )
+}
+
+/// One synthetic observation a random interleaving can feed the trigger
+/// engine between safe points.
+#[derive(Clone, Debug)]
+enum Obs {
+    /// A full seq@b/seq@a pair with the given duration (ns).
+    SeqSpan(u64),
+    /// One item outcome.
+    Outcome(bool),
+    /// One input-size hint.
+    InputSize(usize),
+}
+
+fn obs_strategy() -> impl Strategy<Value = Obs> {
+    prop_oneof![
+        (1u64..5_000_000).prop_map(Obs::SeqSpan),
+        any::<bool>().prop_map(Obs::Outcome),
+        (1usize..10_000).prop_map(Obs::InputSize),
+    ]
+}
+
+fn seq_span_events(node: NodeId, inst: u64, start: TimeNs, dur: u64) -> [Event; 2] {
+    let mk = |when, at| Event {
+        node,
+        kind: KindTag::Seq,
+        when,
+        wher: Where::Skeleton,
+        index: InstanceId(inst),
+        trace: Trace::root(node, InstanceId(inst), KindTag::Seq),
+        timestamp: at,
+        info: EventInfo::None,
+    };
+    [
+        mk(When::Before, start),
+        mk(When::After, start + TimeNs(dur)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn disabled_rules_are_byte_for_byte_equivalent(
+        inputs in proptest::collection::vec(proptest::collection::vec(-50i64..50, 1..6), 1..24),
+        bound in 1usize..6,
+        disabled_not_empty in any::<bool>(),
+    ) {
+        let engine = Engine::new(2);
+        let program = map_program();
+        let trigger = TriggerEngine::new(0.5);
+        if disabled_not_empty {
+            // Rules present but the whole engine disabled.
+            let target = seq(|v: Vec<i64>| v[0]);
+            trigger.add_rule(
+                Promote::new(&target, &target).when(Trigger::InputSizeAtLeast(0.0)),
+            );
+            trigger.add_rule(FallbackSwap::new(&target, &target, 1));
+            trigger.set_enabled(false);
+        }
+        let mut adaptive = AdaptiveSession::new(&engine, &program, Arc::clone(&trigger))
+            .max_in_flight(bound)
+            .input_size(|v: &Vec<i64>| v.len());
+        let mut plain = StreamSession::new(&engine, &program).max_in_flight(bound);
+        for input in &inputs {
+            adaptive.feed(input.clone());
+            plain.feed(input.clone());
+        }
+        let a: Vec<i64> = adaptive.drain().map(|r| r.unwrap()).collect();
+        let p: Vec<i64> = plain.drain().map(|r| r.unwrap()).collect();
+        engine.shutdown();
+        prop_assert_eq!(&a, &p);
+        prop_assert!(trigger.decision_log().is_empty(), "nothing may fire");
+    }
+
+    #[test]
+    fn rules_fire_at_most_once_per_safe_point_over_random_interleavings(
+        script in proptest::collection::vec(
+            (proptest::collection::vec(obs_strategy(), 0..6), any::<bool>()),
+            1..16,
+        ),
+        duration_threshold_ms in 1u64..3,
+        streak in 1usize..3,
+    ) {
+        // A probe skeleton whose seq node the synthetic events target.
+        let probe = seq(|x: i64| x);
+        let replacement = seq(|x: i64| x);
+        let node = probe.id();
+        let fe = askel_skeletons::MuscleId::new(node, askel_skeletons::MuscleRole::Execute);
+
+        let trigger = TriggerEngine::new(0.5);
+        trigger.add_rule(
+            Promote::new(&probe, &replacement)
+                .named("hot-promote")
+                .when(Trigger::DurationAtLeast(fe, TimeNs::from_millis(duration_threshold_ms))),
+        );
+        trigger.add_rule(FallbackSwap::new(&probe, &replacement, streak));
+
+        let root = Arc::clone(probe.node());
+        let mut inst = 0u64;
+        let mut now = TimeNs::ZERO;
+        let mut fired_per_rule = std::collections::HashMap::<String, usize>::new();
+        let mut version = 0u64;
+        for (observations, do_safe_point) in script {
+            for obs in observations {
+                match obs {
+                    Obs::SeqSpan(dur) => {
+                        inst += 1;
+                        for e in seq_span_events(node, inst, now, dur) {
+                            trigger.on_event(&mut Payload::None, &e);
+                        }
+                        now += TimeNs(dur);
+                    }
+                    Obs::Outcome(ok) => trigger.record_outcome(ok),
+                    Obs::InputSize(n) => trigger.observe_input_size(n),
+                }
+            }
+            if do_safe_point {
+                let plans = trigger.plan(&root, version, 2, now);
+                let mut this_point = std::collections::HashMap::<String, usize>::new();
+                for p in &plans {
+                    *this_point.entry(p.rule.clone()).or_insert(0) += 1;
+                    *fired_per_rule.entry(p.rule.clone()).or_insert(0) += 1;
+                }
+                for (rule, n) in &this_point {
+                    prop_assert_eq!(*n, 1usize, "rule {} fired {} times in one safe point", rule, n);
+                }
+                version += plans.len() as u64;
+            }
+        }
+        // Both are once-rules: across the whole interleaving each fires at most once.
+        for (rule, n) in &fired_per_rule {
+            prop_assert!(*n <= 1, "once-rule {} fired {} times", rule, n);
+        }
+    }
+
+    #[test]
+    fn rewrites_are_never_observed_mid_item(
+        sizes in proptest::collection::vec(1usize..40, 4..24),
+        threshold in 5usize..20,
+    ) {
+        // v1 tags results with version 1, v2 with version 2; a mixed tag
+        // within one item is impossible by construction, but a *stale*
+        // version after the swap (or an early version before it) would
+        // show up as a non-monotone tag sequence.
+        let v1: Skel<Vec<i64>, (u64, i64)> = map(
+            |v: Vec<i64>| v.into_iter().map(|x| vec![x]).collect::<Vec<_>>(),
+            seq(|v: Vec<i64>| (1u64, v[0])),
+            |parts: Vec<(u64, i64)>| {
+                let version = parts[0].0;
+                assert!(parts.iter().all(|(v, _)| *v == version), "mixed versions in one item");
+                (version, parts.into_iter().map(|(_, x)| x).sum::<i64>())
+            },
+        );
+        let v2: Skel<Vec<i64>, (u64, i64)> = map(
+            |v: Vec<i64>| v.into_iter().map(|x| vec![x]).collect::<Vec<_>>(),
+            seq(|v: Vec<i64>| (2u64, v[0])),
+            |parts: Vec<(u64, i64)>| {
+                (2u64, parts.into_iter().map(|(_, x)| x).sum::<i64>())
+            },
+        );
+        let engine = Engine::new(2);
+        let trigger = TriggerEngine::new(1.0); // EWMA = last hint: deterministic firing
+        trigger.add_rule(
+            Promote::new(&v1, &v2).when(Trigger::InputSizeAtLeast(threshold as f64)),
+        );
+        let mut stream = AdaptiveSession::new(&engine, &v1, trigger)
+            .input_size(|v: &Vec<i64>| v.len());
+        for size in &sizes {
+            stream.feed((0..*size as i64).collect());
+        }
+        let tags: Vec<u64> = stream.drain().map(|r| r.unwrap().0).collect();
+        engine.shutdown();
+        // Monotone: a (possibly empty) run of v1 items, then v2 forever.
+        let first_v2 = tags.iter().position(|t| *t == 2).unwrap_or(tags.len());
+        prop_assert!(tags[..first_v2].iter().all(|t| *t == 1), "{:?}", tags);
+        prop_assert!(tags[first_v2..].iter().all(|t| *t == 2), "{:?}", tags);
+        // The swap fires at the safe point of the first item whose size
+        // hint reaches the threshold (ρ=1), so that item runs on v2.
+        let expected_first_v2 = sizes.iter().position(|s| *s >= threshold).unwrap_or(sizes.len());
+        prop_assert_eq!(first_v2, expected_first_v2);
+    }
+}

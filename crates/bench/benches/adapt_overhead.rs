@@ -1,0 +1,122 @@
+//! Self-configuration overhead: what does an `AdaptiveSession` cost when
+//! **no rule fires**?
+//!
+//! Three measurements over the `map_512` program (same as
+//! `engine_throughput`), one item per iteration, fed/collected lock-step:
+//!
+//! * `map_512_stream_session` — the plain `StreamSession` baseline, no
+//!   listeners (the engine skips the whole event path);
+//! * `map_512_stream_session_traced` — `StreamSession` with the
+//!   `TriggerEngine` registered as a listener: the cost of *monitoring*
+//!   (event emission + state machines), common to any event-driven
+//!   autonomic layer;
+//! * `map_512_adaptive_session_no_fire` — `AdaptiveSession` with the
+//!   trigger listener **plus four armed rules whose thresholds are
+//!   unreachable**: monitoring plus per-item safe-point rule evaluation.
+//!
+//! The tracked figure is `adaptive_no_fire / stream_traced`: rule
+//! evaluation itself must add <5% on top of the monitored baseline
+//! (recorded in `BENCH_adapt_overhead.json`). The `traced / plain` ratio
+//! prices monitoring separately — that cost is shared with the WCT
+//! controller and is already bounded by the `overhead_events` bench.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use askel_adapt::{
+    AdaptiveSession, FallbackSwap, Knob, Promote, RetuneGrain, RetuneWidth, Trigger, TriggerEngine,
+};
+use askel_engine::{Engine, StreamSession};
+use askel_skeletons::{map, seq, MuscleId, MuscleRole, Skel, TimeNs};
+
+fn map_program() -> Skel<Vec<i64>, i64> {
+    map(
+        |v: Vec<i64>| v.chunks(16).map(|c| c.to_vec()).collect::<Vec<_>>(),
+        seq(|v: Vec<i64>| v.iter().sum::<i64>()),
+        |parts: Vec<i64>| parts.into_iter().sum::<i64>(),
+    )
+}
+
+/// Four armed rules that can never fire on this workload.
+fn unreachable_rules(trigger: &TriggerEngine, program: &Skel<Vec<i64>, i64>) {
+    let decoy = seq(|v: Vec<i64>| v.into_iter().sum::<i64>());
+    let fs = MuscleId::new(program.id(), MuscleRole::Split);
+    // The decoy never executes, so its muscle never gains an estimate:
+    // the grain rule stays silent (no estimate, no decision).
+    let silent = MuscleId::new(decoy.id(), MuscleRole::Execute);
+    trigger.add_rule(
+        Promote::new(program, program)
+            .named("promote-never")
+            .when(Trigger::InputSizeAtLeast(f64::MAX)),
+    );
+    trigger.add_rule(FallbackSwap::new(program, &decoy, usize::MAX).named("swap-never"));
+    trigger.add_rule(
+        RetuneWidth::new(Knob::new("width-never", 32), 16)
+            .when(Trigger::CardinalityAtLeast(fs, f64::MAX)),
+    );
+    trigger.add_rule(RetuneGrain::new(
+        Knob::new("grain-never", 64),
+        silent,
+        TimeNs::from_millis(1),
+    ));
+}
+
+fn bench_adapt_overhead(c: &mut Criterion) {
+    let input: Vec<i64> = (0..512).collect();
+
+    // Baseline: plain stream session, empty registry.
+    {
+        let engine = Engine::new(2);
+        engine.pool().telemetry().set_recording(false);
+        let program = map_program();
+        let mut stream = StreamSession::new(&engine, &program);
+        c.bench_function("map_512_stream_session", |b| {
+            b.iter(|| {
+                stream.feed(input.clone());
+                stream.next_result().unwrap().unwrap()
+            })
+        });
+        engine.shutdown();
+    }
+
+    // Monitored baseline: the trigger engine listens, no rules armed.
+    {
+        let engine = Engine::new(2);
+        engine.pool().telemetry().set_recording(false);
+        let program = map_program();
+        let trigger = TriggerEngine::new(0.5);
+        engine.registry().add_listener(trigger);
+        let mut stream = StreamSession::new(&engine, &program);
+        c.bench_function("map_512_stream_session_traced", |b| {
+            b.iter(|| {
+                stream.feed(input.clone());
+                stream.next_result().unwrap().unwrap()
+            })
+        });
+        engine.shutdown();
+    }
+
+    // Adaptive session: monitoring plus four armed-but-silent rules
+    // evaluated at every safe point.
+    {
+        let engine = Engine::new(2);
+        engine.pool().telemetry().set_recording(false);
+        let program = map_program();
+        let trigger = TriggerEngine::new(0.5);
+        engine.registry().add_listener(trigger.clone());
+        unreachable_rules(&trigger, &program);
+        let mut stream = AdaptiveSession::new(&engine, &program, trigger.clone())
+            .input_size(|v: &Vec<i64>| v.len());
+        c.bench_function("map_512_adaptive_session_no_fire", |b| {
+            b.iter(|| {
+                stream.feed(input.clone());
+                stream.next_result().unwrap().unwrap()
+            })
+        });
+        assert_eq!(stream.version(), 0, "no rule may fire in this bench");
+        assert!(trigger.decision_log().is_empty());
+        engine.shutdown();
+    }
+}
+
+criterion_group!(benches, bench_adapt_overhead);
+criterion_main!(benches);

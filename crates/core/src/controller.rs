@@ -332,6 +332,16 @@ impl AutonomicController {
         self.inner.lock().tracker.estimates().snapshot()
     }
 
+    /// Read access to the live estimator table, for other autonomic layers
+    /// that want to share this controller's statistics (the
+    /// self-configuration runtime in `askel-adapt` seeds its trigger
+    /// estimates from here). The table lock is held for the duration of
+    /// `f`; keep it short.
+    pub fn read_estimates<T>(&self, f: impl FnOnce(&EstimatorTable) -> T) -> T {
+        let inner = self.inner.lock();
+        f(inner.tracker.estimates())
+    }
+
     /// The LP the controller believes the engine has.
     pub fn current_lp(&self) -> usize {
         self.inner.lock().current_lp

@@ -202,6 +202,9 @@ impl SmTracker {
             // Children announce themselves through their own Skeleton
             // events; the parent-side nesting events carry no extra state.
             (_, Where::NestedSkeleton) => {}
+            // Structural rewrites (askel-adapt) are session-level
+            // announcements, not muscle executions: nothing to estimate.
+            (_, Where::Reconfigured) => {}
         }
     }
 

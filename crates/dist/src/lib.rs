@@ -44,16 +44,20 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+use std::sync::{Arc, Mutex};
+
 use askel_sim::workers::WorkerModel;
 use askel_skeletons::TimeNs;
 
 /// One node of a cluster: a named block of worker slots with a per-task
-/// communication round-trip (zero for local nodes).
-#[derive(Clone, Debug, PartialEq, Eq)]
+/// communication round-trip (zero for local nodes) and a relative
+/// execution speed (1.0 = baseline).
+#[derive(Clone, Debug, PartialEq)]
 pub struct NodeSpec {
     name: String,
     slots: usize,
     round_trip: TimeNs,
+    speed: f64,
 }
 
 impl NodeSpec {
@@ -64,6 +68,7 @@ impl NodeSpec {
             name: name.into(),
             slots,
             round_trip: TimeNs::ZERO,
+            speed: 1.0,
         }
     }
 
@@ -74,7 +79,32 @@ impl NodeSpec {
             name: name.into(),
             slots,
             round_trip,
+            speed: 1.0,
         }
+    }
+
+    /// Sets the node's relative execution speed: 1.0 is the baseline,
+    /// 2.0 runs muscles twice as fast (durations halved), 0.5 at half
+    /// speed (durations doubled). Non-positive or non-finite values are
+    /// treated as the baseline.
+    pub fn with_speed(mut self, speed: f64) -> Self {
+        self.speed = if speed.is_finite() && speed > 0.0 {
+            speed
+        } else {
+            1.0
+        };
+        self
+    }
+
+    /// The node's relative execution speed.
+    pub fn speed(&self) -> f64 {
+        self.speed
+    }
+
+    /// The cost multiplier the simulator applies to durations on this
+    /// node (`1 / speed`).
+    pub fn cost_factor(&self) -> f64 {
+        1.0 / self.speed
     }
 
     /// The node's name.
@@ -98,13 +128,69 @@ impl NodeSpec {
     }
 }
 
+/// Shared handle onto a cluster's per-node busy-time accounting.
+///
+/// The cluster is moved into the simulator
+/// ([`askel_sim::SimEngine::with_workers`] takes it by value), so
+/// telemetry is surfaced through this handle: keep a clone
+/// ([`Cluster::telemetry`]) before handing the cluster over, and read
+/// per-node utilization while or after the simulation runs.
+#[derive(Clone, Debug, Default)]
+pub struct ClusterTelemetry {
+    busy: Arc<Mutex<Vec<TimeNs>>>,
+}
+
+impl ClusterTelemetry {
+    fn for_nodes(n: usize) -> Self {
+        ClusterTelemetry {
+            busy: Arc::new(Mutex::new(vec![TimeNs::ZERO; n])),
+        }
+    }
+
+    fn add(&self, node: usize, busy: TimeNs) {
+        let mut slots = self.busy.lock().expect("cluster telemetry poisoned");
+        if let Some(t) = slots.get_mut(node) {
+            *t += busy;
+        }
+    }
+
+    /// Accumulated busy virtual time per node, in node order (scaled
+    /// muscle durations plus communication round-trips).
+    pub fn busy_per_node(&self) -> Vec<TimeNs> {
+        self.busy
+            .lock()
+            .expect("cluster telemetry poisoned")
+            .clone()
+    }
+
+    /// `busy / (wall × enabled_slots)` per node — the utilization figures
+    /// the dist example and benches print. `enabled` comes from the
+    /// cluster that produced this handle (`Cluster::enabled_per_node`).
+    pub fn utilization(&self, wall: TimeNs, enabled: &[usize]) -> Vec<f64> {
+        self.busy_per_node()
+            .iter()
+            .zip(enabled)
+            .map(|(busy, &slots)| {
+                let denom = wall.as_secs_f64() * slots as f64;
+                if denom > 0.0 {
+                    busy.as_secs_f64() / denom
+                } else {
+                    0.0
+                }
+            })
+            .collect()
+    }
+}
+
 /// A heterogeneous set of worker nodes behind one centralised controller.
 ///
 /// Implements [`WorkerModel`], so it plugs directly into
 /// [`askel_sim::SimEngine::with_workers`]. The controller keeps talking
 /// in plain LP numbers; the cluster translates "LP = n" into "the first
-/// `n` provisioned slots, in node order" and charges each slot its
-/// owning node's round-trip.
+/// `n` provisioned slots, in node order", charges each slot its owning
+/// node's round-trip, scales durations by the node's speed, and accounts
+/// busy time per node (see [`ClusterTelemetry`]). Clones share the
+/// telemetry accumulator.
 #[derive(Clone, Debug)]
 pub struct Cluster {
     nodes: Vec<NodeSpec>,
@@ -113,6 +199,7 @@ pub struct Cluster {
     starts: Vec<usize>,
     provisioned: usize,
     capacity: usize,
+    telemetry: ClusterTelemetry,
 }
 
 impl Cluster {
@@ -125,12 +212,20 @@ impl Cluster {
             starts.push(total);
             total += n.slots();
         }
+        let telemetry = ClusterTelemetry::for_nodes(nodes.len());
         Cluster {
             nodes,
             starts,
             provisioned: total,
             capacity: total,
+            telemetry,
         }
+    }
+
+    /// A shared handle onto this cluster's per-node busy-time accounting;
+    /// keep a clone before moving the cluster into the simulator.
+    pub fn telemetry(&self) -> ClusterTelemetry {
+        self.telemetry.clone()
     }
 
     /// Sets the initially-enabled capacity (clamped to the provisioned
@@ -152,6 +247,11 @@ impl Cluster {
 
     /// The node owning `slot`, if the slot is provisioned.
     pub fn node_of_slot(&self, slot: usize) -> Option<&NodeSpec> {
+        self.node_index_of_slot(slot).map(|i| &self.nodes[i])
+    }
+
+    /// Index (in node order) of the node owning `slot`.
+    fn node_index_of_slot(&self, slot: usize) -> Option<usize> {
         if slot >= self.provisioned {
             return None;
         }
@@ -164,8 +264,8 @@ impl Cluster {
         self.nodes[idx..]
             .iter()
             .zip(&self.starts[idx..])
-            .find(|(n, &s)| slot >= s && slot < s + n.slots())
-            .map(|(n, _)| n)
+            .position(|(n, &s)| slot >= s && slot < s + n.slots())
+            .map(|offset| idx + offset)
     }
 
     /// How many of each node's slots are enabled at the current capacity,
@@ -205,6 +305,18 @@ impl WorkerModel for Cluster {
         self.node_of_slot(slot)
             .map(NodeSpec::round_trip)
             .unwrap_or(TimeNs::ZERO)
+    }
+
+    fn cost_factor(&self, slot: usize) -> f64 {
+        self.node_of_slot(slot)
+            .map(NodeSpec::cost_factor)
+            .unwrap_or(1.0)
+    }
+
+    fn note_busy(&mut self, slot: usize, busy: TimeNs) {
+        if let Some(node) = self.node_index_of_slot(slot) {
+            self.telemetry.add(node, busy);
+        }
     }
 }
 
@@ -289,6 +401,59 @@ mod tests {
         let empty = Cluster::new(vec![]);
         assert_eq!(empty.provisioned(), 0);
         assert!(empty.node_of_slot(0).is_none());
+    }
+
+    #[test]
+    fn speeds_scale_cost_factors_per_slot() {
+        let c = Cluster::new(vec![
+            NodeSpec::local("fast", 1).with_speed(2.0),
+            NodeSpec::remote("slow", 1, TimeNs::from_millis(10)).with_speed(0.5),
+            NodeSpec::local("base", 1),
+        ]);
+        assert_eq!(c.cost_factor(0), 0.5, "2× speed halves durations");
+        assert_eq!(c.cost_factor(1), 2.0, "half speed doubles durations");
+        assert_eq!(c.cost_factor(2), 1.0);
+        assert_eq!(c.cost_factor(99), 1.0, "unprovisioned slots are neutral");
+        // Degenerate speeds fall back to baseline.
+        assert_eq!(NodeSpec::local("x", 1).with_speed(0.0).speed(), 1.0);
+        assert_eq!(NodeSpec::local("x", 1).with_speed(f64::NAN).speed(), 1.0);
+    }
+
+    #[test]
+    fn telemetry_accumulates_busy_time_per_node() {
+        let mut c = two_node();
+        let telemetry = c.telemetry();
+        c.note_busy(0, TimeNs::from_millis(5)); // master
+        c.note_busy(1, TimeNs::from_millis(7)); // master
+        c.note_busy(2, TimeNs::from_millis(11)); // worker
+        c.note_busy(999, TimeNs::from_millis(100)); // unprovisioned: dropped
+        assert_eq!(
+            telemetry.busy_per_node(),
+            vec![TimeNs::from_millis(12), TimeNs::from_millis(11)]
+        );
+        // Utilization: 12ms and 11ms over a 12ms wall.
+        let enabled: Vec<usize> = c.enabled_per_node().iter().map(|(_, e)| *e).collect();
+        let util = telemetry.utilization(TimeNs::from_millis(12), &enabled);
+        assert!((util[0] - 0.5).abs() < 1e-9, "12ms over 2 slots × 12ms");
+        assert!(util[1] > 0.0 && util[1] < 0.1);
+    }
+
+    #[test]
+    fn slow_node_runs_simulated_muscles_slower() {
+        use askel_sim::cost::TableCost;
+        use askel_sim::SimEngine;
+        use askel_skeletons::seq;
+
+        let program = seq(|x: i64| x + 1);
+        let cost = std::sync::Arc::new(TableCost::new(TimeNs::from_secs(1)));
+        // One half-speed slot: a 1s muscle takes 2s of virtual time.
+        let cluster = Cluster::new(vec![NodeSpec::local("slow", 1).with_speed(0.5)]);
+        let telemetry = cluster.telemetry();
+        let mut sim = SimEngine::with_workers(Box::new(cluster), cost);
+        let out = sim.run(&program, 1).unwrap();
+        assert_eq!(out.result, 2);
+        assert_eq!(out.wct, TimeNs::from_secs(2));
+        assert_eq!(telemetry.busy_per_node(), vec![TimeNs::from_secs(2)]);
     }
 
     #[test]

@@ -17,10 +17,19 @@ use crate::Engine;
 
 /// An ordered stream of inputs through one skeleton.
 ///
-/// Each [`feed`](StreamSession::feed) is an independent
-/// [`Engine::submit`], so the engine's listener snapshot applies per
-/// input: an item fed while the registry is empty emits no events even
-/// if listeners are registered later. Register listeners before feeding.
+/// **Listener snapshots are per item, not per session.** Each
+/// [`feed`](StreamSession::feed) is an independent [`Engine::submit`],
+/// which re-samples the listener registry: a listener registered *after*
+/// the first feed observes every item fed afterwards (regression-tested
+/// below). Only the item in flight at registration time keeps its original
+/// (possibly empty) snapshot — register listeners before feeding when every
+/// item must be observed.
+///
+/// The skeleton itself may be swapped between items with
+/// [`swap_skel`](StreamSession::swap_skel): subsequent feeds use the new
+/// version while in-flight items finish on the old one. This is the
+/// safe-point primitive the self-configuration runtime (`askel-adapt`)
+/// builds on.
 ///
 /// ```
 /// use askel_engine::{Engine, StreamSession};
@@ -70,6 +79,37 @@ where
     pub fn max_in_flight(mut self, n: usize) -> Self {
         self.max_in_flight = n.max(1);
         self
+    }
+
+    /// Atomically swaps the skeleton used by *subsequent* feeds. Items
+    /// already in flight keep executing their original (shared, immutable)
+    /// skeleton version — a swap between two feeds can therefore never be
+    /// observed mid-item. Results still arrive in submission order.
+    ///
+    /// The caller asserts the new skeleton computes the same `P → R`
+    /// signature, which the type parameters enforce.
+    pub fn swap_skel(&mut self, skel: &Skel<P, R>) {
+        self.skel = skel.clone();
+    }
+
+    /// The skeleton that the next [`feed`](StreamSession::feed) will use.
+    pub fn skel(&self) -> &Skel<P, R> {
+        &self.skel
+    }
+
+    /// Non-blocking harvest: moves every already-finished leading
+    /// submission (in submission order, stopping at the first unfinished
+    /// one) into the internal ready buffer, where
+    /// [`next_result`](StreamSession::next_result) pops it without
+    /// blocking. Returns how many results were buffered by this call.
+    pub fn poll_ready(&mut self) -> usize {
+        let mut buffered = 0;
+        while self.in_flight.front().is_some_and(SkelFuture::is_ready) {
+            let f = self.in_flight.pop_front().expect("checked non-empty");
+            self.ready.push_back(f.get());
+            buffered += 1;
+        }
+        buffered
     }
 
     /// Submits one input. Blocks only when the in-flight bound is hit.
@@ -217,6 +257,74 @@ mod tests {
                 assert_eq!(*r.as_ref().unwrap(), i as i64);
             }
         }
+        engine.shutdown();
+    }
+
+    #[test]
+    fn listener_registered_after_first_feed_sees_later_items() {
+        use askel_events::{Event, FnListener, Payload, When, Where};
+        use askel_skeletons::KindTag;
+
+        let engine = Engine::new(1);
+        let program = farm(seq(|x: i64| x + 1));
+        let mut stream = StreamSession::new(&engine, &program);
+        stream.feed(0);
+        // Let the first item finish so it cannot race the registration.
+        assert_eq!(stream.next_result().unwrap().unwrap(), 1);
+
+        let seen = Arc::new(AtomicUsize::new(0));
+        let s = Arc::clone(&seen);
+        engine.registry().add_listener(Arc::new(FnListener(
+            move |_: &mut Payload<'_>, e: &Event| {
+                if e.is(KindTag::Seq, When::After, Where::Skeleton) {
+                    s.fetch_add(1, Ordering::SeqCst);
+                }
+            },
+        )));
+
+        for x in 1..=5 {
+            stream.feed(x);
+        }
+        let got: Vec<i64> = stream.drain().map(|r| r.unwrap()).collect();
+        assert_eq!(got, vec![2, 3, 4, 5, 6]);
+        assert_eq!(
+            seen.load(Ordering::SeqCst),
+            5,
+            "each feed re-samples the registry, so all 5 post-registration items emit"
+        );
+        engine.shutdown();
+    }
+
+    #[test]
+    fn swap_skel_applies_to_subsequent_feeds_only() {
+        let engine = Engine::new(2);
+        let v1 = farm(seq(|x: i64| x + 1));
+        let v2 = farm(seq(|x: i64| x + 100));
+        let mut stream = StreamSession::new(&engine, &v1);
+        stream.feed(0);
+        stream.feed(1);
+        stream.swap_skel(&v2);
+        stream.feed(2);
+        let got: Vec<i64> = stream.drain().map(|r| r.unwrap()).collect();
+        assert_eq!(got, vec![1, 2, 102]);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn poll_ready_buffers_finished_leading_items_without_blocking() {
+        let engine = Engine::new(1);
+        let program = farm(seq(|x: i64| x));
+        let mut stream = StreamSession::new(&engine, &program);
+        assert_eq!(stream.poll_ready(), 0, "empty session has nothing ready");
+        for x in 0..4 {
+            stream.feed(x);
+        }
+        // Wait for everything to finish, then harvest without blocking.
+        engine.pool().wait_idle();
+        assert_eq!(stream.poll_ready(), 4);
+        assert_eq!(stream.in_flight(), 0);
+        let got: Vec<i64> = stream.drain().map(|r| r.unwrap()).collect();
+        assert_eq!(got, vec![0, 1, 2, 3]);
         engine.shutdown();
     }
 

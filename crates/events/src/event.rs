@@ -52,6 +52,11 @@ pub enum Where {
     Condition,
     /// One nested-skeleton execution (the parent's view of a child).
     NestedSkeleton,
+    /// A structural self-configuration: the skeleton was rewritten at a
+    /// safe point (the `askel-adapt` runtime emits these with
+    /// [`When::After`] once the new version is in place for subsequent
+    /// submissions).
+    Reconfigured,
 }
 
 impl std::fmt::Display for Where {
@@ -62,6 +67,7 @@ impl std::fmt::Display for Where {
             Where::Merge => "merge",
             Where::Condition => "condition",
             Where::NestedSkeleton => "nested",
+            Where::Reconfigured => "reconfigured",
         })
     }
 }
@@ -83,6 +89,13 @@ pub enum EventInfo {
     /// `(Before/After, Skeleton)` on a `for` node: which iteration is
     /// bracketed.
     Iteration(usize),
+    /// `(After, Reconfigured)`: a structural rewrite was applied at a safe
+    /// point; `version` is the skeleton version the rewrite produced (the
+    /// first rewrite of a session produces version 1).
+    Reconfigured {
+        /// Version of the skeleton after this rewrite.
+        version: u64,
+    },
 }
 
 impl EventInfo {
@@ -98,6 +111,14 @@ impl EventInfo {
     pub fn condition_result(&self) -> Option<bool> {
         match self {
             EventInfo::ConditionResult(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The post-rewrite skeleton version, if this is that kind of info.
+    pub fn reconfigured_version(&self) -> Option<u64> {
+        match self {
+            EventInfo::Reconfigured { version } => Some(*version),
             _ => None,
         }
     }
@@ -144,6 +165,8 @@ impl Event {
             (When::After, Where::Condition) => "ac".to_string(),
             (When::Before, Where::NestedSkeleton) => "bn".to_string(),
             (When::After, Where::NestedSkeleton) => "an".to_string(),
+            (When::Before, Where::Reconfigured) => "brc".to_string(),
+            (When::After, Where::Reconfigured) => "rc".to_string(),
         };
         let mut s = format!("{}@{}({}", self.kind, suffix, self.index);
         match self.info {
@@ -152,6 +175,7 @@ impl Event {
             EventInfo::ConditionResult(b) => s.push_str(&format!(", cond={b}")),
             EventInfo::ChildIndex(k) => s.push_str(&format!(", child={k}")),
             EventInfo::Iteration(k) => s.push_str(&format!(", iter={k}")),
+            EventInfo::Reconfigured { version } => s.push_str(&format!(", v={version}")),
         }
         s.push(')');
         s
@@ -195,6 +219,19 @@ mod tests {
         assert!(e.is(KindTag::Map, When::After, Where::Split));
         assert!(!e.is(KindTag::Map, When::Before, Where::Split));
         assert!(!e.is(KindTag::Seq, When::After, Where::Split));
+    }
+
+    #[test]
+    fn reconfigured_notation_and_accessor() {
+        let e = event(
+            KindTag::Map,
+            When::After,
+            Where::Reconfigured,
+            EventInfo::Reconfigured { version: 2 },
+        );
+        assert_eq!(e.paper_notation(), "map@rc(i42, v=2)");
+        assert_eq!(e.info.reconfigured_version(), Some(2));
+        assert_eq!(EventInfo::None.reconfigured_version(), None);
     }
 
     #[test]

@@ -176,6 +176,15 @@ impl SimRt {
     fn execute(&mut self, work: SimWork, slot: usize, overhead: TimeNs) {
         match work(self) {
             Step::Busy { dur, then } => {
+                // Asymmetric node speeds: the slot's cost factor scales
+                // the muscle duration (not the communication overhead).
+                let factor = self.workers.cost_factor(slot);
+                let dur = if factor == 1.0 {
+                    dur
+                } else {
+                    TimeNs(((dur.0 as f64) * factor.max(0.0)).round() as u64)
+                };
+                self.workers.note_busy(slot, dur + overhead);
                 self.comp_seq += 1;
                 self.completions.push(Completion {
                     at: self.now + dur + overhead,

@@ -30,6 +30,22 @@ pub trait WorkerModel: Send {
         let _ = slot;
         TimeNs::ZERO
     }
+
+    /// Multiplier applied to every modeled muscle duration executed on
+    /// `slot`: 1.0 for a baseline worker, 2.0 for one running at half
+    /// speed. Asymmetric node speeds (heterogeneous clusters) plug in
+    /// here; the default is a uniform machine.
+    fn cost_factor(&self, slot: usize) -> f64 {
+        let _ = slot;
+        1.0
+    }
+
+    /// Observation hook: `busy` virtual time (scaled duration plus any
+    /// chain overhead) was just scheduled on `slot`. Models that surface
+    /// per-node utilization accumulate it here; the default discards it.
+    fn note_busy(&mut self, slot: usize, busy: TimeNs) {
+        let _ = (slot, busy);
+    }
 }
 
 /// Identical local workers — plain threads on one machine.

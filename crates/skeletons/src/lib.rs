@@ -39,6 +39,7 @@ pub mod display;
 pub mod ids;
 pub mod muscle;
 pub mod node;
+pub mod rewrite;
 pub mod seq_eval;
 pub mod skel;
 pub mod time;

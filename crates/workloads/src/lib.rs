@@ -11,13 +11,20 @@
 //! [`numeric`] adds the kernels used by the examples and the wider test
 //! suite: a d&C mergesort, a Monte-Carlo π map, and a parse/aggregate
 //! pipeline.
+//!
+//! [`adaptive`] recasts the word count as a *self-configuring* stream
+//! workload for `askel-adapt`: a fragile filter stage with a robust
+//! fallback, and a sequential count stage with a width-tunable parallel
+//! promotion.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod adaptive;
 pub mod numeric;
 pub mod tweets;
 pub mod wordcount;
 
+pub use adaptive::AdaptiveWordCount;
 pub use tweets::{generate_corpus, TweetGenConfig};
 pub use wordcount::{count_tokens, merge_counts, Counts, WordCountProgram};

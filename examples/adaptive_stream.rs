@@ -1,0 +1,134 @@
+//! Self-configuration end to end: a stream whose skeleton **reshapes
+//! itself** while items flow.
+//!
+//! The adaptive word count (`askel_workloads::adaptive`) runs
+//! `pipe(filter, count)` over a stream of tweet corpora and demonstrates
+//! three structural rewrites, all applied at safe points between items and
+//! all announced through `(After, Reconfigured)` events:
+//!
+//! 1. **promotion** — once the EWMA of observed corpus sizes crosses a
+//!    threshold, the sequential count leaf is replaced by a data-parallel
+//!    `map` version (seq → map);
+//! 2. **width retune** — once the promoted split has executed, its chunk
+//!    width is retuned to the pool's level of parallelism;
+//! 3. **fallback-swap** — after two consecutive item errors (corrupt
+//!    records crashing the fast filter), the filter is swapped for a
+//!    robust fallback that drops corrupt lines, and the stream recovers.
+//!
+//! Run with: `cargo run --example adaptive_stream`
+
+use std::sync::Arc;
+
+use autonomic_skeletons::prelude::*;
+use autonomic_skeletons::skeletons::MuscleId;
+use autonomic_skeletons::workloads::adaptive::{AdaptiveWordCount, POISON};
+use autonomic_skeletons::workloads::{generate_corpus, TweetGenConfig};
+
+fn main() {
+    // The fragile filter *panics* on corrupt records; the engine catches
+    // the panic and poisons only that item. Replace the default hook so
+    // the demonstration prints one line instead of a backtrace.
+    std::panic::set_hook(Box::new(|info| {
+        let msg = info
+            .payload()
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| "muscle panic".to_string());
+        println!("  muscle panicked (caught by the engine): {msg}");
+    }));
+
+    let wc = AdaptiveWordCount::new(4);
+    let engine = Engine::new(2);
+
+    // Print every Reconfigured event as it is emitted.
+    engine.registry().add_filtered(
+        EventFilter::all().wher(Where::Reconfigured),
+        Arc::new(FnListener(
+            |_: &mut Payload<'_>, e: &autonomic_skeletons::events::Event| {
+                println!("  event: {} (node {})", e.paper_notation(), e.node);
+            },
+        )),
+    );
+
+    // The trigger engine listens to the same event stream as everything
+    // else and hosts the three rules.
+    let trigger = TriggerEngine::new(0.5);
+    engine.registry().add_listener(trigger.clone());
+    trigger.add_rule(
+        Promote::new(&wc.count, &wc.parallel)
+            .named("promote-count")
+            .when(Trigger::InputSizeAtLeast(200.0)),
+    );
+    let par_split = MuscleId::new(wc.parallel.id(), MuscleRole::Split);
+    trigger.add_rule(
+        RetuneWidth::new(Knob::from_shared("count-width", Arc::clone(&wc.width)), 3)
+            .bounds(2, 64)
+            .when(Trigger::CardinalityAtLeast(par_split, 1.0)),
+    );
+    trigger.add_rule(FallbackSwap::new(&wc.filter, &wc.robust, 2).named("swap-filter"));
+
+    let mut stream = AdaptiveSession::new(&engine, &wc.program, trigger.clone())
+        .input_size(|corpus: &Vec<String>| corpus.len());
+
+    // The item schedule: small clean corpora, then large ones (promotion
+    // territory), then corrupt ones (two crash the fragile filter, the
+    // swap rescues the rest), then more clean traffic.
+    let mut items: Vec<Vec<String>> = Vec::new();
+    for _ in 0..3 {
+        items.push(generate_corpus(&TweetGenConfig::with_tweets(40)));
+    }
+    for _ in 0..3 {
+        items.push(generate_corpus(&TweetGenConfig::with_tweets(600)));
+    }
+    for _ in 0..3 {
+        let mut corpus = generate_corpus(&TweetGenConfig::with_tweets(500));
+        corpus.push(format!("registro dañado {POISON} @usuario1"));
+        items.push(corpus);
+    }
+    items.push(generate_corpus(&TweetGenConfig::with_tweets(300)));
+
+    println!(
+        "feeding {} corpora through pipe(filter, count):",
+        items.len()
+    );
+    let mut results = Vec::new();
+    for item in &items {
+        stream.feed(item.clone());
+        results.push(stream.next_result().expect("one in flight"));
+    }
+
+    // Audit trail: the decision log is symmetric to the WCT controller's
+    // analysis log.
+    println!("decision log:");
+    for d in trigger.decision_log() {
+        println!(
+            "  v{} by `{}`: {} — because {}",
+            d.version, d.rule, d.action, d.why
+        );
+    }
+
+    // Check the stream against the reference: every successful item
+    // computed exactly the reference counts; only the two corrupt items
+    // consumed by the error streak failed.
+    let mut errors = Vec::new();
+    for (i, (item, result)) in items.iter().zip(&results).enumerate() {
+        match result {
+            Ok(counts) => assert_eq!(counts, &wc.reference(item), "item {i} diverged"),
+            Err(_) => errors.push(i),
+        }
+    }
+    println!(
+        "{} items ok, {} errors (items {:?}) before the fallback-swap",
+        results.len() - errors.len(),
+        errors.len(),
+        errors
+    );
+    assert_eq!(errors.len(), 2, "exactly the two streak items fail");
+    assert_eq!(stream.version(), 3, "promotion + width retune + fallback");
+    assert!(
+        trigger.decision_log().len() == 3,
+        "three audited structural rewrites"
+    );
+    engine.shutdown();
+    println!("stream recovered and reshaped itself; results match the reference");
+}

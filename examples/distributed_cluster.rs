@@ -1,6 +1,8 @@
 //! The paper's future work, realized: the same centralised autonomic
 //! controller scaling a *distributed* set of workers — a local master node
-//! plus a remote node whose tasks pay a communication round-trip.
+//! plus a remote node whose tasks pay a communication round-trip and run
+//! on slower hardware (asymmetric node speeds). Per-node utilization is
+//! surfaced through the cluster's telemetry handle.
 //!
 //! Run with: `cargo run --example distributed_cluster`
 
@@ -24,12 +26,15 @@ fn main() {
         }
     }
 
-    // A cluster: 2 local slots, 12 remote slots at 300ms round-trip.
+    // A cluster: 2 local slots, plus 12 remote slots at 300ms round-trip
+    // running at 80% of the master's speed (asymmetric hardware).
     let cluster = Cluster::new(vec![
         NodeSpec::local("master", 2),
-        NodeSpec::remote("worker-node", 12, TimeNs::from_millis(300)),
+        NodeSpec::remote("worker-node", 12, TimeNs::from_millis(300)).with_speed(0.8),
     ])
     .with_capacity(1);
+    let node_names: Vec<String> = cluster.nodes().iter().map(|n| n.name().into()).collect();
+    let telemetry = cluster.telemetry();
 
     let mut sim = SimEngine::with_workers(Box::new(cluster), Arc::new(cost));
     let lp = sim.lp_control();
@@ -57,7 +62,7 @@ fn main() {
 
     let out = sim.run(&program, (1..=16).collect()).expect("run failed");
     println!(
-        "result {} in {:.2}s (goal 9s; sequential ≈ 32s)",
+        "result {} in {:.2}s (goal 9s; sequential ≈ 32s; remote node at 0.8× speed)",
         out.result,
         out.wct.as_secs_f64()
     );
@@ -71,5 +76,14 @@ fn main() {
             d.reason
         );
     }
+    println!("per-node busy time (scaled durations + round-trips):");
+    let busy = telemetry.busy_per_node();
+    for (name, busy) in node_names.iter().zip(&busy) {
+        println!("  {name:<12} {:.2}s busy", busy.as_secs_f64());
+    }
     assert!(out.wct <= TimeNs::from_secs(9));
+    assert!(
+        busy.iter().all(|b| *b > TimeNs::ZERO),
+        "both nodes must have been recruited"
+    );
 }

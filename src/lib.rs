@@ -15,6 +15,7 @@
 //! | threaded engine | [`engine`] | continuation-passing interpreter over the pool |
 //! | simulator | [`sim`] | the same interpreter under virtual time with pluggable cost models (deterministic evaluation substrate) |
 //! | autonomic layer | [`core`] | EWMA estimators, event state machines, Activity Dependency Graphs, best-effort/limited-LP strategies, and the WCT/LP controller |
+//! | self-configuration | [`adapt`] | structural rewrite rules (promotion, fallback-swap, width/grain retuning) applied at stream safe points, with `Reconfigured` events and a decision log |
 //! | workloads | [`workloads`] | synthetic tweet corpus, word count, numeric kernels |
 //!
 //! ## Quickstart
@@ -45,6 +46,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub use askel_adapt as adapt;
 pub use askel_core as core;
 pub use askel_dist as dist;
 pub use askel_engine as engine;
@@ -64,6 +66,10 @@ use askel_skeletons::Skel;
 
 /// The items almost every user wants in scope.
 pub mod prelude {
+    pub use askel_adapt::{
+        AdaptRecord, AdaptiveSession, FallbackSwap, Knob, Promote, Reconfigurator, RetuneGrain,
+        RetuneWidth, Trigger, TriggerEngine, VersionedSkel,
+    };
     pub use askel_core::{
         AutonomicController, ControllerConfig, DecisionReason, DecreasePolicy, RaisePolicy,
         Snapshot,
