@@ -18,8 +18,15 @@
 //!   [`TriggerEngine::seed_from`]), plus item outcomes and input-size
 //!   hints that events cannot carry.
 //! * **Plan** — [`Rule`]s ([`Promote`], [`FallbackSwap`], [`RetuneWidth`],
-//!   [`RetuneGrain`]) evaluated once per safe point, each yielding at most
-//!   one [`RewriteAction`].
+//!   [`RetuneGrain`], [`Offload`]) evaluated once per safe point, each
+//!   yielding at most one [`RewriteAction`]. Rules can be coupled to the
+//!   WCT controller's prediction machinery ([`crate::forecast`]:
+//!   `Promote::forecast_gated` / `RetuneWidth::forecast_gated` fire only
+//!   on a forecast WCT improvement, audited predicted-vs-realized in the
+//!   decision log), damped against oscillating load ([`Hysteresis`]), and
+//!   made cluster-aware ([`Offload`] re-places a subtree onto an
+//!   underloaded `askel-dist` node, pairing with
+//!   `askel_dist::ProvisioningPolicy` for dynamic node provisioning).
 //! * **Execute** — [`Reconfigurator`] applies fired rewrites to a
 //!   [`VersionedSkel`] **between stream items**: the tree is rebuilt
 //!   persistently (`Skel::rewritten`), the version bumps, an
@@ -43,13 +50,15 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod forecast;
 pub mod rules;
 pub mod session;
 pub mod trigger;
 
+pub use forecast::{predicted_wct, Forecast};
 pub use rules::{
-    ErrorStats, FallbackSwap, Knob, Promote, RetuneGrain, RetuneWidth, RewriteAction, Rule,
-    RuleCtx, Trigger,
+    ErrorStats, FallbackSwap, Hysteresis, Knob, Offload, Promote, RetuneGrain, RetuneWidth,
+    RewriteAction, Rule, RuleCtx, RuleFire, Trigger,
 };
 pub use session::{AdaptiveSession, Reconfigurator, VersionedSkel};
 pub use trigger::{AdaptRecord, PlannedRewrite, TriggerEngine};

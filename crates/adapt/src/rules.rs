@@ -8,7 +8,7 @@
 //! [`Reconfigurator`](crate::Reconfigurator), so a rewrite can never be
 //! observed mid-item.
 //!
-//! Four built-in rules cover the paper-adjacent adaptation repertoire:
+//! Five built-in rules cover the paper-adjacent adaptation repertoire:
 //!
 //! | rule | fires when | action |
 //! |------|-----------|--------|
@@ -16,16 +16,30 @@
 //! | [`FallbackSwap`] | `n` consecutive item errors | replace a subtree with a fallback |
 //! | [`RetuneWidth`] | desired width ≠ current knob value | set a split-width [`Knob`] |
 //! | [`RetuneGrain`] | leaf duration outside its target band | halve/double a d&C grain [`Knob`] |
+//! | [`Offload`] | cluster busy-share skew crosses its water marks | re-place a subtree onto another node |
 //!
 //! The typed constructors ([`Promote::new`], [`FallbackSwap::new`]) take
 //! both sides as `Skel<P, R>`, so a replacement can never disagree with the
 //! subtree it replaces on input/output types.
+//!
+//! Beyond the event-derived triggers, rules can be coupled to the WCT
+//! controller's *forecasts* ([`Promote::forecast_gated`],
+//! [`RetuneWidth::forecast_gated`]: fire only when the LP-predicted WCT
+//! under the rewritten skeleton beats the current forecast by a margin),
+//! damped against oscillating load ([`Hysteresis`] on the knob rules),
+//! and made cluster-aware ([`Offload`]: move a subtree's placement onto
+//! an underloaded worker node).
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
+use parking_lot::Mutex;
+
 use askel_core::EstimatorTable;
+use askel_dist::ClusterTelemetry;
 use askel_skeletons::{MuscleId, Node, NodeId, Skel, TimeNs};
+
+use crate::forecast::{predicted_wct, Forecast};
 
 /// Error statistics over the stream items observed so far.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -54,6 +68,32 @@ pub struct RuleCtx<'a> {
     pub version: u64,
     /// The engine's current level of parallelism.
     pub lp: usize,
+    /// Which safe point this is (1 for the first plan of the session) —
+    /// the clock the [`Hysteresis`] cooldowns count in.
+    pub safe_point: usize,
+}
+
+impl RuleCtx<'_> {
+    /// Forecasts the WCT of one submission of `root` at the current LP,
+    /// from this context's estimator table (`None` while the table does
+    /// not cover `root`'s muscles — see [`crate::forecast`]).
+    pub fn forecast_wct(&self, root: &Arc<Node>) -> Option<TimeNs> {
+        predicted_wct(self.estimates, root, self.lp)
+    }
+
+    /// Like [`forecast_wct`](Self::forecast_wct), with the estimator
+    /// table tweaked first (e.g. a split cardinality overridden to a
+    /// candidate knob value). The tweak is applied to a private clone;
+    /// the live table is untouched.
+    pub fn forecast_wct_with(
+        &self,
+        root: &Arc<Node>,
+        tweak: impl FnOnce(&mut EstimatorTable),
+    ) -> Option<TimeNs> {
+        let mut table = self.estimates.clone();
+        tweak(&mut table);
+        predicted_wct(&table, root, self.lp)
+    }
 }
 
 /// A shared structural parameter read by a muscle and retuned by a rule —
@@ -130,6 +170,16 @@ pub enum RewriteAction {
         /// Its new value.
         value: usize,
     },
+    /// Re-place the subtree rooted at `target` onto the worker node
+    /// called `node` (placement annotation applied deeply,
+    /// `Skel::placed_at`). Results are invariant under placement by
+    /// construction; only where the subtree's tasks run changes.
+    Place {
+        /// Root of the subtree to move.
+        target: NodeId,
+        /// Destination worker node name.
+        node: String,
+    },
 }
 
 impl std::fmt::Debug for RewriteAction {
@@ -142,6 +192,33 @@ impl std::fmt::Debug for RewriteAction {
             RewriteAction::SetKnob { knob, value } => {
                 write!(f, "set knob `{}` {} -> {value}", knob.name(), knob.get())
             }
+            RewriteAction::Place { target, node } => {
+                write!(f, "place {target} on `{node}`")
+            }
+        }
+    }
+}
+
+/// One rule firing: the requested change, the observed statistics that
+/// justified it, and — for forecast-gated rules — the WCT forecast the
+/// gate compared ([`Forecast::realized`] is filled in later by the
+/// [`TriggerEngine`](crate::TriggerEngine)).
+pub struct RuleFire {
+    /// The requested change.
+    pub action: RewriteAction,
+    /// The observed statistics that justified it.
+    pub why: String,
+    /// The forecast a gated rule fired on (`None` for ungated rules).
+    pub forecast: Option<Forecast>,
+}
+
+impl RuleFire {
+    /// An ungated firing.
+    pub fn new(action: RewriteAction, why: impl Into<String>) -> Self {
+        RuleFire {
+            action,
+            why: why.into(),
+            forecast: None,
         }
     }
 }
@@ -217,16 +294,17 @@ pub trait Rule: Send + Sync {
         false
     }
 
-    /// Evaluates the rule. `Some((action, why))` requests a rewrite; `why`
-    /// records the observed statistics that justified it.
+    /// Evaluates the rule. `Some(fire)` requests a rewrite; `fire.why`
+    /// records the observed statistics that justified it and
+    /// `fire.forecast` the prediction a forecast gate compared.
     ///
-    /// Rules that request a [`RewriteAction::Replace`] should gate on
-    /// their target still occurring in `ctx.root`
+    /// Rules that request a [`RewriteAction::Replace`] (or `Place`)
+    /// should gate on their target still occurring in `ctx.root`
     /// (`ctx.root.find(target).is_some()`, as the built-ins do): an
     /// earlier rewrite in the same session may have replaced the subtree
     /// the rule was written against, and a rule that keeps firing on a
     /// vanished target is re-armed and skipped at every safe point.
-    fn evaluate(&self, ctx: &RuleCtx<'_>) -> Option<(RewriteAction, String)>;
+    fn evaluate(&self, ctx: &RuleCtx<'_>) -> Option<RuleFire>;
 }
 
 fn describe_all(triggers: &[Trigger], ctx: &RuleCtx<'_>) -> String {
@@ -237,14 +315,102 @@ fn describe_all(triggers: &[Trigger], ctx: &RuleCtx<'_>) -> String {
         .join(" && ")
 }
 
+/// Cooldown + dead-band damping for the knob rules
+/// ([`RetuneWidth::hysteresis`], [`RetuneGrain::hysteresis`]), so
+/// oscillating load cannot flap a knob.
+///
+/// Same-direction moves are never restricted — a knob may keep growing
+/// (or keep shrinking) as fast as its rule asks. A **reversal** (the
+/// wanted value is on the other side of the current value than the last
+/// applied move) is suppressed until both
+///
+/// * `cooldown_items` safe points have elapsed since the rule last
+///   fired, **and**
+/// * the wanted value has left the dead band: it differs from the
+///   current knob value by more than `dead_band` (a fraction of the
+///   current value).
+///
+/// The rule *arms, fires, then refuses to reverse* — so under a load
+/// trace that oscillates faster than the cooldown the knob moves at most
+/// once per window instead of flapping A→B→A (property-tested in
+/// `crates/adapt/tests/adapt_props.rs`).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Hysteresis {
+    /// Safe points that must elapse after a fire before the knob may
+    /// move back in the opposite direction.
+    pub cooldown_items: usize,
+    /// Relative dead band (fraction of the current knob value) a
+    /// reversal must clear; `0.1` = the wanted value must differ from
+    /// the current one by more than 10%.
+    pub dead_band: f64,
+}
+
+impl Hysteresis {
+    /// A policy with the given cooldown and a dead band clamped to ≥ 0.
+    pub fn new(cooldown_items: usize, dead_band: f64) -> Self {
+        Hysteresis {
+            cooldown_items,
+            dead_band: dead_band.max(0.0),
+        }
+    }
+}
+
+/// Per-rule hysteresis memory (interior-mutable: rules are evaluated
+/// through `&self`).
+#[derive(Default)]
+struct HystState {
+    /// Safe point of the last applied move.
+    last_fire: Option<usize>,
+    /// Direction of the last applied move: +1 grew the knob, −1 shrank
+    /// it.
+    last_dir: i8,
+}
+
+/// Shared damping logic for the knob rules. Returns `true` when the move
+/// `current → want` may fire at `safe_point`; records it as the new last
+/// move when it may.
+fn hysteresis_allows(
+    policy: Option<Hysteresis>,
+    state: &Mutex<HystState>,
+    safe_point: usize,
+    current: usize,
+    want: usize,
+) -> bool {
+    let dir: i8 = if want > current { 1 } else { -1 };
+    let mut st = state.lock();
+    if let Some(h) = policy {
+        if st.last_dir != 0 && dir != st.last_dir {
+            // A reversal: both guards must clear.
+            let elapsed = st.last_fire.map(|at| safe_point.saturating_sub(at));
+            if elapsed.is_some_and(|e| e < h.cooldown_items) {
+                return false;
+            }
+            let band = current as f64 * h.dead_band;
+            if ((want as f64) - (current as f64)).abs() <= band {
+                return false;
+            }
+        }
+    }
+    st.last_fire = Some(safe_point);
+    st.last_dir = dir;
+    true
+}
+
 /// Promotes a subtree to a structurally different (typically data-parallel)
 /// implementation when its triggers hold — the seq → map/farm promotion of
 /// behavioural-skeleton work. Fires at most once.
+///
+/// With [`forecast_gated`](Promote::forecast_gated) the promotion is
+/// additionally coupled to the controller's prediction machinery: it
+/// fires only when the LP-limited WCT forecast under the **rewritten**
+/// tree beats the forecast under the current tree by the given margin.
 pub struct Promote {
     name: String,
     target: NodeId,
     replacement: Arc<Node>,
     triggers: Vec<Trigger>,
+    /// Required relative forecast improvement (`None` = ungated).
+    forecast_margin: Option<f64>,
 }
 
 impl Promote {
@@ -262,6 +428,7 @@ impl Promote {
             target: target.id(),
             replacement: Arc::clone(replacement.node()),
             triggers: Vec::new(),
+            forecast_margin: None,
         }
     }
 
@@ -276,6 +443,24 @@ impl Promote {
         self.triggers.push(trigger);
         self
     }
+
+    /// Couples the promotion to the WCT forecast: on top of its
+    /// triggers, the rule fires only when the predicted WCT under the
+    /// rewritten tree is at least `margin` (a fraction, clamped to
+    /// `[0, 1)`) better than under the current tree —
+    /// `predicted ≤ (1 − margin) × baseline`.
+    ///
+    /// The gate stays **closed** while either forecast is unavailable
+    /// (the estimator table does not yet cover the tree — notably the
+    /// replacement's muscles, which have never run; seed them via
+    /// [`TriggerEngine::seed_from`](crate::TriggerEngine::seed_from) or
+    /// [`TriggerEngine::with_estimates`](crate::TriggerEngine::with_estimates)).
+    /// Gated firings carry a [`Forecast`] into the decision log, where
+    /// the realized WCT is later filled in.
+    pub fn forecast_gated(mut self, margin: f64) -> Self {
+        self.forecast_margin = Some(margin.clamp(0.0, 0.999));
+        self
+    }
 }
 
 impl Rule for Promote {
@@ -287,19 +472,41 @@ impl Rule for Promote {
         true
     }
 
-    fn evaluate(&self, ctx: &RuleCtx<'_>) -> Option<(RewriteAction, String)> {
+    fn evaluate(&self, ctx: &RuleCtx<'_>) -> Option<RuleFire> {
         if self.triggers.is_empty() || !self.triggers.iter().all(|t| t.holds(ctx)) {
             return None;
         }
         // The target may have been rewritten away by an earlier rule.
         ctx.root.find(self.target)?;
-        Some((
-            RewriteAction::Replace {
+        let mut why = describe_all(&self.triggers, ctx);
+        let mut forecast = None;
+        if let Some(margin) = self.forecast_margin {
+            let baseline = ctx.forecast_wct(ctx.root)?;
+            let rewritten = ctx.root.replace_subtree(self.target, &self.replacement)?;
+            let predicted = ctx.forecast_wct(&rewritten)?;
+            let bound = TimeNs::from_secs_f64(baseline.as_secs_f64() * (1.0 - margin));
+            if predicted > bound {
+                return None;
+            }
+            why = format!(
+                "{why} && forecast {predicted:?} <= {:.0}% of {baseline:?} at lp={}",
+                (1.0 - margin) * 100.0,
+                ctx.lp
+            );
+            forecast = Some(Forecast {
+                predicted,
+                baseline,
+                realized: None,
+            });
+        }
+        Some(RuleFire {
+            action: RewriteAction::Replace {
                 target: self.target,
                 replacement: Arc::clone(&self.replacement),
             },
-            describe_all(&self.triggers, ctx),
-        ))
+            why,
+            forecast,
+        })
     }
 }
 
@@ -344,14 +551,14 @@ impl Rule for FallbackSwap {
         true
     }
 
-    fn evaluate(&self, ctx: &RuleCtx<'_>) -> Option<(RewriteAction, String)> {
+    fn evaluate(&self, ctx: &RuleCtx<'_>) -> Option<RuleFire> {
         let trigger = Trigger::ErrorStreakAtLeast(self.after_errors);
         if !trigger.holds(ctx) {
             return None;
         }
         // The target may have been rewritten away by an earlier rule.
         ctx.root.find(self.target)?;
-        Some((
+        Some(RuleFire::new(
             RewriteAction::Replace {
                 target: self.target,
                 replacement: Arc::clone(&self.fallback),
@@ -365,6 +572,10 @@ impl Rule for FallbackSwap {
 /// `[min, max]`), so the split keeps every worker busy as the LP changes.
 /// Optional gating triggers (e.g. "the split has run at least once") keep
 /// it quiet until the knob's owner is actually in the live skeleton.
+///
+/// Supports [`Hysteresis`] damping (never reverse direction within the
+/// cooldown / dead band) and an LP forecast gate
+/// ([`forecast_gated`](RetuneWidth::forecast_gated)).
 pub struct RetuneWidth {
     name: String,
     knob: Knob,
@@ -372,6 +583,10 @@ pub struct RetuneWidth {
     min: usize,
     max: usize,
     triggers: Vec<Trigger>,
+    hysteresis: Option<Hysteresis>,
+    hyst_state: Mutex<HystState>,
+    /// `(split muscle, leaf muscle, margin)` for the forecast gate.
+    forecast: Option<(MuscleId, MuscleId, f64)>,
 }
 
 impl RetuneWidth {
@@ -385,6 +600,9 @@ impl RetuneWidth {
             min: 1,
             max: 1024,
             triggers: Vec::new(),
+            hysteresis: None,
+            hyst_state: Mutex::new(HystState::default()),
+            forecast: None,
         }
     }
 
@@ -406,6 +624,25 @@ impl RetuneWidth {
         self.triggers.push(trigger);
         self
     }
+
+    /// Damps the knob against oscillating load: see [`Hysteresis`].
+    pub fn hysteresis(mut self, policy: Hysteresis) -> Self {
+        self.hysteresis = Some(policy);
+        self
+    }
+
+    /// Couples the retune to the WCT forecast. The candidate width is
+    /// simulated on the estimator table by overriding the `split`
+    /// cardinality to the wanted width and scaling the `leaf` (per-chunk
+    /// execute) duration by `current/want` — constant total work,
+    /// redistributed — then both sides are scheduled at the current LP;
+    /// the knob only moves when the candidate forecast is at least
+    /// `margin` better (`predicted ≤ (1 − margin) × baseline`). Closed
+    /// while the estimates do not cover the tree (seed or alias them).
+    pub fn forecast_gated(mut self, split: MuscleId, leaf: MuscleId, margin: f64) -> Self {
+        self.forecast = Some((split, leaf, margin.clamp(0.0, 0.999)));
+        self
+    }
 }
 
 impl Rule for RetuneWidth {
@@ -413,7 +650,7 @@ impl Rule for RetuneWidth {
         &self.name
     }
 
-    fn evaluate(&self, ctx: &RuleCtx<'_>) -> Option<(RewriteAction, String)> {
+    fn evaluate(&self, ctx: &RuleCtx<'_>) -> Option<RuleFire> {
         if !self.triggers.iter().all(|t| t.holds(ctx)) {
             return None;
         }
@@ -422,7 +659,7 @@ impl Rule for RetuneWidth {
         if want == current {
             return None;
         }
-        let why = if self.triggers.is_empty() {
+        let mut why = if self.triggers.is_empty() {
             format!("lp={} wants width {want}, knob at {current}", ctx.lp)
         } else {
             format!(
@@ -431,13 +668,53 @@ impl Rule for RetuneWidth {
                 describe_all(&self.triggers, ctx)
             )
         };
-        Some((
-            RewriteAction::SetKnob {
+        let mut forecast = None;
+        if let Some((split, leaf, margin)) = self.forecast {
+            let leaf_t = ctx.estimates.duration(leaf)?;
+            let baseline = ctx.forecast_wct_with(ctx.root, |est| {
+                est.init_cardinality(split, current.max(1) as f64);
+            })?;
+            // Constant total work: per-chunk duration scales inversely
+            // with the chunk count.
+            let scaled = TimeNs::from_secs_f64(
+                leaf_t.as_secs_f64() * current.max(1) as f64 / want.max(1) as f64,
+            );
+            let predicted = ctx.forecast_wct_with(ctx.root, |est| {
+                est.init_cardinality(split, want as f64);
+                est.init_duration(leaf, scaled);
+            })?;
+            let bound = TimeNs::from_secs_f64(baseline.as_secs_f64() * (1.0 - margin));
+            if predicted > bound {
+                return None;
+            }
+            why = format!(
+                "{why} && forecast {predicted:?} <= {:.0}% of {baseline:?} at lp={}",
+                (1.0 - margin) * 100.0,
+                ctx.lp
+            );
+            forecast = Some(Forecast {
+                predicted,
+                baseline,
+                realized: None,
+            });
+        }
+        if !hysteresis_allows(
+            self.hysteresis,
+            &self.hyst_state,
+            ctx.safe_point,
+            current,
+            want,
+        ) {
+            return None;
+        }
+        Some(RuleFire {
+            action: RewriteAction::SetKnob {
                 knob: self.knob.clone(),
                 value: want,
             },
             why,
-        ))
+            forecast,
+        })
     }
 }
 
@@ -452,6 +729,8 @@ pub struct RetuneGrain {
     target: TimeNs,
     min: usize,
     max: usize,
+    hysteresis: Option<Hysteresis>,
+    hyst_state: Mutex<HystState>,
 }
 
 impl RetuneGrain {
@@ -466,7 +745,15 @@ impl RetuneGrain {
             target,
             min: 1,
             max: 1 << 20,
+            hysteresis: None,
+            hyst_state: Mutex::new(HystState::default()),
         }
+    }
+
+    /// Damps the knob against oscillating load: see [`Hysteresis`].
+    pub fn hysteresis(mut self, policy: Hysteresis) -> Self {
+        self.hysteresis = Some(policy);
+        self
     }
 
     /// Renames the rule (decision logs).
@@ -488,7 +775,7 @@ impl Rule for RetuneGrain {
         &self.name
     }
 
-    fn evaluate(&self, ctx: &RuleCtx<'_>) -> Option<(RewriteAction, String)> {
+    fn evaluate(&self, ctx: &RuleCtx<'_>) -> Option<RuleFire> {
         let t = ctx.estimates.duration(self.leaf)?;
         let grain = self.knob.get();
         let (want, direction) = if t.0 > self.target.0.saturating_mul(2) {
@@ -501,7 +788,16 @@ impl Rule for RetuneGrain {
         if want == grain {
             return None;
         }
-        Some((
+        if !hysteresis_allows(
+            self.hysteresis,
+            &self.hyst_state,
+            ctx.safe_point,
+            grain,
+            want,
+        ) {
+            return None;
+        }
+        Some(RuleFire::new(
             RewriteAction::SetKnob {
                 knob: self.knob.clone(),
                 value: want,
@@ -510,6 +806,128 @@ impl Rule for RetuneGrain {
                 "t({})={t:?} vs target {:?}: {direction} grain {grain} -> {want}",
                 self.leaf, self.target
             ),
+        ))
+    }
+}
+
+/// Moves a subtree's **placement** onto an underloaded worker node — the
+/// cluster-aware rule: when the busiest *other* node's share of the
+/// cluster's busy time crosses the high-water mark while the destination
+/// node sits at or under the low-water mark, the subtree (typically a
+/// map/d&C fan-out) is re-placed onto the destination
+/// ([`RewriteAction::Place`] → `Skel::placed_at`, a deep placement
+/// annotation flowing through `SimEngine::with_workers`). Fires at most
+/// once; placement never changes results (property-tested).
+///
+/// Reads the same [`ClusterTelemetry`] view that drives
+/// `askel_dist::ProvisioningPolicy`, so offloading and node provisioning
+/// decide from one picture of the cluster. The destination need not be
+/// enabled yet: a placement naming an offline node falls back to running
+/// anywhere until provisioning brings the node online.
+pub struct Offload {
+    name: String,
+    target: NodeId,
+    to_node: String,
+    telemetry: ClusterTelemetry,
+    high_water: f64,
+    low_water: f64,
+    triggers: Vec<Trigger>,
+}
+
+impl Offload {
+    /// An offload of the subtree `target` onto the cluster node
+    /// `to_node`, judged from `telemetry`'s busy shares, with default
+    /// water marks `high = 0.75`, `low = 0.25`.
+    pub fn new<P, R>(
+        target: &Skel<P, R>,
+        to_node: impl Into<String>,
+        telemetry: ClusterTelemetry,
+    ) -> Self
+    where
+        P: Send + 'static,
+        R: Send + 'static,
+    {
+        Offload {
+            name: "offload".to_string(),
+            target: target.id(),
+            to_node: to_node.into(),
+            telemetry,
+            high_water: 0.75,
+            low_water: 0.25,
+            triggers: Vec::new(),
+        }
+    }
+
+    /// Renames the rule (decision logs).
+    pub fn named(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Sets the busy-share water marks (clamped to `[0, 1]`,
+    /// `low ≤ high`).
+    pub fn water_marks(mut self, high: f64, low: f64) -> Self {
+        self.high_water = high.clamp(0.0, 1.0);
+        self.low_water = low.clamp(0.0, self.high_water);
+        self
+    }
+
+    /// Adds a gating condition (all must hold before the rule may fire).
+    pub fn when(mut self, trigger: Trigger) -> Self {
+        self.triggers.push(trigger);
+        self
+    }
+}
+
+impl Rule for Offload {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn once(&self) -> bool {
+        true
+    }
+
+    fn evaluate(&self, ctx: &RuleCtx<'_>) -> Option<RuleFire> {
+        if !self.triggers.iter().all(|t| t.holds(ctx)) {
+            return None;
+        }
+        // The target may have been rewritten away — or already placed.
+        let subtree = ctx.root.find(self.target)?;
+        if subtree.placement.as_deref() == Some(self.to_node.as_str()) {
+            return None;
+        }
+        let dest = self.telemetry.node_index(&self.to_node)?;
+        let shares = self.telemetry.busy_share();
+        let dest_share = *shares.get(dest)?;
+        let (hot, hot_share) = shares
+            .iter()
+            .copied()
+            .enumerate()
+            .filter(|(i, _)| *i != dest)
+            .max_by(|a, b| a.1.total_cmp(&b.1))?;
+        if hot_share < self.high_water || dest_share > self.low_water {
+            return None;
+        }
+        let names = self.telemetry.names();
+        let mut why = format!(
+            "`{}` at {:.0}% of cluster busy time >= {:.0}% high water, `{}` at {:.0}% <= {:.0}% low water",
+            names[hot],
+            hot_share * 100.0,
+            self.high_water * 100.0,
+            self.to_node,
+            dest_share * 100.0,
+            self.low_water * 100.0,
+        );
+        if !self.triggers.is_empty() {
+            why = format!("{why} ({})", describe_all(&self.triggers, ctx));
+        }
+        Some(RuleFire::new(
+            RewriteAction::Place {
+                target: self.target,
+                node: self.to_node.clone(),
+            },
+            why,
         ))
     }
 }
@@ -526,6 +944,17 @@ mod tests {
         lp: usize,
         input_size: Option<f64>,
     ) -> RuleCtx<'a> {
+        ctx_at(estimates, errors, root, lp, input_size, 1)
+    }
+
+    fn ctx_at<'a>(
+        estimates: &'a EstimatorTable,
+        errors: &'a ErrorStats,
+        root: &'a Arc<Node>,
+        lp: usize,
+        input_size: Option<f64>,
+        safe_point: usize,
+    ) -> RuleCtx<'a> {
         RuleCtx {
             estimates,
             errors,
@@ -533,6 +962,7 @@ mod tests {
             root,
             version: 0,
             lp,
+            safe_point,
         }
     }
 
@@ -558,20 +988,21 @@ mod tests {
         assert!(rule
             .evaluate(&ctx_with(&est, &errors, &root, 2, Some(50.0)))
             .is_none());
-        let (action, why) = rule
+        let fire = rule
             .evaluate(&ctx_with(&est, &errors, &root, 2, Some(150.0)))
             .expect("both triggers hold");
-        match action {
+        match &fire.action {
             RewriteAction::Replace {
                 target: t,
                 replacement: r,
             } => {
-                assert_eq!(t, target.id());
+                assert_eq!(*t, target.id());
                 assert_eq!(r.id, replacement.id());
             }
             other => panic!("unexpected action {other:?}"),
         }
-        assert!(why.contains("input~150.0"), "{why}");
+        assert!(fire.why.contains("input~150.0"), "{}", fire.why);
+        assert!(fire.forecast.is_none(), "ungated rules carry no forecast");
         assert!(rule.once());
     }
 
@@ -607,10 +1038,10 @@ mod tests {
             total: 2,
             consecutive: 2,
         };
-        let (_, why) = rule
+        let fire = rule
             .evaluate(&ctx_with(&est, &two, &root, 1, None))
             .expect("streak reached");
-        assert!(why.contains("error-streak 2 >= 2"), "{why}");
+        assert!(fire.why.contains("error-streak 2 >= 2"), "{}", fire.why);
     }
 
     #[test]
@@ -629,10 +1060,10 @@ mod tests {
             .evaluate(&ctx_with(&est, &errors, &root, 2, None))
             .is_none());
         est.observe_cardinality(split, 4.0);
-        let (action, _) = rule
+        let fire = rule
             .evaluate(&ctx_with(&est, &errors, &root, 2, None))
             .expect("gate open, 2×3=6 != 4");
-        match action {
+        match fire.action {
             RewriteAction::SetKnob { value, .. } => assert_eq!(value, 6),
             other => panic!("unexpected action {other:?}"),
         }
@@ -662,8 +1093,11 @@ mod tests {
         );
         // Way above the band: halve.
         est.init_duration(leaf, TimeNs::from_millis(50));
-        match rule.evaluate(&ctx_with(&est, &errors, &root, 2, None)) {
-            Some((RewriteAction::SetKnob { value, .. }, _)) => assert_eq!(value, 32),
+        match rule
+            .evaluate(&ctx_with(&est, &errors, &root, 2, None))
+            .map(|f| f.action)
+        {
+            Some(RewriteAction::SetKnob { value, .. }) => assert_eq!(value, 32),
             other => panic!("expected halve, got {other:?}"),
         }
         // Inside the band: quiet.
@@ -680,9 +1114,234 @@ mod tests {
             "clamped at max"
         );
         knob.set(128);
-        match rule.evaluate(&ctx_with(&est, &errors, &root, 2, None)) {
-            Some((RewriteAction::SetKnob { value, .. }, _)) => assert_eq!(value, 256),
+        match rule
+            .evaluate(&ctx_with(&est, &errors, &root, 2, None))
+            .map(|f| f.action)
+        {
+            Some(RewriteAction::SetKnob { value, .. }) => assert_eq!(value, 256),
             other => panic!("expected double, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn hysteresis_blocks_reversals_until_cooldown_and_dead_band() {
+        let probe = seq(|x: i64| x);
+        let leaf = MuscleId::new(probe.id(), MuscleRole::Execute);
+        let root = Arc::clone(probe.node());
+        let errors = ErrorStats::default();
+        let knob = Knob::new("grain", 64);
+        let rule = RetuneGrain::new(knob.clone(), leaf, TimeNs::from_millis(10))
+            .bounds(1, 1024)
+            .hysteresis(Hysteresis::new(4, 0.1));
+        let mut est = EstimatorTable::new(0.5);
+
+        // Safe point 1: leaf far too slow → halve fires (first move).
+        est.init_duration(leaf, TimeNs::from_millis(50));
+        let fire = rule
+            .evaluate(&ctx_at(&est, &errors, &root, 2, None, 1))
+            .expect("first move is unrestricted");
+        match fire.action {
+            RewriteAction::SetKnob { value, .. } => {
+                assert_eq!(value, 32);
+                knob.set(value);
+            }
+            other => panic!("{other:?}"),
+        }
+
+        // Safe point 2: load flipped → doubling is a reversal inside the
+        // cooldown: suppressed.
+        est.init_duration(leaf, TimeNs::from_millis(1));
+        assert!(rule
+            .evaluate(&ctx_at(&est, &errors, &root, 2, None, 2))
+            .is_none());
+        // Still suppressed at safe point 4 (cooldown is 4: 4-1 < 4).
+        assert!(rule
+            .evaluate(&ctx_at(&est, &errors, &root, 2, None, 4))
+            .is_none());
+        // Safe point 5: cooldown elapsed, and 64 vs 32 clears the 10%
+        // dead band → the reversal may fire.
+        let fire = rule
+            .evaluate(&ctx_at(&est, &errors, &root, 2, None, 5))
+            .expect("cooldown elapsed");
+        match fire.action {
+            RewriteAction::SetKnob { value, .. } => assert_eq!(value, 64),
+            other => panic!("{other:?}"),
+        }
+
+        // Same direction is never restricted: another double right away.
+        knob.set(64);
+        assert!(
+            rule.evaluate(&ctx_at(&est, &errors, &root, 2, None, 6))
+                .is_some(),
+            "same-direction moves ride free"
+        );
+    }
+
+    #[test]
+    fn hysteresis_dead_band_suppresses_small_reversals() {
+        let knob = Knob::new("width", 10);
+        let probe = seq(|x: i64| x);
+        let root = Arc::clone(probe.node());
+        let errors = ErrorStats::default();
+        let est = EstimatorTable::new(0.5);
+        // tasks_per_worker 1, so want = lp. Dead band 50%, no cooldown.
+        let rule = RetuneWidth::new(knob.clone(), 1)
+            .bounds(1, 1024)
+            .hysteresis(Hysteresis::new(0, 0.5));
+        // First move: shrink 10 → 8.
+        assert!(rule
+            .evaluate(&ctx_at(&est, &errors, &root, 8, None, 1))
+            .is_some());
+        knob.set(8);
+        // Reversal to 11: |11-8| = 3 <= 0.5×8 → inside the dead band.
+        assert!(rule
+            .evaluate(&ctx_at(&est, &errors, &root, 11, None, 2))
+            .is_none());
+        // Reversal to 16: |16-8| = 8 > 4 → clears the band.
+        assert!(rule
+            .evaluate(&ctx_at(&est, &errors, &root, 16, None, 3))
+            .is_some());
+    }
+
+    #[test]
+    fn forecast_gate_blocks_unprofitable_promotions() {
+        use askel_skeletons::map;
+        // Current: a seq leaf. Candidate: a map fanning out over 4
+        // chunks. Forecasts are seeded so the promotion wins at lp 4 and
+        // loses at lp 1.
+        let leaf: Skel<Vec<i64>, i64> = seq(|v: Vec<i64>| v.iter().sum::<i64>());
+        let promoted: Skel<Vec<i64>, i64> = map(
+            |v: Vec<i64>| v.chunks(4).map(|c| c.to_vec()).collect::<Vec<_>>(),
+            seq(|v: Vec<i64>| v.iter().sum::<i64>()),
+            |p: Vec<i64>| p.into_iter().sum::<i64>(),
+        );
+        let mut est = EstimatorTable::new(0.5);
+        est.init_duration(
+            MuscleId::new(leaf.id(), MuscleRole::Execute),
+            TimeNs::from_millis(400),
+        );
+        for m in promoted.node().collect_muscles() {
+            let d = match m.id.role {
+                MuscleRole::Execute => TimeNs::from_millis(100),
+                _ => TimeNs::from_millis(1),
+            };
+            est.init_duration(m.id, d);
+            if m.id.role == MuscleRole::Split {
+                est.init_cardinality(m.id, 4.0);
+            }
+        }
+        let errors = ErrorStats::default();
+        let root = Arc::clone(leaf.node());
+        let rule = Promote::new(&leaf, &promoted)
+            .when(Trigger::InputSizeAtLeast(1.0))
+            .forecast_gated(0.2);
+        // lp 1: the fan-out buys nothing (402ms vs 400ms) → gate closed.
+        assert!(rule
+            .evaluate(&ctx_with(&est, &errors, &root, 1, Some(10.0)))
+            .is_none());
+        // lp 4: 100ms×4 runs in parallel → forecast wins by > 20%.
+        let fire = rule
+            .evaluate(&ctx_with(&est, &errors, &root, 4, Some(10.0)))
+            .expect("forecast improvement at lp 4");
+        let forecast = fire.forecast.expect("gated fire carries its forecast");
+        assert!(forecast.predicted < forecast.baseline);
+        assert_eq!(forecast.realized, None);
+        assert!(fire.why.contains("forecast"), "{}", fire.why);
+        // Without estimates the gate never opens.
+        let empty = EstimatorTable::new(0.5);
+        assert!(rule
+            .evaluate(&ctx_with(&empty, &errors, &root, 4, Some(10.0)))
+            .is_none());
+    }
+
+    #[test]
+    fn forecast_gate_on_width_retune_models_constant_work() {
+        use askel_skeletons::map;
+        let knob = Knob::new("width", 1);
+        let program: Skel<Vec<i64>, i64> = map(
+            |v: Vec<i64>| vec![v],
+            seq(|v: Vec<i64>| v.iter().sum::<i64>()),
+            |p: Vec<i64>| p.into_iter().sum::<i64>(),
+        );
+        let split = MuscleId::new(program.id(), MuscleRole::Split);
+        let leaf = MuscleId::new(program.node().children()[0].id, MuscleRole::Execute);
+        let mut est = EstimatorTable::new(0.5);
+        for m in program.node().collect_muscles() {
+            est.init_duration(
+                m.id,
+                if m.id == leaf {
+                    TimeNs::from_millis(800)
+                } else {
+                    TimeNs::from_millis(1)
+                },
+            );
+        }
+        est.init_cardinality(split, 1.0);
+        let errors = ErrorStats::default();
+        let root = Arc::clone(program.node());
+        let rule = RetuneWidth::new(knob.clone(), 1)
+            .bounds(1, 64)
+            .forecast_gated(split, leaf, 0.2);
+        // lp 4 wants width 4; splitting 800ms of work 4 ways at lp 4
+        // forecasts ~200ms vs 800ms → fires, with the forecast attached.
+        let fire = rule
+            .evaluate(&ctx_with(&est, &errors, &root, 4, None))
+            .expect("profitable widening");
+        let f = fire.forecast.unwrap();
+        assert!(
+            f.predicted.as_secs_f64() < f.baseline.as_secs_f64() * 0.5,
+            "{f:?}"
+        );
+        // lp 1: want == current == 1 → quiet regardless of the gate.
+        assert!(rule
+            .evaluate(&ctx_with(&est, &errors, &root, 1, None))
+            .is_none());
+    }
+
+    #[test]
+    fn offload_fires_on_skew_and_respects_placement() {
+        use askel_dist::{Cluster, NodeSpec};
+        let target: Skel<Vec<i64>, Vec<i64>> = seq(|v: Vec<i64>| v);
+        let cluster = Cluster::new(vec![
+            NodeSpec::local("edge", 1),
+            NodeSpec::remote("hub", 4, TimeNs::ZERO),
+        ]);
+        let telemetry = cluster.telemetry();
+        let rule = Offload::new(&target, "hub", telemetry.clone()).water_marks(0.8, 0.2);
+        let est = EstimatorTable::new(0.5);
+        let errors = ErrorStats::default();
+        let root = Arc::clone(target.node());
+
+        // Balanced (nothing observed): quiet.
+        assert!(rule
+            .evaluate(&ctx_with(&est, &errors, &root, 2, None))
+            .is_none());
+        // Skewed: everything on the edge → fires.
+        let mut c = cluster;
+        use askel_sim::workers::WorkerModel;
+        c.note_busy(0, TimeNs::from_secs(9));
+        let fire = rule
+            .evaluate(&ctx_with(&est, &errors, &root, 2, None))
+            .expect("skew crossed the water marks");
+        match &fire.action {
+            RewriteAction::Place { target: t, node } => {
+                assert_eq!(*t, target.id());
+                assert_eq!(node, "hub");
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(fire.why.contains("high water"), "{}", fire.why);
+        assert!(rule.once());
+        // Already placed on the destination: quiet even under skew.
+        let placed = target.placed_at(target.id(), "hub").unwrap();
+        let placed_root = Arc::clone(placed.node());
+        assert!(rule
+            .evaluate(&ctx_with(&est, &errors, &placed_root, 2, None))
+            .is_none());
+        // Unknown destination node: quiet.
+        let unknown = Offload::new(&target, "nope", telemetry).water_marks(0.8, 0.2);
+        assert!(unknown
+            .evaluate(&ctx_with(&est, &errors, &root, 2, None))
+            .is_none());
     }
 }

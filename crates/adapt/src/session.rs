@@ -128,6 +128,7 @@ impl Reconfigurator {
             .plan(vskel.skel.node(), vskel.version, (self.lp)(), now);
         let mut applied = 0;
         for plan in plans {
+            let forecast = plan.forecast;
             let (record, event_node) = match plan.action {
                 RewriteAction::Replace {
                     target,
@@ -142,6 +143,7 @@ impl Reconfigurator {
                             target: Some(target),
                             action: format!("skipped: target {target} no longer in the skeleton"),
                             why: plan.why,
+                            forecast: None,
                         });
                         continue;
                     };
@@ -155,6 +157,7 @@ impl Reconfigurator {
                             target: Some(target),
                             action: format!("replace {target} with {}", replacement.id),
                             why: plan.why,
+                            forecast,
                         },
                         Arc::clone(&replacement),
                     )
@@ -174,8 +177,43 @@ impl Reconfigurator {
                             target: None,
                             action: format!("set knob `{}` {old} -> {value}", knob.name()),
                             why: plan.why,
+                            forecast,
                         },
                         Arc::clone(vskel.skel.node()),
+                    )
+                }
+                RewriteAction::Place { target, node } => {
+                    let Some(new_skel) = vskel.skel.placed_at(target, &node) else {
+                        self.trigger.rearm(plan.rule_index);
+                        self.trigger.record(AdaptRecord {
+                            at: now,
+                            version: vskel.version,
+                            rule: plan.rule,
+                            target: Some(target),
+                            action: format!("skipped: target {target} no longer in the skeleton"),
+                            why: plan.why,
+                            forecast: None,
+                        });
+                        continue;
+                    };
+                    vskel.skel = new_skel;
+                    vskel.version += 1;
+                    let placed_root = vskel
+                        .skel
+                        .node()
+                        .find(target)
+                        .expect("placed_at succeeded, target occurs");
+                    (
+                        AdaptRecord {
+                            at: now,
+                            version: vskel.version,
+                            rule: plan.rule,
+                            target: Some(target),
+                            action: format!("place {target} on `{node}`"),
+                            why: plan.why,
+                            forecast,
+                        },
+                        placed_root,
                     )
                 }
             };
@@ -372,7 +410,7 @@ mod tests {
     use super::*;
     use crate::rules::{FallbackSwap, Knob, Promote, RetuneWidth, Trigger};
     use askel_engine::Engine;
-    use askel_skeletons::{map, seq};
+    use askel_skeletons::{map, pipe, seq};
     use std::sync::atomic::{AtomicUsize, Ordering};
 
     fn doubler() -> Skel<i64, i64> {
@@ -485,6 +523,86 @@ mod tests {
         // The re-armed rule re-evaluated at later safe points but its
         // presence gate held it silent — no further log entries.
         assert!(trigger.evaluations() > 2);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn rewriting_the_root_swaps_the_whole_program_mid_stream() {
+        // The PR 4 suite only replaced nested subtrees; replacing the
+        // *root* exercises `Skel::rewritten`'s identity case (the new
+        // tree IS the replacement, fresh root id) through a live session.
+        let engine = Engine::new(1);
+        let v1: Skel<i64, i64> = seq(|x: i64| x + 1);
+        let v2: Skel<i64, i64> = map(
+            |x: i64| vec![x, x],
+            seq(|x: i64| x * 10),
+            |parts: Vec<i64>| parts.into_iter().sum::<i64>(),
+        );
+        let trigger = TriggerEngine::new(1.0);
+        trigger.add_rule(
+            Promote::new(&v1, &v2)
+                .named("root-promote")
+                .when(Trigger::InputSizeAtLeast(100.0)),
+        );
+        let mut stream =
+            AdaptiveSession::new(&engine, &v1, trigger.clone()).input_size(|x: &i64| *x as usize);
+        stream.feed(1); // v1: 2
+        stream.feed(200); // fires at this safe point: v2: 200×10×2
+        stream.feed(3); // still v2: 60
+        let got: Vec<i64> = stream.drain().map(|r| r.unwrap()).collect();
+        assert_eq!(got, vec![2, 4000, 60]);
+        let log = trigger.decision_log();
+        assert_eq!(log.len(), 1);
+        assert_eq!(log[0].target, Some(v1.id()));
+        assert!(log[0].action.contains(&format!("{}", v2.id())), "{log:?}");
+        engine.shutdown();
+    }
+
+    #[test]
+    fn outer_and_inner_rewrites_at_one_safe_point_rearm_the_inner() {
+        // Two once-rules fire at the same safe point: the first replaces
+        // an *outer* subtree, which removes the second rule's *nested*
+        // target. Per the PR 4 re-arm contract the inner rule must be
+        // skipped with an audit record and re-armed — and since its
+        // target never comes back, its presence gate keeps it silent
+        // (without the re-arm it would be silently lost; without the
+        // gate it would fire on a vanished target forever).
+        let engine = Engine::new(1);
+        let inner = seq(|x: i64| x + 1);
+        let outer = pipe(inner.clone(), seq(|x: i64| x * 2));
+        let outer_replacement = seq(|x: i64| (x + 10) * 2);
+        let inner_replacement = seq(|x: i64| x + 100);
+        let trigger = TriggerEngine::new(1.0);
+        trigger.add_rule(
+            Promote::new(&outer, &outer_replacement)
+                .named("outer")
+                .when(Trigger::InputSizeAtLeast(1.0)),
+        );
+        trigger.add_rule(
+            Promote::new(&inner, &inner_replacement)
+                .named("inner")
+                .when(Trigger::InputSizeAtLeast(1.0)),
+        );
+        let mut stream =
+            AdaptiveSession::new(&engine, &outer, trigger.clone()).input_size(|_: &i64| 5);
+        let mut got = Vec::new();
+        for x in 0..4 {
+            stream.feed(x);
+            got.push(stream.next_result().expect("lock-step").unwrap());
+        }
+        // The size hint lands before the first safe point, so the outer
+        // promotion applies before item 0: every item runs on (x+10)×2.
+        assert_eq!(got, vec![20, 22, 24, 26]);
+        assert_eq!(stream.version(), 1, "only the outer replacement applied");
+        let log = trigger.decision_log();
+        assert_eq!(log.len(), 2, "{log:?}");
+        assert_eq!(log[0].rule, "outer");
+        assert_eq!(log[1].rule, "inner");
+        assert!(log[1].action.contains("skipped"), "{:?}", log[1]);
+        assert_eq!(log[1].target, Some(inner.id()));
+        // The re-armed inner rule kept re-evaluating (presence-gated
+        // silent), so evaluations exceed the two pre-fire ones.
+        assert!(trigger.evaluations() > 4, "{}", trigger.evaluations());
         engine.shutdown();
     }
 

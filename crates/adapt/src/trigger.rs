@@ -14,14 +14,16 @@
 //! rewrite is recorded in an auditable decision log ([`AdaptRecord`]),
 //! symmetric to the controller's `AnalysisRecord`.
 
+use std::collections::HashMap;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 
 use askel_core::{AutonomicController, EstimatorTable, Ewma, SmTracker};
 use askel_events::{Event, Listener, Payload, When, Where};
-use askel_skeletons::{Node, NodeId, TimeNs};
+use askel_skeletons::{InstanceId, Node, NodeId, TimeNs};
 
+use crate::forecast::Forecast;
 use crate::rules::{ErrorStats, RewriteAction, Rule, RuleCtx};
 
 /// One audited structural rewrite — the self-configuration counterpart of
@@ -40,6 +42,11 @@ pub struct AdaptRecord {
     pub action: String,
     /// The observed statistics that justified the rewrite.
     pub why: String,
+    /// For forecast-gated rules: the predicted-vs-baseline WCT the gate
+    /// compared. [`Forecast::realized`] is filled in by the
+    /// [`TriggerEngine`] with the WCT of the first root submission that
+    /// completes after the rewrite — the predicted-vs-realized audit.
+    pub forecast: Option<Forecast>,
 }
 
 /// A rewrite a rule requested at a safe point, awaiting application.
@@ -54,6 +61,8 @@ pub struct PlannedRewrite {
     pub action: RewriteAction,
     /// The statistics that justified it.
     pub why: String,
+    /// The forecast a gated rule fired on.
+    pub forecast: Option<Forecast>,
 }
 
 struct TrigInner {
@@ -67,6 +76,9 @@ struct TrigInner {
     log: Vec<AdaptRecord>,
     safe_points: usize,
     evaluations: usize,
+    /// Start timestamps of in-flight root submissions, keyed by instance
+    /// — closes the forecast audit loop (realized WCT per item).
+    item_starts: HashMap<InstanceId, TimeNs>,
 }
 
 /// Event-driven rule host; see the module docs.
@@ -89,6 +101,7 @@ impl TriggerEngine {
                 log: Vec::new(),
                 safe_points: 0,
                 evaluations: 0,
+                item_starts: HashMap::new(),
             }),
         })
     }
@@ -188,6 +201,7 @@ impl TriggerEngine {
             rules,
             retired,
             evaluations,
+            safe_points,
             ..
         } = &mut *inner;
         let ctx = RuleCtx {
@@ -197,6 +211,7 @@ impl TriggerEngine {
             root,
             version,
             lp,
+            safe_point: *safe_points,
         };
         let mut plans = Vec::new();
         for (index, (rule, retired)) in rules.iter().zip(retired.iter_mut()).enumerate() {
@@ -204,15 +219,16 @@ impl TriggerEngine {
                 continue;
             }
             *evaluations += 1;
-            if let Some((action, why)) = rule.evaluate(&ctx) {
+            if let Some(fire) = rule.evaluate(&ctx) {
                 if rule.once() {
                     *retired = true;
                 }
                 plans.push(PlannedRewrite {
                     rule: rule.name().to_string(),
                     rule_index: index,
-                    action,
-                    why,
+                    action: fire.action,
+                    why: fire.why,
+                    forecast: fire.forecast,
                 });
             }
         }
@@ -256,11 +272,39 @@ impl TriggerEngine {
 impl Listener for TriggerEngine {
     fn on_event(&self, _payload: &mut Payload<'_>, event: &Event) {
         let mut inner = self.inner.lock();
-        // A fresh root submission: drop finished instance records so the
-        // tracker's memory stays bounded on long streams (estimates are
-        // kept — they are the whole point).
-        if event.when == When::Before && event.wher == Where::Skeleton && event.trace.depth() == 1 {
-            inner.tracker.prune_finished();
+        if event.wher == Where::Skeleton && event.trace.depth() == 1 {
+            match event.when {
+                When::Before => {
+                    // A fresh root submission: drop finished instance
+                    // records so the tracker's memory stays bounded on
+                    // long streams (estimates are kept — they are the
+                    // whole point). Track the item's start for the
+                    // forecast audit (bounded: items that never complete
+                    // — poisoned runs — are swept wholesale at the cap).
+                    inner.tracker.prune_finished();
+                    if inner.item_starts.len() >= 1024 {
+                        inner.item_starts.clear();
+                    }
+                    inner.item_starts.insert(event.index, event.timestamp);
+                }
+                When::After => {
+                    // A root submission completed: its realized WCT
+                    // closes the oldest still-open forecast audit among
+                    // rewrites applied before the item started.
+                    if let Some(started) = inner.item_starts.remove(&event.index) {
+                        let realized = event.timestamp.saturating_sub(started);
+                        if let Some(forecast) = inner
+                            .log
+                            .iter_mut()
+                            .filter(|r| r.at <= started)
+                            .filter_map(|r| r.forecast.as_mut())
+                            .find(|f| f.realized.is_none())
+                        {
+                            forecast.realized = Some(realized);
+                        }
+                    }
+                }
+            }
         }
         inner.tracker.observe(event);
     }
@@ -351,10 +395,63 @@ mod tests {
             target: Some(NodeId(3)),
             action: "replace n3 with n9".into(),
             why: "input~500 >= 100".into(),
+            forecast: None,
         });
         let log = t.decision_log();
         assert_eq!(log.len(), 1);
         assert_eq!(log[0].version, 1);
         assert_eq!(log[0].rule, "promote");
+    }
+
+    #[test]
+    fn realized_wct_closes_the_forecast_audit() {
+        use crate::forecast::Forecast;
+        use askel_skeletons::{InstanceId, KindTag};
+
+        let t = TriggerEngine::new(0.5);
+        // An in-flight item that started *before* the rewrite must not
+        // close the audit; the first item submitted after it does.
+        let node = NodeId(11);
+        let root_event = |when, inst: u64, at_ms: u64| Event {
+            node,
+            kind: KindTag::Seq,
+            when,
+            wher: Where::Skeleton,
+            index: InstanceId(inst),
+            trace: askel_events::Trace::root(node, InstanceId(inst), KindTag::Seq),
+            timestamp: TimeNs::from_millis(at_ms),
+            info: askel_events::EventInfo::None,
+        };
+        t.on_event(&mut Payload::None, &root_event(When::Before, 1, 0));
+        t.record(AdaptRecord {
+            at: TimeNs::from_millis(10),
+            version: 1,
+            rule: "promote".into(),
+            target: None,
+            action: "replace".into(),
+            why: "gated".into(),
+            forecast: Some(Forecast {
+                predicted: TimeNs::from_millis(40),
+                baseline: TimeNs::from_millis(100),
+                realized: None,
+            }),
+        });
+        // The pre-rewrite item completes: audit stays open.
+        t.on_event(&mut Payload::None, &root_event(When::After, 1, 20));
+        assert_eq!(t.decision_log()[0].forecast.unwrap().realized, None);
+        // A post-rewrite item completes: realized = its WCT.
+        t.on_event(&mut Payload::None, &root_event(When::Before, 2, 25));
+        t.on_event(&mut Payload::None, &root_event(When::After, 2, 70));
+        assert_eq!(
+            t.decision_log()[0].forecast.unwrap().realized,
+            Some(TimeNs::from_millis(45))
+        );
+        // Later completions do not overwrite a closed audit.
+        t.on_event(&mut Payload::None, &root_event(When::Before, 3, 80));
+        t.on_event(&mut Payload::None, &root_event(When::After, 3, 81));
+        assert_eq!(
+            t.decision_log()[0].forecast.unwrap().realized,
+            Some(TimeNs::from_millis(45))
+        );
     }
 }

@@ -12,10 +12,15 @@ use std::sync::Arc;
 
 use proptest::prelude::*;
 
-use askel_adapt::{AdaptiveSession, FallbackSwap, Promote, Trigger, TriggerEngine};
+use askel_adapt::{
+    AdaptiveSession, FallbackSwap, Hysteresis, Knob, Offload, Promote, RetuneGrain, RewriteAction,
+    Trigger, TriggerEngine,
+};
+use askel_dist::{Cluster, NodeSpec};
 use askel_engine::{Engine, StreamSession};
 use askel_events::{Event, EventInfo, Listener, Payload, Trace, When, Where};
-use askel_skeletons::{map, seq, InstanceId, KindTag, NodeId, Skel, TimeNs};
+use askel_sim::workers::WorkerModel;
+use askel_skeletons::{map, seq, InstanceId, KindTag, MuscleId, MuscleRole, NodeId, Skel, TimeNs};
 
 fn map_program() -> Skel<Vec<i64>, i64> {
     map(
@@ -159,6 +164,129 @@ proptest! {
         // Both are once-rules: across the whole interleaving each fires at most once.
         for (rule, n) in &fired_per_rule {
             prop_assert!(*n <= 1, "once-rule {} fired {} times", rule, n);
+        }
+    }
+
+    #[test]
+    fn hysteresis_knobs_never_reverse_within_the_cooldown(
+        durations_ms in proptest::collection::vec(1u64..40, 8..60),
+        cooldown in 2usize..6,
+        dead_band_pct in 0u32..30,
+    ) {
+        // An arbitrary load trace drives a grain rule directly (estimator
+        // overridden per safe point). Invariants, whatever the trace:
+        // consecutive knob moves in opposite directions are separated by
+        // at least the cooldown, and the value sequence has bounded
+        // variation — no A→B→A flap inside one cooldown window.
+        let probe = seq(|x: i64| x);
+        let leaf = MuscleId::new(probe.id(), MuscleRole::Execute);
+        let knob = Knob::new("grain", 64);
+        let trigger = TriggerEngine::new(0.5);
+        trigger.add_rule(
+            RetuneGrain::new(knob.clone(), leaf, TimeNs::from_millis(10))
+                .bounds(1, 1 << 20)
+                .hysteresis(Hysteresis::new(cooldown, dead_band_pct as f64 / 100.0)),
+        );
+        let root = Arc::clone(probe.node());
+        // (safe_point, old_value, new_value) per applied move.
+        let mut fires: Vec<(usize, usize, usize)> = Vec::new();
+        for (i, ms) in durations_ms.iter().enumerate() {
+            trigger.with_estimates(|est| est.init_duration(leaf, TimeNs::from_millis(*ms)));
+            for plan in trigger.plan(&root, 0, 2, TimeNs::ZERO) {
+                let RewriteAction::SetKnob { knob, value } = plan.action else {
+                    panic!("a grain rule only sets knobs");
+                };
+                let old = knob.get();
+                knob.set(value);
+                fires.push((i + 1, old, value));
+            }
+        }
+        let mut reversals = 0usize;
+        for w in fires.windows(2) {
+            let (sp1, old1, new1) = w[0];
+            let (sp2, old2, new2) = w[1];
+            prop_assert!(new1 == old2, "moves chain through the knob value");
+            let d1 = (new1 as i64 - old1 as i64).signum();
+            let d2 = (new2 as i64 - old2 as i64).signum();
+            if d1 != d2 {
+                reversals += 1;
+                prop_assert!(
+                    sp2 - sp1 >= cooldown,
+                    "reversal {old2}->{new2} at safe point {sp2} only {} points after \
+                     {old1}->{new1} at {sp1} (cooldown {cooldown})",
+                    sp2 - sp1
+                );
+                // No A→B→A flap within the window: returning to the
+                // previous value is a reversal, so it obeys the bound.
+                if new2 == old1 {
+                    prop_assert!(sp2 - sp1 >= cooldown);
+                }
+            }
+        }
+        // Bounded variation: at most one direction change per window.
+        prop_assert!(
+            reversals <= 1 + durations_ms.len() / cooldown,
+            "{reversals} reversals over {} safe points with cooldown {cooldown}",
+            durations_ms.len()
+        );
+    }
+
+    #[test]
+    fn offload_on_a_balanced_cluster_is_byte_equivalent_to_stream_session(
+        inputs in proptest::collection::vec(proptest::collection::vec(-50i64..50, 1..8), 1..20),
+        edge_busy_ms in 0u64..100,
+        hub_busy_ms in 0u64..100,
+        bound in 1usize..4,
+    ) {
+        // The PR 4 disabled-rules equivalence property, extended to the
+        // placement path: with an armed Offload rule over an arbitrary
+        // cluster skew, results are byte-for-byte those of the plain
+        // StreamSession — whether or not the offload fires, because
+        // placement is a pure scheduling hint. And on a balanced cluster
+        // (skew inside the water marks) the rule must not fire at all.
+        let mut cluster = Cluster::new(vec![
+            NodeSpec::local("edge", 1),
+            NodeSpec::remote("hub", 2, TimeNs::ZERO),
+        ]);
+        cluster.note_busy(0, TimeNs::from_millis(edge_busy_ms)); // edge slot
+        cluster.note_busy(1, TimeNs::from_millis(hub_busy_ms)); // first hub slot
+        let telemetry = cluster.telemetry();
+
+        let program = map_program();
+        let trigger = TriggerEngine::new(0.5);
+        trigger.add_rule(
+            Offload::new(&program, "hub", telemetry.clone()).water_marks(0.75, 0.25),
+        );
+        let engine = Engine::new(2);
+        let mut adaptive = AdaptiveSession::new(&engine, &program, Arc::clone(&trigger))
+            .max_in_flight(bound);
+        let mut plain = StreamSession::new(&engine, &program).max_in_flight(bound);
+        for input in &inputs {
+            adaptive.feed(input.clone());
+            plain.feed(input.clone());
+        }
+        let a: Vec<i64> = adaptive.drain().map(|r| r.unwrap()).collect();
+        let p: Vec<i64> = plain.drain().map(|r| r.unwrap()).collect();
+        engine.shutdown();
+        prop_assert_eq!(&a, &p, "placement never changes results");
+
+        let fired = trigger
+            .decision_log()
+            .iter()
+            .any(|d| d.rule == "offload");
+        let total = edge_busy_ms + hub_busy_ms;
+        if total == 0 {
+            prop_assert!(!fired, "no skew observed, nothing may fire");
+        } else {
+            let edge_share = edge_busy_ms as f64 / total as f64;
+            let hub_share = hub_busy_ms as f64 / total as f64;
+            // Stay away from the exact water marks (f64 rounding there
+            // is the rule's prerogative).
+            if edge_share < 0.75 - 1e-6 || hub_share > 0.25 + 1e-6 {
+                prop_assert!(!fired, "balanced cluster: {edge_share} / {hub_share}");
+            } else if edge_share > 0.75 + 1e-6 && hub_share < 0.25 - 1e-6 {
+                prop_assert!(fired, "clear skew must offload: {edge_share} / {hub_share}");
+            }
         }
     }
 

@@ -342,6 +342,20 @@ impl AutonomicController {
         f(inner.tracker.estimates())
     }
 
+    /// Forecasts the WCT of one fresh submission of the skeleton rooted
+    /// at `root` under `lp` workers, from this controller's **live**
+    /// estimator table ([`crate::strategy::predictive_wct`] over
+    /// [`read_estimates`](Self::read_estimates)).
+    ///
+    /// `root` need not be this controller's own AST: the
+    /// self-configuration layer passes candidate *rewritten* trees here
+    /// to gate promotions on forecast improvement. `None` while the
+    /// table does not cover `root`'s muscles.
+    pub fn forecast_wct(&self, root: &Arc<Node>, lp: usize) -> Option<TimeNs> {
+        let inner = self.inner.lock();
+        crate::strategy::predictive_wct(inner.tracker.estimates(), root, lp)
+    }
+
     /// The LP the controller believes the engine has.
     pub fn current_lp(&self) -> usize {
         self.inner.lock().current_lp

@@ -43,5 +43,5 @@ pub use controller::{
 };
 pub use estimate::{EstimatorTable, Ewma, Snapshot, SnapshotEntry};
 pub use render::{gantt_ascii, to_dot};
-pub use strategy::{best_effort, limited_lp, optimal_lp, Schedule, TimelinePoint};
+pub use strategy::{best_effort, limited_lp, optimal_lp, predictive_wct, Schedule, TimelinePoint};
 pub use tracker::{CondSpan, InstanceRecord, SmTracker, Span};

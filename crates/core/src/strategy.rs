@@ -339,6 +339,31 @@ pub fn optimal_lp(adg: &Adg, now: TimeNs) -> usize {
     best_effort(adg, now).max_concurrency()
 }
 
+/// Cold predictive completion estimate: expands the purely-predictive ADG
+/// of `root` from `estimates` and lays it out at `lp` — the WCT one
+/// submission of `root` is forecast to take from scratch.
+///
+/// `None` when `estimates` does not cover every muscle of `root` (the
+/// same analysis gate the controller applies: never decide from a guess)
+/// or when the tree expands to an empty graph. This is the read path the
+/// self-configuration layer's forecast-gated rules share with the
+/// controller ([`AutonomicController::forecast_wct`](crate::controller::AutonomicController::forecast_wct)).
+pub fn predictive_wct(
+    estimates: &crate::estimate::EstimatorTable,
+    root: &std::sync::Arc<askel_skeletons::Node>,
+    lp: usize,
+) -> Option<TimeNs> {
+    if !estimates.covers(&root.collect_muscles()) {
+        return None;
+    }
+    let tracker = crate::tracker::SmTracker::with_estimates(estimates.clone());
+    let adg = crate::adg::AdgBuilder::new(&tracker).build_predictive(root);
+    if adg.is_empty() {
+        return None;
+    }
+    Some(limited_lp(&adg, TimeNs::ZERO, lp.max(1)).finish)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

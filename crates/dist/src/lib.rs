@@ -128,39 +128,105 @@ impl NodeSpec {
     }
 }
 
-/// Shared handle onto a cluster's per-node busy-time accounting.
+#[derive(Debug)]
+struct TelemetryInner {
+    /// Node names, in slot order (fixed at cluster construction).
+    names: Vec<String>,
+    /// Provisioned slots per node (fixed).
+    slots: Vec<usize>,
+    /// Currently-enabled slots per node (tracks `Cluster::set_capacity`).
+    enabled: Vec<usize>,
+    /// Accumulated busy virtual time per node.
+    busy: Vec<TimeNs>,
+}
+
+/// Shared handle onto a cluster's live state: per-node busy-time
+/// accounting plus the currently-enabled slot counts.
 ///
 /// The cluster is moved into the simulator
-/// ([`askel_sim::SimEngine::with_workers`] takes it by value), so
-/// telemetry is surfaced through this handle: keep a clone
+/// ([`askel_sim::SimEngine::with_workers`] takes it by value), so its
+/// state is surfaced through this handle: keep a clone
 /// ([`Cluster::telemetry`]) before handing the cluster over, and read
-/// per-node utilization while or after the simulation runs.
-#[derive(Clone, Debug, Default)]
+/// per-node utilization while or after the simulation runs. The
+/// `Offload` rule (`askel-adapt`) and [`ProvisioningPolicy`] decide from
+/// exactly this view.
+#[derive(Clone, Debug)]
 pub struct ClusterTelemetry {
-    busy: Arc<Mutex<Vec<TimeNs>>>,
+    inner: Arc<Mutex<TelemetryInner>>,
 }
 
 impl ClusterTelemetry {
-    fn for_nodes(n: usize) -> Self {
+    fn for_nodes(nodes: &[NodeSpec]) -> Self {
         ClusterTelemetry {
-            busy: Arc::new(Mutex::new(vec![TimeNs::ZERO; n])),
+            inner: Arc::new(Mutex::new(TelemetryInner {
+                names: nodes.iter().map(|n| n.name().to_string()).collect(),
+                slots: nodes.iter().map(NodeSpec::slots).collect(),
+                enabled: nodes.iter().map(NodeSpec::slots).collect(),
+                busy: vec![TimeNs::ZERO; nodes.len()],
+            })),
         }
     }
 
+    fn lock(&self) -> std::sync::MutexGuard<'_, TelemetryInner> {
+        self.inner.lock().expect("cluster telemetry poisoned")
+    }
+
     fn add(&self, node: usize, busy: TimeNs) {
-        let mut slots = self.busy.lock().expect("cluster telemetry poisoned");
-        if let Some(t) = slots.get_mut(node) {
+        let mut inner = self.lock();
+        if let Some(t) = inner.busy.get_mut(node) {
             *t += busy;
         }
+    }
+
+    fn set_enabled(&self, enabled: Vec<usize>) {
+        self.lock().enabled = enabled;
+    }
+
+    /// Node names, in slot order.
+    pub fn names(&self) -> Vec<String> {
+        self.lock().names.clone()
+    }
+
+    /// Index (in node order) of the node called `name`.
+    pub fn node_index(&self, name: &str) -> Option<usize> {
+        self.lock().names.iter().position(|n| n == name)
+    }
+
+    /// Provisioned slots per node.
+    pub fn slots_per_node(&self) -> Vec<usize> {
+        self.lock().slots.clone()
+    }
+
+    /// Currently-enabled slots per node (live: follows every capacity
+    /// change, including mid-run LP requests).
+    pub fn enabled_per_node(&self) -> Vec<usize> {
+        self.lock().enabled.clone()
+    }
+
+    /// Total enabled slots — the cluster's current capacity.
+    pub fn capacity(&self) -> usize {
+        self.lock().enabled.iter().sum()
     }
 
     /// Accumulated busy virtual time per node, in node order (scaled
     /// muscle durations plus communication round-trips).
     pub fn busy_per_node(&self) -> Vec<TimeNs> {
-        self.busy
-            .lock()
-            .expect("cluster telemetry poisoned")
-            .clone()
+        self.lock().busy.clone()
+    }
+
+    /// Each node's share of the total accumulated busy time, in node
+    /// order (`0.0` everywhere while nothing has run). Shares sum to 1
+    /// once any work has been accounted; they are what the `Offload`
+    /// high/low-water-mark comparisons and the [`ProvisioningPolicy`]
+    /// read — a wall-clock-free skew measure that replays
+    /// deterministically on the simulator.
+    pub fn busy_share(&self) -> Vec<f64> {
+        let inner = self.lock();
+        let total: f64 = inner.busy.iter().map(|b| b.as_secs_f64()).sum();
+        if total <= 0.0 {
+            return vec![0.0; inner.busy.len()];
+        }
+        inner.busy.iter().map(|b| b.as_secs_f64() / total).collect()
     }
 
     /// `busy / (wall × enabled_slots)` per node — the utilization figures
@@ -212,7 +278,7 @@ impl Cluster {
             starts.push(total);
             total += n.slots();
         }
-        let telemetry = ClusterTelemetry::for_nodes(nodes.len());
+        let telemetry = ClusterTelemetry::for_nodes(&nodes);
         Cluster {
             nodes,
             starts,
@@ -232,7 +298,19 @@ impl Cluster {
     /// total) — typically the controller's `initial_lp`.
     pub fn with_capacity(mut self, capacity: usize) -> Self {
         self.capacity = capacity.min(self.provisioned);
+        self.sync_telemetry();
         self
+    }
+
+    /// Pushes the current enabled-per-node split into the shared
+    /// telemetry handle.
+    fn sync_telemetry(&self) {
+        let enabled = self
+            .enabled_per_node()
+            .into_iter()
+            .map(|(_, e)| e)
+            .collect();
+        self.telemetry.set_enabled(enabled);
     }
 
     /// Total provisioned slots across all nodes (the LP ceiling).
@@ -299,6 +377,7 @@ impl WorkerModel for Cluster {
 
     fn set_capacity(&mut self, n: usize) {
         self.capacity = n.min(self.provisioned);
+        self.sync_telemetry();
     }
 
     fn chain_overhead(&self, slot: usize) -> TimeNs {
@@ -317,6 +396,293 @@ impl WorkerModel for Cluster {
         if let Some(node) = self.node_index_of_slot(slot) {
             self.telemetry.add(node, busy);
         }
+    }
+
+    fn slot_matches(&self, slot: usize, placement: &str) -> bool {
+        self.node_of_slot(slot)
+            .map(|n| n.name() == placement)
+            .unwrap_or(false)
+    }
+
+    fn placement_enabled(&self, placement: &str) -> bool {
+        self.enabled_per_node()
+            .iter()
+            .any(|(n, enabled)| *enabled > 0 && n.name() == placement)
+    }
+}
+
+/// What a provisioning decision did.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProvisionAction {
+    /// A node's slot block was brought online.
+    Add,
+    /// A node's slot block was taken offline.
+    Retire,
+}
+
+/// One audited provisioning decision — the cluster-level counterpart of
+/// `askel-adapt`'s `AdaptRecord`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProvisionRecord {
+    /// When the decision was taken (virtual or engine time).
+    pub at: TimeNs,
+    /// The policy's version counter after this change (1, 2, …).
+    pub version: u64,
+    /// The node that was added or retired.
+    pub node: String,
+    /// What was done.
+    pub action: ProvisionAction,
+    /// Enabled capacity (total slots) after the change.
+    pub capacity: usize,
+    /// The busy-share observations that justified it.
+    pub why: String,
+}
+
+/// Dynamic node provisioning from per-node utilization — the ROADMAP's
+/// "use the new utilization figures in decisions", and the actuation half
+/// of the `Offload` story: the `Offload` rule (`askel-adapt`) moves a
+/// subtree's *placement* onto an underloaded node, this policy decides
+/// which nodes are *online* at all.
+///
+/// Capacity is prefix-based (slots come online in node order), so the
+/// policy adds and retires whole node blocks at the **tail** of the slot
+/// order: when the busiest enabled node's busy share crosses the
+/// high-water mark and a later node is still (partly) offline, that
+/// node's block is brought fully online; when the *last* enabled node's
+/// share sits under the low-water mark, its block is retired. A cooldown
+/// (in review points) keeps oscillating load from flapping nodes on and
+/// off, exactly like the knob `Hysteresis` policy in `askel-adapt`.
+///
+/// Shares are **windowed to the last capacity change**: the policy
+/// snapshots the per-node busy totals whenever it applies a change and
+/// judges each review on the busy time accrued *since* — a freshly
+/// added, saturated node is seen at its in-window share (not diluted by
+/// the lifetime it spent offline), and a long-retired node's stale
+/// history cannot mask a hot node below the high-water mark. (The
+/// `Offload` rule, which fires at most once, reads the raw cumulative
+/// shares.)
+///
+/// The policy is driven at explicit review points (typically the same
+/// stream safe points that drive a `Reconfigurator`) and never touches
+/// the cluster itself: [`review`](ProvisioningPolicy::review) returns the
+/// new capacity for the caller to apply through its engine's LP channel
+/// (`SimEngine::set_lp`, `SimLpControl::request`) — symmetric to how the
+/// WCT controller actuates. Every change is logged as a
+/// [`ProvisionRecord`] and, when wired via
+/// [`announce_via`](ProvisioningPolicy::announce_via), announced as an
+/// `(After, Reconfigured)` event — the same vocabulary as the tree
+/// rewrites.
+pub struct ProvisioningPolicy {
+    high_water: f64,
+    low_water: f64,
+    cooldown_points: usize,
+    min_capacity: usize,
+    review_points: usize,
+    last_change: Option<usize>,
+    /// Per-node busy totals at the last applied change (`None` until
+    /// one): the start of the current observation window.
+    window_start: Option<Vec<TimeNs>>,
+    version: u64,
+    log: Vec<ProvisionRecord>,
+    announce: Option<ProvisionAnnounce>,
+}
+
+struct ProvisionAnnounce {
+    registry: Arc<askel_events::ListenerRegistry>,
+    subject: askel_skeletons::NodeId,
+    kind: askel_skeletons::KindTag,
+}
+
+impl ProvisioningPolicy {
+    /// A policy with the given busy-share water marks (clamped to
+    /// `[0, 1]`, `low ≤ high`), no cooldown, and a minimum capacity of 1.
+    pub fn new(high_water: f64, low_water: f64) -> Self {
+        let high_water = high_water.clamp(0.0, 1.0);
+        ProvisioningPolicy {
+            high_water,
+            low_water: low_water.clamp(0.0, high_water),
+            cooldown_points: 0,
+            min_capacity: 1,
+            review_points: 0,
+            last_change: None,
+            window_start: None,
+            version: 0,
+            log: Vec::new(),
+            announce: None,
+        }
+    }
+
+    /// Minimum review points between two capacity changes.
+    pub fn cooldown(mut self, points: usize) -> Self {
+        self.cooldown_points = points;
+        self
+    }
+
+    /// Never retires below this many enabled slots (≥ 1).
+    pub fn min_capacity(mut self, n: usize) -> Self {
+        self.min_capacity = n.max(1);
+        self
+    }
+
+    /// Announces every applied change as an `(After, Reconfigured)` event
+    /// through `registry`, attributed to the skeleton node `subject` of
+    /// kind `kind` (typically the supervised program's root) — symmetric
+    /// to the `Reconfigurator`'s tree-rewrite events.
+    pub fn announce_via(
+        mut self,
+        registry: Arc<askel_events::ListenerRegistry>,
+        subject: askel_skeletons::NodeId,
+        kind: askel_skeletons::KindTag,
+    ) -> Self {
+        self.announce = Some(ProvisionAnnounce {
+            registry,
+            subject,
+            kind,
+        });
+        self
+    }
+
+    /// Every applied provisioning change, in order.
+    pub fn log(&self) -> &[ProvisionRecord] {
+        &self.log
+    }
+
+    /// Number of applied changes so far.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// One review point: decides from the cluster's live busy shares
+    /// whether to bring the next offline node online or retire the last
+    /// online one. Returns the new total capacity for the caller to apply
+    /// (`None` = hold). Deterministic: same telemetry, same decision.
+    pub fn review(&mut self, telemetry: &ClusterTelemetry, now: TimeNs) -> Option<usize> {
+        self.review_points += 1;
+        if let Some(last) = self.last_change {
+            if self.review_points.saturating_sub(last) < self.cooldown_points {
+                return None;
+            }
+        }
+        // Window the shares to the busy time accrued since the last
+        // applied change (before the first change, since construction).
+        let busy = telemetry.busy_per_node();
+        let delta: Vec<f64> = match &self.window_start {
+            Some(start) => busy
+                .iter()
+                .zip(start)
+                .map(|(b, s)| b.saturating_sub(*s).as_secs_f64())
+                .collect(),
+            None => busy.iter().map(|b| b.as_secs_f64()).collect(),
+        };
+        let total: f64 = delta.iter().sum();
+        if total <= 0.0 {
+            return None; // nothing observed in this window yet
+        }
+        let shares: Vec<f64> = delta.iter().map(|d| d / total).collect();
+        let enabled = telemetry.enabled_per_node();
+        let slots = telemetry.slots_per_node();
+        let names = telemetry.names();
+
+        // Add: the busiest enabled node is over the high-water mark and a
+        // later block still has offline slots.
+        let hottest = shares
+            .iter()
+            .zip(&enabled)
+            .filter(|(_, &e)| e > 0)
+            .map(|(s, _)| *s)
+            .fold(0.0f64, f64::max);
+        if hottest >= self.high_water {
+            if let Some(i) = (0..slots.len()).find(|&i| enabled[i] < slots[i]) {
+                let new_capacity: usize = slots[..=i].iter().sum();
+                self.apply(
+                    now,
+                    names[i].clone(),
+                    ProvisionAction::Add,
+                    new_capacity,
+                    format!(
+                        "hottest enabled node at {:.0}% of windowed busy time >= {:.0}% \
+                         high water; bringing `{}` online ({} slots)",
+                        hottest * 100.0,
+                        self.high_water * 100.0,
+                        names[i],
+                        slots[i]
+                    ),
+                    busy,
+                );
+                return Some(new_capacity);
+            }
+            // Everything is already online: fall through — the idle
+            // tail node may still deserve retirement.
+        }
+
+        // Retire: the last enabled node sits under the low-water mark.
+        let last = (0..enabled.len()).rev().find(|&i| enabled[i] > 0)?;
+        if last == 0 {
+            return None; // never retire the first node
+        }
+        let new_capacity: usize = slots[..last].iter().sum();
+        if shares[last] <= self.low_water && new_capacity >= self.min_capacity {
+            self.apply(
+                now,
+                names[last].clone(),
+                ProvisionAction::Retire,
+                new_capacity,
+                format!(
+                    "`{}` at {:.0}% of windowed busy time <= {:.0}% low water; \
+                     retiring its {} slot(s)",
+                    names[last],
+                    shares[last] * 100.0,
+                    self.low_water * 100.0,
+                    slots[last]
+                ),
+                busy,
+            );
+            return Some(new_capacity);
+        }
+        None
+    }
+
+    fn apply(
+        &mut self,
+        now: TimeNs,
+        node: String,
+        action: ProvisionAction,
+        capacity: usize,
+        why: String,
+        busy_now: Vec<TimeNs>,
+    ) {
+        self.version += 1;
+        self.last_change = Some(self.review_points);
+        // Start a fresh observation window at every applied change.
+        self.window_start = Some(busy_now);
+        if let Some(announce) = &self.announce {
+            use askel_events::{Event, EventInfo, Payload, Trace, When, Where};
+            let event = Event {
+                node: announce.subject,
+                kind: announce.kind,
+                when: When::After,
+                wher: Where::Reconfigured,
+                index: askel_skeletons::InstanceId(self.version),
+                trace: Trace::root(
+                    announce.subject,
+                    askel_skeletons::InstanceId(self.version),
+                    announce.kind,
+                ),
+                timestamp: now,
+                info: EventInfo::Reconfigured {
+                    version: self.version,
+                },
+            };
+            announce.registry.emit(&mut Payload::None, &event);
+        }
+        self.log.push(ProvisionRecord {
+            at: now,
+            version: self.version,
+            node,
+            action,
+            capacity,
+            why,
+        });
     }
 }
 
@@ -462,5 +828,228 @@ mod tests {
         let s = format!("{c}");
         assert!(s.contains("master:2/2"), "{s}");
         assert!(s.contains("worker:1/12"), "{s}");
+    }
+
+    #[test]
+    fn telemetry_tracks_enabled_slots_and_shares() {
+        let mut c = two_node().with_capacity(3);
+        let t = c.telemetry();
+        assert_eq!(t.names(), vec!["master".to_string(), "worker".into()]);
+        assert_eq!(t.node_index("worker"), Some(1));
+        assert_eq!(t.node_index("nope"), None);
+        assert_eq!(t.slots_per_node(), vec![2, 12]);
+        assert_eq!(t.enabled_per_node(), vec![2, 1]);
+        assert_eq!(t.capacity(), 3);
+        c.set_capacity(14);
+        assert_eq!(t.enabled_per_node(), vec![2, 12], "live view");
+        assert_eq!(t.busy_share(), vec![0.0, 0.0], "nothing observed yet");
+        c.note_busy(0, TimeNs::from_millis(30)); // master
+        c.note_busy(2, TimeNs::from_millis(10)); // worker
+        let shares = t.busy_share();
+        assert!((shares[0] - 0.75).abs() < 1e-9, "{shares:?}");
+        assert!((shares[1] - 0.25).abs() < 1e-9, "{shares:?}");
+    }
+
+    #[test]
+    fn placement_maps_to_named_slots() {
+        let mut c = two_node().with_capacity(2);
+        assert!(c.slot_matches(0, "master"));
+        assert!(!c.slot_matches(0, "worker"));
+        assert!(c.slot_matches(5, "worker"));
+        assert!(!c.slot_matches(99, "worker"), "unprovisioned slot");
+        // Enabled = capacity prefix: the worker block is offline at 2.
+        assert!(c.placement_enabled("master"));
+        assert!(!c.placement_enabled("worker"));
+        c.set_capacity(3);
+        assert!(c.placement_enabled("worker"));
+        assert!(!c.placement_enabled("unknown-node"));
+    }
+
+    #[test]
+    fn placed_subtree_runs_on_its_node_in_the_sim() {
+        use askel_sim::cost::TableCost;
+        use askel_sim::SimEngine;
+        use askel_skeletons::{map, seq};
+
+        let program: askel_skeletons::Skel<Vec<i64>, i64> = map(
+            |v: Vec<i64>| v.into_iter().map(|x| vec![x]).collect::<Vec<_>>(),
+            seq(|v: Vec<i64>| v[0] * 2),
+            |parts: Vec<i64>| parts.into_iter().sum::<i64>(),
+        );
+        let run = |placed: bool| {
+            let cluster = Cluster::new(vec![
+                NodeSpec::local("edge", 1),
+                NodeSpec::remote("hub", 2, TimeNs::ZERO),
+            ]);
+            let telemetry = cluster.telemetry();
+            let cost = Arc::new(TableCost::new(TimeNs::from_secs(1)));
+            let mut sim = SimEngine::with_workers(Box::new(cluster), cost);
+            let skel = if placed {
+                program.placed_at(program.id(), "hub").unwrap()
+            } else {
+                program.clone()
+            };
+            let out = sim.run(&skel, vec![1, 2, 3]).unwrap();
+            (out.result, telemetry.busy_per_node())
+        };
+        let (unplaced_result, unplaced_busy) = run(false);
+        let (placed_result, placed_busy) = run(true);
+        assert_eq!(unplaced_result, 12);
+        assert_eq!(placed_result, 12, "placement never changes results");
+        assert!(
+            unplaced_busy[0] > TimeNs::ZERO,
+            "unplaced work uses the lowest slot (edge): {unplaced_busy:?}"
+        );
+        assert_eq!(
+            placed_busy[0],
+            TimeNs::ZERO,
+            "placed work avoids the edge node entirely: {placed_busy:?}"
+        );
+        assert!(placed_busy[1] > TimeNs::ZERO);
+    }
+
+    #[test]
+    fn placement_falls_back_when_its_node_is_offline() {
+        use askel_sim::cost::TableCost;
+        use askel_sim::SimEngine;
+        use askel_skeletons::seq;
+
+        let program = seq(|x: i64| x + 1).labeled("leaf");
+        let placed = program.placed_at(program.id(), "hub").unwrap();
+        // Capacity 1 = only the edge slot: "hub" names no enabled slot,
+        // so the placed task must run on the edge instead of stalling.
+        let cluster = Cluster::new(vec![
+            NodeSpec::local("edge", 1),
+            NodeSpec::remote("hub", 2, TimeNs::ZERO),
+        ])
+        .with_capacity(1);
+        let telemetry = cluster.telemetry();
+        let cost = Arc::new(TableCost::new(TimeNs::from_secs(1)));
+        let mut sim = SimEngine::with_workers(Box::new(cluster), cost);
+        let out = sim.run(&placed, 41).unwrap();
+        assert_eq!(out.result, 42);
+        assert!(telemetry.busy_per_node()[0] > TimeNs::ZERO);
+        assert_eq!(telemetry.busy_per_node()[1], TimeNs::ZERO);
+    }
+
+    #[test]
+    fn provisioning_adds_and_retires_tail_nodes_with_cooldown() {
+        let c = Cluster::new(vec![
+            NodeSpec::local("edge", 1),
+            NodeSpec::remote("hub", 3, TimeNs::from_millis(10)),
+        ])
+        .with_capacity(1);
+        let t = c.telemetry();
+        let mut policy = ProvisioningPolicy::new(0.8, 0.1).cooldown(3);
+
+        // Nothing observed: hold.
+        assert_eq!(policy.review(&t, TimeNs::from_secs(1)), None);
+
+        // All busy time on the edge: over the high-water mark → add hub.
+        t.add(0, TimeNs::from_secs(10));
+        let cap = policy.review(&t, TimeNs::from_secs(2));
+        assert_eq!(cap, Some(4), "edge block (1) + hub block (3)");
+        t.set_enabled(vec![1, 3]); // the caller applied it (via set_lp)
+
+        // Still skewed, but everything is online → hold; and the next
+        // review is inside the cooldown anyway.
+        assert_eq!(policy.review(&t, TimeNs::from_secs(3)), None);
+
+        // Load continues on the edge while the hub stays idle: once the
+        // cooldown elapses the hub is retired (windowed shares — the
+        // post-add window must see traffic to judge).
+        t.add(0, TimeNs::from_secs(5));
+        assert_eq!(policy.review(&t, TimeNs::from_secs(4)), None, "cooldown");
+        let cap = policy.review(&t, TimeNs::from_secs(5));
+        assert_eq!(cap, Some(1), "hub retired, back to the edge block");
+
+        let log = policy.log();
+        assert_eq!(log.len(), 2);
+        assert_eq!(
+            (log[0].action, log[0].node.as_str()),
+            (ProvisionAction::Add, "hub")
+        );
+        assert_eq!(log[0].capacity, 4);
+        assert_eq!(
+            (log[1].action, log[1].node.as_str()),
+            (ProvisionAction::Retire, "hub")
+        );
+        assert_eq!(log[1].capacity, 1);
+        assert_eq!(policy.version(), 2);
+        assert!(log.iter().all(|r| !r.why.is_empty()));
+    }
+
+    #[test]
+    fn provisioning_judges_a_fresh_node_on_its_window_not_its_lifetime() {
+        // The flap scenario: the edge accumulated a huge lifetime busy
+        // total before the hub came online. Post-add, the hub does all
+        // the work — its *lifetime* share is tiny, but its *windowed*
+        // share is ~100%, so it must NOT be retired; and the idle edge's
+        // stale history must not mask the hub from the high-water check.
+        let c = Cluster::new(vec![
+            NodeSpec::local("edge", 1),
+            NodeSpec::remote("hub", 3, TimeNs::ZERO),
+        ])
+        .with_capacity(1);
+        let t = c.telemetry();
+        let mut policy = ProvisioningPolicy::new(0.8, 0.1).cooldown(1);
+        t.add(0, TimeNs::from_secs(100)); // long edge-only history
+        assert_eq!(policy.review(&t, TimeNs::from_secs(1)), Some(4), "add hub");
+        t.set_enabled(vec![1, 3]);
+        // The hub now runs saturated; the edge is idle. In-window share:
+        // hub 8s / 8s = 100%, edge 0% — lifetime share would be ~7%.
+        t.add(1, TimeNs::from_secs(8));
+        assert_eq!(
+            policy.review(&t, TimeNs::from_secs(2)),
+            None,
+            "a saturated fresh node is not retired (no add possible either)"
+        );
+        assert_eq!(policy.log().len(), 1, "no flap: {:?}", policy.log());
+    }
+
+    #[test]
+    fn provisioning_never_retires_the_first_node_or_goes_below_min() {
+        let c = Cluster::new(vec![NodeSpec::local("only", 2)]);
+        let t = c.telemetry();
+        let mut policy = ProvisioningPolicy::new(0.9, 0.5);
+        t.add(0, TimeNs::from_millis(1));
+        // Share of "only" is 1.0 ≥ high water but there is nothing to
+        // add; and it is the first node, so it can never be retired.
+        assert_eq!(policy.review(&t, TimeNs::ZERO), None);
+        assert!(policy.log().is_empty());
+    }
+
+    #[test]
+    fn provisioning_announces_reconfigured_events() {
+        use askel_events::{Event, FnListener, Payload, Where};
+        use askel_skeletons::KindTag;
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        let registry = askel_events::ListenerRegistry::new();
+        let seen = Arc::new(AtomicUsize::new(0));
+        let sink = Arc::clone(&seen);
+        registry.add_listener(Arc::new(FnListener(
+            move |_: &mut Payload<'_>, e: &Event| {
+                if e.wher == Where::Reconfigured {
+                    assert_eq!(e.info.reconfigured_version(), Some(1));
+                    sink.fetch_add(1, Ordering::SeqCst);
+                }
+            },
+        )));
+        let c = Cluster::new(vec![
+            NodeSpec::local("edge", 1),
+            NodeSpec::remote("hub", 1, TimeNs::ZERO),
+        ])
+        .with_capacity(1);
+        let t = c.telemetry();
+        let subject = askel_skeletons::NodeId(7);
+        let mut policy = ProvisioningPolicy::new(0.5, 0.0).announce_via(
+            Arc::clone(&registry),
+            subject,
+            KindTag::Map,
+        );
+        t.add(0, TimeNs::from_secs(1));
+        assert_eq!(policy.review(&t, TimeNs::from_secs(1)), Some(2));
+        assert_eq!(seen.load(Ordering::SeqCst), 1);
     }
 }

@@ -51,44 +51,47 @@ fn sim_seq(
     data: Data,
     cont: SimCont,
 ) {
-    rt.push_ready(Box::new(move |rt| {
-        let mut data = data;
-        rt.emit(
-            &node,
-            &trace,
-            inst,
-            When::Before,
-            Where::Skeleton,
-            EventInfo::None,
-            &mut Payload::Single(&mut data),
-        );
-        let NodeKind::Seq { fe } = &node.kind else {
-            unreachable!("tag checked by dispatcher")
-        };
-        let muscle = MuscleId::new(node.id, MuscleRole::Execute);
-        let dur = rt.cost_of(muscle, 1, &*data);
-        let fe = fe.clone();
-        let Some(out) = rt.guard(move || fe.call(data)) else {
-            return Step::Done;
-        };
-        Step::Busy {
-            dur,
-            then: Box::new(move |rt| {
-                let mut out = out;
-                rt.emit(
-                    &node,
-                    &trace,
-                    inst,
-                    When::After,
-                    Where::Skeleton,
-                    EventInfo::None,
-                    &mut Payload::Single(&mut out),
-                );
-                cont(rt, out);
-                Step::Done
-            }),
-        }
-    }));
+    rt.push_ready(
+        node.placement.clone(),
+        Box::new(move |rt| {
+            let mut data = data;
+            rt.emit(
+                &node,
+                &trace,
+                inst,
+                When::Before,
+                Where::Skeleton,
+                EventInfo::None,
+                &mut Payload::Single(&mut data),
+            );
+            let NodeKind::Seq { fe } = &node.kind else {
+                unreachable!("tag checked by dispatcher")
+            };
+            let muscle = MuscleId::new(node.id, MuscleRole::Execute);
+            let dur = rt.cost_of(muscle, 1, &*data);
+            let fe = fe.clone();
+            let Some(out) = rt.guard(move || fe.call(data)) else {
+                return Step::Done;
+            };
+            Step::Busy {
+                dur,
+                then: Box::new(move |rt| {
+                    let mut out = out;
+                    rt.emit(
+                        &node,
+                        &trace,
+                        inst,
+                        When::After,
+                        Where::Skeleton,
+                        EventInfo::None,
+                        &mut Payload::Single(&mut out),
+                    );
+                    cont(rt, out);
+                    Step::Done
+                }),
+            }
+        }),
+    );
 }
 
 fn sim_farm(
@@ -238,100 +241,103 @@ fn sim_while(
     cont: SimCont,
     iter: usize,
 ) {
-    rt.push_ready(Box::new(move |rt| {
-        let mut data = data;
-        if iter == 0 {
+    rt.push_ready(
+        node.placement.clone(),
+        Box::new(move |rt| {
+            let mut data = data;
+            if iter == 0 {
+                rt.emit(
+                    &node,
+                    &trace,
+                    inst,
+                    When::Before,
+                    Where::Skeleton,
+                    EventInfo::None,
+                    &mut Payload::Single(&mut data),
+                );
+            }
+            let NodeKind::While { fc, .. } = &node.kind else {
+                unreachable!("tag checked by dispatcher")
+            };
             rt.emit(
                 &node,
                 &trace,
                 inst,
                 When::Before,
-                Where::Skeleton,
+                Where::Condition,
                 EventInfo::None,
                 &mut Payload::Single(&mut data),
             );
-        }
-        let NodeKind::While { fc, .. } = &node.kind else {
-            unreachable!("tag checked by dispatcher")
-        };
-        rt.emit(
-            &node,
-            &trace,
-            inst,
-            When::Before,
-            Where::Condition,
-            EventInfo::None,
-            &mut Payload::Single(&mut data),
-        );
-        let muscle = MuscleId::new(node.id, MuscleRole::Condition);
-        let dur = rt.cost_of(muscle, 1, &*data);
-        let fc = fc.clone();
-        let Some(verdict) = rt.guard(|| fc.call(&data)) else {
-            return Step::Done;
-        };
-        Step::Busy {
-            dur,
-            then: Box::new(move |rt| {
-                let mut data = data;
-                rt.emit(
-                    &node,
-                    &trace,
-                    inst,
-                    When::After,
-                    Where::Condition,
-                    EventInfo::ConditionResult(verdict),
-                    &mut Payload::Single(&mut data),
-                );
-                if verdict {
-                    rt.emit(
-                        &node,
-                        &trace,
-                        inst,
-                        When::Before,
-                        Where::NestedSkeleton,
-                        EventInfo::ChildIndex(iter),
-                        &mut Payload::Single(&mut data),
-                    );
-                    let NodeKind::While { inner, .. } = &node.kind else {
-                        unreachable!()
-                    };
-                    let inner = Arc::clone(inner);
-                    let node2 = Arc::clone(&node);
-                    let trace2 = trace.clone();
-                    schedule_node(
-                        rt,
-                        &inner,
-                        Some(&trace),
-                        data,
-                        Box::new(move |rt, mut out| {
-                            rt.emit(
-                                &node2,
-                                &trace2,
-                                inst,
-                                When::After,
-                                Where::NestedSkeleton,
-                                EventInfo::ChildIndex(iter),
-                                &mut Payload::Single(&mut out),
-                            );
-                            sim_while(rt, node2, trace2, inst, out, cont, iter + 1);
-                        }),
-                    );
-                } else {
+            let muscle = MuscleId::new(node.id, MuscleRole::Condition);
+            let dur = rt.cost_of(muscle, 1, &*data);
+            let fc = fc.clone();
+            let Some(verdict) = rt.guard(|| fc.call(&data)) else {
+                return Step::Done;
+            };
+            Step::Busy {
+                dur,
+                then: Box::new(move |rt| {
+                    let mut data = data;
                     rt.emit(
                         &node,
                         &trace,
                         inst,
                         When::After,
-                        Where::Skeleton,
-                        EventInfo::None,
+                        Where::Condition,
+                        EventInfo::ConditionResult(verdict),
                         &mut Payload::Single(&mut data),
                     );
-                    cont(rt, data);
-                }
-                Step::Done
-            }),
-        }
-    }));
+                    if verdict {
+                        rt.emit(
+                            &node,
+                            &trace,
+                            inst,
+                            When::Before,
+                            Where::NestedSkeleton,
+                            EventInfo::ChildIndex(iter),
+                            &mut Payload::Single(&mut data),
+                        );
+                        let NodeKind::While { inner, .. } = &node.kind else {
+                            unreachable!()
+                        };
+                        let inner = Arc::clone(inner);
+                        let node2 = Arc::clone(&node);
+                        let trace2 = trace.clone();
+                        schedule_node(
+                            rt,
+                            &inner,
+                            Some(&trace),
+                            data,
+                            Box::new(move |rt, mut out| {
+                                rt.emit(
+                                    &node2,
+                                    &trace2,
+                                    inst,
+                                    When::After,
+                                    Where::NestedSkeleton,
+                                    EventInfo::ChildIndex(iter),
+                                    &mut Payload::Single(&mut out),
+                                );
+                                sim_while(rt, node2, trace2, inst, out, cont, iter + 1);
+                            }),
+                        );
+                    } else {
+                        rt.emit(
+                            &node,
+                            &trace,
+                            inst,
+                            When::After,
+                            Where::Skeleton,
+                            EventInfo::None,
+                            &mut Payload::Single(&mut data),
+                        );
+                        cont(rt, data);
+                    }
+                    Step::Done
+                }),
+            }
+        }),
+    );
 }
 
 fn sim_if(
@@ -342,103 +348,106 @@ fn sim_if(
     data: Data,
     cont: SimCont,
 ) {
-    rt.push_ready(Box::new(move |rt| {
-        let mut data = data;
-        rt.emit(
-            &node,
-            &trace,
-            inst,
-            When::Before,
-            Where::Skeleton,
-            EventInfo::None,
-            &mut Payload::Single(&mut data),
-        );
-        let NodeKind::If { fc, .. } = &node.kind else {
-            unreachable!("tag checked by dispatcher")
-        };
-        rt.emit(
-            &node,
-            &trace,
-            inst,
-            When::Before,
-            Where::Condition,
-            EventInfo::None,
-            &mut Payload::Single(&mut data),
-        );
-        let muscle = MuscleId::new(node.id, MuscleRole::Condition);
-        let dur = rt.cost_of(muscle, 1, &*data);
-        let fc = fc.clone();
-        let Some(verdict) = rt.guard(|| fc.call(&data)) else {
-            return Step::Done;
-        };
-        Step::Busy {
-            dur,
-            then: Box::new(move |rt| {
-                let mut data = data;
-                rt.emit(
-                    &node,
-                    &trace,
-                    inst,
-                    When::After,
-                    Where::Condition,
-                    EventInfo::ConditionResult(verdict),
-                    &mut Payload::Single(&mut data),
-                );
-                let NodeKind::If {
-                    then_branch,
-                    else_branch,
-                    ..
-                } = &node.kind
-                else {
-                    unreachable!()
-                };
-                let (branch, k) = if verdict {
-                    (Arc::clone(then_branch), 0)
-                } else {
-                    (Arc::clone(else_branch), 1)
-                };
-                rt.emit(
-                    &node,
-                    &trace,
-                    inst,
-                    When::Before,
-                    Where::NestedSkeleton,
-                    EventInfo::ChildIndex(k),
-                    &mut Payload::Single(&mut data),
-                );
-                let node2 = Arc::clone(&node);
-                let trace2 = trace.clone();
-                schedule_node(
-                    rt,
-                    &branch,
-                    Some(&trace),
-                    data,
-                    Box::new(move |rt, mut out| {
-                        rt.emit(
-                            &node2,
-                            &trace2,
-                            inst,
-                            When::After,
-                            Where::NestedSkeleton,
-                            EventInfo::ChildIndex(k),
-                            &mut Payload::Single(&mut out),
-                        );
-                        rt.emit(
-                            &node2,
-                            &trace2,
-                            inst,
-                            When::After,
-                            Where::Skeleton,
-                            EventInfo::None,
-                            &mut Payload::Single(&mut out),
-                        );
-                        cont(rt, out);
-                    }),
-                );
-                Step::Done
-            }),
-        }
-    }));
+    rt.push_ready(
+        node.placement.clone(),
+        Box::new(move |rt| {
+            let mut data = data;
+            rt.emit(
+                &node,
+                &trace,
+                inst,
+                When::Before,
+                Where::Skeleton,
+                EventInfo::None,
+                &mut Payload::Single(&mut data),
+            );
+            let NodeKind::If { fc, .. } = &node.kind else {
+                unreachable!("tag checked by dispatcher")
+            };
+            rt.emit(
+                &node,
+                &trace,
+                inst,
+                When::Before,
+                Where::Condition,
+                EventInfo::None,
+                &mut Payload::Single(&mut data),
+            );
+            let muscle = MuscleId::new(node.id, MuscleRole::Condition);
+            let dur = rt.cost_of(muscle, 1, &*data);
+            let fc = fc.clone();
+            let Some(verdict) = rt.guard(|| fc.call(&data)) else {
+                return Step::Done;
+            };
+            Step::Busy {
+                dur,
+                then: Box::new(move |rt| {
+                    let mut data = data;
+                    rt.emit(
+                        &node,
+                        &trace,
+                        inst,
+                        When::After,
+                        Where::Condition,
+                        EventInfo::ConditionResult(verdict),
+                        &mut Payload::Single(&mut data),
+                    );
+                    let NodeKind::If {
+                        then_branch,
+                        else_branch,
+                        ..
+                    } = &node.kind
+                    else {
+                        unreachable!()
+                    };
+                    let (branch, k) = if verdict {
+                        (Arc::clone(then_branch), 0)
+                    } else {
+                        (Arc::clone(else_branch), 1)
+                    };
+                    rt.emit(
+                        &node,
+                        &trace,
+                        inst,
+                        When::Before,
+                        Where::NestedSkeleton,
+                        EventInfo::ChildIndex(k),
+                        &mut Payload::Single(&mut data),
+                    );
+                    let node2 = Arc::clone(&node);
+                    let trace2 = trace.clone();
+                    schedule_node(
+                        rt,
+                        &branch,
+                        Some(&trace),
+                        data,
+                        Box::new(move |rt, mut out| {
+                            rt.emit(
+                                &node2,
+                                &trace2,
+                                inst,
+                                When::After,
+                                Where::NestedSkeleton,
+                                EventInfo::ChildIndex(k),
+                                &mut Payload::Single(&mut out),
+                            );
+                            rt.emit(
+                                &node2,
+                                &trace2,
+                                inst,
+                                When::After,
+                                Where::Skeleton,
+                                EventInfo::None,
+                                &mut Payload::Single(&mut out),
+                            );
+                            cont(rt, out);
+                        }),
+                    );
+                    Step::Done
+                }),
+            }
+        }),
+    );
 }
 
 fn sim_for(
@@ -545,58 +554,61 @@ fn sim_map(
     data: Data,
     cont: SimCont,
 ) {
-    rt.push_ready(Box::new(move |rt| {
-        let mut data = data;
-        rt.emit(
-            &node,
-            &trace,
-            inst,
-            When::Before,
-            Where::Skeleton,
-            EventInfo::None,
-            &mut Payload::Single(&mut data),
-        );
-        let NodeKind::Map { fs, .. } = &node.kind else {
-            unreachable!("tag checked by dispatcher")
-        };
-        rt.emit(
-            &node,
-            &trace,
-            inst,
-            When::Before,
-            Where::Split,
-            EventInfo::None,
-            &mut Payload::Single(&mut data),
-        );
-        let muscle = MuscleId::new(node.id, MuscleRole::Split);
-        let dur = rt.cost_of(muscle, 1, &*data);
-        let fs = fs.clone();
-        let Some(parts) = rt.guard(move || fs.call(data)) else {
-            return Step::Done;
-        };
-        Step::Busy {
-            dur,
-            then: Box::new(move |rt| {
-                let mut parts = parts;
-                rt.emit(
-                    &node,
-                    &trace,
-                    inst,
-                    When::After,
-                    Where::Split,
-                    EventInfo::SplitCardinality(parts.len()),
-                    &mut Payload::Many(&mut parts),
-                );
-                fan_out(rt, node, trace, inst, parts, cont, |node, _| {
-                    let NodeKind::Map { inner, .. } = &node.kind else {
-                        unreachable!()
-                    };
-                    Arc::clone(inner)
-                });
-                Step::Done
-            }),
-        }
-    }));
+    rt.push_ready(
+        node.placement.clone(),
+        Box::new(move |rt| {
+            let mut data = data;
+            rt.emit(
+                &node,
+                &trace,
+                inst,
+                When::Before,
+                Where::Skeleton,
+                EventInfo::None,
+                &mut Payload::Single(&mut data),
+            );
+            let NodeKind::Map { fs, .. } = &node.kind else {
+                unreachable!("tag checked by dispatcher")
+            };
+            rt.emit(
+                &node,
+                &trace,
+                inst,
+                When::Before,
+                Where::Split,
+                EventInfo::None,
+                &mut Payload::Single(&mut data),
+            );
+            let muscle = MuscleId::new(node.id, MuscleRole::Split);
+            let dur = rt.cost_of(muscle, 1, &*data);
+            let fs = fs.clone();
+            let Some(parts) = rt.guard(move || fs.call(data)) else {
+                return Step::Done;
+            };
+            Step::Busy {
+                dur,
+                then: Box::new(move |rt| {
+                    let mut parts = parts;
+                    rt.emit(
+                        &node,
+                        &trace,
+                        inst,
+                        When::After,
+                        Where::Split,
+                        EventInfo::SplitCardinality(parts.len()),
+                        &mut Payload::Many(&mut parts),
+                    );
+                    fan_out(rt, node, trace, inst, parts, cont, |node, _| {
+                        let NodeKind::Map { inner, .. } = &node.kind else {
+                            unreachable!()
+                        };
+                        Arc::clone(inner)
+                    });
+                    Step::Done
+                }),
+            }
+        }),
+    );
 }
 
 fn sim_fork(
@@ -607,69 +619,72 @@ fn sim_fork(
     data: Data,
     cont: SimCont,
 ) {
-    rt.push_ready(Box::new(move |rt| {
-        let mut data = data;
-        rt.emit(
-            &node,
-            &trace,
-            inst,
-            When::Before,
-            Where::Skeleton,
-            EventInfo::None,
-            &mut Payload::Single(&mut data),
-        );
-        let NodeKind::Fork { fs, .. } = &node.kind else {
-            unreachable!("tag checked by dispatcher")
-        };
-        rt.emit(
-            &node,
-            &trace,
-            inst,
-            When::Before,
-            Where::Split,
-            EventInfo::None,
-            &mut Payload::Single(&mut data),
-        );
-        let muscle = MuscleId::new(node.id, MuscleRole::Split);
-        let dur = rt.cost_of(muscle, 1, &*data);
-        let fs = fs.clone();
-        let Some(parts) = rt.guard(move || fs.call(data)) else {
-            return Step::Done;
-        };
-        Step::Busy {
-            dur,
-            then: Box::new(move |rt| {
-                let mut parts = parts;
-                rt.emit(
-                    &node,
-                    &trace,
-                    inst,
-                    When::After,
-                    Where::Split,
-                    EventInfo::SplitCardinality(parts.len()),
-                    &mut Payload::Many(&mut parts),
-                );
-                let NodeKind::Fork { inners, .. } = &node.kind else {
-                    unreachable!()
-                };
-                if parts.len() != inners.len() {
-                    rt.fail(SimError::Eval(EvalError::ForkArityMismatch {
-                        node: node.id,
-                        branches: inners.len(),
-                        produced: parts.len(),
-                    }));
-                    return Step::Done;
-                }
-                fan_out(rt, node, trace, inst, parts, cont, |node, k| {
+    rt.push_ready(
+        node.placement.clone(),
+        Box::new(move |rt| {
+            let mut data = data;
+            rt.emit(
+                &node,
+                &trace,
+                inst,
+                When::Before,
+                Where::Skeleton,
+                EventInfo::None,
+                &mut Payload::Single(&mut data),
+            );
+            let NodeKind::Fork { fs, .. } = &node.kind else {
+                unreachable!("tag checked by dispatcher")
+            };
+            rt.emit(
+                &node,
+                &trace,
+                inst,
+                When::Before,
+                Where::Split,
+                EventInfo::None,
+                &mut Payload::Single(&mut data),
+            );
+            let muscle = MuscleId::new(node.id, MuscleRole::Split);
+            let dur = rt.cost_of(muscle, 1, &*data);
+            let fs = fs.clone();
+            let Some(parts) = rt.guard(move || fs.call(data)) else {
+                return Step::Done;
+            };
+            Step::Busy {
+                dur,
+                then: Box::new(move |rt| {
+                    let mut parts = parts;
+                    rt.emit(
+                        &node,
+                        &trace,
+                        inst,
+                        When::After,
+                        Where::Split,
+                        EventInfo::SplitCardinality(parts.len()),
+                        &mut Payload::Many(&mut parts),
+                    );
                     let NodeKind::Fork { inners, .. } = &node.kind else {
                         unreachable!()
                     };
-                    Arc::clone(&inners[k])
-                });
-                Step::Done
-            }),
-        }
-    }));
+                    if parts.len() != inners.len() {
+                        rt.fail(SimError::Eval(EvalError::ForkArityMismatch {
+                            node: node.id,
+                            branches: inners.len(),
+                            produced: parts.len(),
+                        }));
+                        return Step::Done;
+                    }
+                    fan_out(rt, node, trace, inst, parts, cont, |node, k| {
+                        let NodeKind::Fork { inners, .. } = &node.kind else {
+                            unreachable!()
+                        };
+                        Arc::clone(&inners[k])
+                    });
+                    Step::Done
+                }),
+            }
+        }),
+    );
 }
 
 fn sim_dac(
@@ -680,139 +695,144 @@ fn sim_dac(
     data: Data,
     cont: SimCont,
 ) {
-    rt.push_ready(Box::new(move |rt| {
-        let mut data = data;
-        rt.emit(
-            &node,
-            &trace,
-            inst,
-            When::Before,
-            Where::Skeleton,
-            EventInfo::None,
-            &mut Payload::Single(&mut data),
-        );
-        let NodeKind::DivideConquer { fc, .. } = &node.kind else {
-            unreachable!("tag checked by dispatcher")
-        };
-        rt.emit(
-            &node,
-            &trace,
-            inst,
-            When::Before,
-            Where::Condition,
-            EventInfo::None,
-            &mut Payload::Single(&mut data),
-        );
-        let muscle = MuscleId::new(node.id, MuscleRole::Condition);
-        let dur = rt.cost_of(muscle, 1, &*data);
-        let fc = fc.clone();
-        let Some(divide) = rt.guard(|| fc.call(&data)) else {
-            return Step::Done;
-        };
-        Step::Busy {
-            dur,
-            then: Box::new(move |rt| {
-                let mut data = data;
-                rt.emit(
-                    &node,
-                    &trace,
-                    inst,
-                    When::After,
-                    Where::Condition,
-                    EventInfo::ConditionResult(divide),
-                    &mut Payload::Single(&mut data),
-                );
-                if divide {
+    rt.push_ready(
+        node.placement.clone(),
+        Box::new(move |rt| {
+            let mut data = data;
+            rt.emit(
+                &node,
+                &trace,
+                inst,
+                When::Before,
+                Where::Skeleton,
+                EventInfo::None,
+                &mut Payload::Single(&mut data),
+            );
+            let NodeKind::DivideConquer { fc, .. } = &node.kind else {
+                unreachable!("tag checked by dispatcher")
+            };
+            rt.emit(
+                &node,
+                &trace,
+                inst,
+                When::Before,
+                Where::Condition,
+                EventInfo::None,
+                &mut Payload::Single(&mut data),
+            );
+            let muscle = MuscleId::new(node.id, MuscleRole::Condition);
+            let dur = rt.cost_of(muscle, 1, &*data);
+            let fc = fc.clone();
+            let Some(divide) = rt.guard(|| fc.call(&data)) else {
+                return Step::Done;
+            };
+            Step::Busy {
+                dur,
+                then: Box::new(move |rt| {
+                    let mut data = data;
                     rt.emit(
                         &node,
                         &trace,
                         inst,
-                        When::Before,
-                        Where::Split,
-                        EventInfo::None,
+                        When::After,
+                        Where::Condition,
+                        EventInfo::ConditionResult(divide),
                         &mut Payload::Single(&mut data),
                     );
-                    let NodeKind::DivideConquer { fs, .. } = &node.kind else {
-                        unreachable!()
-                    };
-                    let muscle = MuscleId::new(node.id, MuscleRole::Split);
-                    let dur = rt.cost_of(muscle, 1, &*data);
-                    let fs = fs.clone();
-                    let Some(parts) = rt.guard(move || fs.call(data)) else {
-                        return Step::Done;
-                    };
-                    Step::Busy {
-                        dur,
-                        then: Box::new(move |rt| {
-                            let mut parts = parts;
-                            rt.emit(
-                                &node,
-                                &trace,
-                                inst,
-                                When::After,
-                                Where::Split,
-                                EventInfo::SplitCardinality(parts.len()),
-                                &mut Payload::Many(&mut parts),
-                            );
-                            if parts.is_empty() {
-                                rt.fail(SimError::Eval(EvalError::EmptySplit { node: node.id }));
-                                return Step::Done;
-                            }
-                            // Children are new instances of this d&C node.
-                            fan_out(rt, node, trace, inst, parts, cont, |node, _| {
-                                Arc::clone(node)
-                            });
-                            Step::Done
-                        }),
+                    if divide {
+                        rt.emit(
+                            &node,
+                            &trace,
+                            inst,
+                            When::Before,
+                            Where::Split,
+                            EventInfo::None,
+                            &mut Payload::Single(&mut data),
+                        );
+                        let NodeKind::DivideConquer { fs, .. } = &node.kind else {
+                            unreachable!()
+                        };
+                        let muscle = MuscleId::new(node.id, MuscleRole::Split);
+                        let dur = rt.cost_of(muscle, 1, &*data);
+                        let fs = fs.clone();
+                        let Some(parts) = rt.guard(move || fs.call(data)) else {
+                            return Step::Done;
+                        };
+                        Step::Busy {
+                            dur,
+                            then: Box::new(move |rt| {
+                                let mut parts = parts;
+                                rt.emit(
+                                    &node,
+                                    &trace,
+                                    inst,
+                                    When::After,
+                                    Where::Split,
+                                    EventInfo::SplitCardinality(parts.len()),
+                                    &mut Payload::Many(&mut parts),
+                                );
+                                if parts.is_empty() {
+                                    rt.fail(SimError::Eval(EvalError::EmptySplit {
+                                        node: node.id,
+                                    }));
+                                    return Step::Done;
+                                }
+                                // Children are new instances of this d&C node.
+                                fan_out(rt, node, trace, inst, parts, cont, |node, _| {
+                                    Arc::clone(node)
+                                });
+                                Step::Done
+                            }),
+                        }
+                    } else {
+                        rt.emit(
+                            &node,
+                            &trace,
+                            inst,
+                            When::Before,
+                            Where::NestedSkeleton,
+                            EventInfo::ChildIndex(0),
+                            &mut Payload::Single(&mut data),
+                        );
+                        let NodeKind::DivideConquer { inner, .. } = &node.kind else {
+                            unreachable!()
+                        };
+                        let inner = Arc::clone(inner);
+                        let node2 = Arc::clone(&node);
+                        let trace2 = trace.clone();
+                        schedule_node(
+                            rt,
+                            &inner,
+                            Some(&trace),
+                            data,
+                            Box::new(move |rt, mut out| {
+                                rt.emit(
+                                    &node2,
+                                    &trace2,
+                                    inst,
+                                    When::After,
+                                    Where::NestedSkeleton,
+                                    EventInfo::ChildIndex(0),
+                                    &mut Payload::Single(&mut out),
+                                );
+                                rt.emit(
+                                    &node2,
+                                    &trace2,
+                                    inst,
+                                    When::After,
+                                    Where::Skeleton,
+                                    EventInfo::None,
+                                    &mut Payload::Single(&mut out),
+                                );
+                                cont(rt, out);
+                            }),
+                        );
+                        Step::Done
                     }
-                } else {
-                    rt.emit(
-                        &node,
-                        &trace,
-                        inst,
-                        When::Before,
-                        Where::NestedSkeleton,
-                        EventInfo::ChildIndex(0),
-                        &mut Payload::Single(&mut data),
-                    );
-                    let NodeKind::DivideConquer { inner, .. } = &node.kind else {
-                        unreachable!()
-                    };
-                    let inner = Arc::clone(inner);
-                    let node2 = Arc::clone(&node);
-                    let trace2 = trace.clone();
-                    schedule_node(
-                        rt,
-                        &inner,
-                        Some(&trace),
-                        data,
-                        Box::new(move |rt, mut out| {
-                            rt.emit(
-                                &node2,
-                                &trace2,
-                                inst,
-                                When::After,
-                                Where::NestedSkeleton,
-                                EventInfo::ChildIndex(0),
-                                &mut Payload::Single(&mut out),
-                            );
-                            rt.emit(
-                                &node2,
-                                &trace2,
-                                inst,
-                                When::After,
-                                Where::Skeleton,
-                                EventInfo::None,
-                                &mut Payload::Single(&mut out),
-                            );
-                            cont(rt, out);
-                        }),
-                    );
-                    Step::Done
-                }
-            }),
-        }
-    }));
+                }),
+            }
+        }),
+    );
 }
 
 /// Fans `parts` out to children, joins in order, schedules the merge task.
@@ -893,54 +913,57 @@ fn schedule_merge(
     results: Vec<Data>,
     cont: SimCont,
 ) {
-    rt.push_ready(Box::new(move |rt| {
-        let mut results = results;
-        rt.emit(
-            &node,
-            &trace,
-            inst,
-            When::Before,
-            Where::Merge,
-            EventInfo::None,
-            &mut Payload::Many(&mut results),
-        );
-        let fm = match &node.kind {
-            NodeKind::Map { fm, .. }
-            | NodeKind::Fork { fm, .. }
-            | NodeKind::DivideConquer { fm, .. } => fm.clone(),
-            _ => unreachable!("merge scheduled on a kind without a merge muscle"),
-        };
-        let muscle = MuscleId::new(node.id, MuscleRole::Merge);
-        let items = results.len();
-        let dur = rt.cost_of(muscle, items, &results);
-        let Some(out) = rt.guard(move || fm.call(results)) else {
-            return Step::Done;
-        };
-        Step::Busy {
-            dur,
-            then: Box::new(move |rt| {
-                let mut out = out;
-                rt.emit(
-                    &node,
-                    &trace,
-                    inst,
-                    When::After,
-                    Where::Merge,
-                    EventInfo::None,
-                    &mut Payload::Single(&mut out),
-                );
-                rt.emit(
-                    &node,
-                    &trace,
-                    inst,
-                    When::After,
-                    Where::Skeleton,
-                    EventInfo::None,
-                    &mut Payload::Single(&mut out),
-                );
-                cont(rt, out);
-                Step::Done
-            }),
-        }
-    }));
+    rt.push_ready(
+        node.placement.clone(),
+        Box::new(move |rt| {
+            let mut results = results;
+            rt.emit(
+                &node,
+                &trace,
+                inst,
+                When::Before,
+                Where::Merge,
+                EventInfo::None,
+                &mut Payload::Many(&mut results),
+            );
+            let fm = match &node.kind {
+                NodeKind::Map { fm, .. }
+                | NodeKind::Fork { fm, .. }
+                | NodeKind::DivideConquer { fm, .. } => fm.clone(),
+                _ => unreachable!("merge scheduled on a kind without a merge muscle"),
+            };
+            let muscle = MuscleId::new(node.id, MuscleRole::Merge);
+            let items = results.len();
+            let dur = rt.cost_of(muscle, items, &results);
+            let Some(out) = rt.guard(move || fm.call(results)) else {
+                return Step::Done;
+            };
+            Step::Busy {
+                dur,
+                then: Box::new(move |rt| {
+                    let mut out = out;
+                    rt.emit(
+                        &node,
+                        &trace,
+                        inst,
+                        When::After,
+                        Where::Merge,
+                        EventInfo::None,
+                        &mut Payload::Single(&mut out),
+                    );
+                    rt.emit(
+                        &node,
+                        &trace,
+                        inst,
+                        When::After,
+                        Where::Skeleton,
+                        EventInfo::None,
+                        &mut Payload::Single(&mut out),
+                    );
+                    cont(rt, out);
+                    Step::Done
+                }),
+            }
+        }),
+    );
 }

@@ -37,6 +37,13 @@ pub(crate) enum Step {
     Done,
 }
 
+/// A ready task plus the placement annotation of the node that produced
+/// it (`None` = run anywhere).
+pub(crate) struct ReadyTask {
+    placement: Option<Arc<str>>,
+    work: SimWork,
+}
+
 struct Completion {
     at: TimeNs,
     seq: u64,
@@ -74,7 +81,7 @@ pub(crate) struct SimRt {
     cost: Arc<dyn CostModel>,
     telemetry: Arc<PoolTelemetry>,
     lp_control: SimLpControl,
-    ready: Vec<SimWork>,
+    ready: Vec<ReadyTask>,
     completions: BinaryHeap<Completion>,
     comp_seq: u64,
     workers: Box<dyn WorkerModel>,
@@ -85,9 +92,10 @@ pub(crate) struct SimRt {
 }
 
 impl SimRt {
-    /// Queues simulated work on the LIFO ready stack.
-    pub(crate) fn push_ready(&mut self, work: SimWork) {
-        self.ready.push(work);
+    /// Queues simulated work on the LIFO ready stack, tagged with the
+    /// placement annotation of the node that produced it.
+    pub(crate) fn push_ready(&mut self, placement: Option<Arc<str>>, work: SimWork) {
+        self.ready.push(ReadyTask { placement, work });
     }
 
     /// Emits an event at the current virtual instant.
@@ -165,12 +173,37 @@ impl SimRt {
         }
     }
 
-    /// Smallest free worker slot below the current capacity, if any.
-    fn acquire_slot(&mut self) -> Option<usize> {
+    /// Picks the next `(ready index, worker slot)` pair to start, or
+    /// `None` if nothing can start right now.
+    ///
+    /// LIFO discipline is preserved: the newest ready task is considered
+    /// first, and an unannotated task always takes the lowest free slot —
+    /// exactly the pre-placement behaviour. A task whose placement names
+    /// a currently-enabled node is **hard-constrained** to that node's
+    /// slots (it waits, letting older ready tasks start, when the node is
+    /// fully busy); a placement naming no enabled slot falls back to
+    /// running anywhere, so placement can never stall the run.
+    fn pick_ready(&self) -> Option<(usize, usize)> {
         let capacity = self.workers.capacity();
-        let slot = (0..capacity).find(|slot| !self.occupied.contains(slot))?;
-        self.occupied.insert(slot);
-        Some(slot)
+        // The common case — the newest ready task is unannotated — only
+        // needs the lowest free slot, computed lazily (no allocation on
+        // the dispatch hot path).
+        let lowest_free = (0..capacity).find(|slot| !self.occupied.contains(slot))?;
+        for i in (0..self.ready.len()).rev() {
+            match &self.ready[i].placement {
+                Some(p) if self.workers.placement_enabled(p) => {
+                    if let Some(slot) = (lowest_free..capacity)
+                        .find(|&s| !self.occupied.contains(&s) && self.workers.slot_matches(s, p))
+                    {
+                        return Some((i, slot));
+                    }
+                    // The node exists but is fully busy: this task waits
+                    // for it; an older task may still start elsewhere.
+                }
+                _ => return Some((i, lowest_free)),
+            }
+        }
+        None
     }
 
     fn execute(&mut self, work: SimWork, slot: usize, overhead: TimeNs) {
@@ -213,13 +246,14 @@ impl SimRt {
                 if self.ready.is_empty() {
                     break;
                 }
-                let Some(slot) = self.acquire_slot() else {
+                let Some((index, slot)) = self.pick_ready() else {
                     break;
                 };
-                let work = self.ready.pop().expect("checked non-empty");
+                self.occupied.insert(slot);
+                let task = self.ready.remove(index);
                 let overhead = self.workers.chain_overhead(slot);
                 self.telemetry.record_task_start(self.now);
-                self.execute(work, slot, overhead);
+                self.execute(task.work, slot, overhead);
                 if self.error.is_some() {
                     return;
                 }

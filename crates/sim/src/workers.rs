@@ -46,6 +46,29 @@ pub trait WorkerModel: Send {
     fn note_busy(&mut self, slot: usize, busy: TimeNs) {
         let _ = (slot, busy);
     }
+
+    /// Does `slot` satisfy the placement annotation `placement` (a worker
+    /// node name, see `askel_skeletons::Node::placement`)? The default —
+    /// uniform local workers — accepts every placement: all slots are the
+    /// same machine.
+    fn slot_matches(&self, slot: usize, placement: &str) -> bool {
+        let _ = (slot, placement);
+        true
+    }
+
+    /// Is any slot below the current capacity able to satisfy
+    /// `placement`? While this holds, placement is a **hard** constraint
+    /// (tasks wait for a matching slot); once it stops holding — the node
+    /// was retired, or was never provisioned — annotated tasks fall back
+    /// to running anywhere, so a placement can never stall the
+    /// simulation. The default mirrors [`slot_matches`]: uniform workers
+    /// satisfy any placement as long as capacity is non-zero.
+    ///
+    /// [`slot_matches`]: WorkerModel::slot_matches
+    fn placement_enabled(&self, placement: &str) -> bool {
+        let _ = placement;
+        self.capacity() > 0
+    }
 }
 
 /// Identical local workers — plain threads on one machine.

@@ -137,16 +137,23 @@ pub struct Node {
     pub id: NodeId,
     /// Optional human-readable label (shows up in traces and logs).
     pub label: Option<Arc<str>>,
+    /// Optional placement annotation: the name of the worker node this
+    /// subtree's tasks should run on. `None` (the default) means
+    /// "anywhere". The threaded engine ignores placement (all its workers
+    /// are local); the simulator's worker models honour it (see
+    /// `askel-sim::workers::WorkerModel::slot_matches`).
+    pub placement: Option<Arc<str>>,
     /// The skeleton kind and its payload.
     pub kind: NodeKind,
 }
 
 impl Node {
-    /// Builds a node with a fresh id and no label.
+    /// Builds a node with a fresh id and no label or placement.
     pub fn new(kind: NodeKind) -> Arc<Node> {
         Arc::new(Node {
             id: NodeId::fresh(),
             label: None,
+            placement: None,
             kind,
         })
     }

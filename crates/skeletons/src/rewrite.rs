@@ -108,8 +108,71 @@ impl Node {
         Some(Arc::new(Node {
             id: self.id,
             label: self.label.clone(),
+            placement: self.placement.clone(),
             kind,
         }))
+    }
+
+    /// Returns a copy of this subtree with **every** node's placement
+    /// annotation set to `node_name` (ids and labels preserved, so
+    /// estimator history keyed by [`MuscleId`](crate::ids::MuscleId)
+    /// survives). The original tree is untouched.
+    ///
+    /// Placement is set deeply because the engines schedule each nested
+    /// skeleton's tasks from its *own* node: annotating only the subtree
+    /// root would leave its children free to run anywhere.
+    pub fn with_placement(self: &Arc<Node>, node_name: &Arc<str>) -> Arc<Node> {
+        let place = |child: &Arc<Node>| child.with_placement(node_name);
+        let place_vec =
+            |children: &[Arc<Node>]| -> Vec<Arc<Node>> { children.iter().map(place).collect() };
+        let kind = match &self.kind {
+            NodeKind::Seq { fe } => NodeKind::Seq { fe: fe.clone() },
+            NodeKind::Farm { inner } => NodeKind::Farm {
+                inner: place(inner),
+            },
+            NodeKind::Pipe { stages } => NodeKind::Pipe {
+                stages: place_vec(stages),
+            },
+            NodeKind::While { fc, inner } => NodeKind::While {
+                fc: fc.clone(),
+                inner: place(inner),
+            },
+            NodeKind::If {
+                fc,
+                then_branch,
+                else_branch,
+            } => NodeKind::If {
+                fc: fc.clone(),
+                then_branch: place(then_branch),
+                else_branch: place(else_branch),
+            },
+            NodeKind::For { n, inner } => NodeKind::For {
+                n: *n,
+                inner: place(inner),
+            },
+            NodeKind::Map { fs, inner, fm } => NodeKind::Map {
+                fs: fs.clone(),
+                inner: place(inner),
+                fm: fm.clone(),
+            },
+            NodeKind::Fork { fs, inners, fm } => NodeKind::Fork {
+                fs: fs.clone(),
+                inners: place_vec(inners),
+                fm: fm.clone(),
+            },
+            NodeKind::DivideConquer { fc, fs, inner, fm } => NodeKind::DivideConquer {
+                fc: fc.clone(),
+                fs: fs.clone(),
+                inner: place(inner),
+                fm: fm.clone(),
+            },
+        };
+        Arc::new(Node {
+            id: self.id,
+            label: self.label.clone(),
+            placement: Some(Arc::clone(node_name)),
+            kind,
+        })
     }
 }
 
@@ -129,6 +192,20 @@ where
         self.node()
             .replace_subtree(target, replacement)
             .map(Skel::from_node)
+    }
+
+    /// Returns a new skeleton in which the subtree rooted at `target`
+    /// carries the placement annotation `node_name` on every node
+    /// (ancestors rebuilt, ids preserved — see
+    /// [`Node::with_placement`]), or `None` if `target` does not occur.
+    ///
+    /// Placement is purely a scheduling hint: results are identical
+    /// wherever the subtree runs, which is what makes an `Offload`
+    /// rewrite result-invariant by construction.
+    pub fn placed_at(&self, target: NodeId, node_name: &str) -> Option<Skel<P, R>> {
+        let name: Arc<str> = Arc::from(node_name);
+        let placed = self.node().find(target)?.with_placement(&name);
+        self.rewritten(target, &placed)
     }
 }
 
@@ -198,6 +275,56 @@ mod tests {
         let new = program.rewritten(shared.id(), replacement.node()).unwrap();
         assert_eq!(new.apply(5), 4);
         assert_eq!(new.apply(-5), -6);
+    }
+
+    #[test]
+    fn placed_at_annotates_the_whole_subtree_and_preserves_ids() {
+        let program = counting_map();
+        let leaf_id = program.node().children()[0].id;
+        let placed = program.placed_at(program.id(), "worker-9").unwrap();
+        // Every node of the placed subtree carries the annotation...
+        for n in placed.node().collect_nodes() {
+            assert_eq!(n.placement.as_deref(), Some("worker-9"), "{n:?}");
+        }
+        // ...with ids preserved (estimator history survives).
+        assert_eq!(placed.id(), program.id());
+        assert_eq!(placed.node().children()[0].id, leaf_id);
+        // The original is untouched and results are identical.
+        assert!(program.node().placement.is_none());
+        assert_eq!(placed.apply(vec![1, 2, 3]), program.apply(vec![1, 2, 3]));
+    }
+
+    #[test]
+    fn placed_at_nested_target_leaves_ancestors_unplaced() {
+        let program = counting_map();
+        let leaf_id = program.node().children()[0].id;
+        let placed = program.placed_at(leaf_id, "remote").unwrap();
+        assert!(placed.node().placement.is_none(), "root not annotated");
+        assert_eq!(
+            placed.node().children()[0].placement.as_deref(),
+            Some("remote")
+        );
+        assert_eq!(placed.id(), program.id());
+        assert!(placed.placed_at(NodeId(u64::MAX - 3), "x").is_none());
+    }
+
+    #[test]
+    fn replace_subtree_preserves_ancestor_placement() {
+        let program = counting_map().placed_at(counting_map().id(), "ignored");
+        // placed_at on a *different* tree's id: None. Use a real one.
+        assert!(program.is_none());
+        let base = counting_map();
+        let placed = base.placed_at(base.id(), "hub").unwrap();
+        let leaf = Arc::clone(placed.node().children()[0]);
+        let replacement = seq(|v: Vec<i64>| v[0] * 10);
+        let new = placed.rewritten(leaf.id, replacement.node()).unwrap();
+        assert_eq!(
+            new.node().placement.as_deref(),
+            Some("hub"),
+            "rebuilt ancestors keep their placement"
+        );
+        // The replacement subtree carries its own (absent) placement.
+        assert!(new.node().children()[0].placement.is_none());
     }
 
     #[test]

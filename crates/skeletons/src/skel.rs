@@ -104,6 +104,7 @@ where
         let node = Arc::new(Node {
             id: NodeId::fresh(),
             label: Some(label),
+            placement: self.node.placement.clone(),
             kind: self.node.kind.clone(),
         });
         Skel {

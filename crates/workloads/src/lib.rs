@@ -16,15 +16,22 @@
 //! workload for `askel-adapt`: a fragile filter stage with a robust
 //! fallback, and a sequential count stage with a width-tunable parallel
 //! promotion.
+//!
+//! [`oscillating`] adds the adversarial stream for knob hysteresis and
+//! cluster offloading: item sizes flip between a low and a high phase on
+//! a fixed period, processed by a width-knobbed (and placement-invariant)
+//! sum-of-squares map.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod adaptive;
 pub mod numeric;
+pub mod oscillating;
 pub mod tweets;
 pub mod wordcount;
 
 pub use adaptive::AdaptiveWordCount;
+pub use oscillating::{GrainedSquareSum, KnobbedSquareSum, OscillatingLoad};
 pub use tweets::{generate_corpus, TweetGenConfig};
 pub use wordcount::{count_tokens, merge_counts, Counts, WordCountProgram};

@@ -67,12 +67,15 @@ use askel_skeletons::Skel;
 /// The items almost every user wants in scope.
 pub mod prelude {
     pub use askel_adapt::{
-        AdaptRecord, AdaptiveSession, FallbackSwap, Knob, Promote, Reconfigurator, RetuneGrain,
-        RetuneWidth, Trigger, TriggerEngine, VersionedSkel,
+        AdaptRecord, AdaptiveSession, FallbackSwap, Forecast, Hysteresis, Knob, Offload, Promote,
+        Reconfigurator, RetuneGrain, RetuneWidth, Trigger, TriggerEngine, VersionedSkel,
     };
     pub use askel_core::{
         AutonomicController, ControllerConfig, DecisionReason, DecreasePolicy, RaisePolicy,
         Snapshot,
+    };
+    pub use askel_dist::{
+        Cluster, ClusterTelemetry, NodeSpec, ProvisionAction, ProvisionRecord, ProvisioningPolicy,
     };
     pub use askel_engine::{Engine, EngineError, SkelFuture, StreamSession};
     pub use askel_events::{EventFilter, FnListener, Listener, Payload, When, Where};

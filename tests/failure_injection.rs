@@ -146,6 +146,142 @@ fn zero_cardinality_splits_flow_through_the_autonomic_stack() {
     assert_eq!(second.result, 0);
 }
 
+/// A remote node that starts erroring mid-stream: the `Offload` rule has
+/// moved the map onto the hub, then the hub's execution starts panicking;
+/// two consecutive item errors trigger a `FallbackSwap` whose fallback is
+/// an **unplaced** (local) implementation — the offload-back. No item is
+/// lost or duplicated, and the sim decision log replays deterministically.
+#[test]
+fn remote_errors_trigger_fallback_swap_offload_back() {
+    use autonomic_skeletons::adapt::Reconfigurator;
+    use autonomic_skeletons::dist::{Cluster, NodeSpec};
+
+    const POISON: i64 = -999;
+
+    fn build_map(robust: bool) -> Skel<Vec<i64>, i64> {
+        map(
+            |v: Vec<i64>| {
+                let mid = (v.len() / 2).max(1).min(v.len());
+                let (a, b) = v.split_at(mid);
+                vec![a.to_vec(), b.to_vec()]
+            },
+            seq(move |chunk: Vec<i64>| {
+                if !robust && chunk.contains(&POISON) {
+                    panic!("remote node rejected a poisoned chunk");
+                }
+                chunk.iter().filter(|x| **x != POISON).sum::<i64>()
+            }),
+            |parts: Vec<i64>| parts.into_iter().sum::<i64>(),
+        )
+    }
+
+    struct Run {
+        outcomes: Vec<Result<i64, String>>,
+        decisions: Vec<(TimeNs, u64, String)>,
+        edge_busy_before_swap: TimeNs,
+        hub_got_work: bool,
+        final_version: u64,
+    }
+
+    fn run_once() -> Run {
+        let fragile = build_map(false);
+        let robust = build_map(true);
+        // Two edge slots first, so the unplaced two-chunk fan-out runs
+        // entirely on the edge and the skew recruits the hub.
+        let cluster = Cluster::new(vec![
+            NodeSpec::local("edge", 2),
+            NodeSpec::remote("hub", 2, TimeNs::from_millis(5)),
+        ]);
+        let telemetry = cluster.telemetry();
+        let cost = Arc::new(TableCost::new(TimeNs::from_millis(10)));
+        let mut sim = SimEngine::with_workers(Box::new(cluster), cost);
+
+        let trigger = autonomic_skeletons::adapt::TriggerEngine::new(0.5);
+        sim.registry().add_listener(trigger.clone());
+        trigger.add_rule(
+            autonomic_skeletons::adapt::Offload::new(&fragile, "hub", telemetry.clone())
+                .water_marks(0.7, 0.2),
+        );
+        trigger.add_rule(FallbackSwap::new(&fragile, &robust, 2).named("offload-back"));
+        let reconf = Reconfigurator::new(
+            Arc::clone(sim.registry()),
+            sim.clock().clone(),
+            trigger.clone(),
+        )
+        .lp_source(|| 4);
+
+        let mut vskel = VersionedSkel::new(&fragile);
+        // Items 3 and 4 are poisoned: the hub (where the offload moved
+        // the map) starts erroring mid-stream.
+        let items: Vec<Vec<i64>> = (0..8)
+            .map(|k| {
+                if k == 3 || k == 4 {
+                    vec![k, POISON, k + 1, k + 2]
+                } else {
+                    vec![k, k + 1, k + 2, k + 3]
+                }
+            })
+            .collect();
+        let fed = items.len();
+        let mut outcomes = Vec::new();
+        let mut edge_busy_before_swap = TimeNs::ZERO;
+        let mut hub_got_work = false;
+        for input in &items {
+            let result = match sim.run(vskel.skel(), input.clone()) {
+                Ok(out) => Ok(out.result),
+                Err(e) => Err(e.to_string()),
+            };
+            trigger.record_outcome(result.is_ok());
+            outcomes.push(result);
+            if vskel.version() < 2 {
+                edge_busy_before_swap = telemetry.busy_per_node()[0];
+            }
+            reconf.apply(&mut vskel);
+            hub_got_work |= telemetry.busy_per_node()[1] > TimeNs::ZERO;
+        }
+        assert_eq!(outcomes.len(), fed, "one outcome per fed item");
+        Run {
+            outcomes,
+            decisions: trigger
+                .decision_log()
+                .into_iter()
+                .map(|d| (d.at, d.version, d.rule))
+                .collect(),
+            edge_busy_before_swap,
+            hub_got_work,
+            final_version: vskel.version(),
+        }
+    }
+
+    let a = run_once();
+    // No item lost or duplicated: exactly the two streak items failed,
+    // every other item computed the reference sum.
+    let errors: Vec<usize> = a
+        .outcomes
+        .iter()
+        .enumerate()
+        .filter_map(|(i, r)| r.is_err().then_some(i))
+        .collect();
+    assert_eq!(errors, vec![3, 4], "{:?}", a.outcomes);
+    for (k, outcome) in a.outcomes.iter().enumerate() {
+        if let Ok(sum) = outcome {
+            let expected: i64 = (k as i64..k as i64 + 4).sum();
+            assert_eq!(*sum, expected, "item {k}");
+        }
+    }
+    // The interplay: offload to the hub first, then the error streak
+    // swaps in the local (unplaced) fallback — offload-back.
+    let rules: Vec<&str> = a.decisions.iter().map(|d| d.2.as_str()).collect();
+    assert_eq!(rules, vec!["offload", "offload-back"], "{:?}", a.decisions);
+    assert_eq!(a.final_version, 2);
+    assert!(a.edge_busy_before_swap > TimeNs::ZERO);
+    assert!(a.hub_got_work, "the offload really moved work to the hub");
+    // Pinned: the decision log (virtual timestamps included) replays.
+    let b = run_once();
+    assert_eq!(a.decisions, b.decisions);
+    assert_eq!(a.outcomes, b.outcomes);
+}
+
 #[test]
 fn overdue_activities_do_not_break_estimation() {
     // A muscle that takes far longer than its estimate: the past-clamp
