@@ -18,21 +18,31 @@
 //!   [`TriggerEngine::seed_from`]), plus item outcomes and input-size
 //!   hints that events cannot carry.
 //! * **Plan** — [`Rule`]s ([`Promote`], [`FallbackSwap`], [`RetuneWidth`],
-//!   [`RetuneGrain`], [`Offload`]) evaluated once per safe point, each
-//!   yielding at most one [`RewriteAction`]. Rules can be coupled to the
-//!   WCT controller's prediction machinery ([`crate::forecast`]:
-//!   `Promote::forecast_gated` / `RetuneWidth::forecast_gated` fire only
-//!   on a forecast WCT improvement, audited predicted-vs-realized in the
-//!   decision log), damped against oscillating load ([`Hysteresis`]), and
-//!   made cluster-aware ([`Offload`] re-places a subtree onto an
-//!   underloaded `askel-dist` node, pairing with
-//!   `askel_dist::ProvisioningPolicy` for dynamic node provisioning).
-//! * **Execute** — [`Reconfigurator`] applies fired rewrites to a
+//!   [`RetuneGrain`], [`Offload`], [`CostGuard`]) evaluated once per safe
+//!   point, each yielding at most one [`RewriteAction`]. Rules can be
+//!   coupled to the WCT controller's prediction machinery
+//!   ([`crate::forecast`]: `Promote::forecast_gated` /
+//!   `RetuneWidth::forecast_gated` fire only on a forecast WCT
+//!   improvement, audited predicted-vs-realized in the decision log),
+//!   damped against oscillating load ([`Hysteresis`]), and made
+//!   cluster-aware ([`Offload`] re-places a subtree onto an underloaded
+//!   `askel-dist` node, pairing with `askel_dist::ProvisioningPolicy`
+//!   for dynamic node provisioning; [`CostGuard`] opposes spend past a
+//!   node-hours budget). Every rule carries a [`Concern`] and a
+//!   priority.
+//! * **Execute** — [`Reconfigurator`] first **arbitrates** the safe
+//!   point's collected fires ([`crate::arbitration`]: conflicting
+//!   actions on one knob or overlapping subtrees resolve under a
+//!   [`ConflictPolicy`]; losers are logged as suppressed
+//!   [`AdaptRecord`]s and re-armed), then applies the winning set to a
 //!   [`VersionedSkel`] **between stream items**: the tree is rebuilt
 //!   persistently (`Skel::rewritten`), the version bumps, an
 //!   `(After, Reconfigured)` event announces the change through the
-//!   registry, and an [`AdaptRecord`] lands in the decision log —
-//!   symmetric to the controller's `AnalysisRecord`.
+//!   registry, an [`AdaptRecord`] lands in the decision log — symmetric
+//!   to the controller's `AnalysisRecord` — and estimator history for
+//!   the replaced subtree is invalidated
+//!   ([`TriggerEngine::invalidate_estimates_for`]) so the next forecast
+//!   is computed from the live tree.
 //!
 //! [`AdaptiveSession`] packages the loop over `askel-engine`'s
 //! `StreamSession`; the [`Reconfigurator`] alone drives the same loop over
@@ -50,15 +60,17 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod arbitration;
 pub mod forecast;
 pub mod rules;
 pub mod session;
 pub mod trigger;
 
+pub use arbitration::{arbitrate, ArbitrationOutcome, ConflictPolicy, Suppressed};
 pub use forecast::{predicted_wct, Forecast};
 pub use rules::{
-    ErrorStats, FallbackSwap, Hysteresis, Knob, Offload, Promote, RetuneGrain, RetuneWidth,
-    RewriteAction, Rule, RuleCtx, RuleFire, Trigger,
+    Concern, CostGuard, ErrorStats, FallbackSwap, Hysteresis, Knob, Offload, Promote, RetuneGrain,
+    RetuneWidth, RewriteAction, Rule, RuleCtx, RuleFire, Trigger,
 };
 pub use session::{AdaptiveSession, Reconfigurator, VersionedSkel};
 pub use trigger::{AdaptRecord, PlannedRewrite, TriggerEngine};

@@ -15,13 +15,15 @@
 //! retunes are live immediately (see [`crate::Knob`] for the
 //! result-invariance contract that makes that safe).
 
-use std::collections::VecDeque;
+use std::collections::{HashSet, VecDeque};
 use std::sync::Arc;
 
+use askel_core::AutonomicController;
 use askel_engine::{Engine, EngineError, StreamSession};
 use askel_events::{Event, EventInfo, ListenerRegistry, Payload, Trace, When, Where};
-use askel_skeletons::{Clock, InstanceId, Skel};
+use askel_skeletons::{Clock, InstanceId, NodeId, Skel};
 
+use crate::arbitration::{arbitrate, ConflictPolicy};
 use crate::rules::RewriteAction;
 use crate::trigger::{AdaptRecord, TriggerEngine};
 
@@ -67,6 +69,10 @@ pub struct Reconfigurator {
     clock: Arc<dyn Clock>,
     trigger: Arc<TriggerEngine>,
     lp: Box<dyn Fn() -> usize + Send + Sync>,
+    policy: ConflictPolicy,
+    /// A WCT controller whose estimator history is invalidated alongside
+    /// the trigger's on every applied subtree replacement.
+    controller: Option<Arc<AutonomicController>>,
 }
 
 impl Reconfigurator {
@@ -83,6 +89,8 @@ impl Reconfigurator {
             clock,
             trigger,
             lp: Box::new(|| 1),
+            policy: ConflictPolicy::default(),
+            controller: None,
         }
     }
 
@@ -101,22 +109,56 @@ impl Reconfigurator {
         self
     }
 
+    /// Sets how conflicting rule fires are resolved at each safe point
+    /// (default [`ConflictPolicy::PriorityWins`]); see
+    /// [`crate::arbitration`].
+    pub fn conflict_policy(mut self, policy: ConflictPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Keeps a WCT controller's estimator table consistent with the
+    /// rewritten tree: on every applied subtree replacement, the
+    /// replaced nodes' history is invalidated in `controller` as well as
+    /// in the trigger engine
+    /// ([`AutonomicController::invalidate_estimates_for`]) — the
+    /// controller↔trigger feedback loop, so post-rewrite forecasts on
+    /// either side are computed from the live tree.
+    pub fn sync_controller(mut self, controller: Arc<AutonomicController>) -> Self {
+        self.controller = Some(controller);
+        self
+    }
+
     /// The trigger engine this reconfigurator plans with.
     pub fn trigger(&self) -> &Arc<TriggerEngine> {
         &self.trigger
     }
 
-    /// One safe point: plans against the current statistics and applies
-    /// every fired rewrite to `vskel`, emitting one
+    /// One safe point: plans against the current statistics,
+    /// **arbitrates** the collected fires (see [`crate::arbitration`])
+    /// and applies the winning set to `vskel`, emitting one
     /// `(After, Reconfigured)` event and one decision-log record per
     /// applied rewrite. Returns how many rewrites were applied.
     ///
-    /// A `Replace` whose target no longer occurs — an earlier rewrite *in
-    /// the same safe point* removed it — is not applied: the rule is
-    /// re-armed ([`TriggerEngine::rearm`], so a once-rule is not lost)
-    /// and a `skipped` entry lands in the decision log. At the next safe
-    /// point the rule re-evaluates against the new tree (the built-in
-    /// replacement rules gate on their target being present).
+    /// Bookkeeping around the winners:
+    ///
+    /// * **Suppressed losers** — fires that conflicted with a winner (or
+    ///   were blocked by a veto) are logged as `suppressed by \`rule\``
+    ///   records (no version bump) and their rules re-armed
+    ///   ([`TriggerEngine::rearm`], so a once-rule is not lost); idle
+    ///   vetoes are re-armed but not logged.
+    /// * **Skipped plans** — a `Replace`/`Place` whose target no longer
+    ///   occurs (an earlier rewrite *in the same safe point* removed it)
+    ///   is not applied: the rule is re-armed and a `skipped` entry
+    ///   lands in the log. At the next safe point the rule re-evaluates
+    ///   against the new tree (the built-in replacement rules gate on
+    ///   their target being present).
+    /// * **Estimator invalidation** — every applied `Replace` drops the
+    ///   replaced nodes' estimator history from the trigger engine (and
+    ///   from a [`sync_controller`](Reconfigurator::sync_controller)'d
+    ///   WCT controller), so the next forecast cannot cite a tree that
+    ///   no longer exists, and notifies rules via
+    ///   [`Rule::on_replaced`](crate::Rule::on_replaced).
     pub fn apply<P, R>(&self, vskel: &mut VersionedSkel<P, R>) -> usize
     where
         P: Send + 'static,
@@ -126,14 +168,27 @@ impl Reconfigurator {
         let plans = self
             .trigger
             .plan(vskel.skel.node(), vskel.version, (self.lp)(), now);
+        let outcome = arbitrate(plans, &self.policy, vskel.skel.node());
+        for veto in &outcome.idle_vetoes {
+            self.trigger.rearm(veto.rule_index);
+        }
         let mut applied = 0;
-        for plan in plans {
+        for plan in outcome.winners {
             let forecast = plan.forecast;
             let (record, event_node) = match plan.action {
                 RewriteAction::Replace {
                     target,
                     replacement,
                 } => {
+                    // Snapshot the replaced subtree's node ids before the
+                    // rewrite; whatever does not survive into the new
+                    // tree has its estimator history invalidated below.
+                    let old_nodes: Vec<NodeId> = vskel
+                        .skel
+                        .node()
+                        .find(target)
+                        .map(|sub| sub.collect_nodes().iter().map(|n| n.id).collect())
+                        .unwrap_or_default();
                     let Some(new_skel) = vskel.skel.rewritten(target, &replacement) else {
                         self.trigger.rearm(plan.rule_index);
                         self.trigger.record(AdaptRecord {
@@ -149,13 +204,35 @@ impl Reconfigurator {
                     };
                     vskel.skel = new_skel;
                     vskel.version += 1;
+                    let kept: HashSet<NodeId> = vskel
+                        .skel
+                        .node()
+                        .collect_nodes()
+                        .iter()
+                        .map(|n| n.id)
+                        .collect();
+                    let removed: Vec<NodeId> = old_nodes
+                        .into_iter()
+                        .collect::<HashSet<_>>()
+                        .into_iter()
+                        .filter(|id| !kept.contains(id))
+                        .collect();
+                    let dropped = self.trigger.invalidate_estimates_for(&removed);
+                    if let Some(controller) = &self.controller {
+                        controller.invalidate_estimates_for(&removed);
+                    }
+                    self.trigger.note_replaced(target, &replacement);
+                    let mut action = format!("replace {target} with {}", replacement.id);
+                    if dropped > 0 {
+                        action.push_str(&format!("; dropped {dropped} stale estimator entries"));
+                    }
                     (
                         AdaptRecord {
                             at: now,
                             version: vskel.version,
                             rule: plan.rule,
                             target: Some(target),
-                            action: format!("replace {target} with {}", replacement.id),
+                            action,
                             why: plan.why,
                             forecast,
                         },
@@ -183,7 +260,15 @@ impl Reconfigurator {
                     )
                 }
                 RewriteAction::Place { target, node } => {
-                    let Some(new_skel) = vskel.skel.placed_at(target, &node) else {
+                    // Both failure shapes — the target vanished before
+                    // `placed_at`, or (defensively) the placed tree does
+                    // not contain it afterwards — skip with an audit
+                    // record instead of panicking the session.
+                    let placed = vskel.skel.placed_at(target, &node).and_then(|new_skel| {
+                        let placed_root = new_skel.node().find(target)?;
+                        Some((new_skel, placed_root))
+                    });
+                    let Some((new_skel, placed_root)) = placed else {
                         self.trigger.rearm(plan.rule_index);
                         self.trigger.record(AdaptRecord {
                             at: now,
@@ -198,11 +283,6 @@ impl Reconfigurator {
                     };
                     vskel.skel = new_skel;
                     vskel.version += 1;
-                    let placed_root = vskel
-                        .skel
-                        .node()
-                        .find(target)
-                        .expect("placed_at succeeded, target occurs");
                     (
                         AdaptRecord {
                             at: now,
@@ -232,6 +312,27 @@ impl Reconfigurator {
             self.registry.emit(&mut Payload::None, &event);
             self.trigger.record(record);
             applied += 1;
+        }
+        // Losers after winners, so the log reads "what happened, then
+        // what was overruled" — each suppressed fire is audited (no
+        // version bump) and its rule re-armed for the next safe point.
+        for s in outcome.suppressed {
+            self.trigger.rearm(s.plan.rule_index);
+            let target = match &s.plan.action {
+                RewriteAction::Replace { target, .. } | RewriteAction::Place { target, .. } => {
+                    Some(*target)
+                }
+                RewriteAction::SetKnob { .. } => None,
+            };
+            self.trigger.record(AdaptRecord {
+                at: now,
+                version: vskel.version,
+                rule: s.plan.rule,
+                target,
+                action: format!("suppressed by `{}`: {:?}", s.by, s.plan.action),
+                why: s.plan.why,
+                forecast: None,
+            });
         }
         applied
     }
@@ -316,6 +417,21 @@ where
     /// gate on the EWMA of these (`Trigger::InputSizeAtLeast`).
     pub fn input_size(mut self, f: impl Fn(&P) -> usize + 'static) -> Self {
         self.size_of = Some(Box::new(f));
+        self
+    }
+
+    /// Forwards to [`Reconfigurator::conflict_policy`]: how conflicting
+    /// rule fires at one safe point are arbitrated.
+    pub fn conflict_policy(mut self, policy: ConflictPolicy) -> Self {
+        self.reconf = self.reconf.conflict_policy(policy);
+        self
+    }
+
+    /// Forwards to [`Reconfigurator::sync_controller`]: a WCT controller
+    /// whose estimator history is invalidated alongside the trigger
+    /// engine's whenever a subtree is replaced.
+    pub fn sync_controller(mut self, controller: Arc<AutonomicController>) -> Self {
+        self.reconf = self.reconf.sync_controller(controller);
         self
     }
 
@@ -489,9 +605,11 @@ mod tests {
     #[test]
     fn conflicting_replacements_in_one_safe_point_rearm_instead_of_losing_the_rule() {
         // Two once-rules fire at the same safe point, both targeting the
-        // same node: the first applies; the second's target is gone, so
-        // it must be skipped *with* an audit record and re-armed — and
-        // its presence gate then keeps it quiescent, not firing forever.
+        // same node: arbitration picks one winner (equal priority and
+        // concern, so the rule-name tie-break: "first" < "second"); the
+        // loser must be suppressed *with* an audit record and re-armed —
+        // and its presence gate then keeps it quiescent, not firing
+        // forever.
         let engine = Engine::new(1);
         let target = seq(|x: i64| x);
         let winner = seq(|x: i64| x + 10);
@@ -518,11 +636,66 @@ mod tests {
         assert_eq!(log.len(), 2, "{log:?}");
         assert_eq!(log[0].rule, "first");
         assert_eq!(log[1].rule, "second");
-        assert!(log[1].action.contains("skipped"), "{:?}", log[1]);
-        assert_eq!(log[1].version, 1, "skips do not bump the version");
+        assert!(
+            log[1].action.contains("suppressed by `first`"),
+            "{:?}",
+            log[1]
+        );
+        assert_eq!(log[1].version, 1, "suppressions do not bump the version");
         // The re-armed rule re-evaluated at later safe points but its
         // presence gate held it silent — no further log entries.
         assert!(trigger.evaluations() > 2);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn place_on_a_vanished_target_skips_with_a_record_instead_of_panicking() {
+        // A rule may fire `Place` against a target that is not (or no
+        // longer) in the tree — e.g. its retained NodeId went stale
+        // across someone else's rewrite. The session must skip with an
+        // audit record and re-arm, never panic.
+        struct PlaceBogus {
+            target: NodeId,
+            fired: std::sync::atomic::AtomicBool,
+        }
+        impl crate::rules::Rule for PlaceBogus {
+            fn name(&self) -> &str {
+                "place-bogus"
+            }
+            fn evaluate(&self, _ctx: &crate::rules::RuleCtx<'_>) -> Option<crate::rules::RuleFire> {
+                if self.fired.swap(true, Ordering::Relaxed) {
+                    return None;
+                }
+                Some(crate::rules::RuleFire::new(
+                    RewriteAction::Place {
+                        target: self.target,
+                        node: "edge-1".to_string(),
+                    },
+                    "test: place on a node the tree does not contain".to_string(),
+                ))
+            }
+        }
+        let engine = Engine::new(1);
+        let program = doubler();
+        let elsewhere = doubler(); // a distinct tree: its id never occurs in `program`
+        let trigger = TriggerEngine::new(1.0);
+        trigger.add_rule(PlaceBogus {
+            target: elsewhere.id(),
+            fired: std::sync::atomic::AtomicBool::new(false),
+        });
+        let mut stream = AdaptiveSession::new(&engine, &program, trigger.clone());
+        let mut got = Vec::new();
+        for x in 0..3 {
+            stream.feed(x);
+            got.push(stream.next_result().expect("lock-step").unwrap());
+        }
+        assert_eq!(got, vec![0, 2, 4], "stream unaffected by the bad placement");
+        assert_eq!(stream.version(), 0, "nothing applied");
+        let log = trigger.decision_log();
+        assert_eq!(log.len(), 1, "{log:?}");
+        assert_eq!(log[0].rule, "place-bogus");
+        assert!(log[0].action.contains("skipped"), "{:?}", log[0]);
+        assert_eq!(log[0].target, Some(elsewhere.id()));
         engine.shutdown();
     }
 
@@ -560,10 +733,11 @@ mod tests {
 
     #[test]
     fn outer_and_inner_rewrites_at_one_safe_point_rearm_the_inner() {
-        // Two once-rules fire at the same safe point: the first replaces
-        // an *outer* subtree, which removes the second rule's *nested*
-        // target. Per the PR 4 re-arm contract the inner rule must be
-        // skipped with an audit record and re-armed — and since its
+        // Two once-rules fire at the same safe point: one replaces an
+        // *outer* subtree, which contains the second rule's *nested*
+        // target — arbitration detects the overlap and the
+        // higher-priority outer rule wins. The inner rule must be
+        // suppressed with an audit record and re-armed — and since its
         // target never comes back, its presence gate keeps it silent
         // (without the re-arm it would be silently lost; without the
         // gate it would fire on a vanished target forever).
@@ -576,6 +750,7 @@ mod tests {
         trigger.add_rule(
             Promote::new(&outer, &outer_replacement)
                 .named("outer")
+                .priority(1)
                 .when(Trigger::InputSizeAtLeast(1.0)),
         );
         trigger.add_rule(
@@ -598,7 +773,11 @@ mod tests {
         assert_eq!(log.len(), 2, "{log:?}");
         assert_eq!(log[0].rule, "outer");
         assert_eq!(log[1].rule, "inner");
-        assert!(log[1].action.contains("skipped"), "{:?}", log[1]);
+        assert!(
+            log[1].action.contains("suppressed by `outer`"),
+            "{:?}",
+            log[1]
+        );
         assert_eq!(log[1].target, Some(inner.id()));
         // The re-armed inner rule kept re-evaluating (presence-gated
         // silent), so evaluations exceed the two pre-fire ones.

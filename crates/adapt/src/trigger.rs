@@ -24,7 +24,7 @@ use askel_events::{Event, Listener, Payload, When, Where};
 use askel_skeletons::{InstanceId, Node, NodeId, TimeNs};
 
 use crate::forecast::Forecast;
-use crate::rules::{ErrorStats, RewriteAction, Rule, RuleCtx};
+use crate::rules::{Concern, ErrorStats, RewriteAction, Rule, RuleCtx};
 
 /// One audited structural rewrite — the self-configuration counterpart of
 /// `askel_core::AnalysisRecord`.
@@ -49,7 +49,9 @@ pub struct AdaptRecord {
     pub forecast: Option<Forecast>,
 }
 
-/// A rewrite a rule requested at a safe point, awaiting application.
+/// A rewrite a rule requested at a safe point, awaiting arbitration and
+/// application.
+#[derive(Clone)]
 pub struct PlannedRewrite {
     /// Name of the rule that fired.
     pub rule: String,
@@ -57,12 +59,19 @@ pub struct PlannedRewrite {
     /// [`TriggerEngine::rearm`] if the plan could not be applied, so a
     /// once-rule retired at fire time is not lost.
     pub rule_index: usize,
-    /// The requested change.
+    /// The requested change — or, for a veto, the contested resource.
     pub action: RewriteAction,
     /// The statistics that justified it.
     pub why: String,
     /// The forecast a gated rule fired on.
     pub forecast: Option<Forecast>,
+    /// The firing rule's concern (see [`Concern`]).
+    pub concern: Concern,
+    /// The firing rule's arbitration priority.
+    pub priority: i32,
+    /// `true` for a veto firing: opposes conflicting actions instead of
+    /// requesting a change (see [`crate::RuleFire::veto`]).
+    pub veto: bool,
 }
 
 struct TrigInner {
@@ -106,8 +115,12 @@ impl TriggerEngine {
         })
     }
 
-    /// Registers a rule. Rules are evaluated in registration order at each
-    /// safe point.
+    /// Registers a rule. At each safe point every live rule is evaluated
+    /// and the resulting fires are **arbitrated** (see
+    /// [`crate::arbitration`]) before any are applied — which rule wins a
+    /// conflict is decided by priority, concern and the configured
+    /// [`ConflictPolicy`](crate::ConflictPolicy), never by the order the
+    /// rules were registered in.
     pub fn add_rule(&self, rule: impl Rule + 'static) {
         let mut inner = self.inner.lock();
         inner.rules.push(Box::new(rule));
@@ -229,6 +242,9 @@ impl TriggerEngine {
                     action: fire.action,
                     why: fire.why,
                     forecast: fire.forecast,
+                    concern: rule.concern(),
+                    priority: rule.priority(),
+                    veto: fire.veto,
                 });
             }
         }
@@ -251,6 +267,33 @@ impl TriggerEngine {
     /// Appends one applied rewrite to the decision log.
     pub fn record(&self, record: AdaptRecord) {
         self.inner.lock().log.push(record);
+    }
+
+    /// Drops every estimator entry (durations, cardinalities, group
+    /// fallbacks, aliases) whose muscle belongs to one of `removed` —
+    /// the nodes an applied rewrite removed from the tree. Returns the
+    /// number of positional entries dropped. The
+    /// [`Reconfigurator`](crate::Reconfigurator) calls this after every
+    /// applied subtree replacement, so the next forecast is computed
+    /// from the live tree instead of being steered by history of a
+    /// subtree that no longer exists.
+    pub fn invalidate_estimates_for(&self, removed: &[NodeId]) -> usize {
+        self.inner
+            .lock()
+            .tracker
+            .estimates_mut()
+            .invalidate_nodes(removed)
+    }
+
+    /// Tells every registered rule that an applied rewrite replaced the
+    /// subtree `target` with `replacement` ([`Rule::on_replaced`]) —
+    /// how e.g. [`Offload`](crate::Offload) follows its subtree through
+    /// a fallback swap and re-arms.
+    pub fn note_replaced(&self, target: NodeId, replacement: &Arc<Node>) {
+        let inner = self.inner.lock();
+        for rule in &inner.rules {
+            rule.on_replaced(target, replacement);
+        }
     }
 
     /// The decision log: every applied rewrite, in order.
@@ -289,18 +332,31 @@ impl Listener for TriggerEngine {
                 }
                 When::After => {
                     // A root submission completed: its realized WCT
-                    // closes the oldest still-open forecast audit among
-                    // rewrites applied before the item started.
+                    // closes the forecast audit of the skeleton version
+                    // the item actually ran under — the last rewrite
+                    // applied before it started. Matching on version
+                    // (not merely "applied before") keeps back-to-back
+                    // rewrites honest: an item submitted under version 2
+                    // can never close version 1's audit, even when it
+                    // completes first.
                     if let Some(started) = inner.item_starts.remove(&event.index) {
                         let realized = event.timestamp.saturating_sub(started);
-                        if let Some(forecast) = inner
+                        let ran_under = inner
                             .log
-                            .iter_mut()
+                            .iter()
                             .filter(|r| r.at <= started)
-                            .filter_map(|r| r.forecast.as_mut())
-                            .find(|f| f.realized.is_none())
-                        {
-                            forecast.realized = Some(realized);
+                            .map(|r| r.version)
+                            .max();
+                        if let Some(version) = ran_under {
+                            if let Some(forecast) = inner
+                                .log
+                                .iter_mut()
+                                .filter(|r| r.version == version && r.at <= started)
+                                .filter_map(|r| r.forecast.as_mut())
+                                .find(|f| f.realized.is_none())
+                            {
+                                forecast.realized = Some(realized);
+                            }
                         }
                     }
                 }
@@ -452,6 +508,68 @@ mod tests {
         assert_eq!(
             t.decision_log()[0].forecast.unwrap().realized,
             Some(TimeNs::from_millis(45))
+        );
+    }
+
+    #[test]
+    fn back_to_back_rewrites_attribute_realized_to_their_own_version() {
+        use crate::forecast::Forecast;
+        use askel_skeletons::{InstanceId, KindTag};
+
+        let t = TriggerEngine::new(0.5);
+        let node = NodeId(11);
+        let root_event = |when, inst: u64, at_ms: u64| Event {
+            node,
+            kind: KindTag::Seq,
+            when,
+            wher: Where::Skeleton,
+            index: InstanceId(inst),
+            trace: askel_events::Trace::root(node, InstanceId(inst), KindTag::Seq),
+            timestamp: TimeNs::from_millis(at_ms),
+            info: askel_events::EventInfo::None,
+        };
+        let gated_record = |at_ms: u64, version: u64, predicted_ms: u64| AdaptRecord {
+            at: TimeNs::from_millis(at_ms),
+            version,
+            rule: format!("promote-v{version}"),
+            target: None,
+            action: "replace".into(),
+            why: "gated".into(),
+            forecast: Some(Forecast {
+                predicted: TimeNs::from_millis(predicted_ms),
+                baseline: TimeNs::from_millis(100),
+                realized: None,
+            }),
+        };
+        // Two rewrites on consecutive safe points: v1 at 10ms, v2 at
+        // 30ms. Item A (inst 1) starts at 20ms under v1; item B (inst 2)
+        // starts at 35ms under v2 — and completes FIRST.
+        t.record(gated_record(10, 1, 40));
+        t.on_event(&mut Payload::None, &root_event(When::Before, 1, 20));
+        t.record(gated_record(30, 2, 25));
+        t.on_event(&mut Payload::None, &root_event(When::Before, 2, 35));
+        // B completes first: it ran under v2, so it must close v2's
+        // audit — not v1's, which is still waiting on A.
+        t.on_event(&mut Payload::None, &root_event(When::After, 2, 50));
+        let log = t.decision_log();
+        assert_eq!(log[0].forecast.unwrap().realized, None, "v1 still open");
+        assert_eq!(
+            log[1].forecast.unwrap().realized,
+            Some(TimeNs::from_millis(15)),
+            "v2 closed by its own item"
+        );
+        // A completes: closes v1's audit with A's WCT.
+        t.on_event(&mut Payload::None, &root_event(When::After, 1, 60));
+        let log = t.decision_log();
+        assert_eq!(
+            log[0].forecast.unwrap().realized,
+            Some(TimeNs::from_millis(40)),
+            "v1 closed by the item that ran under it"
+        );
+        assert_eq!(
+            log[1].forecast.unwrap().realized,
+            Some(TimeNs::from_millis(15)),
+            "v2's closed audit is not overwritten"
         );
     }
 }

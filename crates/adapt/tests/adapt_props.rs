@@ -13,8 +13,8 @@ use std::sync::Arc;
 use proptest::prelude::*;
 
 use askel_adapt::{
-    AdaptiveSession, FallbackSwap, Hysteresis, Knob, Offload, Promote, RetuneGrain, RewriteAction,
-    Trigger, TriggerEngine,
+    arbitrate, AdaptiveSession, Concern, ConflictPolicy, FallbackSwap, Hysteresis, Knob, Offload,
+    PlannedRewrite, Promote, RetuneGrain, RewriteAction, Trigger, TriggerEngine,
 };
 use askel_dist::{Cluster, NodeSpec};
 use askel_engine::{Engine, StreamSession};
@@ -67,11 +67,155 @@ fn seq_span_events(node: NodeId, inst: u64, start: TimeNs, dur: u64) -> [Event; 
     ]
 }
 
+/// One synthetic rule fire for arbitration properties: which of a small
+/// knob pool it sets, to what, under which concern/priority, veto or not.
+#[derive(Clone, Debug)]
+struct FireSpec {
+    knob: usize,
+    value: usize,
+    concern: u8,
+    priority: i32,
+    veto: bool,
+}
+
+fn fire_strategy() -> impl Strategy<Value = FireSpec> {
+    (0usize..3, 1usize..10, 0u8..3, -2i32..3, any::<bool>()).prop_map(
+        |(knob, value, concern, priority, veto)| FireSpec {
+            knob,
+            value,
+            concern,
+            priority,
+            veto,
+        },
+    )
+}
+
+/// Materializes the specs against a shared knob pool. Rule names are
+/// unique per fire (position in the *spec* list, before any shuffle), so
+/// the deterministic total order has no ties to hide behind.
+fn plans_from(specs: &[FireSpec], knobs: &[Knob]) -> Vec<PlannedRewrite> {
+    specs
+        .iter()
+        .enumerate()
+        .map(|(i, s)| PlannedRewrite {
+            rule: format!("rule-{i}"),
+            rule_index: i,
+            action: RewriteAction::SetKnob {
+                knob: knobs[s.knob].clone(),
+                value: s.value,
+            },
+            why: "synthetic".to_string(),
+            forecast: None,
+            concern: match s.concern {
+                0 => Concern::Performance,
+                1 => Concern::Cost,
+                _ => Concern::Reliability,
+            },
+            priority: s.priority,
+            veto: s.veto,
+        })
+        .collect()
+}
+
+/// `(winners, suppressed as (loser, by), idle vetoes)` by rule name,
+/// each sorted — the order-insensitive fingerprint of an outcome.
+type OutcomeKey = (Vec<String>, Vec<(String, String)>, Vec<String>);
+
+fn outcome_key(outcome: &askel_adapt::ArbitrationOutcome) -> OutcomeKey {
+    let mut winners: Vec<String> = outcome.winners.iter().map(|p| p.rule.clone()).collect();
+    let mut suppressed: Vec<(String, String)> = outcome
+        .suppressed
+        .iter()
+        .map(|s| (s.plan.rule.clone(), s.by.clone()))
+        .collect();
+    let mut idle: Vec<String> = outcome.idle_vetoes.iter().map(|p| p.rule.clone()).collect();
+    winners.sort();
+    suppressed.sort();
+    idle.sort();
+    (winners, suppressed, idle)
+}
+
 proptest! {
     #![proptest_config(ProptestConfig {
         cases: 24,
         ..ProptestConfig::default()
     })]
+
+    #[test]
+    fn arbitration_is_invariant_under_registration_order(
+        specs in proptest::collection::vec(fire_strategy(), 1..12),
+        seed in any::<u64>(),
+        policy_pick in 0usize..3,
+    ) {
+        // The `add_rule` contract: which fires win, lose, or idle
+        // depends on (priority, concern, name, action) — never on the
+        // order the rules were registered in, i.e. never on the order
+        // the plans arrive in.
+        let probe = seq(|x: i64| x);
+        let knobs = [Knob::new("a", 1), Knob::new("b", 1), Knob::new("c", 1)];
+        let policy = match policy_pick {
+            0 => ConflictPolicy::PriorityWins,
+            1 => ConflictPolicy::Veto,
+            _ => ConflictPolicy::WeightedObjective {
+                performance: 1.0,
+                cost: 2.0,
+                reliability: 3.0,
+            },
+        };
+        let original = plans_from(&specs, &knobs);
+        // A seeded Fisher–Yates permutation of the same fires.
+        let mut shuffled = original.clone();
+        let mut state = seed | 1;
+        for i in (1..shuffled.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            shuffled.swap(i, j);
+        }
+        let a = arbitrate(original, &policy, probe.node());
+        let b = arbitrate(shuffled, &policy, probe.node());
+        prop_assert_eq!(outcome_key(&a), outcome_key(&b));
+    }
+
+    #[test]
+    fn at_most_one_action_wins_per_knob_and_winners_are_never_vetoes(
+        specs in proptest::collection::vec(fire_strategy(), 1..12),
+        veto_policy in any::<bool>(),
+    ) {
+        // Under priority-wins *and* veto arbitration, a safe point never
+        // applies two actions to one knob, and a veto is never applied.
+        let probe = seq(|x: i64| x);
+        let knobs = [Knob::new("a", 1), Knob::new("b", 1), Knob::new("c", 1)];
+        let policy = if veto_policy {
+            ConflictPolicy::Veto
+        } else {
+            ConflictPolicy::PriorityWins
+        };
+        let n = specs.len();
+        let outcome = arbitrate(plans_from(&specs, &knobs), &policy, probe.node());
+        let mut per_knob = [0usize; 3];
+        for w in &outcome.winners {
+            prop_assert!(!w.veto, "a veto must never be applied: {:?}", w.rule);
+            let RewriteAction::SetKnob { knob, .. } = &w.action else {
+                panic!("this property only generates knob fires");
+            };
+            let slot = knobs
+                .iter()
+                .position(|k| k.shares_state(knob))
+                .expect("knob from the pool");
+            per_knob[slot] += 1;
+        }
+        for (slot, hits) in per_knob.iter().enumerate() {
+            prop_assert!(
+                *hits <= 1,
+                "{hits} winning actions on knob {slot} in one safe point"
+            );
+        }
+        // Conservation: every fire is accounted for exactly once.
+        prop_assert_eq!(
+            outcome.winners.len() + outcome.suppressed.len() + outcome.idle_vetoes.len(),
+            n
+        );
+    }
 
     #[test]
     fn disabled_rules_are_byte_for_byte_equivalent(

@@ -13,18 +13,28 @@
 //! * `map_512_adaptive_session_no_fire` — `AdaptiveSession` with the
 //!   trigger listener **plus four armed rules whose thresholds are
 //!   unreachable**: monitoring plus per-item safe-point rule evaluation.
+//! * `map_512_adaptive_session_arbitrated_no_conflict` — the same four
+//!   silent rules **plus a cost guard that fires an uncontested veto at
+//!   every safe point**: the arbitration layer (conflict grouping,
+//!   ranking, idle-veto re-arm) runs on a live fire each item without
+//!   any conflict to resolve, the worst steady state of a guarded
+//!   deployment.
 //!
-//! The tracked figure is `adaptive_no_fire / stream_traced`: rule
-//! evaluation itself must add <5% on top of the monitored baseline
-//! (recorded in `BENCH_adapt_overhead.json`). The `traced / plain` ratio
-//! prices monitoring separately — that cost is shared with the WCT
-//! controller and is already bounded by the `overhead_events` bench.
+//! The tracked figures are `adaptive_no_fire / stream_traced` and
+//! `arbitrated_no_conflict / stream_traced`: rule evaluation — and
+//! arbitration on top of it — must each add <5% on top of the monitored
+//! baseline (recorded in `BENCH_adapt_overhead.json`). The
+//! `traced / plain` ratio prices monitoring separately — that cost is
+//! shared with the WCT controller and is already bounded by the
+//! `overhead_events` bench.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use askel_adapt::{
-    AdaptiveSession, FallbackSwap, Knob, Promote, RetuneGrain, RetuneWidth, Trigger, TriggerEngine,
+    AdaptiveSession, CostGuard, FallbackSwap, Knob, Promote, RetuneGrain, RetuneWidth, Trigger,
+    TriggerEngine,
 };
+use askel_dist::NodeHoursMeter;
 use askel_engine::{Engine, StreamSession};
 use askel_skeletons::{map, seq, MuscleId, MuscleRole, Skel, TimeNs};
 
@@ -114,6 +124,37 @@ fn bench_adapt_overhead(c: &mut Criterion) {
         });
         assert_eq!(stream.version(), 0, "no rule may fire in this bench");
         assert!(trigger.decision_log().is_empty());
+        engine.shutdown();
+    }
+
+    // Arbitration steady state: the four silent rules plus a cost guard
+    // whose budget is already spent and whose knob already sits at the
+    // economy value — it fires an uncontested *veto* at every safe
+    // point, so arbitration groups, ranks and drops it (re-arming the
+    // rule) without a conflict, a version bump, or a log record.
+    {
+        let engine = Engine::new(2);
+        engine.pool().telemetry().set_recording(false);
+        let program = map_program();
+        let trigger = TriggerEngine::new(0.5);
+        engine.registry().add_listener(trigger.clone());
+        unreachable_rules(&trigger, &program);
+        trigger.add_rule(CostGuard::knob(
+            NodeHoursMeter::new(),
+            TimeNs::ZERO,
+            Knob::new("width-held", 2),
+            2,
+        ));
+        let mut stream = AdaptiveSession::new(&engine, &program, trigger.clone())
+            .input_size(|v: &Vec<i64>| v.len());
+        c.bench_function("map_512_adaptive_session_arbitrated_no_conflict", |b| {
+            b.iter(|| {
+                stream.feed(input.clone());
+                stream.next_result().unwrap().unwrap()
+            })
+        });
+        assert_eq!(stream.version(), 0, "vetoes never bump the version");
+        assert!(trigger.decision_log().is_empty(), "idle vetoes stay silent");
         engine.shutdown();
     }
 }

@@ -327,6 +327,18 @@ impl AutonomicController {
         f(inner.tracker.estimates_mut());
     }
 
+    /// Drops estimator history for muscles of the `removed` nodes — the
+    /// controller↔trigger feedback loop on structural rewrites: when a
+    /// reconfiguration (`askel-adapt`) replaces a subtree, the replaced
+    /// nodes' history must not keep steering this controller's ADG
+    /// forecasts toward a tree that no longer exists. Returns the number
+    /// of positional entries dropped (see
+    /// [`EstimatorTable::invalidate_nodes`]).
+    pub fn invalidate_estimates_for(&self, removed: &[askel_skeletons::NodeId]) -> usize {
+        let mut inner = self.inner.lock();
+        inner.tracker.estimates_mut().invalidate_nodes(removed)
+    }
+
     /// Snapshot of the current estimates (feed it to the next run).
     pub fn snapshot(&self) -> Snapshot {
         self.inner.lock().tracker.estimates().snapshot()

@@ -257,6 +257,29 @@ impl EstimatorTable {
             .collect()
     }
 
+    /// Drops every entry — positional durations and cardinalities, group
+    /// fallbacks keyed by a removed canonical, and alias declarations on
+    /// either side — whose muscle belongs to one of `removed`. Returns
+    /// the number of **positional** entries dropped.
+    ///
+    /// This is the estimator half of the rewrite feedback loop: when a
+    /// reconfiguration replaces a subtree, the replaced nodes' history
+    /// must not keep steering `predictive_wct` — a forecast over the new
+    /// tree is either computed from live estimates or withheld (the
+    /// `covers` gate closes again until the replacement's muscles have
+    /// run or been seeded).
+    pub fn invalidate_nodes(&mut self, removed: &[NodeId]) -> usize {
+        let gone = |m: &MuscleId| removed.contains(&m.node);
+        let before = self.durations.len() + self.cardinalities.len();
+        self.durations.retain(|m, _| !gone(m));
+        self.cardinalities.retain(|m, _| !gone(m));
+        self.group_durations.retain(|m, _| !gone(m));
+        self.group_cardinalities.retain(|m, _| !gone(m));
+        self.aliases
+            .retain(|m, canonical| !gone(m) && !gone(canonical));
+        before - (self.durations.len() + self.cardinalities.len())
+    }
+
     /// Serializable snapshot of every estimate (see [`Snapshot`]).
     pub fn snapshot(&self) -> Snapshot {
         fn dump(map: &HashMap<MuscleId, Ewma>) -> Vec<SnapshotEntry> {

@@ -438,6 +438,67 @@ pub struct ProvisionRecord {
     pub why: String,
 }
 
+/// Accumulated **node-time**: the integral of enabled cluster capacity
+/// over (virtual) time — `2 slots enabled for 3 s` charges 6 slot-seconds
+/// — the cost signal the `askel-adapt` cost concern (`CostGuard`) reads.
+/// Clones share the accumulator.
+///
+/// The meter is fed at explicit observation points:
+/// [`observe`](NodeHoursMeter::observe) charges the elapsed time since
+/// the previous observation at the capacity that *was* enabled across
+/// that interval, then records the new capacity. Wire it into a
+/// [`ProvisioningPolicy`] via [`metered`](ProvisioningPolicy::metered)
+/// and every review point keeps the meter current — the same safe-point
+/// cadence the `Reconfigurator` runs on, so adaptation rules read a
+/// spend figure that is never staler than one safe point.
+#[derive(Clone, Debug, Default)]
+pub struct NodeHoursMeter {
+    inner: Arc<Mutex<MeterInner>>,
+}
+
+#[derive(Debug, Default)]
+struct MeterInner {
+    /// Timestamp and enabled capacity at the last observation.
+    last: Option<(TimeNs, usize)>,
+    /// Slot-time charged so far (slot-seconds, in `TimeNs` units).
+    accumulated: TimeNs,
+}
+
+impl NodeHoursMeter {
+    /// A fresh meter at zero spend.
+    pub fn new() -> Self {
+        NodeHoursMeter::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, MeterInner> {
+        self.inner.lock().expect("node-hours meter poisoned")
+    }
+
+    /// One observation: charges the interval since the previous
+    /// observation at the previously-enabled capacity, then records
+    /// `enabled_slots` as current. The first observation charges
+    /// nothing (it only anchors the meter). Out-of-order timestamps
+    /// charge nothing for the negative interval.
+    pub fn observe(&self, now: TimeNs, enabled_slots: usize) {
+        let mut inner = self.lock();
+        if let Some((at, slots)) = inner.last {
+            let elapsed = now.saturating_sub(at);
+            inner.accumulated += TimeNs(elapsed.0.saturating_mul(slots as u64));
+        }
+        inner.last = Some((now, enabled_slots));
+    }
+
+    /// Total slot-time charged so far (slot-seconds, as `TimeNs`).
+    pub fn node_time(&self) -> TimeNs {
+        self.lock().accumulated
+    }
+
+    /// Total spend in node-hours (slot-seconds / 3600).
+    pub fn node_hours(&self) -> f64 {
+        self.node_time().as_secs_f64() / 3600.0
+    }
+}
+
 /// Dynamic node provisioning from per-node utilization — the ROADMAP's
 /// "use the new utilization figures in decisions", and the actuation half
 /// of the `Offload` story: the `Offload` rule (`askel-adapt`) moves a
@@ -485,6 +546,7 @@ pub struct ProvisioningPolicy {
     version: u64,
     log: Vec<ProvisionRecord>,
     announce: Option<ProvisionAnnounce>,
+    meter: Option<NodeHoursMeter>,
 }
 
 struct ProvisionAnnounce {
@@ -509,12 +571,21 @@ impl ProvisioningPolicy {
             version: 0,
             log: Vec::new(),
             announce: None,
+            meter: None,
         }
     }
 
     /// Minimum review points between two capacity changes.
     pub fn cooldown(mut self, points: usize) -> Self {
         self.cooldown_points = points;
+        self
+    }
+
+    /// Charges enabled capacity to `meter` at every review point, so the
+    /// cost concern reads a node-time spend that tracks provisioning
+    /// decisions (see [`NodeHoursMeter`]). Keep a clone of the meter.
+    pub fn metered(mut self, meter: NodeHoursMeter) -> Self {
+        self.meter = Some(meter);
         self
     }
 
@@ -557,6 +628,9 @@ impl ProvisioningPolicy {
     /// online one. Returns the new total capacity for the caller to apply
     /// (`None` = hold). Deterministic: same telemetry, same decision.
     pub fn review(&mut self, telemetry: &ClusterTelemetry, now: TimeNs) -> Option<usize> {
+        if let Some(meter) = &self.meter {
+            meter.observe(now, telemetry.capacity());
+        }
         self.review_points += 1;
         if let Some(last) = self.last_change {
             if self.review_points.saturating_sub(last) < self.cooldown_points {

@@ -1,0 +1,76 @@
+//! Multi-concern arbitration: a **cost guard vetoes a performance grow**.
+//!
+//! A width-retune rule (concern: performance) wants to widen a map's
+//! chunk knob to match the pool, while a `CostGuard` (concern: cost)
+//! watches a `NodeHoursMeter` against a node-time budget. The stream
+//! plays three acts, all decided by the arbitration layer at safe
+//! points:
+//!
+//! 1. **under budget** — the guard is silent and the grow applies
+//!    (width 2 → 8);
+//! 2. **budget crossed** — the guard fires a real shrink back to the
+//!    economy width (8 → 2);
+//! 3. **held down** — every further grow attempt meets the guard's
+//!    veto; under [`ConflictPolicy::Veto`] the contested knob does not
+//!    move, and each blocked fire lands in the decision log as a
+//!    `suppressed by \`cost-guard\`` record.
+//!
+//! Run with: `cargo run --example multi_concern`
+
+use autonomic_skeletons::prelude::*;
+
+fn main() {
+    let width = Knob::new("width", 2);
+    let w = width.clone();
+    let program: Skel<Vec<i64>, i64> = map(
+        move |v: Vec<i64>| {
+            let chunks = w.get().max(1);
+            let per = v.len().div_ceil(chunks).max(1);
+            v.chunks(per).map(|c| c.to_vec()).collect::<Vec<_>>()
+        },
+        seq(|v: Vec<i64>| v.into_iter().sum::<i64>()),
+        |parts: Vec<i64>| parts.into_iter().sum::<i64>(),
+    );
+
+    // 30 seconds of node time to spend; the virtual cluster burns four
+    // slot-seconds per item below, so the budget dies around item 8.
+    let meter = NodeHoursMeter::new();
+    let budget = TimeNs::from_secs(30);
+    let trigger = TriggerEngine::new(0.5);
+    trigger.add_rule(RetuneWidth::new(width.clone(), 2).named("grow-width"));
+    trigger.add_rule(CostGuard::knob(meter.clone(), budget, width.clone(), 2).named("cost-guard"));
+
+    let engine = Engine::new(4);
+    let mut stream = AdaptiveSession::new(&engine, &program, trigger.clone())
+        .conflict_policy(ConflictPolicy::Veto);
+
+    println!("width knob over a 30 s node-time budget (economy width 2):");
+    for k in 0..12u64 {
+        // Virtual spend: four enabled slots, one second per item.
+        meter.observe(TimeNs::from_secs(k), 4);
+        stream.feed((0..64).collect());
+        let sum = stream.next_result().expect("lock-step").unwrap();
+        println!(
+            "  item {k:2}: sum {sum}, width {}, spent {:>3.0} s node-time",
+            width.get(),
+            meter.node_hours() * 3600.0,
+        );
+    }
+
+    println!("\ndecision log (suppressions audited, no version bump):");
+    for d in trigger.decision_log() {
+        println!("  v{} {:<12} {}", d.version, d.rule, d.action);
+        println!("       why: {}", d.why);
+    }
+
+    assert_eq!(
+        width.get(),
+        2,
+        "the veto held the knob at the economy width"
+    );
+    assert!(trigger
+        .decision_log()
+        .iter()
+        .any(|d| d.action.contains("suppressed by `cost-guard`")));
+    engine.shutdown();
+}

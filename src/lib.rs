@@ -15,7 +15,7 @@
 //! | threaded engine | [`engine`] | continuation-passing interpreter over the pool |
 //! | simulator | [`sim`] | the same interpreter under virtual time with pluggable cost models (deterministic evaluation substrate) |
 //! | autonomic layer | [`core`] | EWMA estimators, event state machines, Activity Dependency Graphs, best-effort/limited-LP strategies, and the WCT/LP controller |
-//! | self-configuration | [`adapt`] | structural rewrite rules (promotion, fallback-swap, width/grain retuning) applied at stream safe points, with `Reconfigured` events and a decision log |
+//! | self-configuration | [`adapt`] | structural rewrite rules (promotion, fallback-swap, width/grain retuning, offload, cost guard) arbitrated across concerns and applied at stream safe points, with `Reconfigured` events and a decision log |
 //! | workloads | [`workloads`] | synthetic tweet corpus, word count, numeric kernels |
 //!
 //! ## Quickstart
@@ -67,15 +67,17 @@ use askel_skeletons::Skel;
 /// The items almost every user wants in scope.
 pub mod prelude {
     pub use askel_adapt::{
-        AdaptRecord, AdaptiveSession, FallbackSwap, Forecast, Hysteresis, Knob, Offload, Promote,
-        Reconfigurator, RetuneGrain, RetuneWidth, Trigger, TriggerEngine, VersionedSkel,
+        AdaptRecord, AdaptiveSession, Concern, ConflictPolicy, CostGuard, FallbackSwap, Forecast,
+        Hysteresis, Knob, Offload, Promote, Reconfigurator, RetuneGrain, RetuneWidth, Trigger,
+        TriggerEngine, VersionedSkel,
     };
     pub use askel_core::{
         AutonomicController, ControllerConfig, DecisionReason, DecreasePolicy, RaisePolicy,
         Snapshot,
     };
     pub use askel_dist::{
-        Cluster, ClusterTelemetry, NodeSpec, ProvisionAction, ProvisionRecord, ProvisioningPolicy,
+        Cluster, ClusterTelemetry, NodeHoursMeter, NodeSpec, ProvisionAction, ProvisionRecord,
+        ProvisioningPolicy,
     };
     pub use askel_engine::{Engine, EngineError, SkelFuture, StreamSession};
     pub use askel_events::{EventFilter, FnListener, Listener, Payload, When, Where};

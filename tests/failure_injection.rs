@@ -149,8 +149,11 @@ fn zero_cardinality_splits_flow_through_the_autonomic_stack() {
 /// A remote node that starts erroring mid-stream: the `Offload` rule has
 /// moved the map onto the hub, then the hub's execution starts panicking;
 /// two consecutive item errors trigger a `FallbackSwap` whose fallback is
-/// an **unplaced** (local) implementation — the offload-back. No item is
-/// lost or duplicated, and the sim decision log replays deterministically.
+/// an **unplaced** (local) implementation — the offload-back. The swap
+/// re-arms the offload concern (`Rule::on_replaced` retargets it at the
+/// fallback subtree), so once the edge re-skews the rule offloads the
+/// *robust* map back onto the hub. No item is lost or duplicated, and
+/// the sim decision log replays deterministically.
 #[test]
 fn remote_errors_trigger_fallback_swap_offload_back() {
     use autonomic_skeletons::adapt::Reconfigurator;
@@ -180,6 +183,8 @@ fn remote_errors_trigger_fallback_swap_offload_back() {
         decisions: Vec<(TimeNs, u64, String)>,
         edge_busy_before_swap: TimeNs,
         hub_got_work: bool,
+        hub_busy_at_swap: TimeNs,
+        hub_busy_final: TimeNs,
         final_version: u64,
     }
 
@@ -212,8 +217,10 @@ fn remote_errors_trigger_fallback_swap_offload_back() {
 
         let mut vskel = VersionedSkel::new(&fragile);
         // Items 3 and 4 are poisoned: the hub (where the offload moved
-        // the map) starts erroring mid-stream.
-        let items: Vec<Vec<i64>> = (0..8)
+        // the map) starts erroring mid-stream. The long healthy tail
+        // after the swap lets the edge's cumulative busy share re-skew
+        // past the high water mark, so the re-armed offload fires again.
+        let items: Vec<Vec<i64>> = (0..28)
             .map(|k| {
                 if k == 3 || k == 4 {
                     vec![k, POISON, k + 1, k + 2]
@@ -226,6 +233,7 @@ fn remote_errors_trigger_fallback_swap_offload_back() {
         let mut outcomes = Vec::new();
         let mut edge_busy_before_swap = TimeNs::ZERO;
         let mut hub_got_work = false;
+        let mut hub_busy_at_swap = None;
         for input in &items {
             let result = match sim.run(vskel.skel(), input.clone()) {
                 Ok(out) => Ok(out.result),
@@ -238,6 +246,9 @@ fn remote_errors_trigger_fallback_swap_offload_back() {
             }
             reconf.apply(&mut vskel);
             hub_got_work |= telemetry.busy_per_node()[1] > TimeNs::ZERO;
+            if vskel.version() >= 2 && hub_busy_at_swap.is_none() {
+                hub_busy_at_swap = Some(telemetry.busy_per_node()[1]);
+            }
         }
         assert_eq!(outcomes.len(), fed, "one outcome per fed item");
         Run {
@@ -249,6 +260,8 @@ fn remote_errors_trigger_fallback_swap_offload_back() {
                 .collect(),
             edge_busy_before_swap,
             hub_got_work,
+            hub_busy_at_swap: hub_busy_at_swap.expect("the swap happened"),
+            hub_busy_final: telemetry.busy_per_node()[1],
             final_version: vskel.version(),
         }
     }
@@ -270,12 +283,27 @@ fn remote_errors_trigger_fallback_swap_offload_back() {
         }
     }
     // The interplay: offload to the hub first, then the error streak
-    // swaps in the local (unplaced) fallback — offload-back.
+    // swaps in the local (unplaced) fallback — offload-back — and once
+    // the edge re-skews, the re-armed offload places the robust map
+    // back onto the hub. Before the `on_replaced` retargeting hook the
+    // offload's once-latch stayed spent after the swap and the third
+    // decision never happened.
     let rules: Vec<&str> = a.decisions.iter().map(|d| d.2.as_str()).collect();
-    assert_eq!(rules, vec!["offload", "offload-back"], "{:?}", a.decisions);
-    assert_eq!(a.final_version, 2);
+    assert_eq!(
+        rules,
+        vec!["offload", "offload-back", "offload"],
+        "{:?}",
+        a.decisions
+    );
+    assert_eq!(a.final_version, 3);
     assert!(a.edge_busy_before_swap > TimeNs::ZERO);
     assert!(a.hub_got_work, "the offload really moved work to the hub");
+    assert!(
+        a.hub_busy_final > a.hub_busy_at_swap,
+        "the re-offload moved work back to the hub: {:?} vs {:?}",
+        a.hub_busy_final,
+        a.hub_busy_at_swap
+    );
     // Pinned: the decision log (virtual timestamps included) replays.
     let b = run_once();
     assert_eq!(a.decisions, b.decisions);
