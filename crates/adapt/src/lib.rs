@@ -45,9 +45,10 @@
 //!   is computed from the live tree.
 //!
 //! [`AdaptiveSession`] packages the loop over `askel-engine`'s
-//! `StreamSession`; the [`Reconfigurator`] alone drives the same loop over
+//! `StreamSession`; [`AdaptiveSimSession`] packages the *same* loop over
 //! the discrete-event simulator (`askel-sim`), where rewrite decisions —
-//! timestamps included — replay deterministically.
+//! timestamps included — replay deterministically, and where a seeded
+//! ordering policy fuzzes the decision stack across tie-break schedules.
 //!
 //! In-flight items always finish on the skeleton *tree* they were
 //! submitted with (versions are immutable `Arc` trees), so a subtree
@@ -64,6 +65,7 @@ pub mod arbitration;
 pub mod forecast;
 pub mod rules;
 pub mod session;
+pub mod sim_session;
 pub mod trigger;
 
 pub use arbitration::{arbitrate, ArbitrationOutcome, ConflictPolicy, Suppressed};
@@ -73,4 +75,5 @@ pub use rules::{
     RetuneWidth, RewriteAction, Rule, RuleCtx, RuleFire, Trigger,
 };
 pub use session::{AdaptiveSession, Reconfigurator, VersionedSkel};
+pub use sim_session::AdaptiveSimSession;
 pub use trigger::{AdaptRecord, PlannedRewrite, TriggerEngine};

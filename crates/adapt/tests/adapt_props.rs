@@ -6,20 +6,28 @@
 //!   safe point** and once-rules never fire twice;
 //! * rewrites are never observed mid-item: every item is processed
 //!   entirely by one skeleton version, and the version sequence over the
-//!   stream is monotone.
+//!   stream is monotone;
+//! * on the discrete-event simulator, the same `(ordering seed, item
+//!   trace)` replays the same results and the same decision log (virtual
+//!   timestamps included), and *no* seed's schedule can make a rule fire
+//!   twice at one safe point or a hysteresis-damped knob reverse inside
+//!   its cooldown window.
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use proptest::prelude::*;
 
 use askel_adapt::{
-    arbitrate, AdaptiveSession, Concern, ConflictPolicy, FallbackSwap, Hysteresis, Knob, Offload,
-    PlannedRewrite, Promote, RetuneGrain, RewriteAction, Trigger, TriggerEngine,
+    arbitrate, AdaptiveSession, AdaptiveSimSession, Concern, ConflictPolicy, FallbackSwap,
+    Hysteresis, Knob, Offload, PlannedRewrite, Promote, RetuneGrain, RewriteAction, Trigger,
+    TriggerEngine,
 };
 use askel_dist::{Cluster, NodeSpec};
 use askel_engine::{Engine, StreamSession};
 use askel_events::{Event, EventInfo, Listener, Payload, Trace, When, Where};
+use askel_sim::cost::{LinearCost, PerMuscleCost, TableCost};
 use askel_sim::workers::WorkerModel;
+use askel_sim::{OrderingPolicy, SimEngine};
 use askel_skeletons::{map, seq, InstanceId, KindTag, MuscleId, MuscleRole, NodeId, Skel, TimeNs};
 
 fn map_program() -> Skel<Vec<i64>, i64> {
@@ -479,5 +487,181 @@ proptest! {
         // hint reaches the threshold (ρ=1), so that item runs on v2.
         let expected_first_v2 = sizes.iter().position(|s| *s >= threshold).unwrap_or(sizes.len());
         prop_assert_eq!(first_v2, expected_first_v2);
+    }
+}
+
+/// Everything one seeded `AdaptiveSimSession` stream observed.
+struct SimRun {
+    /// `(at, version, rule)` for every `AdaptRecord`, in log order.
+    decisions: Vec<(TimeNs, u64, String)>,
+    outputs: Vec<i64>,
+    /// The grain knob's value at each item's submission safe point.
+    knob_trace: Vec<usize>,
+    final_version: u64,
+}
+
+/// One adaptive stream over the simulator: a two-chunk fan-out whose leaf
+/// cost scales with chunk size (so the grain EWMA tracks the item-size
+/// trace), a hysteresis-damped grain rule, and a size-gated promotion to
+/// a single-chunk variant. Every decision path of the stack is live.
+fn sim_session_run(
+    policy: OrderingPolicy,
+    sizes: &[usize],
+    threshold: usize,
+    cooldown: usize,
+) -> SimRun {
+    let halves: Skel<Vec<i64>, i64> = map(
+        |v: Vec<i64>| {
+            let mid = (v.len() / 2).max(1).min(v.len());
+            let (a, b) = v.split_at(mid);
+            vec![a.to_vec(), b.to_vec()]
+        },
+        seq(|chunk: Vec<i64>| chunk.iter().map(|x| x * 3).sum::<i64>()),
+        |parts: Vec<i64>| parts.into_iter().sum::<i64>(),
+    );
+    let collapsed: Skel<Vec<i64>, i64> = map(
+        |v: Vec<i64>| vec![v],
+        seq(|chunk: Vec<i64>| chunk.iter().map(|x| x * 3).sum::<i64>()),
+        |parts: Vec<i64>| parts.into_iter().sum::<i64>(),
+    );
+    let leaf = MuscleId::new(halves.node().children()[0].id, MuscleRole::Execute);
+    let cost = PerMuscleCost::new(Arc::new(TableCost::new(TimeNs::from_millis(1)))).route(
+        leaf,
+        Arc::new(
+            LinearCost::new(TimeNs::ZERO, TimeNs::from_millis(2))
+                .with_probe(|p| p.downcast_ref::<Vec<i64>>().map(Vec::len)),
+        ),
+    );
+    let sim = SimEngine::new(2, Arc::new(cost)).ordering(policy);
+
+    let knob = Knob::new("grain", 16);
+    let trigger = TriggerEngine::new(0.5);
+    sim.registry().add_listener(trigger.clone());
+    trigger.add_rule(
+        RetuneGrain::new(knob.clone(), leaf, TimeNs::from_millis(8))
+            .bounds(1, 1 << 16)
+            .hysteresis(Hysteresis::new(cooldown, 0.1)),
+    );
+    trigger.add_rule(
+        Promote::new(&halves, &collapsed)
+            .named("collapse")
+            .when(Trigger::InputSizeAtLeast(threshold as f64)),
+    );
+
+    // The size probe runs at each item's submission safe point (before
+    // the rewrite applies), so consecutive trace entries bracket exactly
+    // one safe point — item distance = safe-point distance.
+    let knob_trace = Arc::new(Mutex::new(Vec::new()));
+    let probe = Arc::clone(&knob_trace);
+    let watched = knob.clone();
+    let mut session =
+        AdaptiveSimSession::new(sim, &halves, trigger.clone()).input_size(move |v: &Vec<i64>| {
+            probe.lock().unwrap().push(watched.get());
+            v.len()
+        });
+    let items: Vec<Vec<i64>> = sizes.iter().map(|s| (0..*s as i64).collect()).collect();
+    let outputs = session
+        .run_stream(items, &mut [])
+        .into_iter()
+        .map(|r| r.expect("no failure injected"))
+        .collect();
+    let trace = knob_trace.lock().unwrap().clone();
+    SimRun {
+        decisions: trigger
+            .decision_log()
+            .into_iter()
+            .map(|d| (d.at, d.version, d.rule))
+            .collect(),
+        outputs,
+        knob_trace: trace,
+        final_version: session.version(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 16,
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn sim_session_replays_identically_per_seed(
+        seed in any::<u64>(),
+        sizes in proptest::collection::vec(1usize..24, 4..16),
+        threshold in 4usize..20,
+    ) {
+        // Same (seed, trace) ⇒ same results AND the same AdaptRecord
+        // sequence, virtual timestamps included.
+        let policy = OrderingPolicy::SeededRandom(seed);
+        let a = sim_session_run(policy, &sizes, threshold, 3);
+        let b = sim_session_run(policy, &sizes, threshold, 3);
+        prop_assert_eq!(&a.outputs, &b.outputs, "seed {}", seed);
+        prop_assert_eq!(&a.decisions, &b.decisions, "seed {}", seed);
+        prop_assert_eq!(&a.knob_trace, &b.knob_trace, "seed {}", seed);
+        prop_assert_eq!(a.final_version, b.final_version, "seed {}", seed);
+        // And whatever the schedule did, results equal the reference.
+        for (k, size) in sizes.iter().enumerate() {
+            let expected: i64 = (0..*size as i64).map(|x| x * 3).sum();
+            prop_assert_eq!(a.outputs[k], expected, "item {} under seed {}", k, seed);
+        }
+    }
+
+    #[test]
+    fn no_seed_breaks_safe_point_or_hysteresis_invariants(
+        seed in any::<u64>(),
+        sizes in proptest::collection::vec(1usize..32, 8..24),
+        cooldown in 2usize..5,
+    ) {
+        // Threshold above every size: the promotion stays armed (its
+        // trigger evaluates each safe point) but the grain rule does the
+        // moving — the hysteresis invariant gets a real workout.
+        let run = sim_session_run(OrderingPolicy::SeededRandom(seed), &sizes, 64, cooldown);
+
+        // At most one fire per rule per safe point: the decision log
+        // grouped by virtual timestamp has no duplicate rule names.
+        let mut by_at: Vec<(TimeNs, Vec<&str>)> = Vec::new();
+        for (at, _, rule) in &run.decisions {
+            match by_at.last_mut() {
+                Some((t, rules)) if t == at => rules.push(rule),
+                _ => by_at.push((*at, vec![rule])),
+            }
+        }
+        for (at, rules) in &by_at {
+            let mut uniq = rules.clone();
+            uniq.sort_unstable();
+            uniq.dedup();
+            prop_assert_eq!(
+                uniq.len(),
+                rules.len(),
+                "rule fired twice at safe point {} under seed {}: {:?}",
+                at,
+                seed,
+                rules
+            );
+        }
+
+        // The hysteresis-damped knob never reverses direction within the
+        // cooldown window (consecutive trace entries bracket exactly one
+        // safe point, so trace distance = safe-point distance).
+        let mut prev: Option<(usize, i64)> = None;
+        for (k, w) in run.knob_trace.windows(2).enumerate() {
+            let dir = (w[1] as i64 - w[0] as i64).signum();
+            if dir == 0 {
+                continue;
+            }
+            if let Some((last_k, last_dir)) = prev {
+                if dir != last_dir {
+                    prop_assert!(
+                        k - last_k >= cooldown,
+                        "knob reversed after {} safe points (cooldown {}) under seed {}: {:?}",
+                        k - last_k,
+                        cooldown,
+                        seed,
+                        run.knob_trace
+                    );
+                }
+            }
+            prev = Some((k, dir));
+        }
     }
 }

@@ -1,0 +1,94 @@
+//! Discrete-event scheduler throughput: how fast does the event-queue
+//! core drain a large cluster-scale stream?
+//!
+//! The acceptance figure for the scheduler rebuild: a **1 000-node**
+//! (4 000-slot) cluster streaming **1 000 000** one-task items completes
+//! in seconds of real time — idle nodes cost nothing, the ready/free-slot
+//! structures are logarithmic, and virtual time leaps from completion to
+//! completion instead of ticking.
+//!
+//! Two measurements, both on the same cluster:
+//!
+//! * `sim_sched_100k_items_1k_nodes` — the repeatable criterion
+//!   measurement (100 k items per iteration);
+//! * `sim_sched_1m_items_1k_nodes` — the full acceptance run (1 M items);
+//!   run with `CRITERION_MEASUREMENT_TIME_MS=0` for a single iteration.
+//!
+//! Each run prints an `events/sec` line (scheduler events: task
+//! executions + component ticks, the unit `StreamReport.events` counts).
+//! Recorded in `BENCH_sim_sched.json`.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use askel_dist::{Cluster, NodeSpec};
+use askel_sim::cost::TableCost;
+use askel_sim::SimEngine;
+use askel_skeletons::{seq, Skel, TimeNs};
+
+const NODES: usize = 1000;
+const SLOTS_PER_NODE: usize = 4;
+const WINDOW: usize = NODES * SLOTS_PER_NODE;
+
+fn thousand_node_sim() -> SimEngine {
+    let nodes = (0..NODES)
+        .map(|k| NodeSpec::local(format!("n{k}"), SLOTS_PER_NODE))
+        .collect();
+    SimEngine::with_workers(
+        Box::new(Cluster::new(nodes)),
+        Arc::new(TableCost::new(TimeNs::from_millis(1))),
+    )
+}
+
+/// Streams `items` one-muscle tasks through the 1k-node cluster and
+/// returns `(scheduler events, wall seconds)`.
+fn drain(items: usize) -> (u64, f64) {
+    let program: Skel<u64, u64> = seq(|x: u64| x + 1);
+    let mut sim = thousand_node_sim();
+    let started = Instant::now();
+    let mut produced = 0usize;
+    let mut finished = 0usize;
+    let report = sim.run_stream(
+        WINDOW,
+        |_| {
+            if produced == items {
+                return None;
+            }
+            produced += 1;
+            Some((program.clone(), produced as u64))
+        },
+        |_, r| {
+            r.expect("no failures in the throughput stream");
+            finished += 1;
+        },
+        &mut [],
+    );
+    let wall = started.elapsed().as_secs_f64();
+    assert_eq!(finished, items, "every item must complete");
+    assert_eq!(report.items, items);
+    (report.events, wall)
+}
+
+fn bench_sim_sched(c: &mut Criterion) {
+    c.bench_function("sim_sched_100k_items_1k_nodes", |b| {
+        b.iter(|| drain(100_000).0)
+    });
+    c.bench_function("sim_sched_1m_items_1k_nodes", |b| {
+        b.iter(|| drain(1_000_000).0)
+    });
+
+    // The acceptance figure, printed for BENCH_sim_sched.json.
+    for items in [100_000usize, 1_000_000] {
+        let (events, wall) = drain(items);
+        println!(
+            "sim_sched: {items} items / {NODES} nodes ({WINDOW} slots): \
+             {events} events in {wall:.3}s = {:.0} events/sec",
+            events as f64 / wall
+        );
+    }
+}
+
+criterion_group!(benches, bench_sim_sched);
+criterion_main!(benches);

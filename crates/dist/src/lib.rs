@@ -46,6 +46,7 @@
 
 use std::sync::{Arc, Mutex};
 
+use askel_sim::components::{Command, Component};
 use askel_sim::workers::WorkerModel;
 use askel_skeletons::TimeNs;
 
@@ -409,6 +410,17 @@ impl WorkerModel for Cluster {
             .iter()
             .any(|(n, enabled)| *enabled > 0 && n.name() == placement)
     }
+
+    fn slot_range(&self, placement: &str) -> Option<(usize, usize)> {
+        // Node blocks are contiguous by construction, so the scheduler
+        // can place onto a named node in O(log free) instead of probing
+        // every free slot. Node names are unique per cluster.
+        self.nodes
+            .iter()
+            .zip(&self.starts)
+            .find(|(n, _)| n.name() == placement)
+            .map(|(n, &start)| (start, start + n.slots()))
+    }
 }
 
 /// What a provisioning decision did.
@@ -760,6 +772,61 @@ impl ProvisioningPolicy {
     }
 }
 
+/// A [`ProvisioningPolicy`] mounted as a discrete-event scheduler
+/// [`Component`]: review points fire on **virtual time** instead of being
+/// hand-called between stream items, and an accepted decision actuates
+/// through the scheduler's LP channel ([`Command::RequestLp`]) — the same
+/// path an external controller uses. Review ticks only occur while the
+/// simulated machine has work in flight, so an idle cluster is never
+/// reviewed (and costs nothing to simulate).
+///
+/// The policy lives behind a shared handle ([`policy`]) so tests and
+/// callers can read its [`ProvisioningPolicy::log`] after (or during) the
+/// run.
+///
+/// [`policy`]: ProvisioningReview::policy
+pub struct ProvisioningReview {
+    policy: Arc<Mutex<ProvisioningPolicy>>,
+    telemetry: ClusterTelemetry,
+    every: TimeNs,
+    next: Option<TimeNs>,
+}
+
+impl ProvisioningReview {
+    /// Reviews `policy` against `telemetry` every `every` of virtual
+    /// time, starting one interval after the simulation first needs a
+    /// tick time.
+    pub fn new(policy: ProvisioningPolicy, telemetry: ClusterTelemetry, every: TimeNs) -> Self {
+        ProvisioningReview {
+            policy: Arc::new(Mutex::new(policy)),
+            telemetry,
+            every,
+            next: None,
+        }
+    }
+
+    /// Shared handle onto the wrapped policy (decision log, version).
+    pub fn policy(&self) -> Arc<Mutex<ProvisioningPolicy>> {
+        Arc::clone(&self.policy)
+    }
+}
+
+impl Component for ProvisioningReview {
+    fn next_tick(&self, now: TimeNs) -> Option<TimeNs> {
+        Some(self.next.unwrap_or(TimeNs(now.0 + self.every.0.max(1))))
+    }
+
+    fn tick(&mut self, now: TimeNs) -> Vec<Command> {
+        self.next = Some(TimeNs(now.0 + self.every.0.max(1)));
+        let mut policy = self.policy.lock().expect("provisioning policy poisoned");
+        policy
+            .review(&self.telemetry, now)
+            .map(Command::RequestLp)
+            .into_iter()
+            .collect()
+    }
+}
+
 impl std::fmt::Display for Cluster {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
@@ -1091,6 +1158,73 @@ mod tests {
         // add; and it is the first node, so it can never be retired.
         assert_eq!(policy.review(&t, TimeNs::ZERO), None);
         assert!(policy.log().is_empty());
+    }
+
+    #[test]
+    fn slot_range_agrees_with_slot_matches() {
+        let c = Cluster::new(vec![
+            NodeSpec::local("idle", 0),
+            NodeSpec::local("master", 2),
+            NodeSpec::remote("worker", 12, TimeNs::from_millis(300)),
+        ]);
+        assert_eq!(c.slot_range("master"), Some((0, 2)));
+        assert_eq!(c.slot_range("worker"), Some((2, 14)));
+        assert_eq!(c.slot_range("idle"), Some((0, 0)), "empty block");
+        assert_eq!(c.slot_range("nope"), None);
+        for slot in 0..c.provisioned() {
+            for name in ["master", "worker", "idle"] {
+                let (lo, hi) = c.slot_range(name).unwrap();
+                assert_eq!(
+                    c.slot_matches(slot, name),
+                    slot >= lo && slot < hi,
+                    "slot {slot} vs {name}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn provisioning_review_component_grows_the_cluster_mid_stream() {
+        use askel_sim::cost::TableCost;
+        use askel_sim::SimEngine;
+        use askel_skeletons::seq;
+
+        // One hot edge slot, a hub that can come online: the component
+        // reviews every virtual second while items stream and must add
+        // the hub without any hand-called review points.
+        let cluster = Cluster::new(vec![
+            NodeSpec::local("edge", 1),
+            NodeSpec::remote("hub", 3, TimeNs::ZERO),
+        ])
+        .with_capacity(1);
+        let telemetry = cluster.telemetry();
+        let policy = ProvisioningPolicy::new(0.5, 0.0);
+        let review = ProvisioningReview::new(policy, telemetry.clone(), TimeNs::from_secs(1));
+        let handle = review.policy();
+        let mut components: Vec<Box<dyn Component>> = vec![Box::new(review)];
+
+        let program = seq(|x: i64| x + 1);
+        let cost = Arc::new(TableCost::new(TimeNs::from_secs(1)));
+        let mut sim = SimEngine::with_workers(Box::new(cluster), cost);
+        let mut results = Vec::new();
+        let report = sim.run_stream(
+            4,
+            |i| (i < 12).then(|| (program.clone(), i as i64)),
+            |_i, r| results.push(r.unwrap()),
+            &mut components,
+        );
+        assert_eq!(results.len(), 12);
+        assert_eq!(report.items, 12);
+        assert!(report.events > 0);
+        let log = handle.lock().unwrap();
+        assert!(
+            log.log()
+                .iter()
+                .any(|r| r.action == ProvisionAction::Add && r.node == "hub"),
+            "the review component must bring the hub online: {:?}",
+            log.log()
+        );
+        assert_eq!(telemetry.capacity(), 4, "capacity actuated via RequestLp");
     }
 
     #[test]

@@ -1,0 +1,107 @@
+//! Scheduler components: periodic actors that tick on virtual time.
+//!
+//! A [`Component`] is anything that wants to run *between* muscle
+//! completions — a provisioning-policy review point, a telemetry
+//! sampler, a fault injector. The scheduler asks each component when it
+//! next wants to run ([`Component::next_tick`]) and, once virtual time
+//! reaches that instant, calls [`Component::tick`]. Ticks happen *before*
+//! any completion carrying the same timestamp, so a component observes
+//! the world as of strictly-earlier events.
+//!
+//! Components only tick while the machine has work in flight: an idle
+//! simulated cluster costs nothing, and a simulation with no pending
+//! completions terminates regardless of what components would like to do
+//! next.
+
+use askel_skeletons::TimeNs;
+
+/// An effect a component asks the scheduler to apply.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Command {
+    /// Change the simulated worker capacity (level of parallelism), as
+    /// if an external controller had called `SimLpControl::request`.
+    RequestLp(usize),
+}
+
+/// A periodic actor driven by the discrete-event scheduler.
+///
+/// Contract: after `tick(now)` returns, `next_tick(now)` must be
+/// strictly greater than `now` (or `None`) — otherwise the scheduler
+/// would loop forever at one instant. Components are only consulted
+/// while completions are pending, so an idle machine never ticks.
+pub trait Component: Send {
+    /// The next virtual instant this component wants to run, if any.
+    fn next_tick(&self, now: TimeNs) -> Option<TimeNs>;
+
+    /// Runs the component at virtual time `now`, returning any commands
+    /// for the scheduler to apply before resuming dispatch.
+    fn tick(&mut self, now: TimeNs) -> Vec<Command>;
+}
+
+/// A fixed-interval component wrapping a callback: fires every `every`
+/// nanoseconds of virtual time, starting one interval after first use.
+pub struct PeriodicTick<F: FnMut(TimeNs) -> Vec<Command> + Send> {
+    every: TimeNs,
+    next: Option<TimeNs>,
+    on_tick: F,
+}
+
+impl<F: FnMut(TimeNs) -> Vec<Command> + Send> PeriodicTick<F> {
+    /// A component calling `on_tick` every `every` of virtual time.
+    pub fn new(every: TimeNs, on_tick: F) -> Self {
+        PeriodicTick {
+            every,
+            next: None,
+            on_tick,
+        }
+    }
+}
+
+impl<F: FnMut(TimeNs) -> Vec<Command> + Send> Component for PeriodicTick<F> {
+    fn next_tick(&self, now: TimeNs) -> Option<TimeNs> {
+        match self.next {
+            Some(at) => Some(at),
+            // Lazy start: first tick one interval after the component is
+            // first consulted, anchored to current virtual time.
+            None => Some(TimeNs(now.0 + self.every.0.max(1))),
+        }
+    }
+
+    fn tick(&mut self, now: TimeNs) -> Vec<Command> {
+        self.next = Some(TimeNs(now.0 + self.every.0.max(1)));
+        (self.on_tick)(now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn periodic_tick_advances_past_now() {
+        let mut ticks = Vec::new();
+        {
+            let mut c = PeriodicTick::new(TimeNs(10), |now| {
+                ticks.push(now);
+                Vec::new()
+            });
+            let mut now = TimeNs::ZERO;
+            for _ in 0..3 {
+                let at = c.next_tick(now).unwrap();
+                assert!(at > now, "tick must be strictly in the future");
+                now = at;
+                c.tick(now);
+            }
+        }
+        assert_eq!(ticks, vec![TimeNs(10), TimeNs(20), TimeNs(30)]);
+    }
+
+    #[test]
+    fn zero_interval_still_terminates() {
+        let mut c = PeriodicTick::new(TimeNs::ZERO, |_| Vec::new());
+        let at = c.next_tick(TimeNs(5)).unwrap();
+        assert!(at > TimeNs(5));
+        c.tick(at);
+        assert!(c.next_tick(at).unwrap() > at);
+    }
+}

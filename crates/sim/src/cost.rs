@@ -191,19 +191,13 @@ impl<C: CostModel> JitterCost<C> {
     }
 
     fn factor(&self, muscle: MuscleId, seq_no: u64) -> f64 {
-        let mut x = self
+        let mixed = self
             .seed
             .wrapping_mul(0x9E37_79B9_7F4A_7C15)
             .wrapping_add(muscle.node.0.wrapping_mul(0xBF58_476D_1CE4_E5B9))
             .wrapping_add((muscle.role as u64).wrapping_mul(0x94D0_49BB_1331_11EB))
             .wrapping_add(seq_no);
-        // SplitMix64 finalizer: well-distributed, dependency-free.
-        x ^= x >> 30;
-        x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        x ^= x >> 27;
-        x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
-        x ^= x >> 31;
-        let unit = x as f64 / u64::MAX as f64; // in [0, 1]
+        let unit = crate::sched::splitmix64(mixed) as f64 / u64::MAX as f64; // in [0, 1]
         1.0 + self.amplitude * (2.0 * unit - 1.0)
     }
 }

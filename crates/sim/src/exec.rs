@@ -1,8 +1,9 @@
 //! Per-kind interpretation under virtual time.
 //!
 //! Mirrors `askel-engine`'s interpreter exactly — same task granularity,
-//! same event sequence, same LIFO order — with muscle durations metered by
-//! the cost model. Divergence between the two interpreters is a bug; the
+//! same event sequence, same dispatch order — with muscle durations metered
+//! by the cost model and scheduling delegated to the discrete-event core in
+//! `rt`/`sched`. Divergence between the two interpreters is a bug; the
 //! facade crate property-tests them against each other and against the
 //! sequential reference.
 
@@ -15,6 +16,48 @@ use askel_skeletons::{Data, EvalError, InstanceId, KindTag, MuscleId, MuscleRole
 
 use crate::rt::{SimCont, SimRt, Step};
 use crate::SimError;
+
+/// One skeleton instance's event identity — every event a node emits
+/// shares the same `(node, trace, instance)` triple, so interpreters pass
+/// this around instead of repeating the nine-argument `rt.emit` call.
+struct Ev<'a> {
+    node: &'a Arc<Node>,
+    trace: &'a Trace,
+    inst: InstanceId,
+}
+
+/// Shorthand constructor for [`Ev`].
+fn ev<'a>(node: &'a Arc<Node>, trace: &'a Trace, inst: InstanceId) -> Ev<'a> {
+    Ev { node, trace, inst }
+}
+
+impl Ev<'_> {
+    /// Emits a single-payload event at the current virtual instant.
+    fn one(&self, rt: &SimRt, when: When, wher: Where, info: EventInfo, data: &mut Data) {
+        rt.emit(
+            self.node,
+            self.trace,
+            self.inst,
+            when,
+            wher,
+            info,
+            &mut Payload::Single(data),
+        );
+    }
+
+    /// Emits a many-payload event (split results, merge inputs).
+    fn many(&self, rt: &SimRt, when: When, wher: Where, info: EventInfo, data: &mut Vec<Data>) {
+        rt.emit(
+            self.node,
+            self.trace,
+            self.inst,
+            when,
+            wher,
+            info,
+            &mut Payload::Many(data),
+        );
+    }
+}
 
 /// Schedules the execution of `node` on `data`; `cont` receives the result.
 pub(crate) fn schedule_node(
@@ -55,14 +98,13 @@ fn sim_seq(
         node.placement.clone(),
         Box::new(move |rt| {
             let mut data = data;
-            rt.emit(
-                &node,
-                &trace,
-                inst,
+            let e = ev(&node, &trace, inst);
+            e.one(
+                rt,
                 When::Before,
                 Where::Skeleton,
                 EventInfo::None,
-                &mut Payload::Single(&mut data),
+                &mut data,
             );
             let NodeKind::Seq { fe } = &node.kind else {
                 unreachable!("tag checked by dispatcher")
@@ -77,15 +119,8 @@ fn sim_seq(
                 dur,
                 then: Box::new(move |rt| {
                     let mut out = out;
-                    rt.emit(
-                        &node,
-                        &trace,
-                        inst,
-                        When::After,
-                        Where::Skeleton,
-                        EventInfo::None,
-                        &mut Payload::Single(&mut out),
-                    );
+                    let e = ev(&node, &trace, inst);
+                    e.one(rt, When::After, Where::Skeleton, EventInfo::None, &mut out);
                     cont(rt, out);
                     Step::Done
                 }),
@@ -102,23 +137,20 @@ fn sim_farm(
     mut data: Data,
     cont: SimCont,
 ) {
-    rt.emit(
-        &node,
-        &trace,
-        inst,
+    let e = ev(&node, &trace, inst);
+    e.one(
+        rt,
         When::Before,
         Where::Skeleton,
         EventInfo::None,
-        &mut Payload::Single(&mut data),
+        &mut data,
     );
-    rt.emit(
-        &node,
-        &trace,
-        inst,
+    e.one(
+        rt,
         When::Before,
         Where::NestedSkeleton,
         EventInfo::ChildIndex(0),
-        &mut Payload::Single(&mut data),
+        &mut data,
     );
     let NodeKind::Farm { inner } = &node.kind else {
         unreachable!("tag checked by dispatcher")
@@ -132,24 +164,15 @@ fn sim_farm(
         Some(&trace),
         data,
         Box::new(move |rt, mut out| {
-            rt.emit(
-                &node2,
-                &trace2,
-                inst,
+            let e = ev(&node2, &trace2, inst);
+            e.one(
+                rt,
                 When::After,
                 Where::NestedSkeleton,
                 EventInfo::ChildIndex(0),
-                &mut Payload::Single(&mut out),
+                &mut out,
             );
-            rt.emit(
-                &node2,
-                &trace2,
-                inst,
-                When::After,
-                Where::Skeleton,
-                EventInfo::None,
-                &mut Payload::Single(&mut out),
-            );
+            e.one(rt, When::After, Where::Skeleton, EventInfo::None, &mut out);
             cont(rt, out);
         }),
     );
@@ -163,14 +186,13 @@ fn sim_pipe(
     mut data: Data,
     cont: SimCont,
 ) {
-    rt.emit(
-        &node,
-        &trace,
-        inst,
+    let e = ev(&node, &trace, inst);
+    e.one(
+        rt,
         When::Before,
         Where::Skeleton,
         EventInfo::None,
-        &mut Payload::Single(&mut data),
+        &mut data,
     );
     pipe_stage(rt, node, trace, inst, data, cont, 0);
 }
@@ -187,27 +209,18 @@ fn pipe_stage(
     let NodeKind::Pipe { stages } = &node.kind else {
         unreachable!("tag checked by dispatcher")
     };
+    let e = ev(&node, &trace, inst);
     if k == stages.len() {
-        rt.emit(
-            &node,
-            &trace,
-            inst,
-            When::After,
-            Where::Skeleton,
-            EventInfo::None,
-            &mut Payload::Single(&mut data),
-        );
+        e.one(rt, When::After, Where::Skeleton, EventInfo::None, &mut data);
         cont(rt, data);
         return;
     }
-    rt.emit(
-        &node,
-        &trace,
-        inst,
+    e.one(
+        rt,
         When::Before,
         Where::NestedSkeleton,
         EventInfo::ChildIndex(k),
-        &mut Payload::Single(&mut data),
+        &mut data,
     );
     let stage = Arc::clone(&stages[k]);
     let node2 = Arc::clone(&node);
@@ -218,14 +231,13 @@ fn pipe_stage(
         Some(&trace),
         data,
         Box::new(move |rt, mut out| {
-            rt.emit(
-                &node2,
-                &trace2,
-                inst,
+            let e = ev(&node2, &trace2, inst);
+            e.one(
+                rt,
                 When::After,
                 Where::NestedSkeleton,
                 EventInfo::ChildIndex(k),
-                &mut Payload::Single(&mut out),
+                &mut out,
             );
             pipe_stage(rt, node2, trace2, inst, out, cont, k + 1);
         }),
@@ -245,28 +257,25 @@ fn sim_while(
         node.placement.clone(),
         Box::new(move |rt| {
             let mut data = data;
+            let e = ev(&node, &trace, inst);
             if iter == 0 {
-                rt.emit(
-                    &node,
-                    &trace,
-                    inst,
+                e.one(
+                    rt,
                     When::Before,
                     Where::Skeleton,
                     EventInfo::None,
-                    &mut Payload::Single(&mut data),
+                    &mut data,
                 );
             }
             let NodeKind::While { fc, .. } = &node.kind else {
                 unreachable!("tag checked by dispatcher")
             };
-            rt.emit(
-                &node,
-                &trace,
-                inst,
+            e.one(
+                rt,
                 When::Before,
                 Where::Condition,
                 EventInfo::None,
-                &mut Payload::Single(&mut data),
+                &mut data,
             );
             let muscle = MuscleId::new(node.id, MuscleRole::Condition);
             let dur = rt.cost_of(muscle, 1, &*data);
@@ -278,24 +287,21 @@ fn sim_while(
                 dur,
                 then: Box::new(move |rt| {
                     let mut data = data;
-                    rt.emit(
-                        &node,
-                        &trace,
-                        inst,
+                    let e = ev(&node, &trace, inst);
+                    e.one(
+                        rt,
                         When::After,
                         Where::Condition,
                         EventInfo::ConditionResult(verdict),
-                        &mut Payload::Single(&mut data),
+                        &mut data,
                     );
                     if verdict {
-                        rt.emit(
-                            &node,
-                            &trace,
-                            inst,
+                        e.one(
+                            rt,
                             When::Before,
                             Where::NestedSkeleton,
                             EventInfo::ChildIndex(iter),
-                            &mut Payload::Single(&mut data),
+                            &mut data,
                         );
                         let NodeKind::While { inner, .. } = &node.kind else {
                             unreachable!()
@@ -309,28 +315,19 @@ fn sim_while(
                             Some(&trace),
                             data,
                             Box::new(move |rt, mut out| {
-                                rt.emit(
-                                    &node2,
-                                    &trace2,
-                                    inst,
+                                let e = ev(&node2, &trace2, inst);
+                                e.one(
+                                    rt,
                                     When::After,
                                     Where::NestedSkeleton,
                                     EventInfo::ChildIndex(iter),
-                                    &mut Payload::Single(&mut out),
+                                    &mut out,
                                 );
                                 sim_while(rt, node2, trace2, inst, out, cont, iter + 1);
                             }),
                         );
                     } else {
-                        rt.emit(
-                            &node,
-                            &trace,
-                            inst,
-                            When::After,
-                            Where::Skeleton,
-                            EventInfo::None,
-                            &mut Payload::Single(&mut data),
-                        );
+                        e.one(rt, When::After, Where::Skeleton, EventInfo::None, &mut data);
                         cont(rt, data);
                     }
                     Step::Done
@@ -352,26 +349,23 @@ fn sim_if(
         node.placement.clone(),
         Box::new(move |rt| {
             let mut data = data;
-            rt.emit(
-                &node,
-                &trace,
-                inst,
+            let e = ev(&node, &trace, inst);
+            e.one(
+                rt,
                 When::Before,
                 Where::Skeleton,
                 EventInfo::None,
-                &mut Payload::Single(&mut data),
+                &mut data,
             );
             let NodeKind::If { fc, .. } = &node.kind else {
                 unreachable!("tag checked by dispatcher")
             };
-            rt.emit(
-                &node,
-                &trace,
-                inst,
+            e.one(
+                rt,
                 When::Before,
                 Where::Condition,
                 EventInfo::None,
-                &mut Payload::Single(&mut data),
+                &mut data,
             );
             let muscle = MuscleId::new(node.id, MuscleRole::Condition);
             let dur = rt.cost_of(muscle, 1, &*data);
@@ -383,14 +377,13 @@ fn sim_if(
                 dur,
                 then: Box::new(move |rt| {
                     let mut data = data;
-                    rt.emit(
-                        &node,
-                        &trace,
-                        inst,
+                    let e = ev(&node, &trace, inst);
+                    e.one(
+                        rt,
                         When::After,
                         Where::Condition,
                         EventInfo::ConditionResult(verdict),
-                        &mut Payload::Single(&mut data),
+                        &mut data,
                     );
                     let NodeKind::If {
                         then_branch,
@@ -405,14 +398,12 @@ fn sim_if(
                     } else {
                         (Arc::clone(else_branch), 1)
                     };
-                    rt.emit(
-                        &node,
-                        &trace,
-                        inst,
+                    e.one(
+                        rt,
                         When::Before,
                         Where::NestedSkeleton,
                         EventInfo::ChildIndex(k),
-                        &mut Payload::Single(&mut data),
+                        &mut data,
                     );
                     let node2 = Arc::clone(&node);
                     let trace2 = trace.clone();
@@ -422,24 +413,15 @@ fn sim_if(
                         Some(&trace),
                         data,
                         Box::new(move |rt, mut out| {
-                            rt.emit(
-                                &node2,
-                                &trace2,
-                                inst,
+                            let e = ev(&node2, &trace2, inst);
+                            e.one(
+                                rt,
                                 When::After,
                                 Where::NestedSkeleton,
                                 EventInfo::ChildIndex(k),
-                                &mut Payload::Single(&mut out),
+                                &mut out,
                             );
-                            rt.emit(
-                                &node2,
-                                &trace2,
-                                inst,
-                                When::After,
-                                Where::Skeleton,
-                                EventInfo::None,
-                                &mut Payload::Single(&mut out),
-                            );
+                            e.one(rt, When::After, Where::Skeleton, EventInfo::None, &mut out);
                             cont(rt, out);
                         }),
                     );
@@ -458,29 +440,20 @@ fn sim_for(
     mut data: Data,
     cont: SimCont,
 ) {
-    rt.emit(
-        &node,
-        &trace,
-        inst,
+    let e = ev(&node, &trace, inst);
+    e.one(
+        rt,
         When::Before,
         Where::Skeleton,
         EventInfo::None,
-        &mut Payload::Single(&mut data),
+        &mut data,
     );
     let NodeKind::For { n, .. } = &node.kind else {
         unreachable!("tag checked by dispatcher")
     };
     let n = *n;
     if n == 0 {
-        rt.emit(
-            &node,
-            &trace,
-            inst,
-            When::After,
-            Where::Skeleton,
-            EventInfo::None,
-            &mut Payload::Single(&mut data),
-        );
+        e.one(rt, When::After, Where::Skeleton, EventInfo::None, &mut data);
         cont(rt, data);
         return;
     }
@@ -498,14 +471,13 @@ fn for_iteration(
     k: usize,
     n: usize,
 ) {
-    rt.emit(
-        &node,
-        &trace,
-        inst,
+    let e = ev(&node, &trace, inst);
+    e.one(
+        rt,
         When::Before,
         Where::NestedSkeleton,
         EventInfo::Iteration(k),
-        &mut Payload::Single(&mut data),
+        &mut data,
     );
     let NodeKind::For { inner, .. } = &node.kind else {
         unreachable!("tag checked by dispatcher")
@@ -519,27 +491,18 @@ fn for_iteration(
         Some(&trace),
         data,
         Box::new(move |rt, mut out| {
-            rt.emit(
-                &node2,
-                &trace2,
-                inst,
+            let e = ev(&node2, &trace2, inst);
+            e.one(
+                rt,
                 When::After,
                 Where::NestedSkeleton,
                 EventInfo::Iteration(k),
-                &mut Payload::Single(&mut out),
+                &mut out,
             );
             if k + 1 < n {
                 for_iteration(rt, node2, trace2, inst, out, cont, k + 1, n);
             } else {
-                rt.emit(
-                    &node2,
-                    &trace2,
-                    inst,
-                    When::After,
-                    Where::Skeleton,
-                    EventInfo::None,
-                    &mut Payload::Single(&mut out),
-                );
+                e.one(rt, When::After, Where::Skeleton, EventInfo::None, &mut out);
                 cont(rt, out);
             }
         }),
@@ -558,27 +521,18 @@ fn sim_map(
         node.placement.clone(),
         Box::new(move |rt| {
             let mut data = data;
-            rt.emit(
-                &node,
-                &trace,
-                inst,
+            let e = ev(&node, &trace, inst);
+            e.one(
+                rt,
                 When::Before,
                 Where::Skeleton,
                 EventInfo::None,
-                &mut Payload::Single(&mut data),
+                &mut data,
             );
             let NodeKind::Map { fs, .. } = &node.kind else {
                 unreachable!("tag checked by dispatcher")
             };
-            rt.emit(
-                &node,
-                &trace,
-                inst,
-                When::Before,
-                Where::Split,
-                EventInfo::None,
-                &mut Payload::Single(&mut data),
-            );
+            e.one(rt, When::Before, Where::Split, EventInfo::None, &mut data);
             let muscle = MuscleId::new(node.id, MuscleRole::Split);
             let dur = rt.cost_of(muscle, 1, &*data);
             let fs = fs.clone();
@@ -589,14 +543,13 @@ fn sim_map(
                 dur,
                 then: Box::new(move |rt| {
                     let mut parts = parts;
-                    rt.emit(
-                        &node,
-                        &trace,
-                        inst,
+                    let e = ev(&node, &trace, inst);
+                    e.many(
+                        rt,
                         When::After,
                         Where::Split,
                         EventInfo::SplitCardinality(parts.len()),
-                        &mut Payload::Many(&mut parts),
+                        &mut parts,
                     );
                     fan_out(rt, node, trace, inst, parts, cont, |node, _| {
                         let NodeKind::Map { inner, .. } = &node.kind else {
@@ -623,27 +576,18 @@ fn sim_fork(
         node.placement.clone(),
         Box::new(move |rt| {
             let mut data = data;
-            rt.emit(
-                &node,
-                &trace,
-                inst,
+            let e = ev(&node, &trace, inst);
+            e.one(
+                rt,
                 When::Before,
                 Where::Skeleton,
                 EventInfo::None,
-                &mut Payload::Single(&mut data),
+                &mut data,
             );
             let NodeKind::Fork { fs, .. } = &node.kind else {
                 unreachable!("tag checked by dispatcher")
             };
-            rt.emit(
-                &node,
-                &trace,
-                inst,
-                When::Before,
-                Where::Split,
-                EventInfo::None,
-                &mut Payload::Single(&mut data),
-            );
+            e.one(rt, When::Before, Where::Split, EventInfo::None, &mut data);
             let muscle = MuscleId::new(node.id, MuscleRole::Split);
             let dur = rt.cost_of(muscle, 1, &*data);
             let fs = fs.clone();
@@ -654,14 +598,13 @@ fn sim_fork(
                 dur,
                 then: Box::new(move |rt| {
                     let mut parts = parts;
-                    rt.emit(
-                        &node,
-                        &trace,
-                        inst,
+                    let e = ev(&node, &trace, inst);
+                    e.many(
+                        rt,
                         When::After,
                         Where::Split,
                         EventInfo::SplitCardinality(parts.len()),
-                        &mut Payload::Many(&mut parts),
+                        &mut parts,
                     );
                     let NodeKind::Fork { inners, .. } = &node.kind else {
                         unreachable!()
@@ -699,26 +642,23 @@ fn sim_dac(
         node.placement.clone(),
         Box::new(move |rt| {
             let mut data = data;
-            rt.emit(
-                &node,
-                &trace,
-                inst,
+            let e = ev(&node, &trace, inst);
+            e.one(
+                rt,
                 When::Before,
                 Where::Skeleton,
                 EventInfo::None,
-                &mut Payload::Single(&mut data),
+                &mut data,
             );
             let NodeKind::DivideConquer { fc, .. } = &node.kind else {
                 unreachable!("tag checked by dispatcher")
             };
-            rt.emit(
-                &node,
-                &trace,
-                inst,
+            e.one(
+                rt,
                 When::Before,
                 Where::Condition,
                 EventInfo::None,
-                &mut Payload::Single(&mut data),
+                &mut data,
             );
             let muscle = MuscleId::new(node.id, MuscleRole::Condition);
             let dur = rt.cost_of(muscle, 1, &*data);
@@ -730,25 +670,16 @@ fn sim_dac(
                 dur,
                 then: Box::new(move |rt| {
                     let mut data = data;
-                    rt.emit(
-                        &node,
-                        &trace,
-                        inst,
+                    let e = ev(&node, &trace, inst);
+                    e.one(
+                        rt,
                         When::After,
                         Where::Condition,
                         EventInfo::ConditionResult(divide),
-                        &mut Payload::Single(&mut data),
+                        &mut data,
                     );
                     if divide {
-                        rt.emit(
-                            &node,
-                            &trace,
-                            inst,
-                            When::Before,
-                            Where::Split,
-                            EventInfo::None,
-                            &mut Payload::Single(&mut data),
-                        );
+                        e.one(rt, When::Before, Where::Split, EventInfo::None, &mut data);
                         let NodeKind::DivideConquer { fs, .. } = &node.kind else {
                             unreachable!()
                         };
@@ -762,14 +693,13 @@ fn sim_dac(
                             dur,
                             then: Box::new(move |rt| {
                                 let mut parts = parts;
-                                rt.emit(
-                                    &node,
-                                    &trace,
-                                    inst,
+                                let e = ev(&node, &trace, inst);
+                                e.many(
+                                    rt,
                                     When::After,
                                     Where::Split,
                                     EventInfo::SplitCardinality(parts.len()),
-                                    &mut Payload::Many(&mut parts),
+                                    &mut parts,
                                 );
                                 if parts.is_empty() {
                                     rt.fail(SimError::Eval(EvalError::EmptySplit {
@@ -785,14 +715,12 @@ fn sim_dac(
                             }),
                         }
                     } else {
-                        rt.emit(
-                            &node,
-                            &trace,
-                            inst,
+                        e.one(
+                            rt,
                             When::Before,
                             Where::NestedSkeleton,
                             EventInfo::ChildIndex(0),
-                            &mut Payload::Single(&mut data),
+                            &mut data,
                         );
                         let NodeKind::DivideConquer { inner, .. } = &node.kind else {
                             unreachable!()
@@ -806,24 +734,15 @@ fn sim_dac(
                             Some(&trace),
                             data,
                             Box::new(move |rt, mut out| {
-                                rt.emit(
-                                    &node2,
-                                    &trace2,
-                                    inst,
+                                let e = ev(&node2, &trace2, inst);
+                                e.one(
+                                    rt,
                                     When::After,
                                     Where::NestedSkeleton,
                                     EventInfo::ChildIndex(0),
-                                    &mut Payload::Single(&mut out),
+                                    &mut out,
                                 );
-                                rt.emit(
-                                    &node2,
-                                    &trace2,
-                                    inst,
-                                    When::After,
-                                    Where::Skeleton,
-                                    EventInfo::None,
-                                    &mut Payload::Single(&mut out),
-                                );
+                                e.one(rt, When::After, Where::Skeleton, EventInfo::None, &mut out);
                                 cont(rt, out);
                             }),
                         );
@@ -854,14 +773,12 @@ fn fan_out(
         Rc::new(RefCell::new(((0..n).map(|_| None).collect(), n)));
     let cont = Rc::new(RefCell::new(Some(cont)));
     for (k, mut part) in parts.into_iter().enumerate() {
-        rt.emit(
-            &node,
-            &trace,
-            inst,
+        ev(&node, &trace, inst).one(
+            rt,
             When::Before,
             Where::NestedSkeleton,
             EventInfo::ChildIndex(k),
-            &mut Payload::Single(&mut part),
+            &mut part,
         );
         let child = pick_child(&node, k);
         let join = Rc::clone(&join);
@@ -874,14 +791,12 @@ fn fan_out(
             Some(&trace),
             part,
             Box::new(move |rt, mut out| {
-                rt.emit(
-                    &node2,
-                    &trace2,
-                    inst,
+                ev(&node2, &trace2, inst).one(
+                    rt,
                     When::After,
                     Where::NestedSkeleton,
                     EventInfo::ChildIndex(k),
-                    &mut Payload::Single(&mut out),
+                    &mut out,
                 );
                 let finished = {
                     let mut j = join.borrow_mut();
@@ -917,14 +832,13 @@ fn schedule_merge(
         node.placement.clone(),
         Box::new(move |rt| {
             let mut results = results;
-            rt.emit(
-                &node,
-                &trace,
-                inst,
+            let e = ev(&node, &trace, inst);
+            e.many(
+                rt,
                 When::Before,
                 Where::Merge,
                 EventInfo::None,
-                &mut Payload::Many(&mut results),
+                &mut results,
             );
             let fm = match &node.kind {
                 NodeKind::Map { fm, .. }
@@ -942,24 +856,9 @@ fn schedule_merge(
                 dur,
                 then: Box::new(move |rt| {
                     let mut out = out;
-                    rt.emit(
-                        &node,
-                        &trace,
-                        inst,
-                        When::After,
-                        Where::Merge,
-                        EventInfo::None,
-                        &mut Payload::Single(&mut out),
-                    );
-                    rt.emit(
-                        &node,
-                        &trace,
-                        inst,
-                        When::After,
-                        Where::Skeleton,
-                        EventInfo::None,
-                        &mut Payload::Single(&mut out),
-                    );
+                    let e = ev(&node, &trace, inst);
+                    e.one(rt, When::After, Where::Merge, EventInfo::None, &mut out);
+                    e.one(rt, When::After, Where::Skeleton, EventInfo::None, &mut out);
                     cont(rt, out);
                     Step::Done
                 }),

@@ -17,6 +17,21 @@
 //!   an LP actuator, so the *identical* controller code runs against either
 //!   engine — the simulator changes only where timestamps come from.
 //!
+//! Internally the simulator is a priority-queue **discrete-event
+//! scheduler** ([`sched`]): completions and ready tasks are ordered by
+//! virtual timestamp, and *same-timestamp* ties are broken by a pluggable
+//! [`OrderingPolicy`]. `Deterministic` (the default) reproduces the
+//! historical stable schedule byte-for-byte; `SeededRandom(seed)`
+//! permutes exactly the genuinely-concurrent events, turning the
+//! simulator into a replay-exact concurrency **fuzzer** for the
+//! adapt/offload decision stack (set the `ASKEL_SIM_SEED` env var to
+//! reproduce a failing seed from the command line). Long-lived actors —
+//! provisioning-policy review points, telemetry samplers — plug in as
+//! [`components::Component`]s that tick on virtual time, and
+//! [`SimEngine::run_stream`] feeds a whole item stream through one
+//! persistent simulated machine (thousands of nodes, millions of items,
+//! idle nodes cost nothing).
+//!
 //! ```
 //! use std::sync::Arc;
 //! use askel_sim::{cost::TableCost, SimEngine};
@@ -39,9 +54,11 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod components;
 pub mod cost;
 mod exec;
 mod rt;
+pub mod sched;
 pub mod workers;
 
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -49,9 +66,11 @@ use std::sync::Arc;
 
 use askel_events::ListenerRegistry;
 use askel_pool::PoolTelemetry;
-use askel_skeletons::{Clock, EvalError, ManualClock, Skel, TimeNs};
+use askel_skeletons::{Clock, Data, EvalError, ManualClock, Skel, TimeNs};
 
+use components::Component;
 use cost::CostModel;
+pub use sched::OrderingPolicy;
 use workers::{UniformWorkers, WorkerModel};
 
 /// Why a simulated run failed.
@@ -145,6 +164,7 @@ pub struct SimEngine {
     cost: Arc<dyn CostModel>,
     workers: Option<Box<dyn WorkerModel>>,
     lp_control: SimLpControl,
+    ordering: OrderingPolicy,
 }
 
 impl SimEngine {
@@ -166,7 +186,21 @@ impl SimEngine {
             lp_control: SimLpControl {
                 request: Arc::new(AtomicUsize::new(SimLpControl::NONE)),
             },
+            ordering: OrderingPolicy::from_env(),
         }
+    }
+
+    /// Sets the same-timestamp [`OrderingPolicy`] (builder style). The
+    /// default comes from [`OrderingPolicy::from_env`]: `Deterministic`
+    /// unless the `ASKEL_SIM_SEED` env var names a fuzz seed.
+    pub fn ordering(mut self, policy: OrderingPolicy) -> Self {
+        self.ordering = policy;
+        self
+    }
+
+    /// The active same-timestamp ordering policy.
+    pub fn ordering_policy(&self) -> OrderingPolicy {
+        self.ordering
     }
 
     /// The listener registry (identical type to the threaded engine's).
@@ -220,6 +254,7 @@ impl SimEngine {
             Arc::clone(&self.cost),
             workers,
             self.lp_control.clone(),
+            self.ordering,
             skel.node(),
             Box::new(input),
         );
@@ -244,4 +279,90 @@ impl SimEngine {
             wct: finished_at.saturating_sub(started_at),
         })
     }
+
+    /// Streams items through one **persistent** simulated machine.
+    ///
+    /// Unlike repeated [`run`](SimEngine::run) calls — which build a
+    /// fresh runtime per item — the machine survives across items:
+    /// worker occupancy, in-flight chains, and per-muscle invocation
+    /// counters (cost-model `seq_no`s) all carry over, matching a
+    /// long-lived threaded engine fed a stream. Up to `window` items are
+    /// in flight at once; `window == 1` is strict lock-step
+    /// (`source(i)` → run → `on_result(i)` → `source(i + 1)`), the
+    /// natural place for safe-point adaptation between items.
+    ///
+    /// `source` is polled with the next item index and may return a
+    /// different skeleton each time (reconfiguration between items);
+    /// `None` ends the stream. `on_result` observes every item in
+    /// completion order. `components` tick on virtual time while work is
+    /// in flight (see [`components::Component`]).
+    ///
+    /// A failure poisons the whole machine: every item in flight reports
+    /// the same error and the queues reset (at `window == 1` that is
+    /// plain per-item error reporting).
+    pub fn run_stream<P, R>(
+        &mut self,
+        window: usize,
+        mut source: impl FnMut(usize) -> Option<(Skel<P, R>, P)>,
+        mut on_result: impl FnMut(usize, Result<R, SimError>),
+        components: &mut [Box<dyn Component>],
+    ) -> StreamReport
+    where
+        P: Send + 'static,
+        R: Send + 'static,
+    {
+        let started_at = self.clock.now();
+        let workers = self
+            .workers
+            .take()
+            .expect("worker model is always restored");
+        self.telemetry.record_target(started_at, workers.capacity());
+        let mut items = 0usize;
+        let mut raw_source = |index: usize| {
+            source(index).map(|(skel, input)| (Arc::clone(skel.node()), Box::new(input) as Data))
+        };
+        let mut raw_sink = |index: usize, outcome: Result<Data, SimError>| {
+            items += 1;
+            let typed = outcome.and_then(|data| {
+                data.downcast::<R>()
+                    .map(|b| *b)
+                    .map_err(|_| SimError::WrongResultType)
+            });
+            on_result(index, typed);
+        };
+        let (stats, workers) = rt::run_stream(
+            Arc::clone(&self.registry),
+            Arc::clone(&self.clock),
+            Arc::clone(&self.telemetry),
+            Arc::clone(&self.cost),
+            workers,
+            self.lp_control.clone(),
+            self.ordering,
+            window,
+            &mut raw_source,
+            &mut raw_sink,
+            components,
+        );
+        self.workers = Some(workers);
+        StreamReport {
+            items,
+            events: stats.events,
+            started_at,
+            finished_at: stats.finished_at,
+        }
+    }
+}
+
+/// Scheduler totals for one [`SimEngine::run_stream`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamReport {
+    /// Items delivered to `on_result` (successes and failures).
+    pub items: usize,
+    /// Scheduler events processed: work-step executions plus component
+    /// ticks — the unit the throughput bench records per second.
+    pub events: u64,
+    /// Virtual time when the stream started.
+    pub started_at: TimeNs,
+    /// Virtual time when the stream drained.
+    pub finished_at: TimeNs,
 }

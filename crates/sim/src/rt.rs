@@ -1,8 +1,8 @@
-//! The discrete-event runtime: virtual clock, worker tokens, ready stack
-//! and completion queue.
+//! The discrete-event runtime: virtual clock, worker slots, policy-ordered
+//! ready/completion queues, and component ticks.
 
 use std::any::Any;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BTreeSet, HashMap};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
@@ -10,8 +10,10 @@ use askel_events::{Event, EventInfo, ListenerRegistry, Payload, Trace, When, Whe
 use askel_pool::PoolTelemetry;
 use askel_skeletons::{Clock, Data, InstanceId, ManualClock, MuscleId, Node, TimeNs};
 
+use crate::components::{Command, Component};
 use crate::cost::{CostModel, MuscleCall};
 use crate::exec;
+use crate::sched::{EventQueue, OrderingPolicy, ReadyQueue};
 use crate::workers::WorkerModel;
 use crate::{SimError, SimLpControl};
 
@@ -44,33 +46,11 @@ pub(crate) struct ReadyTask {
     work: SimWork,
 }
 
+/// A scheduled chain continuation: the slot it occupies and the work to
+/// resume. Timing and tie-breaking live in the [`EventQueue`].
 struct Completion {
-    at: TimeNs,
-    seq: u64,
     work: SimWork,
     slot: usize,
-}
-
-impl PartialEq for Completion {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl Eq for Completion {}
-impl PartialOrd for Completion {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Completion {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // Reversed: BinaryHeap is a max-heap, we want the earliest
-        // completion (ties broken by insertion order) on top.
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
 }
 
 /// The simulator's mutable state, threaded through every work step.
@@ -81,19 +61,27 @@ pub(crate) struct SimRt {
     cost: Arc<dyn CostModel>,
     telemetry: Arc<PoolTelemetry>,
     lp_control: SimLpControl,
-    ready: Vec<ReadyTask>,
-    completions: BinaryHeap<Completion>,
-    comp_seq: u64,
+    ready: ReadyQueue<ReadyTask>,
+    completions: EventQueue<Completion>,
     workers: Box<dyn WorkerModel>,
-    occupied: std::collections::BTreeSet<usize>,
+    /// Slots currently running a chain.
+    occupied: BTreeSet<usize>,
+    /// Slots below capacity and not occupied — kept in lock-step with
+    /// `occupied` so slot picks are O(log n) instead of O(capacity).
+    free: BTreeSet<usize>,
     muscle_counts: HashMap<MuscleId, u64>,
+    /// Scheduler events processed: work-step executions + component ticks.
+    pub(crate) events: u64,
+    /// Results of finished stream items, filled by per-item root
+    /// continuations during [`run_stream`].
+    stream_done: Vec<(usize, Data)>,
     pub(crate) error: Option<SimError>,
     pub(crate) result: Option<Data>,
 }
 
 impl SimRt {
-    /// Queues simulated work on the LIFO ready stack, tagged with the
-    /// placement annotation of the node that produced it.
+    /// Queues simulated work on the policy-ordered ready pool, tagged with
+    /// the placement annotation of the node that produced it.
     pub(crate) fn push_ready(&mut self, placement: Option<Arc<str>>, work: SimWork) {
         self.ready.push(ReadyTask { placement, work });
     }
@@ -163,12 +151,22 @@ impl SimRt {
         }
     }
 
+    /// Recomputes the free-slot set from capacity and occupancy. Called on
+    /// construction, capacity changes, and stream error resets.
+    fn rebuild_free(&mut self) {
+        let capacity = self.workers.capacity();
+        self.free = (0..capacity)
+            .filter(|s| !self.occupied.contains(s))
+            .collect();
+    }
+
     fn apply_lp_request(&mut self) {
         if let Some(lp) = self.lp_control.take() {
             if lp != self.workers.capacity() {
                 self.workers.set_capacity(lp);
                 self.telemetry
                     .record_target(self.now, self.workers.capacity());
+                self.rebuild_free();
             }
         }
     }
@@ -176,29 +174,38 @@ impl SimRt {
     /// Picks the next `(ready index, worker slot)` pair to start, or
     /// `None` if nothing can start right now.
     ///
-    /// LIFO discipline is preserved: the newest ready task is considered
-    /// first, and an unannotated task always takes the lowest free slot —
-    /// exactly the pre-placement behaviour. A task whose placement names
-    /// a currently-enabled node is **hard-constrained** to that node's
-    /// slots (it waits, letting older ready tasks start, when the node is
-    /// fully busy); a placement naming no enabled slot falls back to
-    /// running anywhere, so placement can never stall the run.
+    /// Candidates are visited in the ordering policy's dispatch order
+    /// (LIFO under `Deterministic` — the pre-refactor discipline). An
+    /// unannotated task always takes the lowest free slot. A task whose
+    /// placement names a currently-enabled node is **hard-constrained** to
+    /// that node's slots (it waits, letting older ready tasks start, when
+    /// the node is fully busy); a placement naming no enabled slot falls
+    /// back to running anywhere, so placement can never stall the run.
     fn pick_ready(&self) -> Option<(usize, usize)> {
         let capacity = self.workers.capacity();
-        // The common case — the newest ready task is unannotated — only
-        // needs the lowest free slot, computed lazily (no allocation on
-        // the dispatch hot path).
-        let lowest_free = (0..capacity).find(|slot| !self.occupied.contains(slot))?;
-        for i in (0..self.ready.len()).rev() {
-            match &self.ready[i].placement {
+        let lowest_free = *self.free.first()?;
+        for i in self.ready.order() {
+            match &self.ready.get(i).placement {
                 Some(p) if self.workers.placement_enabled(p) => {
-                    if let Some(slot) = (lowest_free..capacity)
-                        .find(|&s| !self.occupied.contains(&s) && self.workers.slot_matches(s, p))
-                    {
+                    // Prefer the model's contiguous slot-block hint
+                    // (O(log n)); fall back to probing each free slot.
+                    let slot = match self.workers.slot_range(p) {
+                        Some((lo, hi)) => self
+                            .free
+                            .range(lo.max(lowest_free)..hi.min(capacity))
+                            .next()
+                            .copied(),
+                        None => self
+                            .free
+                            .range(lowest_free..capacity)
+                            .find(|&&s| self.workers.slot_matches(s, p))
+                            .copied(),
+                    };
+                    if let Some(slot) = slot {
                         return Some((i, slot));
                     }
                     // The node exists but is fully busy: this task waits
-                    // for it; an older task may still start elsewhere.
+                    // for it; another candidate may still start elsewhere.
                 }
                 _ => return Some((i, lowest_free)),
             }
@@ -207,6 +214,7 @@ impl SimRt {
     }
 
     fn execute(&mut self, work: SimWork, slot: usize, overhead: TimeNs) {
+        self.events += 1;
         match work(self) {
             Step::Busy { dur, then } => {
                 // Asymmetric node speeds: the slot's cost factor scales
@@ -218,59 +226,110 @@ impl SimRt {
                     TimeNs(((dur.0 as f64) * factor.max(0.0)).round() as u64)
                 };
                 self.workers.note_busy(slot, dur + overhead);
-                self.comp_seq += 1;
-                self.completions.push(Completion {
-                    at: self.now + dur + overhead,
-                    seq: self.comp_seq,
-                    work: then,
-                    slot,
-                });
+                self.completions
+                    .push(self.now + dur + overhead, Completion { work: then, slot });
             }
             Step::Done => {
                 self.occupied.remove(&slot);
+                if slot < self.workers.capacity() {
+                    self.free.insert(slot);
+                }
                 self.telemetry.record_task_end(self.now, false);
             }
         }
     }
 
-    fn run_loop(&mut self) {
+    /// One scheduling round: apply pending LP requests, start every ready
+    /// task a free slot will take, then advance virtual time to the next
+    /// component tick or completion (ties tick components first, so a
+    /// component observes the world as of strictly-earlier events).
+    ///
+    /// Returns `false` when the machine can make no further progress —
+    /// drained, stalled, or poisoned.
+    fn step(&mut self, components: &mut [Box<dyn Component>]) -> bool {
+        if self.error.is_some() {
+            return false;
+        }
+        self.apply_lp_request();
+        // Start ready work while worker slots are free. The slot's
+        // communication overhead (zero for local workers) is charged on
+        // the chain's first busy segment.
         loop {
+            if self.ready.is_empty() {
+                break;
+            }
+            let Some((index, slot)) = self.pick_ready() else {
+                break;
+            };
+            self.occupied.insert(slot);
+            self.free.remove(&slot);
+            let task = self.ready.remove(index);
+            let overhead = self.workers.chain_overhead(slot);
+            self.telemetry.record_task_start(self.now);
+            self.execute(task.work, slot, overhead);
             if self.error.is_some() {
-                return;
+                return false;
             }
             self.apply_lp_request();
-            // Start ready work while worker slots are free (LIFO). The
-            // slot's communication overhead (zero for local workers) is
-            // charged on the chain's first busy segment.
-            loop {
-                if self.ready.is_empty() {
-                    break;
-                }
-                let Some((index, slot)) = self.pick_ready() else {
-                    break;
-                };
-                self.occupied.insert(slot);
-                let task = self.ready.remove(index);
-                let overhead = self.workers.chain_overhead(slot);
-                self.telemetry.record_task_start(self.now);
-                self.execute(task.work, slot, overhead);
-                if self.error.is_some() {
-                    return;
-                }
-                self.apply_lp_request();
-            }
-            // Advance virtual time to the next completion.
-            let Some(c) = self.completions.pop() else {
-                if !self.ready.is_empty() && self.occupied.is_empty() {
-                    let (at, ready) = (self.now, self.ready.len());
-                    self.fail(SimError::Stalled { at, ready });
-                }
-                return;
-            };
-            self.now = self.now.max(c.at);
-            self.clock.advance_to(self.now);
-            self.execute(c.work, c.slot, TimeNs::ZERO);
         }
+        // Advance virtual time. Components only tick while completions
+        // are pending: an idle machine costs nothing and the simulation
+        // terminates regardless of what components would like next.
+        let Some(completion_at) = self.completions.peek_at() else {
+            if !self.ready.is_empty() && self.occupied.is_empty() {
+                let (at, ready) = (self.now, self.ready.len());
+                self.fail(SimError::Stalled { at, ready });
+            }
+            return false;
+        };
+        if !components.is_empty() {
+            let due: Vec<(usize, TimeNs)> = components
+                .iter()
+                .enumerate()
+                .filter_map(|(i, c)| c.next_tick(self.now).map(|t| (i, t)))
+                .collect();
+            if let Some(tick_at) = due
+                .iter()
+                .map(|&(_, t)| t)
+                .min()
+                .filter(|&t| t <= completion_at)
+            {
+                self.now = self.now.max(tick_at);
+                self.clock.advance_to(self.now);
+                for (i, t) in due {
+                    if t <= self.now {
+                        self.events += 1;
+                        for cmd in components[i].tick(self.now) {
+                            match cmd {
+                                Command::RequestLp(lp) => self.lp_control.request(lp),
+                            }
+                        }
+                    }
+                }
+                return true;
+            }
+        }
+        let Some((at, c)) = self.completions.pop() else {
+            return false;
+        };
+        self.now = self.now.max(at);
+        self.clock.advance_to(self.now);
+        self.execute(c.work, c.slot, TimeNs::ZERO);
+        true
+    }
+
+    fn run_loop(&mut self, components: &mut [Box<dyn Component>]) {
+        while self.step(components) {}
+    }
+
+    /// Drops every queued task and in-flight completion (stream error
+    /// recovery: the whole simulated machine is poisoned and reset).
+    fn reset_machine(&mut self) {
+        self.ready.clear();
+        self.completions.clear();
+        self.stream_done.clear();
+        self.occupied.clear();
+        self.rebuild_free();
     }
 }
 
@@ -288,6 +347,37 @@ fn panic_message(payload: &(dyn Any + Send)) -> String {
 /// worker model handed back to the engine either way.
 pub(crate) type RunResult = Result<(Data, Box<dyn WorkerModel>), (SimError, Box<dyn WorkerModel>)>;
 
+fn new_rt(
+    registry: Arc<ListenerRegistry>,
+    clock: Arc<ManualClock>,
+    telemetry: Arc<PoolTelemetry>,
+    cost: Arc<dyn CostModel>,
+    workers: Box<dyn WorkerModel>,
+    lp_control: SimLpControl,
+    policy: OrderingPolicy,
+) -> SimRt {
+    let mut rt = SimRt {
+        now: clock.now(),
+        clock,
+        registry,
+        cost,
+        telemetry,
+        lp_control,
+        ready: ReadyQueue::new(policy),
+        completions: EventQueue::new(policy),
+        workers,
+        occupied: BTreeSet::new(),
+        free: BTreeSet::new(),
+        muscle_counts: HashMap::new(),
+        events: 0,
+        stream_done: Vec::new(),
+        error: None,
+        result: None,
+    };
+    rt.rebuild_free();
+    rt
+}
+
 /// Runs one submission to completion; returns the erased result and the
 /// final worker model.
 #[allow(clippy::too_many_arguments)]
@@ -298,30 +388,18 @@ pub(crate) fn run(
     cost: Arc<dyn CostModel>,
     workers: Box<dyn WorkerModel>,
     lp_control: SimLpControl,
+    policy: OrderingPolicy,
     node: &Arc<Node>,
     input: Data,
 ) -> RunResult {
-    let mut rt = SimRt {
-        now: clock.now(),
-        clock,
-        registry,
-        cost,
-        telemetry,
-        lp_control,
-        ready: Vec::new(),
-        completions: BinaryHeap::new(),
-        comp_seq: 0,
-        workers,
-        occupied: std::collections::BTreeSet::new(),
-        muscle_counts: HashMap::new(),
-        error: None,
-        result: None,
-    };
+    let mut rt = new_rt(
+        registry, clock, telemetry, cost, workers, lp_control, policy,
+    );
     let root_cont: SimCont = Box::new(|rt, data| {
         rt.result = Some(data);
     });
     exec::schedule_node(&mut rt, node, None, input, root_cont);
-    rt.run_loop();
+    rt.run_loop(&mut []);
     if let Some(err) = rt.error {
         return Err((err, rt.workers));
     }
@@ -335,4 +413,108 @@ pub(crate) fn run(
             Err((err, rt.workers))
         }
     }
+}
+
+/// Scheduler totals for one streamed run (erased layer).
+pub(crate) struct StreamStats {
+    /// Scheduler events processed (work steps + component ticks).
+    pub(crate) events: u64,
+    /// Virtual time when the stream drained.
+    pub(crate) finished_at: TimeNs,
+}
+
+/// Streams items through one persistent simulated machine.
+///
+/// Unlike [`run`], the runtime survives across items: worker occupancy,
+/// virtual time, *and per-muscle invocation counters* carry over —
+/// matching a long-lived threaded engine fed a stream, which is exactly
+/// the regime the adapt stack tunes. Up to `window` items are in flight
+/// at once (`window == 1` is strict lock-step: `source(i)` → run →
+/// `sink(i)` → `source(i + 1)`). `source` is polled with the next item
+/// index and ends the stream by returning `None`; `sink` observes every
+/// item's outcome in completion order.
+///
+/// Error semantics: a failure poisons the *whole machine* — every item
+/// then in flight is reported failed with the same error and the queues
+/// are reset — because in-flight items share worker slots and one
+/// poisoned chain cannot be unwound from under its neighbours. With
+/// `window == 1` this degrades to the obvious per-item error reporting.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_stream(
+    registry: Arc<ListenerRegistry>,
+    clock: Arc<ManualClock>,
+    telemetry: Arc<PoolTelemetry>,
+    cost: Arc<dyn CostModel>,
+    workers: Box<dyn WorkerModel>,
+    lp_control: SimLpControl,
+    policy: OrderingPolicy,
+    window: usize,
+    source: &mut dyn FnMut(usize) -> Option<(Arc<Node>, Data)>,
+    sink: &mut dyn FnMut(usize, Result<Data, SimError>),
+    components: &mut [Box<dyn Component>],
+) -> (StreamStats, Box<dyn WorkerModel>) {
+    let window = window.max(1);
+    let mut rt = new_rt(
+        registry, clock, telemetry, cost, workers, lp_control, policy,
+    );
+    let mut next_index = 0usize;
+    let mut in_flight: Vec<usize> = Vec::new();
+    let mut source_done = false;
+    loop {
+        while !source_done && in_flight.len() < window {
+            match source(next_index) {
+                Some((node, input)) => {
+                    let index = next_index;
+                    next_index += 1;
+                    in_flight.push(index);
+                    let root: SimCont = Box::new(move |rt, data| {
+                        rt.stream_done.push((index, data));
+                    });
+                    exec::schedule_node(&mut rt, &node, None, input, root);
+                }
+                None => source_done = true,
+            }
+        }
+        if in_flight.is_empty() {
+            // The submit loop only exits with nothing in flight once the
+            // source is exhausted.
+            break;
+        }
+        // Drive the machine until an item finishes, the run poisons, or
+        // nothing can make progress.
+        loop {
+            let progressed = rt.step(components);
+            if !rt.stream_done.is_empty() || rt.error.is_some() || !progressed {
+                break;
+            }
+        }
+        if let Some(err) = rt.error.take() {
+            for index in in_flight.drain(..) {
+                sink(index, Err(err.clone()));
+            }
+            rt.reset_machine();
+            continue;
+        }
+        if rt.stream_done.is_empty() {
+            // Machine drained with items still in flight: stalled.
+            let err = SimError::Stalled {
+                at: rt.now,
+                ready: rt.ready.len(),
+            };
+            for index in in_flight.drain(..) {
+                sink(index, Err(err.clone()));
+            }
+            rt.reset_machine();
+            continue;
+        }
+        for (index, data) in std::mem::take(&mut rt.stream_done) {
+            in_flight.retain(|&i| i != index);
+            sink(index, Ok(data));
+        }
+    }
+    let stats = StreamStats {
+        events: rt.events,
+        finished_at: rt.now,
+    };
+    (stats, rt.workers)
 }

@@ -1,0 +1,338 @@
+//! The discrete-event scheduler core: a priority event queue plus
+//! pluggable same-timestamp ordering policies.
+//!
+//! Everything the simulator does — muscle completions, ready-task
+//! dispatch, component ticks — flows through two structures defined here:
+//!
+//! * `EventQueue` (crate-private): a binary min-heap of
+//!   `(at, tie_key, seq)`-ordered future events. The earliest timestamp
+//!   always pops first; *ties* at one timestamp are broken by the
+//!   [`OrderingPolicy`].
+//! * `ReadyQueue` (crate-private): the pool of tasks eligible to start
+//!   right now. The policy decides which candidate is offered to a free
+//!   worker slot first.
+//!
+//! [`OrderingPolicy::Deterministic`] reproduces the historical simulator
+//! byte-for-byte: completions in insertion order, ready tasks LIFO
+//! (newest first) — the paper's observed Skandium schedule.
+//! [`OrderingPolicy::SeededRandom`] permutes only what is genuinely
+//! unordered — events carrying the *same* virtual timestamp — which
+//! turns the simulator into a concurrency fuzzer for the adapt/offload
+//! decision stack: any decision logic that accidentally depends on
+//! tie-breaking order diverges across seeds, while a fixed seed replays
+//! bit-identically (timestamps included).
+
+use std::collections::BinaryHeap;
+
+use askel_skeletons::TimeNs;
+
+/// The SplitMix64 finalizer: a fast, dependency-free bijective hash with
+/// good avalanche behaviour. Shared by [`crate::cost::JitterCost`] (cost
+/// jitter) and [`OrderingPolicy::SeededRandom`] (tie keys), so the whole
+/// simulator's pseudo-randomness comes from one well-understood
+/// primitive.
+pub fn splitmix64(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    x
+}
+
+/// Environment variable read by [`OrderingPolicy::from_env`]: set it to a
+/// `u64` to run every simulator constructed afterwards under
+/// [`OrderingPolicy::SeededRandom`] with that seed — the command-line
+/// reproduction path for a failing fuzz seed.
+pub const SEED_ENV: &str = "ASKEL_SIM_SEED";
+
+/// How same-timestamp scheduler events are ordered.
+///
+/// Virtual time gives most events a total order for free; only events at
+/// the *same* instant are genuinely concurrent. This policy decides those
+/// ties — which makes it exactly a model of scheduling nondeterminism,
+/// with none of the flakiness: both variants are fully deterministic
+/// functions of their inputs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OrderingPolicy {
+    /// Stable order: completions pop in insertion order, ready tasks
+    /// dispatch LIFO (newest first). Byte-identical to the simulator's
+    /// historical behaviour — decision-log regression tests pin this.
+    Deterministic,
+    /// Ties are broken by a SplitMix64 hash of `(seed, event seq)`:
+    /// different seeds explore different interleavings, the same seed
+    /// replays the same schedule bit-for-bit (virtual timestamps
+    /// included). The fuzzer mode.
+    SeededRandom(u64),
+}
+
+impl OrderingPolicy {
+    /// Reads [`SEED_ENV`]: a parseable `u64` yields
+    /// `SeededRandom(seed)`, anything else `Deterministic`.
+    pub fn from_env() -> Self {
+        match std::env::var(SEED_ENV).ok().and_then(|s| s.parse().ok()) {
+            Some(seed) => OrderingPolicy::SeededRandom(seed),
+            None => OrderingPolicy::Deterministic,
+        }
+    }
+
+    /// The fuzz seed, when running seeded.
+    pub fn seed(&self) -> Option<u64> {
+        match self {
+            OrderingPolicy::Deterministic => None,
+            OrderingPolicy::SeededRandom(seed) => Some(*seed),
+        }
+    }
+
+    /// The tie-break key for the `seq`-th event: equal-timestamp events
+    /// pop in ascending key order. Deterministic keys *are* the sequence
+    /// numbers (insertion order); seeded keys hash them.
+    fn tie_key(&self, seq: u64) -> u64 {
+        match self {
+            OrderingPolicy::Deterministic => seq,
+            OrderingPolicy::SeededRandom(seed) => splitmix64(seed ^ seq),
+        }
+    }
+}
+
+struct Scheduled<T> {
+    at: TimeNs,
+    key: u64,
+    seq: u64,
+    item: T,
+}
+
+impl<T> PartialEq for Scheduled<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.key == other.key && self.seq == other.seq
+    }
+}
+impl<T> Eq for Scheduled<T> {}
+impl<T> PartialOrd for Scheduled<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Scheduled<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest event
+        // (ties by policy key, then insertion order) on top.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.key.cmp(&self.key))
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// The future-event queue: a binary min-heap over `(at, tie_key, seq)`.
+pub(crate) struct EventQueue<T> {
+    heap: BinaryHeap<Scheduled<T>>,
+    seq: u64,
+    policy: OrderingPolicy,
+}
+
+impl<T> EventQueue<T> {
+    pub(crate) fn new(policy: OrderingPolicy) -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            policy,
+        }
+    }
+
+    /// Schedules `item` at virtual time `at`.
+    pub(crate) fn push(&mut self, at: TimeNs, item: T) {
+        self.seq += 1;
+        self.heap.push(Scheduled {
+            at,
+            key: self.policy.tie_key(self.seq),
+            seq: self.seq,
+            item,
+        });
+    }
+
+    /// Pops the earliest event.
+    pub(crate) fn pop(&mut self) -> Option<(TimeNs, T)> {
+        self.heap.pop().map(|s| (s.at, s.item))
+    }
+
+    /// The next event's timestamp, without popping.
+    pub(crate) fn peek_at(&self) -> Option<TimeNs> {
+        self.heap.peek().map(|s| s.at)
+    }
+
+    pub(crate) fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+struct ReadyEntry<T> {
+    key: u64,
+    item: T,
+}
+
+/// The pool of tasks eligible to start now, in policy-preference order.
+pub(crate) struct ReadyQueue<T> {
+    entries: Vec<ReadyEntry<T>>,
+    seq: u64,
+    policy: OrderingPolicy,
+}
+
+impl<T> ReadyQueue<T> {
+    pub(crate) fn new(policy: OrderingPolicy) -> Self {
+        ReadyQueue {
+            entries: Vec::new(),
+            seq: 0,
+            policy,
+        }
+    }
+
+    pub(crate) fn push(&mut self, item: T) {
+        self.seq += 1;
+        self.entries.push(ReadyEntry {
+            key: self.policy.tie_key(self.seq),
+            item,
+        });
+    }
+
+    pub(crate) fn get(&self, index: usize) -> &T {
+        &self.entries[index].item
+    }
+
+    /// Removes and returns the entry at `index` (an index previously
+    /// yielded by [`order`](ReadyQueue::order)). In the deterministic
+    /// LIFO common case the index is the last entry, so removal is O(1);
+    /// otherwise the tail shifts, preserving insertion order.
+    pub(crate) fn remove(&mut self, index: usize) -> T {
+        self.entries.remove(index).item
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub(crate) fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Candidate indices in dispatch-preference order: newest first under
+    /// `Deterministic` (the LIFO discipline the paper observed in
+    /// Skandium), highest tie key first under `SeededRandom`.
+    pub(crate) fn order(&self) -> CandidateOrder {
+        match self.policy {
+            OrderingPolicy::Deterministic => CandidateOrder::Lifo((0..self.entries.len()).rev()),
+            OrderingPolicy::SeededRandom(_) => {
+                let mut idx: Vec<usize> = (0..self.entries.len()).collect();
+                // Stable under equal keys: later entries win, mirroring
+                // the LIFO bias; keys are per-push unique in practice.
+                idx.sort_by(|&a, &b| {
+                    self.entries[b]
+                        .key
+                        .cmp(&self.entries[a].key)
+                        .then_with(|| b.cmp(&a))
+                });
+                CandidateOrder::Keyed(idx.into_iter())
+            }
+        }
+    }
+}
+
+/// Iterator over ready-queue candidate indices (see [`ReadyQueue::order`]).
+pub(crate) enum CandidateOrder {
+    Lifo(std::iter::Rev<std::ops::Range<usize>>),
+    Keyed(std::vec::IntoIter<usize>),
+}
+
+impl Iterator for CandidateOrder {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        match self {
+            CandidateOrder::Lifo(it) => it.next(),
+            CandidateOrder::Keyed(it) => it.next(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_queue_pops_in_insertion_order_at_ties() {
+        let mut q = EventQueue::new(OrderingPolicy::Deterministic);
+        let t = TimeNs::from_secs(1);
+        q.push(t, "a");
+        q.push(t, "b");
+        q.push(TimeNs::ZERO, "early");
+        assert_eq!(q.pop(), Some((TimeNs::ZERO, "early")));
+        assert_eq!(q.pop(), Some((t, "a")));
+        assert_eq!(q.pop(), Some((t, "b")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn seeded_queue_replays_identically_per_seed() {
+        let order = |seed: u64| {
+            let mut q = EventQueue::new(OrderingPolicy::SeededRandom(seed));
+            let t = TimeNs::from_secs(1);
+            for label in 0..16 {
+                q.push(t, label);
+            }
+            let mut got = Vec::new();
+            while let Some((_, l)) = q.pop() {
+                got.push(l);
+            }
+            got
+        };
+        assert_eq!(order(7), order(7), "same seed, same tie order");
+        assert_ne!(
+            order(7),
+            (0..16).collect::<Vec<_>>(),
+            "a seeded queue should actually permute ties"
+        );
+        // Timestamp order always dominates the tie key.
+        let mut q = EventQueue::new(OrderingPolicy::SeededRandom(7));
+        q.push(TimeNs::from_secs(2), "late");
+        q.push(TimeNs::from_secs(1), "early");
+        assert_eq!(q.pop().unwrap().1, "early");
+    }
+
+    #[test]
+    fn ready_order_is_lifo_deterministically_and_seeded_is_stable() {
+        let mut r = ReadyQueue::new(OrderingPolicy::Deterministic);
+        for v in 0..4 {
+            r.push(v);
+        }
+        assert_eq!(r.order().collect::<Vec<_>>(), vec![3, 2, 1, 0]);
+
+        let mut s = ReadyQueue::new(OrderingPolicy::SeededRandom(42));
+        for v in 0..8 {
+            s.push(v);
+        }
+        let a: Vec<usize> = s.order().collect();
+        let b: Vec<usize> = s.order().collect();
+        assert_eq!(a, b, "candidate order is a pure function of the seed");
+        assert_eq!(a.len(), 8);
+    }
+
+    #[test]
+    fn from_env_parses_the_seed() {
+        // Only exercises the parse logic, not the process environment.
+        assert_eq!(OrderingPolicy::Deterministic.seed(), None);
+        assert_eq!(OrderingPolicy::SeededRandom(9).seed(), Some(9));
+    }
+
+    #[test]
+    fn splitmix_is_bijective_enough() {
+        let mut seen = std::collections::HashSet::new();
+        for x in 0..1000u64 {
+            assert!(seen.insert(splitmix64(x)), "collision at {x}");
+        }
+    }
+}

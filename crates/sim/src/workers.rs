@@ -69,6 +69,19 @@ pub trait WorkerModel: Send {
         let _ = placement;
         self.capacity() > 0
     }
+
+    /// The contiguous slot block `[lo, hi)` satisfying `placement`, when
+    /// the model lays slots out that way. Must agree exactly with
+    /// [`slot_matches`]: `slot_matches(s, placement) ⇔ lo ≤ s < hi`.
+    /// Returning a range lets the scheduler pick a matching free slot in
+    /// O(log n) instead of probing every free slot; `None` (the default)
+    /// falls back to per-slot probing.
+    ///
+    /// [`slot_matches`]: WorkerModel::slot_matches
+    fn slot_range(&self, placement: &str) -> Option<(usize, usize)> {
+        let _ = placement;
+        None
+    }
 }
 
 /// Identical local workers — plain threads on one machine.

@@ -13,7 +13,7 @@
 //! | events | [`events`] | statically-defined events around every muscle, delivered on the muscle's thread; listeners may transform partial solutions |
 //! | pool | [`pool`] | a worker pool whose size (the Level of Parallelism, LP) changes while work runs |
 //! | threaded engine | [`engine`] | continuation-passing interpreter over the pool |
-//! | simulator | [`sim`] | the same interpreter under virtual time with pluggable cost models (deterministic evaluation substrate) |
+//! | simulator | [`sim`] | the same interpreter over a discrete-event scheduler in virtual time, with pluggable cost models and ordering policies (deterministic replay, or seeded-ordering fuzzing) |
 //! | autonomic layer | [`core`] | EWMA estimators, event state machines, Activity Dependency Graphs, best-effort/limited-LP strategies, and the WCT/LP controller |
 //! | self-configuration | [`adapt`] | structural rewrite rules (promotion, fallback-swap, width/grain retuning, offload, cost guard) arbitrated across concerns and applied at stream safe points, with `Reconfigured` events and a decision log |
 //! | workloads | [`workloads`] | synthetic tweet corpus, word count, numeric kernels |
@@ -67,9 +67,9 @@ use askel_skeletons::Skel;
 /// The items almost every user wants in scope.
 pub mod prelude {
     pub use askel_adapt::{
-        AdaptRecord, AdaptiveSession, Concern, ConflictPolicy, CostGuard, FallbackSwap, Forecast,
-        Hysteresis, Knob, Offload, Promote, Reconfigurator, RetuneGrain, RetuneWidth, Trigger,
-        TriggerEngine, VersionedSkel,
+        AdaptRecord, AdaptiveSession, AdaptiveSimSession, Concern, ConflictPolicy, CostGuard,
+        FallbackSwap, Forecast, Hysteresis, Knob, Offload, Promote, Reconfigurator, RetuneGrain,
+        RetuneWidth, Trigger, TriggerEngine, VersionedSkel,
     };
     pub use askel_core::{
         AutonomicController, ControllerConfig, DecisionReason, DecreasePolicy, RaisePolicy,
@@ -77,12 +77,13 @@ pub mod prelude {
     };
     pub use askel_dist::{
         Cluster, ClusterTelemetry, NodeHoursMeter, NodeSpec, ProvisionAction, ProvisionRecord,
-        ProvisioningPolicy,
+        ProvisioningPolicy, ProvisioningReview,
     };
     pub use askel_engine::{Engine, EngineError, SkelFuture, StreamSession};
     pub use askel_events::{EventFilter, FnListener, Listener, Payload, When, Where};
+    pub use askel_sim::components::{Command, Component};
     pub use askel_sim::cost::{JitterCost, LinearCost, PerMuscleCost, TableCost, ZeroCost};
-    pub use askel_sim::{SimEngine, SimOutcome};
+    pub use askel_sim::{OrderingPolicy, SimEngine, SimOutcome, StreamReport};
     pub use askel_skeletons::{
         dac, farm, fork, map, pipe, seq, sfor, sif, swhile, Clock, MuscleId, MuscleRole, Skel,
         TimeNs,
