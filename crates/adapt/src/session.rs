@@ -27,8 +27,9 @@ use crate::arbitration::{arbitrate, ConflictPolicy};
 use crate::rules::RewriteAction;
 use crate::trigger::{AdaptRecord, TriggerEngine};
 
-/// Input-size probe recorded per fed item.
-type SizeProbe<P> = Box<dyn Fn(&P) -> usize>;
+/// Input-size probe recorded per fed item. `Send` so a session can move
+/// across threads (the serving layer shards sessions over workers).
+type SizeProbe<P> = Box<dyn Fn(&P) -> usize + Send>;
 
 /// A skeleton plus its rewrite version: 0 as constructed, +1 per applied
 /// rewrite. In-flight executions keep the `Arc`'d version they started
@@ -372,8 +373,8 @@ impl Reconfigurator {
 /// assert_eq!(stream.version(), 1);
 /// engine.shutdown();
 /// ```
-pub struct AdaptiveSession<'e, P, R> {
-    stream: StreamSession<'e, P, R>,
+pub struct AdaptiveSession<P, R> {
+    stream: StreamSession<P, R>,
     reconf: Reconfigurator,
     vskel: VersionedSkel<P, R>,
     /// Results already collected from the inner stream (in submission
@@ -383,19 +384,21 @@ pub struct AdaptiveSession<'e, P, R> {
     size_of: Option<SizeProbe<P>>,
 }
 
-impl<'e, P, R> AdaptiveSession<'e, P, R>
+impl<P, R> AdaptiveSession<P, R>
 where
     P: Send + 'static,
     R: Send + 'static,
 {
     /// A session feeding `skel` on `engine`, adapted by `trigger`'s rules,
-    /// with unbounded in-flight items by default.
+    /// with unbounded in-flight items by default. The session owns a
+    /// non-owning engine clone, so it may outlive the borrow and move
+    /// across threads — many sessions can share one engine.
     ///
     /// Registering `trigger` as a listener on `engine.registry()` is the
     /// caller's choice: with it, rules see event-derived estimates; without
     /// it, only outcome- and input-size-triggered rules can fire (and the
     /// per-event overhead is avoided).
-    pub fn new(engine: &'e Engine, skel: &Skel<P, R>, trigger: Arc<TriggerEngine>) -> Self {
+    pub fn new(engine: &Engine, skel: &Skel<P, R>, trigger: Arc<TriggerEngine>) -> Self {
         AdaptiveSession {
             stream: StreamSession::new(engine, skel),
             reconf: Reconfigurator::for_engine(engine, trigger),
@@ -415,7 +418,7 @@ where
 
     /// Records `f(input)` as an input-size hint per feed; promotion rules
     /// gate on the EWMA of these (`Trigger::InputSizeAtLeast`).
-    pub fn input_size(mut self, f: impl Fn(&P) -> usize + 'static) -> Self {
+    pub fn input_size(mut self, f: impl Fn(&P) -> usize + Send + 'static) -> Self {
         self.size_of = Some(Box::new(f));
         self
     }
@@ -475,6 +478,47 @@ where
         self.stream.feed(input);
     }
 
+    /// Submits a batch of inputs with **one safe point for the whole
+    /// batch**, then hands the items to the engine through the batched
+    /// submission path ([`StreamSession::feed_batch`] →
+    /// `Engine::submit_batch`): one pool transaction per bound-sized
+    /// chunk instead of one per item. Input-size hints are recorded for
+    /// every item before the safe point runs, so size-gated rules see
+    /// the batch; every batched item then runs on the same skeleton
+    /// version. Results still collect in submission order.
+    pub fn feed_batch(&mut self, inputs: Vec<P>) {
+        if inputs.is_empty() {
+            return;
+        }
+        self.harvest();
+        if let Some(size_of) = &self.size_of {
+            for input in &inputs {
+                self.reconf.trigger().observe_input_size(size_of(input));
+            }
+        }
+        if self.reconf.apply(&mut self.vskel) > 0 {
+            self.stream.swap_skel(self.vskel.skel());
+        }
+        // The in-flight bound holds across the batch: submit bound-sized
+        // chunks, collecting (and outcome-recording) the oldest items
+        // between chunks. No safe point runs between chunks — the whole
+        // batch executes on the version chosen above.
+        let mut inputs = inputs;
+        while !inputs.is_empty() {
+            while self.stream.in_flight() >= self.max_in_flight {
+                self.collect_one();
+            }
+            let room = self.max_in_flight - self.stream.in_flight();
+            let rest = if inputs.len() > room {
+                inputs.split_off(room)
+            } else {
+                Vec::new()
+            };
+            self.stream.feed_batch(inputs);
+            inputs = rest;
+        }
+    }
+
     /// The next result in submission order, blocking until it is ready;
     /// `None` once every fed item has been collected.
     pub fn next_result(&mut self) -> Option<Result<R, EngineError>> {
@@ -493,6 +537,20 @@ where
             results.push(r);
         }
         results.into_iter()
+    }
+
+    /// Non-blocking, non-consuming harvest: collects every
+    /// already-finished leading item (outcomes recorded with the trigger
+    /// engine, exactly as blocking collection would) and returns them in
+    /// submission order, leaving the session alive for further feeds.
+    ///
+    /// This is the interleaving primitive a multi-tenant registry needs:
+    /// unlike [`drain`](AdaptiveSession::drain), which consumes the
+    /// session and blocks to the end, `drain_ready` lets a driver visit
+    /// many sessions round-robin, taking from each only what is ready.
+    pub fn drain_ready(&mut self) -> Vec<Result<R, EngineError>> {
+        self.harvest();
+        self.out.drain(..).collect()
     }
 
     /// The current skeleton version (rewrites applied so far).
@@ -547,6 +605,46 @@ mod tests {
         let a: Vec<i64> = adaptive.drain().map(|r| r.unwrap()).collect();
         let p: Vec<i64> = plain.drain().map(|r| r.unwrap()).collect();
         assert_eq!(a, p);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn feed_batch_matches_item_feeds_and_runs_one_safe_point() {
+        let engine = Engine::new(2);
+        let program = doubler();
+        let trigger = TriggerEngine::new(0.5);
+        let mut batched = AdaptiveSession::new(&engine, &program, trigger.clone()).max_in_flight(3);
+        batched.feed_batch((0..32).collect());
+        let safe_points_after_batch = trigger.safe_points();
+        assert_eq!(safe_points_after_batch, 1, "one safe point per batch");
+        let b: Vec<i64> = batched.drain().map(|r| r.unwrap()).collect();
+        assert_eq!(b, (0..32).map(|x| x * 2).collect::<Vec<_>>());
+        engine.shutdown();
+    }
+
+    #[test]
+    fn drain_ready_interleaves_without_consuming_the_session() {
+        let engine = Engine::new(2);
+        let program = doubler();
+        let trigger = TriggerEngine::new(0.5);
+        let mut session = AdaptiveSession::new(&engine, &program, trigger.clone());
+        session.feed_batch(vec![1, 2]);
+        engine.pool().wait_idle();
+        let first = session.drain_ready();
+        assert_eq!(
+            first.into_iter().map(|r| r.unwrap()).collect::<Vec<_>>(),
+            vec![2, 4]
+        );
+        // The session is still usable — and outcomes were recorded.
+        assert_eq!(trigger.error_stats().items, 2);
+        session.feed(3);
+        engine.pool().wait_idle();
+        let second = session.drain_ready();
+        assert_eq!(
+            second.into_iter().map(|r| r.unwrap()).collect::<Vec<_>>(),
+            vec![6]
+        );
+        assert!(session.next_result().is_none());
         engine.shutdown();
     }
 

@@ -1,0 +1,138 @@
+//! Serve-layer scale: ≥ 10 000 concurrent sessions over one shared pool,
+//! and the batched-ingestion amortization of the per-submit floor.
+//!
+//! Three measurements:
+//!
+//! * `serve_10k_tenants_drive` — the acceptance run: 10 000 registered
+//!   tenants each feed a 4-item batch onto one shared 2-worker pool
+//!   (40 000 in-flight items at peak), then round-robin drain cycles run
+//!   everything down. Prints throughput and p50/p95/p99 **sojourn
+//!   latency** (feed → muscle execution, measured inside the muscle).
+//! * `serve_feed_item_4k` / `serve_feed_batch_4k` — the same 4 096 items
+//!   into one tenant, item-at-a-time (one pool transaction per item, the
+//!   ~2 µs submit→future floor pinned by `seq_roundtrip_lp1`) versus one
+//!   `feed_batch` call (one safe point, one pool transaction). The
+//!   per-item gap is the amortization the batched path buys.
+//!
+//! Recorded in `BENCH_serve.json`. Smoke: `CRITERION_MEASUREMENT_TIME_MS=0`.
+
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use askel_engine::Engine;
+use askel_serve::{AdmissionPolicy, ServeRegistry, TenantId};
+use askel_skeletons::{seq, Skel};
+
+const TENANTS: usize = 10_000;
+const ITEMS_PER_TENANT: usize = 4;
+const COMPARE_ITEMS: usize = 4096;
+
+/// The serving workload: each item carries its feed timestamp; the
+/// muscle reports the sojourn so far (queue + dispatch latency).
+fn probe() -> Skel<Instant, Duration> {
+    seq(|fed_at: Instant| fed_at.elapsed())
+}
+
+/// Registers `n` tenants, feeds each a batch, drains everything, and
+/// returns `(wall seconds, all sojourn latencies)`.
+fn drive(engine: &Engine, n: usize, per_tenant: usize) -> (f64, Vec<Duration>) {
+    let program = probe();
+    let policy = AdmissionPolicy::default().max_in_flight(per_tenant);
+    let mut registry: ServeRegistry<Instant, Duration> =
+        ServeRegistry::new(engine).with_policy(policy);
+    let tenants: Vec<TenantId> = (0..n).map(|_| registry.register(&program)).collect();
+    let started = Instant::now();
+    for &t in &tenants {
+        let batch: Vec<Instant> = (0..per_tenant).map(|_| Instant::now()).collect();
+        registry.feed_batch(t, batch);
+    }
+    registry.quiesce();
+    let wall = started.elapsed().as_secs_f64();
+    let mut latencies = Vec::with_capacity(n * per_tenant);
+    for &t in &tenants {
+        for r in registry.take_ready(t) {
+            latencies.push(r.expect("no failures in the probe workload"));
+        }
+    }
+    assert_eq!(latencies.len(), n * per_tenant, "every item completed");
+    (wall, latencies)
+}
+
+/// Feeds `items` into one tenant item-at-a-time; returns wall seconds.
+fn drive_items(engine: &Engine, items: usize) -> f64 {
+    let mut registry: ServeRegistry<Instant, Duration> =
+        ServeRegistry::new(engine).with_policy(AdmissionPolicy::default().max_in_flight(items));
+    let t = registry.register(&probe());
+    let started = Instant::now();
+    for _ in 0..items {
+        registry.feed(t, Instant::now());
+    }
+    registry.quiesce();
+    let wall = started.elapsed().as_secs_f64();
+    assert_eq!(registry.take_ready(t).len(), items);
+    wall
+}
+
+/// Feeds `items` into one tenant as a single batch; returns wall seconds.
+fn drive_batch(engine: &Engine, items: usize) -> f64 {
+    let mut registry: ServeRegistry<Instant, Duration> =
+        ServeRegistry::new(engine).with_policy(AdmissionPolicy::default().max_in_flight(items));
+    let t = registry.register(&probe());
+    let started = Instant::now();
+    registry.feed_batch(t, (0..items).map(|_| Instant::now()).collect());
+    registry.quiesce();
+    let wall = started.elapsed().as_secs_f64();
+    assert_eq!(registry.take_ready(t).len(), items);
+    wall
+}
+
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+fn bench_serve(c: &mut Criterion) {
+    let engine = Engine::new(2);
+
+    // Criterion-repeatable measurements (small enough to iterate).
+    c.bench_function("serve_1k_tenants_drive", |b| {
+        b.iter(|| drive(&engine, 1000, ITEMS_PER_TENANT).0)
+    });
+    c.bench_function("serve_feed_item_4k", |b| {
+        b.iter(|| drive_items(&engine, COMPARE_ITEMS))
+    });
+    c.bench_function("serve_feed_batch_4k", |b| {
+        b.iter(|| drive_batch(&engine, COMPARE_ITEMS))
+    });
+
+    // The acceptance run, printed for BENCH_serve.json.
+    let (wall, mut latencies) = drive(&engine, TENANTS, ITEMS_PER_TENANT);
+    latencies.sort_unstable();
+    let total = TENANTS * ITEMS_PER_TENANT;
+    println!(
+        "serve: {TENANTS} tenants x {ITEMS_PER_TENANT} items on one shared pool: \
+         {total} items in {wall:.3}s = {:.0} items/sec",
+        total as f64 / wall
+    );
+    println!(
+        "serve: sojourn latency p50 {:.1}us p95 {:.1}us p99 {:.1}us max {:.1}us",
+        percentile(&latencies, 0.50).as_secs_f64() * 1e6,
+        percentile(&latencies, 0.95).as_secs_f64() * 1e6,
+        percentile(&latencies, 0.99).as_secs_f64() * 1e6,
+        percentile(&latencies, 1.0).as_secs_f64() * 1e6,
+    );
+    let item_wall = drive_items(&engine, COMPARE_ITEMS);
+    let batch_wall = drive_batch(&engine, COMPARE_ITEMS);
+    println!(
+        "serve: {COMPARE_ITEMS} items one tenant: item-at-a-time {:.2}us/item, \
+         feed_batch {:.2}us/item ({:.2}x)",
+        item_wall / COMPARE_ITEMS as f64 * 1e6,
+        batch_wall / COMPARE_ITEMS as f64 * 1e6,
+        item_wall / batch_wall,
+    );
+    engine.shutdown();
+}
+
+criterion_group!(benches, bench_serve);
+criterion_main!(benches);

@@ -271,6 +271,57 @@ where
     future
 }
 
+/// Entry point used by [`crate::Engine::submit_batch`].
+///
+/// Each input gets its own submission context, future and promise —
+/// poisoning stays per item, exactly as with [`submit`] — but instead of
+/// scheduling each root step individually (one injector push and one
+/// worker wake per item), the whole batch is handed to the pool through
+/// one `ResizablePool::submit_batch` call. The root step (including a
+/// structural root's inline recursion) therefore runs on a worker rather
+/// than the submitting thread; structural kinds carry no muscle-thread
+/// guarantee, so the event contract is unchanged.
+pub(crate) fn submit_batch<P, R>(
+    pool: ResizablePool,
+    registry: Arc<ListenerRegistry>,
+    clock: Arc<dyn Clock>,
+    skel: &Skel<P, R>,
+    inputs: Vec<P>,
+) -> Vec<SkelFuture<R>>
+where
+    P: Send + 'static,
+    R: Send + 'static,
+{
+    let tracing = !registry.is_empty();
+    let mut futures = Vec::with_capacity(inputs.len());
+    let mut tasks: Vec<Task> = Vec::with_capacity(inputs.len());
+    for input in inputs {
+        let (future, promise) = pair::<R>();
+        let fail_promise = promise.clone();
+        let ctx = Arc::new(SubCtx {
+            pool: pool.clone(),
+            registry: Arc::clone(&registry),
+            clock: Arc::clone(&clock),
+            tracing,
+            empty_trace: Trace::empty(),
+            failed: AtomicBool::new(false),
+            fail_fn: Box::new(move |e| fail_promise.fail(e)),
+        });
+        let root_cont: Cont = Cont::f(move |_ctx, data| match data.downcast::<R>() {
+            Ok(r) => promise.fulfill(*r),
+            Err(_) => promise.fail(EngineError::MusclePanic(
+                "internal error: root result had an unexpected type".into(),
+            )),
+        });
+        let node = Arc::clone(skel.node());
+        tasks
+            .push(ctx.task(move |ctx| schedule_node(ctx, &node, None, Box::new(input), root_cont)));
+        futures.push(future);
+    }
+    pool.submit_batch(tasks);
+    futures
+}
+
 /// Allocates the instance identity (fresh id + extended trace) for one
 /// scheduled node — or the shared zero-cost stand-ins when no listener
 /// can observe this submission.

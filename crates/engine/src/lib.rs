@@ -63,12 +63,27 @@ pub use stream::StreamSession;
 
 /// The skeleton execution engine: a pool, a clock, and a listener registry.
 ///
-/// Cloning shares the engine. The pool shuts down when the engine created
-/// by [`Engine::new`]/[`Engine::with_clock`] is dropped.
+/// Cloning shares the engine: clones submit to the same pool, emit
+/// through the same listener registry and read the same clock. The pool
+/// shuts down when the engine created by
+/// [`Engine::new`]/[`Engine::with_clock`] is dropped — clones are
+/// non-owning handles, which is what lets long-lived owned sessions
+/// (`StreamSession`, the serving layer's per-tenant sessions) share one
+/// engine without pinning a borrow.
 pub struct Engine {
     pool: ResizablePool,
     registry: Arc<ListenerRegistry>,
     clock: Arc<dyn Clock>,
+}
+
+impl Clone for Engine {
+    fn clone(&self) -> Self {
+        Engine {
+            pool: self.pool.clone(),
+            registry: Arc::clone(&self.registry),
+            clock: Arc::clone(&self.clock),
+        }
+    }
 }
 
 impl Engine {
@@ -142,6 +157,30 @@ impl Engine {
             Arc::clone(&self.clock),
             skel,
             input,
+        )
+    }
+
+    /// Submits a batch of inputs to one skeleton in a single pool
+    /// transaction, returning one future per input (in input order).
+    ///
+    /// Semantically identical to calling [`Engine::submit`] once per
+    /// input, but the root steps of all inputs are handed to the pool
+    /// through one `ResizablePool::submit_batch` call — one queue-lock
+    /// acquisition and one worker wake-up sweep for the whole batch —
+    /// amortizing the per-submission dispatch floor across items. The
+    /// listener registry is sampled once for the batch; as with
+    /// `submit`, register listeners before submitting.
+    pub fn submit_batch<P, R>(&self, skel: &Skel<P, R>, inputs: Vec<P>) -> Vec<SkelFuture<R>>
+    where
+        P: Send + 'static,
+        R: Send + 'static,
+    {
+        exec::submit_batch(
+            self.pool.clone(),
+            Arc::clone(&self.registry),
+            Arc::clone(&self.clock),
+            skel,
+            inputs,
         )
     }
 

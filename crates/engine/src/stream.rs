@@ -45,8 +45,8 @@ use crate::Engine;
 /// assert_eq!(doubled[99], 198);
 /// engine.shutdown();
 /// ```
-pub struct StreamSession<'e, P, R> {
-    engine: &'e Engine,
+pub struct StreamSession<P, R> {
+    engine: Engine,
     skel: Skel<P, R>,
     in_flight: VecDeque<SkelFuture<R>>,
     ready: VecDeque<Result<R, EngineError>>,
@@ -55,16 +55,21 @@ pub struct StreamSession<'e, P, R> {
     collected: usize,
 }
 
-impl<'e, P, R> StreamSession<'e, P, R>
+impl<P, R> StreamSession<P, R>
 where
     P: Send + 'static,
     R: Send + 'static,
 {
     /// A session feeding `skel` on `engine`, with unbounded in-flight
     /// inputs by default.
-    pub fn new(engine: &'e Engine, skel: &Skel<P, R>) -> Self {
+    ///
+    /// The session keeps an owned (non-owning) clone of the engine, so
+    /// it can outlive the caller's borrow and be moved across threads —
+    /// many sessions may share one engine (the serving layer's tenant
+    /// registry does exactly that).
+    pub fn new(engine: &Engine, skel: &Skel<P, R>) -> Self {
         StreamSession {
-            engine,
+            engine: engine.clone(),
             skel: skel.clone(),
             in_flight: VecDeque::new(),
             ready: VecDeque::new(),
@@ -121,6 +126,35 @@ where
         self.in_flight
             .push_back(self.engine.submit(&self.skel, input));
         self.fed += 1;
+    }
+
+    /// Submits a batch of inputs through [`Engine::submit_batch`]: one
+    /// pool transaction per chunk instead of one per item, amortizing
+    /// the per-submission dispatch floor. Result order is unchanged —
+    /// batched items collect in submission order, exactly as if fed one
+    /// by one.
+    ///
+    /// The in-flight bound still holds: a batch larger than the
+    /// remaining room is split into bound-sized chunks, blocking on the
+    /// oldest submission between chunks (backpressure).
+    pub fn feed_batch(&mut self, inputs: Vec<P>) {
+        let mut inputs = inputs;
+        while !inputs.is_empty() {
+            while self.in_flight.len() >= self.max_in_flight {
+                let oldest = self.in_flight.pop_front().expect("non-empty by bound");
+                self.ready.push_back(oldest.get());
+            }
+            let room = self.max_in_flight - self.in_flight.len();
+            let rest = if inputs.len() > room {
+                inputs.split_off(room)
+            } else {
+                Vec::new()
+            };
+            self.fed += inputs.len();
+            self.in_flight
+                .extend(self.engine.submit_batch(&self.skel, inputs));
+            inputs = rest;
+        }
     }
 
     /// The next result in submission order, blocking until it is ready.
@@ -325,6 +359,60 @@ mod tests {
         assert_eq!(stream.in_flight(), 0);
         let got: Vec<i64> = stream.drain().map(|r| r.unwrap()).collect();
         assert_eq!(got, vec![0, 1, 2, 3]);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn feed_batch_matches_item_feeds_under_a_bound() {
+        let engine = Engine::new(2);
+        let program = farm(seq(|x: i64| x * 3));
+        let mut batched = StreamSession::new(&engine, &program).max_in_flight(4);
+        let mut plain = StreamSession::new(&engine, &program).max_in_flight(4);
+        batched.feed_batch((0..32).collect());
+        assert!(batched.in_flight() <= 4, "bound holds across chunks");
+        for x in 0..32 {
+            plain.feed(x);
+        }
+        let b: Vec<i64> = batched.drain().map(|r| r.unwrap()).collect();
+        let p: Vec<i64> = plain.drain().map(|r| r.unwrap()).collect();
+        assert_eq!(b, p);
+        assert_eq!(b, (0..32).map(|x| x * 3).collect::<Vec<_>>());
+        engine.shutdown();
+    }
+
+    #[test]
+    fn a_batched_poisoned_item_stays_contained() {
+        let engine = Engine::new(2);
+        let program = farm(seq(|x: i64| {
+            if x == 3 {
+                panic!("cursed");
+            }
+            x
+        }));
+        let mut stream = StreamSession::new(&engine, &program);
+        stream.feed_batch((0..6).collect());
+        let results: Vec<Result<i64, EngineError>> = stream.drain().collect();
+        for (i, r) in results.iter().enumerate() {
+            if i == 3 {
+                assert!(r.is_err());
+            } else {
+                assert_eq!(*r.as_ref().unwrap(), i as i64);
+            }
+        }
+        engine.shutdown();
+    }
+
+    #[test]
+    fn owned_session_moves_across_threads_and_outlives_the_borrow() {
+        let engine = Engine::new(2);
+        let program = farm(seq(|x: i64| x + 1));
+        let mut stream = StreamSession::new(&engine, &program);
+        stream.feed(41);
+        let handle = std::thread::spawn(move || {
+            stream.feed(1);
+            stream.drain().map(|r| r.unwrap()).sum::<i64>()
+        });
+        assert_eq!(handle.join().unwrap(), 44);
         engine.shutdown();
     }
 

@@ -1,0 +1,114 @@
+//! Admission control: per-tenant quotas plus shared-pool backpressure.
+//!
+//! The registry admits each fed item through three gates, in order:
+//!
+//! 1. **In-flight quota** — a tenant may hold at most
+//!    [`max_in_flight`](AdmissionPolicy::max_in_flight) items on the
+//!    shared pool. Beyond it, items queue in the tenant's backlog.
+//! 2. **Pool backpressure** — when
+//!    [`max_pool_queue`](AdmissionPolicy::max_pool_queue) is set and the
+//!    shared pool already holds that many queued tasks
+//!    (`ResizablePool::queued_tasks`, the `PoolTelemetry` counters), new
+//!    items queue regardless of per-tenant room: one tenant's burst must
+//!    not bury everyone's latency.
+//! 3. **Backlog bound** — a tenant queues at most
+//!    [`max_backlog`](AdmissionPolicy::max_backlog) items; beyond that,
+//!    feeds are [`Rejected`](Admission::Rejected) (load shedding).
+//!
+//! Queued items are dispatched by
+//! [`ServeRegistry::drain_cycle`](crate::ServeRegistry::drain_cycle),
+//! which visits tenants round-robin from a rotating cursor — every
+//! tenant is first-visited infinitely often, so a backlogged tenant can
+//! never be starved by its neighbours.
+
+/// Per-tenant admission limits plus the shared-pool backpressure bound.
+///
+/// The registry admits each fed item through three gates, in order:
+///
+/// 1. **In-flight quota** — a tenant may hold at most
+///    [`max_in_flight`](AdmissionPolicy::max_in_flight) items on the
+///    shared pool. Beyond it, items queue in the tenant's backlog.
+/// 2. **Pool backpressure** — when
+///    [`max_pool_queue`](AdmissionPolicy::max_pool_queue) is set and
+///    the shared pool already holds that many queued tasks, new items
+///    queue regardless of per-tenant room: one tenant's burst must not
+///    bury everyone's latency.
+/// 3. **Backlog bound** — a tenant queues at most
+///    [`max_backlog`](AdmissionPolicy::max_backlog) items; beyond
+///    that, feeds are [`Rejected`](Admission::Rejected) (load
+///    shedding).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AdmissionPolicy {
+    /// Items one tenant may have in flight on the shared pool at once.
+    pub max_in_flight: usize,
+    /// Items one tenant may hold queued beyond its in-flight quota;
+    /// feeds beyond this are rejected.
+    pub max_backlog: usize,
+    /// Global backpressure: when `Some(n)` and the shared pool already
+    /// holds ≥ `n` queued tasks, new items queue instead of submitting
+    /// even if the tenant has in-flight room. `None` disables the gate.
+    pub max_pool_queue: Option<usize>,
+}
+
+impl Default for AdmissionPolicy {
+    fn default() -> Self {
+        AdmissionPolicy {
+            max_in_flight: 64,
+            max_backlog: 4096,
+            max_pool_queue: None,
+        }
+    }
+}
+
+impl AdmissionPolicy {
+    /// Sets the per-tenant in-flight quota (≥ 1).
+    pub fn max_in_flight(mut self, n: usize) -> Self {
+        self.max_in_flight = n.max(1);
+        self
+    }
+
+    /// Sets the per-tenant backlog bound (0 = reject once the quota is
+    /// full).
+    pub fn max_backlog(mut self, n: usize) -> Self {
+        self.max_backlog = n;
+        self
+    }
+
+    /// Enables pool-level backpressure at `n` queued tasks.
+    pub fn max_pool_queue(mut self, n: usize) -> Self {
+        self.max_pool_queue = Some(n);
+        self
+    }
+}
+
+/// What happened to one fed item.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Admission {
+    /// Submitted to the shared pool immediately.
+    Submitted,
+    /// Held in the tenant's backlog; a later
+    /// [`drain_cycle`](crate::ServeRegistry::drain_cycle) dispatches it.
+    Queued,
+    /// Not admitted; the item is dropped (load shedding).
+    Rejected(RejectReason),
+}
+
+/// Why an item was rejected.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The tenant id is not (or no longer) registered.
+    UnknownTenant,
+    /// The tenant's backlog is at [`AdmissionPolicy::max_backlog`].
+    BacklogFull,
+}
+
+/// Per-item tallies for one batched feed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BatchAdmission {
+    /// Items submitted to the pool immediately.
+    pub submitted: usize,
+    /// Items held in the tenant's backlog.
+    pub queued: usize,
+    /// Items dropped (backlog full or unknown tenant).
+    pub rejected: usize,
+}

@@ -1,0 +1,110 @@
+//! The multiplexed monitor: one registered listener for all tenants.
+//!
+//! Registering every tenant's [`TriggerEngine`] as its own listener on
+//! the shared engine would make event delivery O(tenants) — every
+//! listener sees every tenant's events and discards the foreign ones.
+//! [`ServeMonitor`] inverts that: it is the **single** listener the
+//! registry installs, and it routes each event to the trigger engines of
+//! the tenants whose tree contains the event's node (an O(1) map
+//! lookup). A shared [`AutonomicController`] — the self-optimization
+//! half of the multiplexed loop — receives every event, exactly as if it
+//! were registered directly.
+//!
+//! Routing is by `NodeId`, so tenants running *the same* `Skel` clone
+//! (shared identity) both receive events for their shared nodes — the
+//! Skandium semantics: shared skeleton objects share estimator history.
+//! Tenants with distinct trees never overlap. The registry keeps routes
+//! current across safe-point rewrites (a rewrite changes the tree's node
+//! set) via its drain cycle.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use askel_adapt::TriggerEngine;
+use askel_core::AutonomicController;
+use askel_events::{Event, Listener, Payload};
+use askel_skeletons::{Node, NodeId};
+
+/// The tenants owning one node: `(tenant id, its trigger engine)`.
+type Owners = Vec<(u64, Arc<TriggerEngine>)>;
+
+/// The single serve-layer listener; see the module docs. Created and
+/// managed by [`ServeRegistry`](crate::ServeRegistry).
+#[derive(Default)]
+pub struct ServeMonitor {
+    routes: RwLock<HashMap<NodeId, Owners>>,
+    controller: RwLock<Option<Arc<AutonomicController>>>,
+}
+
+impl ServeMonitor {
+    pub(crate) fn new() -> Arc<Self> {
+        Arc::new(ServeMonitor::default())
+    }
+
+    /// Installs (or replaces) the shared WCT controller fed every event.
+    pub(crate) fn set_controller(&self, controller: Arc<AutonomicController>) {
+        *self.controller.write() = Some(controller);
+    }
+
+    /// Routes every node of `root`'s tree to `tenant`'s trigger engine,
+    /// returning the routed ids (the registry keeps them for unrouting
+    /// after a rewrite or a detach).
+    pub(crate) fn route(
+        &self,
+        tenant: u64,
+        trigger: &Arc<TriggerEngine>,
+        root: &Arc<Node>,
+    ) -> Vec<NodeId> {
+        let nodes: Vec<NodeId> = root.collect_nodes().iter().map(|n| n.id).collect();
+        let mut routes = self.routes.write();
+        for &id in &nodes {
+            let owners = routes.entry(id).or_default();
+            if !owners.iter().any(|(t, _)| *t == tenant) {
+                owners.push((tenant, Arc::clone(trigger)));
+            }
+        }
+        nodes
+    }
+
+    /// Removes `tenant`'s routes for `ids`.
+    pub(crate) fn unroute(&self, tenant: u64, ids: &[NodeId]) {
+        let mut routes = self.routes.write();
+        for id in ids {
+            if let Some(owners) = routes.get_mut(id) {
+                owners.retain(|(t, _)| *t != tenant);
+                if owners.is_empty() {
+                    routes.remove(id);
+                }
+            }
+        }
+    }
+
+    /// How many node ids currently have at least one route (tests,
+    /// diagnostics).
+    pub fn routed_nodes(&self) -> usize {
+        self.routes.read().len()
+    }
+}
+
+impl Listener for ServeMonitor {
+    fn on_event(&self, payload: &mut Payload<'_>, event: &Event) {
+        if let Some(controller) = self.controller.read().as_ref() {
+            controller.on_event(payload, event);
+        }
+        // Collect the owners under the read lock, deliver outside it: a
+        // trigger callback must never run while the route table is
+        // locked (a rewrite on another thread may be re-routing).
+        let owners: Vec<Arc<TriggerEngine>> = {
+            let routes = self.routes.read();
+            match routes.get(&event.node) {
+                Some(owners) => owners.iter().map(|(_, t)| Arc::clone(t)).collect(),
+                None => return,
+            }
+        };
+        for trigger in owners {
+            trigger.on_event(payload, event);
+        }
+    }
+}

@@ -1,0 +1,592 @@
+//! The session registry: many tenants, one engine.
+//!
+//! [`ServeRegistry`] owns one [`Engine`] clone and shards any number of
+//! per-tenant [`AdaptiveSession`]s over it. Each tenant keeps its own
+//! trigger engine, safe-point arbitration and rewrite history — the
+//! per-tenant half of the MAPE loop stays fully independent — while the
+//! monitor ([`crate::ServeMonitor`]), the optional shared
+//! [`AutonomicController`] and the [`SharedEstimators`] pool are
+//! multiplexed across all of them.
+//!
+//! Feeding goes through admission control (see [`AdmissionPolicy`]);
+//! queued items are dispatched by [`ServeRegistry::drain_cycle`], which
+//! visits tenants round-robin from a rotating cursor so no backlogged
+//! tenant is ever starved. The drain cycle is also where cross-tenant
+//! publication happens: each visited tenant's estimator history is
+//! absorbed into the shared pool, and its event routes are refreshed if
+//! a safe point rewrote its tree since the last visit.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+use std::sync::Arc;
+
+use askel_adapt::{AdaptiveSession, TriggerEngine};
+use askel_core::AutonomicController;
+use askel_engine::{Engine, EngineError};
+use askel_skeletons::{NodeId, Skel};
+
+use crate::admission::{Admission, AdmissionPolicy, BatchAdmission, RejectReason};
+use crate::estimators::SharedEstimators;
+use crate::mux::ServeMonitor;
+
+/// A registered tenant's handle. Displays as `t<n>`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TenantId(pub u64);
+
+impl fmt::Display for TenantId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// A point-in-time snapshot of one tenant's counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TenantStats {
+    /// Items submitted to the shared pool so far.
+    pub submitted: u64,
+    /// Results collected from the pool so far (any outcome).
+    pub completed: u64,
+    /// Items rejected by admission control.
+    pub rejected: u64,
+    /// Items currently waiting in the tenant's backlog.
+    pub backlog: usize,
+    /// Items currently in flight on the shared pool.
+    pub in_flight: usize,
+    /// Results harvested and waiting to be taken.
+    pub ready: usize,
+    /// The tenant's skeleton version (safe-point rewrites applied).
+    pub version: u64,
+}
+
+struct Tenant<P, R> {
+    session: AdaptiveSession<P, R>,
+    backlog: VecDeque<P>,
+    ready: VecDeque<Result<R, EngineError>>,
+    /// Whether this tenant's trigger engine is routed engine events (and
+    /// its history published to the shared pool).
+    adaptive: bool,
+    routed: Vec<NodeId>,
+    routed_version: u64,
+    submitted: u64,
+    completed: u64,
+    rejected: u64,
+    /// `completed` as of the last publication into [`SharedEstimators`].
+    published: u64,
+}
+
+impl<P, R> Tenant<P, R>
+where
+    P: Send + 'static,
+    R: Send + 'static,
+{
+    /// Moves everything the session has finished into the ready queue,
+    /// keeping the completion counter current.
+    fn harvest(&mut self) {
+        let got = self.session.drain_ready();
+        self.completed += got.len() as u64;
+        self.ready.extend(got);
+    }
+}
+
+/// Shards many adaptive sessions over one shared engine; see the module
+/// docs.
+pub struct ServeRegistry<P, R> {
+    engine: Engine,
+    policy: AdmissionPolicy,
+    shared: SharedEstimators,
+    monitor: Arc<ServeMonitor>,
+    monitor_registered: bool,
+    controller: Option<Arc<AutonomicController>>,
+    tenants: BTreeMap<u64, Tenant<P, R>>,
+    next_id: u64,
+    cursor: usize,
+}
+
+impl<P, R> ServeRegistry<P, R>
+where
+    P: Send + 'static,
+    R: Send + 'static,
+{
+    /// An empty registry over a non-owning clone of `engine`, with the
+    /// default [`AdmissionPolicy`]. Shutting the engine down remains the
+    /// caller's job (after [`quiesce`](ServeRegistry::quiesce)).
+    pub fn new(engine: &Engine) -> Self {
+        ServeRegistry {
+            engine: engine.clone(),
+            policy: AdmissionPolicy::default(),
+            shared: SharedEstimators::new(0.5),
+            monitor: ServeMonitor::new(),
+            monitor_registered: false,
+            controller: None,
+            tenants: BTreeMap::new(),
+            next_id: 0,
+            cursor: 0,
+        }
+    }
+
+    /// Replaces the admission policy (applies to subsequent feeds).
+    pub fn with_policy(mut self, policy: AdmissionPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Attaches one shared WCT controller to the multiplexed loop: it
+    /// receives every engine event through the monitor, and adaptive
+    /// tenants registered **after** this call have their estimator
+    /// history invalidated in it on every applied subtree replacement
+    /// ([`askel_adapt::Reconfigurator::sync_controller`]).
+    pub fn attach_controller(&mut self, controller: Arc<AutonomicController>) {
+        self.monitor.set_controller(Arc::clone(&controller));
+        self.ensure_monitor();
+        self.controller = Some(controller);
+    }
+
+    /// Registers a plain tenant: a session with a private, rule-less
+    /// trigger engine and **no** event routing — zero per-event overhead,
+    /// no estimator sharing. The cheap default for bulk tenants.
+    pub fn register(&mut self, skel: &Skel<P, R>) -> TenantId {
+        let trigger = TriggerEngine::new(0.5);
+        self.insert(skel, trigger, false)
+    }
+
+    /// Registers an adaptive tenant driving `trigger`'s rules:
+    ///
+    /// * the tenant's trigger is **warm-started** from the shared pool's
+    ///   history for structurally identical programs (only entries the
+    ///   trigger does not already hold; see [`SharedEstimators::warm`]),
+    /// * engine events for the tenant's tree are routed to the trigger
+    ///   through the multiplexed monitor, and
+    /// * if a controller is attached, the session invalidates its
+    ///   estimates alongside the trigger's on applied rewrites.
+    pub fn register_adaptive(
+        &mut self,
+        skel: &Skel<P, R>,
+        trigger: Arc<TriggerEngine>,
+    ) -> TenantId {
+        trigger.with_estimates(|est| {
+            self.shared.warm(skel.node(), est);
+        });
+        self.ensure_monitor();
+        self.insert(skel, trigger, true)
+    }
+
+    fn insert(
+        &mut self,
+        skel: &Skel<P, R>,
+        trigger: Arc<TriggerEngine>,
+        adaptive: bool,
+    ) -> TenantId {
+        let id = self.next_id;
+        self.next_id += 1;
+        let routed = if adaptive {
+            self.monitor.route(id, &trigger, skel.node())
+        } else {
+            Vec::new()
+        };
+        let mut session = AdaptiveSession::new(&self.engine, skel, trigger);
+        if adaptive {
+            if let Some(controller) = &self.controller {
+                session = session.sync_controller(Arc::clone(controller));
+            }
+        }
+        self.tenants.insert(
+            id,
+            Tenant {
+                session,
+                backlog: VecDeque::new(),
+                ready: VecDeque::new(),
+                adaptive,
+                routed,
+                routed_version: 0,
+                submitted: 0,
+                completed: 0,
+                rejected: 0,
+                published: 0,
+            },
+        );
+        TenantId(id)
+    }
+
+    fn ensure_monitor(&mut self) {
+        if !self.monitor_registered {
+            self.engine
+                .registry()
+                .add_listener(Arc::clone(&self.monitor) as _);
+            self.monitor_registered = true;
+        }
+    }
+
+    /// Whether the shared pool has room under the policy's
+    /// `max_pool_queue` gate.
+    fn pool_room(&self) -> bool {
+        match self.policy.max_pool_queue {
+            None => true,
+            Some(n) => self.engine.pool().queued_tasks() < n,
+        }
+    }
+
+    /// Feeds one item through admission control; see
+    /// [`AdmissionPolicy`] for the gate order.
+    pub fn feed(&mut self, tenant: TenantId, input: P) -> Admission {
+        let pool_room = self.pool_room();
+        let quota = self.policy.max_in_flight;
+        let max_backlog = self.policy.max_backlog;
+        let Some(t) = self.tenants.get_mut(&tenant.0) else {
+            return Admission::Rejected(RejectReason::UnknownTenant);
+        };
+        t.harvest();
+        if t.backlog.is_empty() && t.session.in_flight() < quota && pool_room {
+            t.session.feed(input);
+            t.submitted += 1;
+            Admission::Submitted
+        } else if t.backlog.len() < max_backlog {
+            t.backlog.push_back(input);
+            Admission::Queued
+        } else {
+            t.rejected += 1;
+            Admission::Rejected(RejectReason::BacklogFull)
+        }
+    }
+
+    /// Feeds a batch through admission control. Whatever fits under the
+    /// tenant's quota (and the pool gate) is submitted through the
+    /// batched path — [`AdaptiveSession::feed_batch`], one safe point
+    /// and one pool transaction for the whole chunk — the next
+    /// `max_backlog - backlog` items queue, and the rest are rejected.
+    pub fn feed_batch(&mut self, tenant: TenantId, inputs: Vec<P>) -> BatchAdmission {
+        let pool_room = self.pool_room();
+        let quota = self.policy.max_in_flight;
+        let max_backlog = self.policy.max_backlog;
+        let Some(t) = self.tenants.get_mut(&tenant.0) else {
+            return BatchAdmission {
+                rejected: inputs.len(),
+                ..BatchAdmission::default()
+            };
+        };
+        t.harvest();
+        let mut inputs = inputs;
+        let mut out = BatchAdmission::default();
+        if t.backlog.is_empty() && pool_room {
+            let room = quota.saturating_sub(t.session.in_flight());
+            if room > 0 {
+                let rest = if inputs.len() > room {
+                    inputs.split_off(room)
+                } else {
+                    Vec::new()
+                };
+                out.submitted = inputs.len();
+                t.submitted += inputs.len() as u64;
+                t.session.feed_batch(inputs);
+                inputs = rest;
+            }
+        }
+        let space = max_backlog.saturating_sub(t.backlog.len());
+        let overflow = if inputs.len() > space {
+            inputs.split_off(space)
+        } else {
+            Vec::new()
+        };
+        out.queued = inputs.len();
+        t.backlog.extend(inputs);
+        out.rejected = overflow.len();
+        t.rejected += overflow.len() as u64;
+        out
+    }
+
+    /// One fairness round: visits every tenant once, round-robin from a
+    /// cursor that rotates between calls (so each tenant is first
+    /// infinitely often — no neighbour can starve it). Per visited
+    /// tenant: finished results are harvested, backlogged items are
+    /// dispatched up to the in-flight quota (through the batched path),
+    /// event routes are refreshed if a rewrite changed the tree, and new
+    /// estimator history is published to the shared pool. Returns how
+    /// many backlogged items were dispatched.
+    pub fn drain_cycle(&mut self) -> usize {
+        let keys: Vec<u64> = self.tenants.keys().copied().collect();
+        if keys.is_empty() {
+            return 0;
+        }
+        let start = self.cursor % keys.len();
+        self.cursor = self.cursor.wrapping_add(1);
+        let quota = self.policy.max_in_flight;
+        let mut dispatched = 0;
+        for i in 0..keys.len() {
+            let key = keys[(start + i) % keys.len()];
+            let pool_room = self.pool_room();
+            let Some(t) = self.tenants.get_mut(&key) else {
+                continue;
+            };
+            t.harvest();
+            if !t.backlog.is_empty() && pool_room {
+                let room = quota.saturating_sub(t.session.in_flight());
+                if room > 0 {
+                    let take = room.min(t.backlog.len());
+                    let chunk: Vec<P> = t.backlog.drain(..take).collect();
+                    t.submitted += take as u64;
+                    dispatched += take;
+                    t.session.feed_batch(chunk);
+                }
+            }
+            self.refresh(key);
+        }
+        dispatched
+    }
+
+    /// Post-visit bookkeeping for one adaptive tenant: re-route events
+    /// if a safe point rewrote the tree since the last visit, and absorb
+    /// new estimator history into the shared pool.
+    fn refresh(&mut self, key: u64) {
+        let Some(t) = self.tenants.get_mut(&key) else {
+            return;
+        };
+        if !t.adaptive {
+            return;
+        }
+        let version = t.session.version();
+        if version != t.routed_version {
+            let old = std::mem::take(&mut t.routed);
+            let trigger = Arc::clone(t.session.trigger());
+            let root = Arc::clone(t.session.skeleton().node());
+            self.monitor.unroute(key, &old);
+            t.routed = self.monitor.route(key, &trigger, &root);
+            t.routed_version = version;
+        }
+        if t.completed > t.published {
+            t.published = t.completed;
+            let root = Arc::clone(t.session.skeleton().node());
+            let trigger = Arc::clone(t.session.trigger());
+            trigger.read_estimates(|table| self.shared.absorb(&root, table));
+        }
+    }
+
+    /// Takes every result the tenant has finished, in submission order,
+    /// without blocking. Empty for an unknown tenant.
+    pub fn take_ready(&mut self, tenant: TenantId) -> Vec<Result<R, EngineError>> {
+        let Some(t) = self.tenants.get_mut(&tenant.0) else {
+            return Vec::new();
+        };
+        t.harvest();
+        t.ready.drain(..).collect()
+    }
+
+    /// The tenant's next result in submission order, blocking until it
+    /// is ready; `None` if the tenant is unknown or has nothing
+    /// outstanding. Items still in the backlog are **not** waited for —
+    /// run [`drain_cycle`](ServeRegistry::drain_cycle) (or
+    /// [`quiesce`](ServeRegistry::quiesce)) to dispatch them first.
+    pub fn next_result(&mut self, tenant: TenantId) -> Option<Result<R, EngineError>> {
+        let t = self.tenants.get_mut(&tenant.0)?;
+        if let Some(r) = t.ready.pop_front() {
+            return Some(r);
+        }
+        let r = t.session.next_result()?;
+        t.completed += 1;
+        Some(r)
+    }
+
+    /// Dispatches and drains everything the tenant still owes, removes
+    /// it from the registry (unrouting its events), and returns its
+    /// remaining results in submission order. The tenant's final
+    /// estimator history is published to the shared pool first, so a
+    /// successor tenant of the same structure still warm-starts from it.
+    pub fn detach(&mut self, tenant: TenantId) -> Option<Vec<Result<R, EngineError>>> {
+        self.refresh(tenant.0);
+        let mut t = self.tenants.remove(&tenant.0)?;
+        // Past the registry's gates now: submit the whole backlog (the
+        // session's own batched path still bounds pool transactions).
+        let backlog: Vec<P> = t.backlog.drain(..).collect();
+        if !backlog.is_empty() {
+            t.submitted += backlog.len() as u64;
+            t.session.feed_batch(backlog);
+        }
+        let mut results: Vec<Result<R, EngineError>> = t.ready.drain(..).collect();
+        results.extend(t.session.drain());
+        if t.adaptive {
+            self.monitor.unroute(tenant.0, &t.routed);
+        }
+        Some(results)
+    }
+
+    /// Drives drain cycles until no tenant holds backlogged or in-flight
+    /// items — every fed item's result is then harvestable via
+    /// [`take_ready`](ServeRegistry::take_ready). (Results are *not*
+    /// consumed.)
+    pub fn quiesce(&mut self) {
+        loop {
+            self.drain_cycle();
+            let settled = self
+                .tenants
+                .values()
+                .all(|t| t.backlog.is_empty() && t.session.in_flight() == 0);
+            if settled {
+                return;
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    /// A snapshot of `tenant`'s counters; `None` if unknown.
+    pub fn stats(&self, tenant: TenantId) -> Option<TenantStats> {
+        let t = self.tenants.get(&tenant.0)?;
+        Some(TenantStats {
+            submitted: t.submitted,
+            completed: t.completed,
+            rejected: t.rejected,
+            backlog: t.backlog.len(),
+            in_flight: t.session.in_flight(),
+            ready: t.ready.len(),
+            version: t.session.version(),
+        })
+    }
+
+    /// How many tenants are registered.
+    pub fn len(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// Whether no tenants are registered.
+    pub fn is_empty(&self) -> bool {
+        self.tenants.is_empty()
+    }
+
+    /// The shared engine (non-owning clone).
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// The cross-tenant estimator pool.
+    pub fn shared_estimators(&self) -> &SharedEstimators {
+        &self.shared
+    }
+
+    /// The multiplexed event monitor.
+    pub fn monitor(&self) -> &Arc<ServeMonitor> {
+        &self.monitor
+    }
+
+    /// The admission policy feeds are gated by.
+    pub fn policy(&self) -> &AdmissionPolicy {
+        &self.policy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use askel_skeletons::seq;
+
+    fn doubler() -> Skel<i64, i64> {
+        seq(|x: i64| x * 2)
+    }
+
+    #[test]
+    fn tenants_shard_one_engine_and_results_stay_per_tenant() {
+        let engine = Engine::new(2);
+        let mut reg: ServeRegistry<i64, i64> = ServeRegistry::new(&engine);
+        let a = reg.register(&doubler());
+        let b = reg.register(&seq(|x: i64| x + 1));
+        for x in 0..8 {
+            assert_eq!(reg.feed(a, x), Admission::Submitted);
+            assert_eq!(reg.feed(b, x), Admission::Submitted);
+        }
+        reg.quiesce();
+        let got_a: Vec<i64> = reg.take_ready(a).into_iter().map(|r| r.unwrap()).collect();
+        let got_b: Vec<i64> = reg.take_ready(b).into_iter().map(|r| r.unwrap()).collect();
+        assert_eq!(got_a, (0..8).map(|x| x * 2).collect::<Vec<_>>());
+        assert_eq!(got_b, (0..8).map(|x| x + 1).collect::<Vec<_>>());
+        engine.shutdown();
+    }
+
+    #[test]
+    fn admission_queues_beyond_quota_and_rejects_beyond_backlog() {
+        let engine = Engine::new(1);
+        let policy = AdmissionPolicy::default().max_in_flight(2).max_backlog(3);
+        let mut reg: ServeRegistry<i64, i64> = ServeRegistry::new(&engine).with_policy(policy);
+        // A slow tenant so in-flight items stay in flight.
+        let slow = seq(|x: i64| {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            x
+        });
+        let t = reg.register(&slow);
+        let mut tally = BatchAdmission::default();
+        for x in 0..7 {
+            match reg.feed(t, x) {
+                Admission::Submitted => tally.submitted += 1,
+                Admission::Queued => tally.queued += 1,
+                Admission::Rejected(RejectReason::BacklogFull) => tally.rejected += 1,
+                Admission::Rejected(r) => panic!("unexpected rejection: {r:?}"),
+            }
+        }
+        assert_eq!(tally.submitted, 2, "quota");
+        assert_eq!(tally.queued, 3, "backlog bound");
+        assert_eq!(tally.rejected, 2, "load shed");
+        reg.quiesce();
+        let got = reg.take_ready(t);
+        assert_eq!(got.len(), 5, "submitted + queued items all completed");
+        let stats = reg.stats(t).unwrap();
+        assert_eq!(stats.rejected, 2);
+        assert_eq!(stats.completed, 5);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn feed_batch_splits_submit_queue_reject() {
+        let engine = Engine::new(1);
+        let policy = AdmissionPolicy::default().max_in_flight(2).max_backlog(3);
+        let mut reg: ServeRegistry<i64, i64> = ServeRegistry::new(&engine).with_policy(policy);
+        let slow = seq(|x: i64| {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            x
+        });
+        let t = reg.register(&slow);
+        let out = reg.feed_batch(t, (0..7).collect());
+        assert_eq!(
+            out,
+            BatchAdmission {
+                submitted: 2,
+                queued: 3,
+                rejected: 2
+            }
+        );
+        reg.quiesce();
+        assert_eq!(reg.take_ready(t).len(), 5);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn unknown_tenants_are_rejected_not_panicked() {
+        let engine = Engine::new(1);
+        let mut reg: ServeRegistry<i64, i64> = ServeRegistry::new(&engine);
+        let ghost = TenantId(99);
+        assert_eq!(
+            reg.feed(ghost, 1),
+            Admission::Rejected(RejectReason::UnknownTenant)
+        );
+        assert_eq!(reg.feed_batch(ghost, vec![1, 2]).rejected, 2);
+        assert!(reg.take_ready(ghost).is_empty());
+        assert!(reg.next_result(ghost).is_none());
+        assert!(reg.detach(ghost).is_none());
+        engine.shutdown();
+    }
+
+    #[test]
+    fn detach_flushes_backlog_and_unroutes() {
+        let engine = Engine::new(1);
+        let policy = AdmissionPolicy::default().max_in_flight(1).max_backlog(64);
+        let mut reg: ServeRegistry<i64, i64> = ServeRegistry::new(&engine).with_policy(policy);
+        let trigger = TriggerEngine::new(0.5);
+        let t = reg.register_adaptive(&doubler(), trigger);
+        assert!(reg.monitor().routed_nodes() > 0);
+        for x in 0..6 {
+            reg.feed(t, x);
+        }
+        let results = reg.detach(t).unwrap();
+        assert_eq!(
+            results.into_iter().map(|r| r.unwrap()).collect::<Vec<_>>(),
+            (0..6).map(|x| x * 2).collect::<Vec<_>>()
+        );
+        assert_eq!(reg.monitor().routed_nodes(), 0, "routes removed");
+        assert!(reg.is_empty());
+        engine.shutdown();
+    }
+}

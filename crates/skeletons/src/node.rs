@@ -262,6 +262,45 @@ impl Node {
         1 + self.children().iter().map(|c| c.depth()).max().unwrap_or(0)
     }
 
+    /// A structural fingerprint of the subtree: a deterministic hash over
+    /// the pre-order sequence of (kind, child count, `for` iteration
+    /// count, label), ignoring node identity, muscle functions and
+    /// placement annotations.
+    ///
+    /// Two independently constructed trees share a key **iff** they have
+    /// the same shape — this is what lets the serving layer share
+    /// estimator history across tenants running structurally identical
+    /// programs (different `NodeId`s) while keeping structurally
+    /// different programs apart. Labels participate in the key, so a
+    /// labelled variant can opt out of sharing with its unlabelled twin.
+    pub fn structure_key(self: &Arc<Node>) -> u64 {
+        // FNV-1a, folded byte by byte: stable across processes and runs
+        // (no per-process seed), unlike `DefaultHasher`.
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        fn fold(h: u64, bytes: &[u8]) -> u64 {
+            bytes
+                .iter()
+                .fold(h, |h, &b| (h ^ b as u64).wrapping_mul(PRIME))
+        }
+        let mut h = OFFSET;
+        for node in self.collect_nodes() {
+            h = fold(h, node.tag().name().as_bytes());
+            h = fold(h, &(node.children().len() as u32).to_le_bytes());
+            if let NodeKind::For { n, .. } = &node.kind {
+                h = fold(h, &(*n as u64).to_le_bytes());
+            }
+            match &node.label {
+                Some(label) => {
+                    h = fold(h, &[1]);
+                    h = fold(h, label.as_bytes());
+                }
+                None => h = fold(h, &[0]),
+            }
+        }
+        h
+    }
+
     fn walk(self: &Arc<Node>, f: &mut impl FnMut(&Arc<Node>)) {
         f(self);
         for c in self.children() {
@@ -356,6 +395,35 @@ mod tests {
         let inner_seq = n.collect_nodes()[2].clone();
         assert_eq!(n.find(inner_seq.id).unwrap().id, inner_seq.id);
         assert!(n.find(NodeId(u64::MAX)).is_none());
+    }
+
+    #[test]
+    fn structure_key_matches_shape_not_identity() {
+        use crate::skel::pipe;
+        // Two independently built copies of the same shape share a key…
+        let a = pipe(seq(|x: i64| x + 1), seq(|x: i64| x * 2)).into_node();
+        let b = pipe(seq(|x: i64| x + 9), seq(|x: i64| x * 7)).into_node();
+        assert_ne!(a.id, b.id, "identities differ");
+        assert_eq!(a.structure_key(), b.structure_key());
+        // …while different shapes do not.
+        let three = pipe(seq(|x: i64| x), pipe(seq(|x: i64| x), seq(|x: i64| x))).into_node();
+        assert_ne!(a.structure_key(), three.structure_key());
+        let lone = seq(|x: i64| x).into_node();
+        assert_ne!(a.structure_key(), lone.structure_key());
+    }
+
+    #[test]
+    fn structure_key_sees_for_count_and_label() {
+        let twice = sfor(2, seq(|x: i64| x + 1)).into_node();
+        let thrice = sfor(3, seq(|x: i64| x + 1)).into_node();
+        assert_ne!(twice.structure_key(), thrice.structure_key());
+        let plain = seq(|x: i64| x);
+        let labelled = seq(|x: i64| x).labeled("special");
+        assert_ne!(
+            plain.into_node().structure_key(),
+            labelled.into_node().structure_key(),
+            "a label opts out of sharing with the unlabelled twin"
+        );
     }
 
     #[test]

@@ -94,6 +94,16 @@ where
         self.node.id
     }
 
+    /// The program's structural fingerprint (see
+    /// [`Node::structure_key`]): equal for independently constructed
+    /// trees of the same shape, different across shapes. The serving
+    /// layer keys shared estimator history on this, so one tenant's
+    /// observations can warm another tenant's forecasts when — and only
+    /// when — they run structurally identical programs.
+    pub fn structure_key(&self) -> u64 {
+        self.node.structure_key()
+    }
+
     /// Returns the same skeleton with a human-readable label on its root
     /// node (labels show up in event traces and logs).
     ///
