@@ -63,6 +63,7 @@
 
 pub mod arbitration;
 pub mod forecast;
+mod metrics;
 pub mod rules;
 pub mod session;
 pub mod sim_session;
@@ -76,4 +77,4 @@ pub use rules::{
 };
 pub use session::{AdaptiveSession, Reconfigurator, VersionedSkel};
 pub use sim_session::AdaptiveSimSession;
-pub use trigger::{AdaptRecord, PlannedRewrite, TriggerEngine};
+pub use trigger::{decision_log_to_chrome, AdaptRecord, PlannedRewrite, TriggerEngine};

@@ -99,6 +99,7 @@ impl Reconfigurator {
     /// and its live LP as the width rules' input.
     pub fn for_engine(engine: &Engine, trigger: Arc<TriggerEngine>) -> Self {
         let pool = engine.pool().clone();
+        trigger.attach_metrics(engine.metrics_hub());
         Reconfigurator::new(Arc::clone(engine.registry()), engine.clock(), trigger)
             .lp_source(move || pool.target_workers())
     }

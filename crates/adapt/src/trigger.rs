@@ -24,6 +24,7 @@ use askel_events::{Event, Listener, Payload, When, Where};
 use askel_skeletons::{InstanceId, Node, NodeId, TimeNs};
 
 use crate::forecast::Forecast;
+use crate::metrics::AdaptMetrics;
 use crate::rules::{Concern, ErrorStats, RewriteAction, Rule, RuleCtx};
 
 /// One audited structural rewrite — the self-configuration counterpart of
@@ -88,6 +89,9 @@ struct TrigInner {
     /// Start timestamps of in-flight root submissions, keyed by instance
     /// — closes the forecast audit loop (realized WCT per item).
     item_starts: HashMap<InstanceId, TimeNs>,
+    /// Metrics handles once attached to a hub (see [`crate::metrics`]):
+    /// rule-fire counters and the forecast-error histogram.
+    metrics: Option<AdaptMetrics>,
 }
 
 /// Event-driven rule host; see the module docs.
@@ -111,8 +115,20 @@ impl TriggerEngine {
                 safe_points: 0,
                 evaluations: 0,
                 item_starts: HashMap::new(),
+                metrics: None,
             }),
         })
+    }
+
+    /// Attaches this trigger engine to a metrics hub: rule fires are
+    /// counted as `adapt_rule_fires_total` (plus one labelled series per
+    /// rule), and every closed [`Forecast`] audit records its
+    /// |realized − predicted| error into `adapt_forecast_error_ns`.
+    /// Idempotent per hub; [`crate::AdaptiveSession::new`] and
+    /// [`crate::Reconfigurator::for_engine`] call this with the engine's
+    /// hub automatically.
+    pub fn attach_metrics(&self, hub: &Arc<askel_obs::MetricsHub>) {
+        self.inner.lock().metrics = Some(AdaptMetrics::register(hub));
     }
 
     /// Registers a rule. At each safe point every live rule is evaluated
@@ -215,6 +231,7 @@ impl TriggerEngine {
             retired,
             evaluations,
             safe_points,
+            metrics,
             ..
         } = &mut *inner;
         let ctx = RuleCtx {
@@ -235,6 +252,9 @@ impl TriggerEngine {
             if let Some(fire) = rule.evaluate(&ctx) {
                 if rule.once() {
                     *retired = true;
+                }
+                if let Some(m) = metrics.as_mut() {
+                    m.note_fire(rule.name());
                 }
                 plans.push(PlannedRewrite {
                     rule: rule.name().to_string(),
@@ -312,6 +332,38 @@ impl TriggerEngine {
     }
 }
 
+/// Renders a decision log onto a Chrome trace: one instant marker per
+/// record (named `rule: action`, category `adapt`), carrying the
+/// justification, version, and — for closed forecast audits — the
+/// predicted/realized WCT as event arguments. Combine with the pool's
+/// `telemetry_to_chrome` to see rule fires against thread activity on
+/// one timeline.
+pub fn decision_log_to_chrome(log: &[AdaptRecord], trace: &mut askel_obs::ChromeTrace) {
+    use askel_core::json::Json;
+    for r in log {
+        let mut args = vec![
+            ("why".to_string(), Json::Str(r.why.clone())),
+            ("version".to_string(), Json::Num(r.version as f64)),
+        ];
+        if let Some(f) = &r.forecast {
+            args.push(("predicted_ns".to_string(), Json::Num(f.predicted.0 as f64)));
+            if let Some(realized) = f.realized {
+                args.push(("realized_ns".to_string(), Json::Num(realized.0 as f64)));
+            }
+        }
+        trace.push(askel_obs::TraceEvent {
+            name: format!("{}: {}", r.rule, r.action),
+            cat: "adapt".to_string(),
+            ph: 'i',
+            ts: r.at,
+            dur: None,
+            pid: 1,
+            tid: 0,
+            args,
+        });
+    }
+}
+
 impl Listener for TriggerEngine {
     fn on_event(&self, _payload: &mut Payload<'_>, event: &Event) {
         let mut inner = self.inner.lock();
@@ -347,6 +399,7 @@ impl Listener for TriggerEngine {
                             .filter(|r| r.at <= started)
                             .map(|r| r.version)
                             .max();
+                        let mut audit_error = None;
                         if let Some(version) = ran_under {
                             if let Some(forecast) = inner
                                 .log
@@ -356,7 +409,11 @@ impl Listener for TriggerEngine {
                                 .find(|f| f.realized.is_none())
                             {
                                 forecast.realized = Some(realized);
+                                audit_error = Some(realized.0.abs_diff(forecast.predicted.0));
                             }
+                        }
+                        if let (Some(err), Some(m)) = (audit_error, &inner.metrics) {
+                            m.note_forecast_error(err);
                         }
                     }
                 }

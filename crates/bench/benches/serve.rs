@@ -21,6 +21,8 @@ use std::time::{Duration, Instant};
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use askel_engine::Engine;
+use askel_obs::{ChromeTrace, HistogramSnapshot, Json, MetricsSnapshot};
+use askel_pool::telemetry_to_chrome;
 use askel_serve::{AdmissionPolicy, ServeRegistry, TenantId};
 use askel_skeletons::{seq, Skel};
 
@@ -34,9 +36,18 @@ fn probe() -> Skel<Instant, Duration> {
     seq(|fed_at: Instant| fed_at.elapsed())
 }
 
-/// Registers `n` tenants, feeds each a batch, drains everything, and
-/// returns `(wall seconds, all sojourn latencies)`.
-fn drive(engine: &Engine, n: usize, per_tenant: usize) -> (f64, Vec<Duration>) {
+/// One completed drive: the timing, the muscle-measured sojourns, and
+/// the registry itself (kept alive so the acceptance run can check the
+/// hub exporters against it).
+struct Driven {
+    wall: f64,
+    latencies: Vec<Duration>,
+    registry: ServeRegistry<Instant, Duration>,
+    tenants: Vec<TenantId>,
+}
+
+/// Registers `n` tenants, feeds each a batch, and drains everything.
+fn drive(engine: &Engine, n: usize, per_tenant: usize) -> Driven {
     let program = probe();
     let policy = AdmissionPolicy::default().max_in_flight(per_tenant);
     let mut registry: ServeRegistry<Instant, Duration> =
@@ -56,7 +67,12 @@ fn drive(engine: &Engine, n: usize, per_tenant: usize) -> (f64, Vec<Duration>) {
         }
     }
     assert_eq!(latencies.len(), n * per_tenant, "every item completed");
-    (wall, latencies)
+    Driven {
+        wall,
+        latencies,
+        registry,
+        tenants,
+    }
 }
 
 /// Feeds `items` into one tenant item-at-a-time; returns wall seconds.
@@ -87,9 +103,61 @@ fn drive_batch(engine: &Engine, items: usize) -> f64 {
     wall
 }
 
-fn percentile(sorted: &[Duration], p: f64) -> Duration {
-    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
-    sorted[idx]
+/// Round-trips the 10k-tenant run through all three exporters:
+/// Prometheus text must scrape back the per-tenant sojourn p99 the
+/// registry computed, JSON must parse back equal, and the Chrome trace
+/// must load with monotonic timestamps.
+fn export_roundtrip(engine: &Engine, out: &Driven) {
+    let snap = out.registry.export_snapshot();
+    let t = out.tenants[0];
+    let tenant_hist = out
+        .registry
+        .tenant_sojourn(t)
+        .expect("hub was on: per-tenant sojourns recorded");
+
+    let text = snap.to_prometheus();
+    let series = format!("serve_sojourn_ns{{tenant=\"{t}\",quantile=\"0.99\"}}");
+    let scraped = MetricsSnapshot::scrape(&text, &series).expect("p99 series exported");
+    assert_eq!(
+        scraped,
+        tenant_hist.percentile(0.99) as f64,
+        "prometheus text must carry the registry's own p99"
+    );
+
+    let back = MetricsSnapshot::from_json(&snap.to_json()).expect("json parses back");
+    assert_eq!(
+        back.histogram(&format!("serve_sojourn_ns{{tenant=\"{t}\"}}")),
+        Some(tenant_hist),
+        "json round-trip must preserve the tenant histogram exactly"
+    );
+    assert_eq!(
+        back.counter("serve_admit_submitted_total"),
+        snap.counter("serve_admit_submitted_total"),
+    );
+
+    let mut trace = ChromeTrace::new();
+    telemetry_to_chrome(&engine.pool().telemetry().samples(), &mut trace);
+    let loaded = Json::parse(&trace.render()).expect("trace loads as json");
+    let events = loaded
+        .get("traceEvents")
+        .and_then(|e| e.as_array())
+        .expect("traceEvents array");
+    assert!(!events.is_empty(), "the run left a timeline");
+    let ts: Vec<f64> = events
+        .iter()
+        .map(|e| e.get("ts").and_then(|t| t.as_f64()).expect("ts field"))
+        .collect();
+    assert!(
+        ts.windows(2).all(|w| w[0] <= w[1]),
+        "trace timestamps must be monotonic"
+    );
+    println!(
+        "serve: exporters round-tripped the 10k-tenant run \
+         ({} prometheus lines, {} trace events, tenant {t} p99 {:.1}us)",
+        text.lines().count(),
+        events.len(),
+        scraped / 1e3,
+    );
 }
 
 fn bench_serve(c: &mut Criterion) {
@@ -97,7 +165,7 @@ fn bench_serve(c: &mut Criterion) {
 
     // Criterion-repeatable measurements (small enough to iterate).
     c.bench_function("serve_1k_tenants_drive", |b| {
-        b.iter(|| drive(&engine, 1000, ITEMS_PER_TENANT).0)
+        b.iter(|| drive(&engine, 1000, ITEMS_PER_TENANT).wall)
     });
     c.bench_function("serve_feed_item_4k", |b| {
         b.iter(|| drive_items(&engine, COMPARE_ITEMS))
@@ -106,22 +174,33 @@ fn bench_serve(c: &mut Criterion) {
         b.iter(|| drive_batch(&engine, COMPARE_ITEMS))
     });
 
-    // The acceptance run, printed for BENCH_serve.json.
-    let (wall, mut latencies) = drive(&engine, TENANTS, ITEMS_PER_TENANT);
-    latencies.sort_unstable();
+    // The acceptance run, printed for BENCH_serve.json — with the hub
+    // on, so the exporters can be checked against a full 10k-tenant run.
+    engine.metrics_hub().set_enabled(true);
+    let out = drive(&engine, TENANTS, ITEMS_PER_TENANT);
+    engine.metrics_hub().set_enabled(false);
+    let wall = out.wall;
     let total = TENANTS * ITEMS_PER_TENANT;
     println!(
         "serve: {TENANTS} tenants x {ITEMS_PER_TENANT} items on one shared pool: \
          {total} items in {wall:.3}s = {:.0} items/sec",
         total as f64 / wall
     );
+    // The percentile math is the shared obs histogram (bounded relative
+    // error ≤ 1/32), not a private sort — the same shape every exporter
+    // reports.
+    let mut sojourn = HistogramSnapshot::new();
+    for d in &out.latencies {
+        sojourn.record(d.as_nanos() as u64);
+    }
     println!(
         "serve: sojourn latency p50 {:.1}us p95 {:.1}us p99 {:.1}us max {:.1}us",
-        percentile(&latencies, 0.50).as_secs_f64() * 1e6,
-        percentile(&latencies, 0.95).as_secs_f64() * 1e6,
-        percentile(&latencies, 0.99).as_secs_f64() * 1e6,
-        percentile(&latencies, 1.0).as_secs_f64() * 1e6,
+        sojourn.percentile(0.50) as f64 / 1e3,
+        sojourn.percentile(0.95) as f64 / 1e3,
+        sojourn.percentile(0.99) as f64 / 1e3,
+        sojourn.max() as f64 / 1e3,
     );
+    export_roundtrip(&engine, &out);
     let item_wall = drive_items(&engine, COMPARE_ITEMS);
     let batch_wall = drive_batch(&engine, COMPARE_ITEMS);
     println!(

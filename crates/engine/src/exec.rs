@@ -43,6 +43,7 @@ use askel_skeletons::{Clock, Data, EvalError, InstanceId, Node, NodeKind, Skel};
 
 use crate::error::{panic_message, EngineError};
 use crate::future::{pair, SkelFuture};
+use crate::metrics::{EngineMetrics, SpanProbe};
 
 /// Continuation invoked with a node's result, on the thread that produced
 /// it.
@@ -110,6 +111,10 @@ struct SubCtx {
     tracing: bool,
     /// Shared zero-allocation stand-in trace used when `tracing` is off.
     empty_trace: Trace,
+    /// Span probe for the metrics hub, sampled once at submit time like
+    /// `tracing`: `None` whenever the hub was disabled, making every
+    /// per-step check a plain discriminant test.
+    span: Option<SpanProbe>,
     failed: AtomicBool,
     fail_fn: Box<dyn Fn(EngineError) + Send + Sync>,
 }
@@ -117,6 +122,9 @@ struct SubCtx {
 impl SubCtx {
     fn fail(&self, err: EngineError) {
         self.failed.store(true, Ordering::SeqCst);
+        if let Some(span) = &self.span {
+            span.finish(&*self.clock);
+        }
         (self.fail_fn)(err); // the promise keeps only the first resolution
     }
 
@@ -127,6 +135,9 @@ impl SubCtx {
     fn guarded(self: &Arc<Self>, f: impl FnOnce(&Arc<SubCtx>)) {
         if self.failed.load(Ordering::SeqCst) {
             return;
+        }
+        if let Some(span) = &self.span {
+            span.note_start(&*self.clock);
         }
         if let Err(p) = catch_unwind(AssertUnwindSafe(|| f(self))) {
             self.fail(EngineError::MusclePanic(panic_message(p.as_ref())));
@@ -242,6 +253,7 @@ pub(crate) fn submit<P, R>(
     pool: ResizablePool,
     registry: Arc<ListenerRegistry>,
     clock: Arc<dyn Clock>,
+    metrics: Arc<EngineMetrics>,
     skel: &Skel<P, R>,
     input: P,
 ) -> SkelFuture<R>
@@ -252,20 +264,27 @@ where
     let (future, promise) = pair::<R>();
     let fail_promise = promise.clone();
     let tracing = !registry.is_empty();
+    let span = metrics.probe(&*clock);
     let ctx = Arc::new(SubCtx {
         pool,
         registry,
         clock,
         tracing,
         empty_trace: Trace::empty(),
+        span,
         failed: AtomicBool::new(false),
         fail_fn: Box::new(move |e| fail_promise.fail(e)),
     });
-    let root_cont: Cont = Cont::f(move |_ctx, data| match data.downcast::<R>() {
-        Ok(r) => promise.fulfill(*r),
-        Err(_) => promise.fail(EngineError::MusclePanic(
-            "internal error: root result had an unexpected type".into(),
-        )),
+    let root_cont: Cont = Cont::f(move |ctx, data| {
+        if let Some(span) = &ctx.span {
+            span.finish(&*ctx.clock);
+        }
+        match data.downcast::<R>() {
+            Ok(r) => promise.fulfill(*r),
+            Err(_) => promise.fail(EngineError::MusclePanic(
+                "internal error: root result had an unexpected type".into(),
+            )),
+        }
     });
     schedule_node(&ctx, skel.node(), None, Box::new(input), root_cont);
     future
@@ -285,6 +304,7 @@ pub(crate) fn submit_batch<P, R>(
     pool: ResizablePool,
     registry: Arc<ListenerRegistry>,
     clock: Arc<dyn Clock>,
+    metrics: Arc<EngineMetrics>,
     skel: &Skel<P, R>,
     inputs: Vec<P>,
 ) -> Vec<SkelFuture<R>>
@@ -293,6 +313,13 @@ where
     R: Send + 'static,
 {
     let tracing = !registry.is_empty();
+    // One enabled check and one clock read for the whole batch; every
+    // item's span shares the submit timestamp.
+    let submitted_at = if metrics.enabled() {
+        Some(clock.now().0.max(1))
+    } else {
+        None
+    };
     let mut futures = Vec::with_capacity(inputs.len());
     let mut tasks: Vec<Task> = Vec::with_capacity(inputs.len());
     for input in inputs {
@@ -304,14 +331,20 @@ where
             clock: Arc::clone(&clock),
             tracing,
             empty_trace: Trace::empty(),
+            span: submitted_at.map(|at| metrics.probe_at(at)),
             failed: AtomicBool::new(false),
             fail_fn: Box::new(move |e| fail_promise.fail(e)),
         });
-        let root_cont: Cont = Cont::f(move |_ctx, data| match data.downcast::<R>() {
-            Ok(r) => promise.fulfill(*r),
-            Err(_) => promise.fail(EngineError::MusclePanic(
-                "internal error: root result had an unexpected type".into(),
-            )),
+        let root_cont: Cont = Cont::f(move |ctx, data| {
+            if let Some(span) = &ctx.span {
+                span.finish(&*ctx.clock);
+            }
+            match data.downcast::<R>() {
+                Ok(r) => promise.fulfill(*r),
+                Err(_) => promise.fail(EngineError::MusclePanic(
+                    "internal error: root result had an unexpected type".into(),
+                )),
+            }
         });
         let node = Arc::clone(skel.node());
         tasks

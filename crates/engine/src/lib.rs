@@ -49,13 +49,17 @@
 pub mod error;
 mod exec;
 pub mod future;
+mod metrics;
 pub mod stream;
 
 use std::sync::Arc;
 
 use askel_events::ListenerRegistry;
+use askel_obs::MetricsHub;
 use askel_pool::ResizablePool;
 use askel_skeletons::{Clock, RealClock, Skel};
+
+use metrics::EngineMetrics;
 
 pub use error::EngineError;
 pub use future::SkelFuture;
@@ -74,6 +78,7 @@ pub struct Engine {
     pool: ResizablePool,
     registry: Arc<ListenerRegistry>,
     clock: Arc<dyn Clock>,
+    metrics: Arc<EngineMetrics>,
 }
 
 impl Clone for Engine {
@@ -82,6 +87,7 @@ impl Clone for Engine {
             pool: self.pool.clone(),
             registry: Arc::clone(&self.registry),
             clock: Arc::clone(&self.clock),
+            metrics: Arc::clone(&self.metrics),
         }
     }
 }
@@ -96,10 +102,12 @@ impl Engine {
     /// Creates an engine over an explicit clock (tests use a manual one).
     pub fn with_clock(workers: usize, clock: Arc<dyn Clock>) -> Self {
         let pool = ResizablePool::with_clock(workers, Arc::clone(&clock));
+        let metrics = EngineMetrics::register(pool.metrics_hub());
         Engine {
             pool,
             registry: ListenerRegistry::new(),
             clock,
+            metrics,
         }
     }
 
@@ -116,6 +124,18 @@ impl Engine {
     /// The worker pool (telemetry, direct task submission).
     pub fn pool(&self) -> &ResizablePool {
         &self.pool
+    }
+
+    /// The metrics hub shared by the pool and this engine.
+    ///
+    /// Disabled by default; call `set_enabled(true)` to start recording
+    /// pool counters and engine span histograms
+    /// (`engine_queue_delay_ns` / `engine_service_ns` /
+    /// `engine_span_ns`). Like the listener registry, the enabled flag
+    /// is sampled once per submission: submissions already in flight
+    /// when the flag flips keep their sampled decision.
+    pub fn metrics_hub(&self) -> &Arc<MetricsHub> {
+        self.pool.metrics_hub()
     }
 
     /// The engine clock (shared with pool telemetry and event timestamps).
@@ -155,6 +175,7 @@ impl Engine {
             self.pool.clone(),
             Arc::clone(&self.registry),
             Arc::clone(&self.clock),
+            Arc::clone(&self.metrics),
             skel,
             input,
         )
@@ -179,6 +200,7 @@ impl Engine {
             self.pool.clone(),
             Arc::clone(&self.registry),
             Arc::clone(&self.clock),
+            Arc::clone(&self.metrics),
             skel,
             inputs,
         )

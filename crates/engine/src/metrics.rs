@@ -1,0 +1,126 @@
+//! Engine-level span metrics on the pool's metrics hub.
+//!
+//! Each submission (single or batched) is wrapped in one **span probe**
+//! that cuts the submission's lifetime at two points — the first guarded
+//! step picking the work up, and the root continuation (or failure)
+//! resolving the future — and records three histograms plus a counter:
+//!
+//! | metric | kind | meaning |
+//! |---|---|---|
+//! | `engine_submissions_total` | counter | submissions started while metrics were enabled |
+//! | `engine_queue_delay_ns` | histogram | submit → first step pickup |
+//! | `engine_service_ns` | histogram | first step pickup → future resolution |
+//! | `engine_span_ns` | histogram | submit → future resolution (end to end) |
+//!
+//! The probe follows the same sampling discipline as the listener
+//! registry: the hub's enabled flag is read **once per submission**.
+//! When disabled, no probe is allocated, no clocks are read, and each
+//! step pays only an `Option` discriminant check; when enabled, the
+//! whole span costs three clock reads (submit, first step, finish)
+//! regardless of how many steps the skeleton expands into.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use askel_obs::{Counter, Histogram, MetricsHub};
+use askel_skeletons::Clock;
+
+/// The engine's metric handles, registered once per engine on the
+/// pool's hub (see the module docs for the inventory).
+pub(crate) struct EngineMetrics {
+    hub: Arc<MetricsHub>,
+    submissions: Counter,
+    queue_delay: Histogram,
+    service: Histogram,
+    span: Histogram,
+}
+
+impl EngineMetrics {
+    /// Registers (or re-binds, idempotently) the engine metrics on `hub`.
+    pub(crate) fn register(hub: &Arc<MetricsHub>) -> Arc<Self> {
+        Arc::new(EngineMetrics {
+            hub: Arc::clone(hub),
+            submissions: hub.counter("engine_submissions_total"),
+            queue_delay: hub.histogram("engine_queue_delay_ns"),
+            service: hub.histogram("engine_service_ns"),
+            span: hub.histogram("engine_span_ns"),
+        })
+    }
+
+    /// Starts a span probe for one submission — `None` when the hub is
+    /// disabled, so the submission carries no probe state at all.
+    pub(crate) fn probe(self: &Arc<Self>, clock: &dyn Clock) -> Option<SpanProbe> {
+        if !self.hub.enabled() {
+            return None;
+        }
+        Some(self.probe_at(clock.now().0.max(1)))
+    }
+
+    /// Starts a span probe with an explicit submit timestamp — the batch
+    /// path reads the clock once and stamps every item with it.
+    pub(crate) fn probe_at(self: &Arc<Self>, submitted_at: u64) -> SpanProbe {
+        self.submissions.inc();
+        SpanProbe {
+            metrics: Arc::clone(self),
+            submitted_at,
+            started_at: AtomicU64::new(0),
+            finished: AtomicBool::new(false),
+        }
+    }
+
+    /// Whether the underlying hub is currently enabled (batch-path gate).
+    pub(crate) fn enabled(&self) -> bool {
+        self.hub.enabled()
+    }
+}
+
+/// One submission's span: stamps first-step pickup and resolution.
+///
+/// Lives inside the submission context (`SubCtx`), so it is dropped with
+/// the last step of the submission. Both stamping operations are
+/// idempotent — fan-out steps race to `note_start` and only the first
+/// wins; the success and failure paths race to `finish` and only the
+/// first records.
+pub(crate) struct SpanProbe {
+    metrics: Arc<EngineMetrics>,
+    /// Submit-side clock reading (ns, clamped ≥ 1).
+    submitted_at: u64,
+    /// First-step clock reading; 0 until the first guarded step runs.
+    started_at: AtomicU64,
+    finished: AtomicBool,
+}
+
+impl SpanProbe {
+    /// Stamps the first guarded step of the submission. Steps after the
+    /// first pay one relaxed load and skip the clock read.
+    pub(crate) fn note_start(&self, clock: &dyn Clock) {
+        if self.started_at.load(Ordering::Relaxed) != 0 {
+            return;
+        }
+        let now = clock.now().0.max(1);
+        let _ = self
+            .started_at
+            .compare_exchange(0, now, Ordering::Relaxed, Ordering::Relaxed);
+    }
+
+    /// Records the three span histograms exactly once (first caller
+    /// wins), on either the success or the failure path.
+    pub(crate) fn finish(&self, clock: &dyn Clock) {
+        if self.finished.swap(true, Ordering::Relaxed) {
+            return;
+        }
+        let end = clock.now().0;
+        let started = match self.started_at.load(Ordering::Relaxed) {
+            // Poisoned before any step ran: the whole span was queueing.
+            0 => end,
+            at => at,
+        };
+        self.metrics
+            .queue_delay
+            .record(started.saturating_sub(self.submitted_at));
+        self.metrics.service.record(end.saturating_sub(started));
+        self.metrics
+            .span
+            .record(end.saturating_sub(self.submitted_at));
+    }
+}

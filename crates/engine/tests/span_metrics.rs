@@ -1,0 +1,71 @@
+//! Engine span metrics: submit→start→finish histograms on the pool's
+//! metrics hub, sampled per submission like the listener registry.
+
+use askel_engine::Engine;
+use askel_skeletons::{map, seq};
+
+fn program() -> askel_skeletons::Skel<Vec<i64>, i64> {
+    map(
+        |v: Vec<i64>| v.into_iter().map(|x| vec![x]).collect::<Vec<_>>(),
+        seq(|v: Vec<i64>| v[0] * 10),
+        |parts: Vec<i64>| parts.into_iter().sum::<i64>(),
+    )
+}
+
+#[test]
+fn disabled_hub_records_no_spans() {
+    let engine = Engine::new(2);
+    assert!(!engine.metrics_hub().enabled());
+    for _ in 0..8 {
+        assert_eq!(engine.submit(&program(), vec![1, 2, 3]).get().unwrap(), 60);
+    }
+    let snap = engine.metrics_hub().snapshot();
+    assert_eq!(snap.counter("engine_submissions_total"), Some(0));
+    let span = snap.histogram("engine_span_ns").expect("registered");
+    assert_eq!(span.count(), 0);
+    engine.shutdown();
+}
+
+#[test]
+fn enabled_hub_records_one_span_per_submission() {
+    let engine = Engine::new(2);
+    engine.metrics_hub().set_enabled(true);
+    for _ in 0..5 {
+        assert_eq!(engine.submit(&program(), vec![1, 2, 3]).get().unwrap(), 60);
+    }
+    let futures = engine.submit_batch(&program(), vec![vec![1, 2, 3]; 7]);
+    for f in futures {
+        assert_eq!(f.get().unwrap(), 60);
+    }
+    let snap = engine.metrics_hub().snapshot();
+    assert_eq!(snap.counter("engine_submissions_total"), Some(12));
+    for name in [
+        "engine_queue_delay_ns",
+        "engine_service_ns",
+        "engine_span_ns",
+    ] {
+        let h = snap.histogram(name).expect("registered");
+        assert_eq!(
+            h.count(),
+            12,
+            "{name} should have one sample per submission"
+        );
+    }
+    // End-to-end spans dominate their components.
+    let span = snap.histogram("engine_span_ns").unwrap();
+    let service = snap.histogram("engine_service_ns").unwrap();
+    assert!(span.max() >= service.max() / 2);
+    engine.shutdown();
+}
+
+#[test]
+fn failed_submissions_still_close_their_span() {
+    let engine = Engine::new(2);
+    engine.metrics_hub().set_enabled(true);
+    let boom = seq(|_: i64| -> i64 { panic!("kaboom") });
+    assert!(engine.submit(&boom, 1).get().is_err());
+    let snap = engine.metrics_hub().snapshot();
+    assert_eq!(snap.counter("engine_submissions_total"), Some(1));
+    assert_eq!(snap.histogram("engine_span_ns").unwrap().count(), 1);
+    engine.shutdown();
+}

@@ -1,0 +1,387 @@
+//! The metrics hub: a process-local registry of named counters, gauges
+//! and histograms with one shared enable gate.
+//!
+//! Instrumented components register their metrics **once** (at
+//! construction) and keep the returned handles; recording through a
+//! handle is lock-free and never looks names up. The whole hub is
+//! disabled by default: every handle shares one `AtomicBool`, so a
+//! disabled record is a single relaxed load and a predictable branch —
+//! the same fast-path shape as the engine's listener sampling. Enabling
+//! the hub (`set_enabled(true)`) flips every handle at once, mid-run.
+//!
+//! Metric names follow Prometheus conventions (`snake_case`, unit
+//! suffix, `_total` for counters) and may carry a label set in braces —
+//! `serve_sojourn_ns{tenant="7"}` — which the exporters understand.
+
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::hist::Histogram;
+use crate::snapshot::MetricsSnapshot;
+
+/// Counter shards: spreads concurrent `inc`s over distinct cache lines.
+const SHARDS: usize = 16;
+
+/// One cache line per shard so two workers bumping the same counter
+/// don't bounce a line between cores.
+#[repr(align(64))]
+#[derive(Default)]
+struct PaddedU64(AtomicU64);
+
+thread_local! {
+    static SHARD_ID: std::cell::Cell<usize> = const { std::cell::Cell::new(usize::MAX) };
+}
+
+static NEXT_SHARD: AtomicUsize = AtomicUsize::new(0);
+
+/// A stable per-thread shard slot, assigned on first use.
+#[inline]
+fn shard_id() -> usize {
+    SHARD_ID.with(|c| {
+        let v = c.get();
+        if v != usize::MAX {
+            v
+        } else {
+            let id = NEXT_SHARD.fetch_add(1, Ordering::Relaxed);
+            c.set(id);
+            id
+        }
+    })
+}
+
+/// A monotonically increasing counter, sharded across cache lines.
+///
+/// Cloning shares the counter. `inc`/`add` are one relaxed load (the
+/// enable gate) plus one relaxed `fetch_add` on the calling thread's
+/// shard; `value` sums the shards.
+#[derive(Clone)]
+pub struct Counter {
+    inner: Arc<CounterInner>,
+}
+
+struct CounterInner {
+    enabled: Arc<AtomicBool>,
+    shards: [PaddedU64; SHARDS],
+}
+
+impl Counter {
+    fn new(enabled: Arc<AtomicBool>) -> Self {
+        Counter {
+            inner: Arc::new(CounterInner {
+                enabled,
+                shards: Default::default(),
+            }),
+        }
+    }
+
+    /// Adds 1. A no-op while the owning hub is disabled.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`. A no-op while the owning hub is disabled.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if !self.inner.enabled.load(Ordering::Relaxed) {
+            return;
+        }
+        self.inner.shards[shard_id() % SHARDS]
+            .0
+            .fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current total across all shards.
+    pub fn value(&self) -> u64 {
+        self.inner
+            .shards
+            .iter()
+            .map(|s| s.0.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+/// A last-value-wins gauge.
+///
+/// Cloning shares the gauge; `set` is gated like [`Counter::add`].
+#[derive(Clone)]
+pub struct Gauge {
+    inner: Arc<GaugeInner>,
+}
+
+struct GaugeInner {
+    enabled: Arc<AtomicBool>,
+    value: AtomicI64,
+}
+
+impl Gauge {
+    fn new(enabled: Arc<AtomicBool>) -> Self {
+        Gauge {
+            inner: Arc::new(GaugeInner {
+                enabled,
+                value: AtomicI64::new(0),
+            }),
+        }
+    }
+
+    /// Sets the gauge. A no-op while the owning hub is disabled.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        if !self.inner.enabled.load(Ordering::Relaxed) {
+            return;
+        }
+        self.inner.value.store(v, Ordering::Relaxed);
+    }
+
+    /// The last value set (0 initially).
+    pub fn value(&self) -> i64 {
+        self.inner.value.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Clone)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// The registry of named metrics for one pool/engine stack (see the
+/// module docs).
+///
+/// One hub is created per worker pool — every layer sharing that pool
+/// (engine, serve registry, trigger engine) registers onto the same
+/// hub, so one `snapshot()` sees every concern's signals side by side.
+pub struct MetricsHub {
+    enabled: Arc<AtomicBool>,
+    metrics: Mutex<Vec<(String, Metric)>>,
+}
+
+impl Default for MetricsHub {
+    fn default() -> Self {
+        MetricsHub {
+            enabled: Arc::new(AtomicBool::new(false)),
+            metrics: Mutex::new(Vec::new()),
+        }
+    }
+}
+
+impl MetricsHub {
+    /// A fresh, **disabled** hub behind an `Arc` (handles share it).
+    pub fn new() -> Arc<MetricsHub> {
+        Arc::new(MetricsHub::default())
+    }
+
+    /// Whether recording is on.
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Turns recording on or off for every handle at once. Off is the
+    /// default; handles registered while off record nothing.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    fn register(&self, name: &str, make: impl FnOnce(Arc<AtomicBool>) -> Metric) -> Metric {
+        let mut metrics = self.metrics.lock();
+        if let Some((_, m)) = metrics.iter().find(|(n, _)| n == name) {
+            return m.clone();
+        }
+        let m = make(Arc::clone(&self.enabled));
+        metrics.push((name.to_string(), m.clone()));
+        m
+    }
+
+    /// The counter named `name`, registering it on first use. Panics if
+    /// `name` is already registered as a different metric kind.
+    pub fn counter(&self, name: &str) -> Counter {
+        match self.register(name, |e| Metric::Counter(Counter::new(e))) {
+            Metric::Counter(c) => c,
+            m => panic!("metric {name:?} already registered as a {}", m.kind()),
+        }
+    }
+
+    /// The gauge named `name`, registering it on first use. Panics if
+    /// `name` is already registered as a different metric kind.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        match self.register(name, |e| Metric::Gauge(Gauge::new(e))) {
+            Metric::Gauge(g) => g,
+            m => panic!("metric {name:?} already registered as a {}", m.kind()),
+        }
+    }
+
+    /// The histogram named `name`, registering it on first use. Panics
+    /// if `name` is already registered as a different metric kind.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        match self.register(name, |e| Metric::Histogram(Histogram::new(e))) {
+            Metric::Histogram(h) => h,
+            m => panic!("metric {name:?} already registered as a {}", m.kind()),
+        }
+    }
+
+    /// One consistent copy of every registered metric, in registration
+    /// order — the input to all three exporters (Prometheus text, JSON,
+    /// and per-series Chrome counter tracks).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let metrics = self.metrics.lock();
+        let mut snap = MetricsSnapshot::default();
+        for (name, m) in metrics.iter() {
+            match m {
+                Metric::Counter(c) => snap.counters.push((name.clone(), c.value())),
+                Metric::Gauge(g) => snap.gauges.push((name.clone(), g.value())),
+                Metric::Histogram(h) => snap.histograms.push((name.clone(), h.snapshot())),
+            }
+        }
+        snap
+    }
+}
+
+/// Splits a metric name into `(base, labels)`: `a_ns{t="1"}` becomes
+/// `("a_ns", Some("t=\"1\""))`. Exporters use this to splice extra
+/// labels (quantile, unit) into labelled series.
+pub(crate) fn split_labels(name: &str) -> (&str, Option<&str>) {
+    match (name.find('{'), name.ends_with('}')) {
+        (Some(i), true) => (&name[..i], Some(&name[i + 1..name.len() - 1])),
+        _ => (name, None),
+    }
+}
+
+/// Keeps only `[a-zA-Z0-9_:]` (Prometheus base-name alphabet),
+/// replacing everything else with `_`.
+pub(crate) fn sanitize_base(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_hub_records_nothing() {
+        let hub = MetricsHub::new();
+        let c = hub.counter("c_total");
+        let g = hub.gauge("g");
+        let h = hub.histogram("h_ns");
+        c.inc();
+        c.add(10);
+        g.set(5);
+        h.record(42);
+        assert_eq!(c.value(), 0);
+        assert_eq!(g.value(), 0);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn enabling_mid_run_flips_every_handle() {
+        let hub = MetricsHub::new();
+        let c = hub.counter("c_total");
+        c.inc();
+        hub.set_enabled(true);
+        c.inc();
+        c.inc();
+        assert_eq!(c.value(), 2);
+        hub.set_enabled(false);
+        c.inc();
+        assert_eq!(c.value(), 2);
+    }
+
+    #[test]
+    fn registration_is_idempotent() {
+        let hub = MetricsHub::new();
+        hub.set_enabled(true);
+        let a = hub.counter("hits_total");
+        let b = hub.counter("hits_total");
+        a.inc();
+        b.inc();
+        assert_eq!(a.value(), 2);
+        assert_eq!(hub.snapshot().counters.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let hub = MetricsHub::new();
+        hub.counter("x");
+        hub.gauge("x");
+    }
+
+    #[test]
+    fn snapshot_preserves_registration_order() {
+        let hub = MetricsHub::new();
+        hub.set_enabled(true);
+        hub.counter("b_total").add(2);
+        hub.gauge("a").set(-3);
+        hub.histogram("h_ns").record(7);
+        let snap = hub.snapshot();
+        assert_eq!(snap.counters, vec![("b_total".to_string(), 2)]);
+        assert_eq!(snap.gauges, vec![("a".to_string(), -3)]);
+        assert_eq!(snap.histograms.len(), 1);
+        assert_eq!(snap.histograms[0].1.count(), 1);
+    }
+
+    #[test]
+    fn concurrent_increments_are_not_lost() {
+        let hub = MetricsHub::new();
+        hub.set_enabled(true);
+        let c = hub.counter("n_total");
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let c = c.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        c.inc();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(c.value(), 80_000);
+    }
+
+    #[test]
+    fn label_splitting() {
+        assert_eq!(split_labels("a_ns"), ("a_ns", None));
+        assert_eq!(
+            split_labels("a_ns{tenant=\"7\"}"),
+            ("a_ns", Some("tenant=\"7\""))
+        );
+        assert_eq!(sanitize_base("serve sojourn-ns"), "serve_sojourn_ns");
+    }
+
+    #[test]
+    fn histogram_snapshot_roundtrips_values() {
+        let hub = MetricsHub::new();
+        hub.set_enabled(true);
+        let h = hub.histogram("lat_ns");
+        for v in [10u64, 20, 30, 40, 50] {
+            h.record(v);
+        }
+        let snap = hub.snapshot();
+        let (_, hs) = &snap.histograms[0];
+        assert_eq!(hs.count(), 5);
+        assert_eq!(hs.percentile(1.0), 50);
+    }
+}

@@ -1,0 +1,110 @@
+//! Property tests for the histogram algebra: snapshot merge must be
+//! associative and commutative with exact count/sum conservation, or
+//! multi-shard and per-tenant aggregation would depend on merge order.
+
+use proptest::prelude::*;
+
+use askel_obs::HistogramSnapshot;
+
+/// Builds a histogram from a value series.
+fn hist(values: &[u64]) -> HistogramSnapshot {
+    let mut h = HistogramSnapshot::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+/// A value series spanning the interesting ranges: exact unit buckets,
+/// log buckets, and huge outliers.
+fn series() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(
+        prop_oneof![
+            0u64..64,
+            64u64..100_000,
+            100_000u64..10_000_000_000,
+            Just(u64::MAX),
+        ],
+        0..60,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    #[test]
+    fn merge_is_commutative(a in series(), b in series()) {
+        let (ha, hb) = (hist(&a), hist(&b));
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn merge_is_associative(a in series(), b in series(), c in series()) {
+        let (ha, hb, hc) = (hist(&a), hist(&b), hist(&c));
+        // (a ∪ b) ∪ c
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+        // a ∪ (b ∪ c)
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn merge_conserves_count_and_sum_exactly(a in series(), b in series()) {
+        let (ha, hb) = (hist(&a), hist(&b));
+        let mut m = ha.clone();
+        m.merge(&hb);
+        prop_assert_eq!(m.count(), a.len() as u64 + b.len() as u64);
+        let expect: u128 = a.iter().chain(b.iter()).map(|&v| v as u128).sum();
+        prop_assert_eq!(m.sum(), expect);
+        let bucket_total: u64 = m.buckets().map(|(_, c)| c).sum();
+        prop_assert_eq!(bucket_total, m.count());
+    }
+
+    #[test]
+    fn merge_matches_recording_the_concatenation(a in series(), b in series()) {
+        let mut m = hist(&a);
+        m.merge(&hist(&b));
+        let concat: Vec<u64> = a.iter().chain(b.iter()).copied().collect();
+        prop_assert_eq!(m, hist(&concat));
+    }
+
+    #[test]
+    fn percentiles_never_understate(
+        values in proptest::collection::vec(
+            prop_oneof![
+                0u64..64,
+                64u64..100_000,
+                100_000u64..10_000_000_000,
+                Just(u64::MAX),
+            ],
+            1..60,
+        ),
+    ) {
+        let h = hist(&values);
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for p in [0.5, 0.95, 0.99, 1.0] {
+            let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            let exact = sorted[rank - 1];
+            let reported = h.percentile(p);
+            prop_assert!(reported >= exact, "p{p}: reported {reported} < exact {exact}");
+            // Bounded relative quantization error (5 sub-bucket bits):
+            // the reported value is the bucket's upper bound, and a
+            // bucket is at most 1/32 of its values wide.
+            let bound = exact.saturating_add(exact / 32);
+            prop_assert!(
+                reported <= bound,
+                "p{p}: reported {reported} > bound {bound} (exact {exact})"
+            );
+        }
+    }
+}

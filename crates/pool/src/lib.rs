@@ -66,13 +66,54 @@ use std::thread::JoinHandle;
 
 use parking_lot::{Mutex, RwLock};
 
+use askel_obs::{Counter, Gauge, Histogram, MetricsHub};
 use askel_skeletons::{Clock, RealClock, TimeNs};
 
 use queue::{Injector, Parker, Shard};
-pub use telemetry::{PoolTelemetry, TelemetrySample, TimelinePoint};
+pub use telemetry::{telemetry_to_chrome, PoolTelemetry, TelemetrySample, TimelinePoint};
 
 /// A unit of work for the pool.
 pub type Task = Box<dyn FnOnce() + Send>;
+
+/// The pool's dispatch-health metrics, registered on its
+/// [`MetricsHub`] at construction (all zero-cost while the hub is
+/// disabled, which is the default):
+///
+/// * `pool_steals_total` — successful steal batches (work migrated off
+///   a busy worker).
+/// * `pool_parks_total` — times a worker gave up spinning and parked.
+/// * `pool_spin_rounds_total` — empty find-task rounds spent in the
+///   spin-before-park window; together with `pool_parks_total` and the
+///   wake-latency histogram this is the input to tuning
+///   `ASKEL_POOL_SPIN_ROUNDS`.
+/// * `pool_wakes_total` — unparks issued by submitters and
+///   torch-passing workers.
+/// * `pool_wake_latency_ns` — histogram of unpark-signal → worker-
+///   resumed latency (the futex round-trip the spin window tries to
+///   avoid).
+/// * `pool_queue_depth` — gauge of queued tasks, refreshed on every
+///   submit.
+struct PoolMetrics {
+    steals: Counter,
+    parks: Counter,
+    spins: Counter,
+    wakes: Counter,
+    wake_latency: Histogram,
+    queue_depth: Gauge,
+}
+
+impl PoolMetrics {
+    fn register(hub: &MetricsHub) -> Self {
+        PoolMetrics {
+            steals: hub.counter("pool_steals_total"),
+            parks: hub.counter("pool_parks_total"),
+            spins: hub.counter("pool_spin_rounds_total"),
+            wakes: hub.counter("pool_wakes_total"),
+            wake_latency: hub.histogram("pool_wake_latency_ns"),
+            queue_depth: hub.gauge("pool_queue_depth"),
+        }
+    }
+}
 
 /// Slow-path state: worker lifecycle and the sleeper registry.
 ///
@@ -121,6 +162,9 @@ struct PoolInner {
     shutdown: AtomicBool,
     telemetry: PoolTelemetry,
     clock: Arc<dyn Clock>,
+    /// The metrics hub every layer sharing this pool registers onto.
+    hub: Arc<MetricsHub>,
+    metrics: PoolMetrics,
 }
 
 /// The worker this thread belongs to, if any; lets `submit` route tasks
@@ -161,7 +205,20 @@ impl PoolInner {
             self.sleeping.store(coord.sleepers.len(), Ordering::SeqCst);
             popped
         };
+        // Wake-latency probe: one clock read covers the whole batch,
+        // and none at all while metrics are off (same discipline as
+        // `sample_time`). The stamp rides the parker; the woken worker
+        // records the delta.
+        let stamp = if self.hub.enabled() && !popped.is_empty() {
+            self.clock.now().0.max(1)
+        } else {
+            0
+        };
+        self.metrics.wakes.add(popped.len() as u64);
         for p in popped {
+            if stamp != 0 {
+                p.stamp_wake(stamp);
+            }
             p.unpark();
         }
     }
@@ -178,6 +235,18 @@ impl PoolInner {
             self.clock.now()
         } else {
             TimeNs::ZERO
+        }
+    }
+
+    /// Refreshes the queue-depth gauge; one relaxed load and a branch
+    /// while metrics are off, so the submit fast path stays clean.
+    fn note_queue_depth(&self) {
+        if self.hub.enabled() {
+            let queued = self
+                .submitted
+                .load(Ordering::SeqCst)
+                .saturating_sub(self.telemetry.tasks_started());
+            self.metrics.queue_depth.set(queued as i64);
         }
     }
 
@@ -227,6 +296,8 @@ impl ResizablePool {
 
     /// Creates a pool with an explicit clock (tests use a manual clock).
     pub fn with_clock(workers: usize, clock: Arc<dyn Clock>) -> Self {
+        let hub = MetricsHub::new();
+        let metrics = PoolMetrics::register(&hub);
         let inner = Arc::new(PoolInner {
             coord: Mutex::new(Coordinator {
                 target: 0,
@@ -246,6 +317,8 @@ impl ResizablePool {
             shutdown: AtomicBool::new(false),
             telemetry: PoolTelemetry::new(),
             clock,
+            hub,
+            metrics,
         });
         let pool = ResizablePool { inner, owner: true };
         pool.set_target_workers(workers);
@@ -280,6 +353,7 @@ impl ResizablePool {
         if let Some(task) = overflow {
             self.inner.injector.push(task);
         }
+        self.inner.note_queue_depth();
         self.inner.wake(1);
     }
 
@@ -343,6 +417,7 @@ impl ResizablePool {
         if let Some(task) = overflow {
             self.inner.injector.push(task);
         }
+        self.inner.note_queue_depth();
         if wake {
             self.inner.wake(1);
         }
@@ -379,6 +454,7 @@ impl ResizablePool {
         if let Some(tasks) = overflow {
             self.inner.injector.push_batch(tasks);
         }
+        self.inner.note_queue_depth();
         self.inner.wake(n);
     }
 
@@ -460,6 +536,14 @@ impl ResizablePool {
     /// The pool's telemetry (shared).
     pub fn telemetry(&self) -> &PoolTelemetry {
         &self.inner.telemetry
+    }
+
+    /// The pool's metrics hub (disabled by default; flip it with
+    /// [`MetricsHub::set_enabled`]). Every layer sharing this pool —
+    /// engine, serve registry, trigger engine — registers its metrics
+    /// here, so one `snapshot()` covers the whole stack.
+    pub fn metrics_hub(&self) -> &Arc<MetricsHub> {
+        &self.inner.hub
     }
 
     /// The pool's clock.
@@ -619,6 +703,7 @@ fn steal(inner: &Arc<PoolInner>, shard: &Arc<Shard>) -> Vec<Task> {
         }
         let batch = victim.steal_batch();
         if !batch.is_empty() {
+            inner.metrics.steals.inc();
             return batch;
         }
     }
@@ -711,6 +796,7 @@ fn worker_loop(inner: Arc<PoolInner>, shard: Arc<Shard>) {
             continue;
         }
         idle_rounds += 1;
+        inner.metrics.spins.inc();
         if idle_rounds < spin_rounds {
             if idle_rounds < 4 {
                 std::hint::spin_loop();
@@ -743,10 +829,26 @@ fn worker_loop(inner: Arc<PoolInner>, shard: Arc<Shard>) {
             // unconditional deregistration after `park()` below keeps
             // that stale token harmless.
             deregister_sleeper(&inner, &parker);
+            // A waker that popped us concurrently may have stamped the
+            // wake-latency probe; drop it so a later park doesn't
+            // attribute this whole awake stretch to the futex.
+            parker.take_wake_stamp();
             std::thread::yield_now();
             continue;
         }
+        inner.metrics.parks.inc();
         parker.park();
+        // Wake-latency probe: `wake` stamped its clock reading on the
+        // parker just before the unpark; the delta to now is the futex
+        // round-trip the spin-before-park window is tuned against. No
+        // clock read unless a stamp was actually deposited (metrics on).
+        let stamp = parker.take_wake_stamp();
+        if stamp != 0 {
+            inner
+                .metrics
+                .wake_latency
+                .record(inner.clock.now().0.saturating_sub(stamp));
+        }
         // Deregister unconditionally before continuing, restoring the
         // invariant "in `sleepers` ⟹ parked or about to park". After a
         // genuine wake the waker already popped the registration and
@@ -996,6 +1098,60 @@ mod tests {
         );
         release_tx.send(()).unwrap();
         pool.wait_idle();
+        pool.shutdown_and_join();
+    }
+
+    #[test]
+    fn metrics_disabled_by_default_and_record_nothing() {
+        let pool = ResizablePool::new(2);
+        assert!(!pool.metrics_hub().enabled());
+        let (tx, rx) = mpsc::channel();
+        for i in 0..50 {
+            let tx = tx.clone();
+            pool.submit(Box::new(move || tx.send(i).unwrap()));
+        }
+        for _ in 0..50 {
+            rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        }
+        pool.wait_idle();
+        let snap = pool.metrics_hub().snapshot();
+        assert_eq!(snap.counter("pool_wakes_total"), Some(0));
+        assert_eq!(snap.counter("pool_parks_total"), Some(0));
+        assert_eq!(snap.counter("pool_spin_rounds_total"), Some(0));
+        assert_eq!(snap.gauge("pool_queue_depth"), Some(0));
+        assert_eq!(
+            snap.histogram("pool_wake_latency_ns").map(|h| h.count()),
+            Some(0)
+        );
+        pool.shutdown_and_join();
+    }
+
+    #[test]
+    fn enabled_metrics_observe_parks_and_wakes() {
+        let pool = ResizablePool::new(2);
+        pool.metrics_hub().set_enabled(true);
+        // Let both workers run out of work and park, then wake them.
+        for round in 0..4 {
+            std::thread::sleep(Duration::from_millis(30));
+            let (tx, rx) = mpsc::channel();
+            for i in 0..8 {
+                let tx = tx.clone();
+                pool.submit(Box::new(move || tx.send(round * 100 + i).unwrap()));
+            }
+            for _ in 0..8 {
+                rx.recv_timeout(Duration::from_secs(5)).unwrap();
+            }
+        }
+        pool.wait_idle();
+        let snap = pool.metrics_hub().snapshot();
+        let wakes = snap.counter("pool_wakes_total").unwrap();
+        assert!(wakes > 0, "submitters must have woken parked workers");
+        let lat = snap.histogram("pool_wake_latency_ns").unwrap();
+        assert!(
+            lat.count() > 0,
+            "woken workers must have recorded wake latency"
+        );
+        assert!(lat.max() > 0, "wake latency is a real duration");
         pool.shutdown_and_join();
     }
 

@@ -21,7 +21,7 @@
 //! resize drain protocol.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 use parking_lot::{Condvar, Mutex};
 
@@ -188,6 +188,12 @@ impl Injector {
 pub(crate) struct Parker {
     notified: Mutex<bool>,
     cv: Condvar,
+    /// Wake-latency probe: the waker's clock reading (ns, 0 = unset)
+    /// stamped just before `unpark`; the woken worker swaps it out after
+    /// `park` returns and records `now - stamp` into the metrics hub's
+    /// `pool_wake_latency_ns` histogram. Left at 0 when metrics are
+    /// disabled, so the probe costs nothing on that path.
+    wake_ns: AtomicU64,
 }
 
 impl Parker {
@@ -195,7 +201,18 @@ impl Parker {
         Parker {
             notified: Mutex::new(false),
             cv: Condvar::new(),
+            wake_ns: AtomicU64::new(0),
         }
+    }
+
+    /// Stamps the waker-side clock reading for the wake-latency probe.
+    pub(crate) fn stamp_wake(&self, now_ns: u64) {
+        self.wake_ns.store(now_ns, Ordering::Relaxed);
+    }
+
+    /// Consumes the wake stamp, if one was deposited (0 = none).
+    pub(crate) fn take_wake_stamp(&self) -> u64 {
+        self.wake_ns.swap(0, Ordering::Relaxed)
     }
 
     /// Blocks until a token is available, then consumes it.

@@ -231,6 +231,37 @@ impl PoolTelemetry {
     }
 }
 
+/// Renders a telemetry sample stream onto a Chrome trace as two counter
+/// tracks: `active` (tasks running, from start/end samples) and
+/// `target_workers` (LP retargets) — the paper's "Number of Active
+/// Threads vs Wall Clock Time" figures as a zoomable timeline. Panicking
+/// task ends additionally drop an instant marker. Feed it
+/// [`PoolTelemetry::samples`] (or a simulator's recorded stream);
+/// combine with `askel_adapt::decision_log_to_chrome` for rule fires on
+/// the same timeline.
+pub fn telemetry_to_chrome(samples: &[TelemetrySample], trace: &mut askel_obs::ChromeTrace) {
+    for s in samples {
+        match *s {
+            TelemetrySample::TaskStart { at, active } => {
+                trace.counter(at, "active", active as f64);
+            }
+            TelemetrySample::TaskEnd {
+                at,
+                active,
+                panicked,
+            } => {
+                trace.counter(at, "active", active as f64);
+                if panicked {
+                    trace.instant(at, "task panicked", "pool");
+                }
+            }
+            TelemetrySample::TargetChange { at, target } => {
+                trace.counter(at, "target_workers", target as f64);
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -340,5 +371,40 @@ mod tests {
         t.record_task_start(TimeNs(1));
         t.record_task_end(TimeNs(2), true);
         assert_eq!(t.panics(), 1);
+    }
+
+    #[test]
+    fn samples_render_as_chrome_counter_tracks() {
+        use askel_obs::Json;
+
+        let t = PoolTelemetry::new();
+        t.record_task_start(TimeNs(10_000));
+        t.record_target(TimeNs(15_000), 4);
+        t.record_task_end(TimeNs(20_000), true);
+        let mut trace = askel_obs::ChromeTrace::new();
+        telemetry_to_chrome(&t.samples(), &mut trace);
+        // start + target + end + panic marker
+        assert_eq!(trace.len(), 4);
+        let json = Json::parse(&trace.render()).unwrap();
+        let events = json.get("traceEvents").unwrap().as_array().unwrap();
+        assert_eq!(events[0].get("name").unwrap().as_str(), Some("active"));
+        assert_eq!(
+            events[0]
+                .get("args")
+                .unwrap()
+                .get("value")
+                .unwrap()
+                .as_f64(),
+            Some(1.0)
+        );
+        assert_eq!(
+            events[1].get("name").unwrap().as_str(),
+            Some("target_workers")
+        );
+        let names: Vec<_> = events
+            .iter()
+            .map(|e| e.get("name").unwrap().as_str().unwrap().to_string())
+            .collect();
+        assert!(names.contains(&"task panicked".to_string()));
     }
 }

@@ -32,6 +32,7 @@
 
 mod admission;
 mod estimators;
+mod metrics;
 mod mux;
 mod registry;
 

@@ -23,10 +23,12 @@ use std::sync::Arc;
 use askel_adapt::{AdaptiveSession, TriggerEngine};
 use askel_core::AutonomicController;
 use askel_engine::{Engine, EngineError};
-use askel_skeletons::{NodeId, Skel};
+use askel_obs::{HistogramSnapshot, MetricsSnapshot};
+use askel_skeletons::{Clock, NodeId, Skel};
 
 use crate::admission::{Admission, AdmissionPolicy, BatchAdmission, RejectReason};
 use crate::estimators::SharedEstimators;
+use crate::metrics::ServeMetrics;
 use crate::mux::ServeMonitor;
 
 /// A registered tenant's handle. Displays as `t<n>`.
@@ -72,6 +74,16 @@ struct Tenant<P, R> {
     rejected: u64,
     /// `completed` as of the last publication into [`SharedEstimators`].
     published: u64,
+    /// Submission timestamps of items handed to the session and not yet
+    /// harvested, in submission order (the session returns results in
+    /// that same order). `0` marks an item fed while the metrics hub was
+    /// disabled — always stamped, so the queue stays aligned with the
+    /// session's results even when the enabled flag flips mid-stream.
+    fed_at: VecDeque<u64>,
+    /// Per-tenant sojourn histogram (submit → harvest), recorded only
+    /// while the hub is enabled; exported as
+    /// `serve_sojourn_ns{tenant="tN"}`.
+    sojourn: HistogramSnapshot,
 }
 
 impl<P, R> Tenant<P, R>
@@ -80,11 +92,51 @@ where
     R: Send + 'static,
 {
     /// Moves everything the session has finished into the ready queue,
-    /// keeping the completion counter current.
-    fn harvest(&mut self) {
+    /// keeping the completion counter and sojourn tallies current.
+    fn harvest(&mut self, metrics: &ServeMetrics, clock: &dyn Clock) {
         let got = self.session.drain_ready();
         self.completed += got.len() as u64;
+        self.note_sojourns(got.len(), metrics, clock);
         self.ready.extend(got);
+    }
+
+    /// Stamps `n` items handed to the session just now. One clock read
+    /// per call when the hub is enabled; zero-stamps (no clock) when not.
+    fn stamp_fed(&mut self, n: usize, metrics: &ServeMetrics, clock: &dyn Clock) {
+        let stamp = if metrics.enabled() {
+            clock.now().0.max(1)
+        } else {
+            0
+        };
+        self.fed_at.extend(std::iter::repeat_n(stamp, n));
+    }
+
+    /// Consumes `n` submission stamps (oldest first — the order results
+    /// come back in) and records the sojourns of the stamped ones.
+    fn note_sojourns(&mut self, n: usize, metrics: &ServeMetrics, clock: &dyn Clock) {
+        note_sojourns(&mut self.fed_at, &mut self.sojourn, n, metrics, clock);
+    }
+}
+
+/// [`Tenant::note_sojourns`] over bare fields, so `detach` can keep
+/// recording after `AdaptiveSession::drain` moves the session out of
+/// the tenant. Reads the clock at most once per call.
+fn note_sojourns(
+    fed_at: &mut VecDeque<u64>,
+    sojourn: &mut HistogramSnapshot,
+    n: usize,
+    metrics: &ServeMetrics,
+    clock: &dyn Clock,
+) {
+    let mut now = None;
+    for _ in 0..n {
+        let stamp = fed_at.pop_front().unwrap_or(0);
+        if stamp != 0 && metrics.enabled() {
+            let at = *now.get_or_insert_with(|| clock.now().0);
+            let ns = at.saturating_sub(stamp);
+            metrics.note_sojourn(ns);
+            sojourn.record(ns);
+        }
     }
 }
 
@@ -100,6 +152,8 @@ pub struct ServeRegistry<P, R> {
     tenants: BTreeMap<u64, Tenant<P, R>>,
     next_id: u64,
     cursor: usize,
+    clock: Arc<dyn Clock>,
+    metrics: Arc<ServeMetrics>,
 }
 
 impl<P, R> ServeRegistry<P, R>
@@ -112,6 +166,8 @@ where
     /// caller's job (after [`quiesce`](ServeRegistry::quiesce)).
     pub fn new(engine: &Engine) -> Self {
         ServeRegistry {
+            clock: engine.clock(),
+            metrics: ServeMetrics::register(engine.metrics_hub()),
             engine: engine.clone(),
             policy: AdmissionPolicy::default(),
             shared: SharedEstimators::new(0.5),
@@ -202,6 +258,8 @@ where
                 completed: 0,
                 rejected: 0,
                 published: 0,
+                fed_at: VecDeque::new(),
+                sojourn: HistogramSnapshot::new(),
             },
         );
         TenantId(id)
@@ -232,18 +290,23 @@ where
         let quota = self.policy.max_in_flight;
         let max_backlog = self.policy.max_backlog;
         let Some(t) = self.tenants.get_mut(&tenant.0) else {
+            self.metrics.note_rejected(RejectReason::UnknownTenant, 1);
             return Admission::Rejected(RejectReason::UnknownTenant);
         };
-        t.harvest();
+        t.harvest(&self.metrics, &*self.clock);
         if t.backlog.is_empty() && t.session.in_flight() < quota && pool_room {
+            t.stamp_fed(1, &self.metrics, &*self.clock);
             t.session.feed(input);
             t.submitted += 1;
+            self.metrics.note_submitted(1);
             Admission::Submitted
         } else if t.backlog.len() < max_backlog {
             t.backlog.push_back(input);
+            self.metrics.note_queued(1);
             Admission::Queued
         } else {
             t.rejected += 1;
+            self.metrics.note_rejected(RejectReason::BacklogFull, 1);
             Admission::Rejected(RejectReason::BacklogFull)
         }
     }
@@ -258,12 +321,14 @@ where
         let quota = self.policy.max_in_flight;
         let max_backlog = self.policy.max_backlog;
         let Some(t) = self.tenants.get_mut(&tenant.0) else {
+            self.metrics
+                .note_rejected(RejectReason::UnknownTenant, inputs.len());
             return BatchAdmission {
                 rejected: inputs.len(),
                 ..BatchAdmission::default()
             };
         };
-        t.harvest();
+        t.harvest(&self.metrics, &*self.clock);
         let mut inputs = inputs;
         let mut out = BatchAdmission::default();
         if t.backlog.is_empty() && pool_room {
@@ -276,6 +341,7 @@ where
                 };
                 out.submitted = inputs.len();
                 t.submitted += inputs.len() as u64;
+                t.stamp_fed(inputs.len(), &self.metrics, &*self.clock);
                 t.session.feed_batch(inputs);
                 inputs = rest;
             }
@@ -290,6 +356,10 @@ where
         t.backlog.extend(inputs);
         out.rejected = overflow.len();
         t.rejected += overflow.len() as u64;
+        self.metrics.note_submitted(out.submitted);
+        self.metrics.note_queued(out.queued);
+        self.metrics
+            .note_rejected(RejectReason::BacklogFull, out.rejected);
         out
     }
 
@@ -316,7 +386,7 @@ where
             let Some(t) = self.tenants.get_mut(&key) else {
                 continue;
             };
-            t.harvest();
+            t.harvest(&self.metrics, &*self.clock);
             if !t.backlog.is_empty() && pool_room {
                 let room = quota.saturating_sub(t.session.in_flight());
                 if room > 0 {
@@ -324,6 +394,7 @@ where
                     let chunk: Vec<P> = t.backlog.drain(..take).collect();
                     t.submitted += take as u64;
                     dispatched += take;
+                    t.stamp_fed(take, &self.metrics, &*self.clock);
                     t.session.feed_batch(chunk);
                 }
             }
@@ -365,7 +436,7 @@ where
         let Some(t) = self.tenants.get_mut(&tenant.0) else {
             return Vec::new();
         };
-        t.harvest();
+        t.harvest(&self.metrics, &*self.clock);
         t.ready.drain(..).collect()
     }
 
@@ -381,6 +452,7 @@ where
         }
         let r = t.session.next_result()?;
         t.completed += 1;
+        t.note_sojourns(1, &self.metrics, &*self.clock);
         Some(r)
     }
 
@@ -397,10 +469,19 @@ where
         let backlog: Vec<P> = t.backlog.drain(..).collect();
         if !backlog.is_empty() {
             t.submitted += backlog.len() as u64;
+            t.stamp_fed(backlog.len(), &self.metrics, &*self.clock);
             t.session.feed_batch(backlog);
         }
         let mut results: Vec<Result<R, EngineError>> = t.ready.drain(..).collect();
-        results.extend(t.session.drain());
+        let drained: Vec<Result<R, EngineError>> = t.session.drain().collect();
+        note_sojourns(
+            &mut t.fed_at,
+            &mut t.sojourn,
+            drained.len(),
+            &self.metrics,
+            &*self.clock,
+        );
+        results.extend(drained);
         if t.adaptive {
             self.monitor.unroute(tenant.0, &t.routed);
         }
@@ -467,6 +548,31 @@ where
     /// The admission policy feeds are gated by.
     pub fn policy(&self) -> &AdmissionPolicy {
         &self.policy
+    }
+
+    /// The tenant's sojourn histogram (submit → harvest, recorded while
+    /// the metrics hub was enabled); `None` for an unknown tenant.
+    pub fn tenant_sojourn(&self, tenant: TenantId) -> Option<&HistogramSnapshot> {
+        self.tenants.get(&tenant.0).map(|t| &t.sojourn)
+    }
+
+    /// One unified metrics snapshot for the whole stack this registry
+    /// runs on: the shared hub's pool/engine/serve series plus this
+    /// registry's per-tenant sojourn histograms, appended as
+    /// `serve_sojourn_ns{tenant="tN"}` (tenants with no recorded
+    /// sojourns are skipped). Feed the result to any `askel-obs`
+    /// exporter.
+    pub fn export_snapshot(&self) -> MetricsSnapshot {
+        let mut snap = self.engine.metrics_hub().snapshot();
+        for (id, t) in &self.tenants {
+            if t.sojourn.count() > 0 {
+                snap.push_histogram(
+                    format!("serve_sojourn_ns{{tenant=\"{}\"}}", TenantId(*id)),
+                    t.sojourn.clone(),
+                );
+            }
+        }
+        snap
     }
 }
 

@@ -1,0 +1,114 @@
+//! Serving-layer metrics: admission-outcome counters, per-tenant sojourn
+//! histograms, and the unified export snapshot.
+
+use askel_engine::Engine;
+use askel_serve::{Admission, AdmissionPolicy, ServeRegistry, TenantId};
+use askel_skeletons::seq;
+
+#[test]
+fn disabled_hub_records_no_serve_metrics() {
+    let engine = Engine::new(2);
+    let mut reg: ServeRegistry<i64, i64> = ServeRegistry::new(&engine);
+    let t = reg.register(&seq(|x: i64| x * 2));
+    for x in 0..10 {
+        reg.feed(t, x);
+    }
+    reg.quiesce();
+    assert_eq!(reg.take_ready(t).len(), 10);
+    let snap = reg.export_snapshot();
+    assert_eq!(snap.counter("serve_admit_submitted_total"), Some(0));
+    assert_eq!(snap.histogram("serve_sojourn_ns").unwrap().count(), 0);
+    assert!(
+        snap.histogram("serve_sojourn_ns{tenant=\"t0\"}").is_none(),
+        "no per-tenant series without recorded sojourns"
+    );
+    engine.shutdown();
+}
+
+#[test]
+fn admission_outcomes_and_sojourns_are_recorded() {
+    let engine = Engine::new(2);
+    engine.metrics_hub().set_enabled(true);
+    let policy = AdmissionPolicy::default().max_in_flight(2).max_backlog(3);
+    let mut reg: ServeRegistry<i64, i64> = ServeRegistry::new(&engine).with_policy(policy);
+    let slow = seq(|x: i64| {
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        x
+    });
+    let t = reg.register(&slow);
+    for x in 0..7 {
+        reg.feed(t, x);
+    }
+    assert_eq!(
+        reg.feed(TenantId(99), 0),
+        Admission::Rejected(askel_serve::RejectReason::UnknownTenant)
+    );
+    reg.quiesce();
+    assert_eq!(reg.take_ready(t).len(), 5);
+    let snap = reg.export_snapshot();
+    assert_eq!(snap.counter("serve_admit_submitted_total"), Some(2));
+    assert_eq!(snap.counter("serve_admit_queued_total"), Some(3));
+    assert_eq!(
+        snap.counter("serve_admit_rejected_total{reason=\"backlog_full\"}"),
+        Some(2)
+    );
+    assert_eq!(
+        snap.counter("serve_admit_rejected_total{reason=\"unknown_tenant\"}"),
+        Some(1)
+    );
+    // All five completed items (2 submitted + 3 backlog-dispatched) have
+    // sojourns in both the aggregate and the tenant's own histogram.
+    assert_eq!(snap.histogram("serve_sojourn_ns").unwrap().count(), 5);
+    let tenant = snap
+        .histogram("serve_sojourn_ns{tenant=\"t0\"}")
+        .expect("per-tenant series exported");
+    assert_eq!(tenant.count(), 5);
+    // Each item slept 5 ms; the sojourn floor is well above 1 ms.
+    assert!(
+        tenant.min() >= 1_000_000,
+        "min {} ns too small",
+        tenant.min()
+    );
+    assert_eq!(tenant, reg.tenant_sojourn(t).unwrap());
+    engine.shutdown();
+}
+
+#[test]
+fn export_round_trips_through_prometheus_and_json() {
+    use askel_obs::MetricsSnapshot;
+
+    let engine = Engine::new(2);
+    engine.metrics_hub().set_enabled(true);
+    let mut reg: ServeRegistry<i64, i64> = ServeRegistry::new(&engine);
+    let a = reg.register(&seq(|x: i64| x + 1));
+    let b = reg.register(&seq(|x: i64| x - 1));
+    for x in 0..20 {
+        reg.feed(a, x);
+        reg.feed(b, x);
+    }
+    reg.quiesce();
+    reg.take_ready(a);
+    reg.take_ready(b);
+    let snap = reg.export_snapshot();
+
+    // Prometheus: the per-tenant p99 scraped back equals the histogram's.
+    let text = snap.to_prometheus();
+    for (tenant, id) in [(a, "t0"), (b, "t1")] {
+        let series = format!("serve_sojourn_ns{{tenant=\"{id}\",quantile=\"0.99\"}}");
+        let scraped = MetricsSnapshot::scrape(&text, &series).expect("series present");
+        let expect = reg.tenant_sojourn(tenant).unwrap().percentile(0.99);
+        assert_eq!(scraped, expect as f64, "{series}");
+    }
+
+    // JSON: lossless round-trip of the whole snapshot.
+    let back = MetricsSnapshot::from_json(&snap.to_json()).unwrap();
+    assert_eq!(
+        back.histogram("serve_sojourn_ns{tenant=\"t1\"}"),
+        snap.histogram("serve_sojourn_ns{tenant=\"t1\"}")
+    );
+    assert_eq!(
+        back.counter("serve_admit_submitted_total"),
+        snap.counter("serve_admit_submitted_total")
+    );
+    engine.shutdown();
+}

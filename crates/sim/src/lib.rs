@@ -223,6 +223,18 @@ impl SimEngine {
         self.lp_control.clone()
     }
 
+    /// Renders everything simulated so far as a Chrome trace timeline
+    /// (virtual time): `active` and `target_workers` counter tracks from
+    /// the telemetry stream, ready for `chrome://tracing` / Perfetto.
+    /// Decision-driven runs can overlay their rewrite markers with
+    /// `askel_adapt::decision_log_to_chrome` on the returned trace
+    /// before saving.
+    pub fn chrome_trace(&self) -> askel_obs::ChromeTrace {
+        let mut trace = askel_obs::ChromeTrace::new();
+        askel_pool::telemetry_to_chrome(&self.telemetry.samples(), &mut trace);
+        trace
+    }
+
     /// Current LP (between runs; during a run the pending request applies).
     pub fn lp(&self) -> usize {
         self.workers.as_ref().map(|w| w.capacity()).unwrap_or(0)

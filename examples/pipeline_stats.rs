@@ -10,6 +10,7 @@ use autonomic_skeletons::workloads::numeric::{stats_pipeline, Stats};
 fn main() {
     let pipeline: Skel<Vec<String>, Stats> = stats_pipeline();
     let engine = Engine::new(2);
+    engine.metrics_hub().set_enabled(true);
 
     // Ten batches of "sensor readings" streamed through the pipeline with
     // at most four in flight; stages of different batches interleave on
@@ -29,5 +30,23 @@ fn main() {
         );
         assert_eq!(stats.count, 1000);
     }
+
+    // Everything above was also measured: the engine stamped a span per
+    // submission and the pool counted its scheduling traffic, all into
+    // the hub one `snapshot()` reads back.
+    let snap = engine.metrics_hub().snapshot();
+    let span = snap.histogram("engine_span_ns").expect("spans recorded");
+    println!(
+        "engine: {} submissions, span p50 {:.1}us p99 {:.1}us",
+        snap.counter("engine_submissions_total").unwrap_or(0),
+        span.percentile(0.50) as f64 / 1_000.0,
+        span.percentile(0.99) as f64 / 1_000.0,
+    );
+    println!(
+        "pool: {} wakes, {} steals, {} parks",
+        snap.counter("pool_wakes_total").unwrap_or(0),
+        snap.counter("pool_steals_total").unwrap_or(0),
+        snap.counter("pool_parks_total").unwrap_or(0),
+    );
     engine.shutdown();
 }

@@ -17,6 +17,7 @@
 //! | autonomic layer | [`core`] | EWMA estimators, event state machines, Activity Dependency Graphs, best-effort/limited-LP strategies, and the WCT/LP controller |
 //! | self-configuration | [`adapt`] | structural rewrite rules (promotion, fallback-swap, width/grain retuning, offload, cost guard) arbitrated across concerns and applied at stream safe points, with `Reconfigured` events and a decision log |
 //! | serving | [`serve`] | multi-tenant session registry over one shared pool: admission control, batched ingestion, and a multiplexed autonomic loop with structure-keyed estimator sharing |
+//! | observability | [`obs`] | one metrics hub across the stack: counters, gauges, log-bucketed histograms, Prometheus/JSON exporters, and a `chrome://tracing` timeline writer |
 //! | workloads | [`workloads`] | synthetic tweet corpus, word count, numeric kernels |
 //!
 //! ## Quickstart
@@ -52,6 +53,7 @@ pub use askel_core as core;
 pub use askel_dist as dist;
 pub use askel_engine as engine;
 pub use askel_events as events;
+pub use askel_obs as obs;
 pub use askel_pool as pool;
 pub use askel_serve as serve;
 pub use askel_sim as sim;
@@ -83,6 +85,7 @@ pub mod prelude {
     };
     pub use askel_engine::{Engine, EngineError, SkelFuture, StreamSession};
     pub use askel_events::{EventFilter, FnListener, Listener, Payload, When, Where};
+    pub use askel_obs::{ChromeTrace, HistogramSnapshot, MetricsHub, MetricsSnapshot};
     pub use askel_serve::{
         Admission, AdmissionPolicy, BatchAdmission, RejectReason, ServeRegistry, SharedEstimators,
         TenantId, TenantStats,
