@@ -13,6 +13,12 @@
 //!   ~2 µs submit→future floor pinned by `seq_roundtrip_lp1`) versus one
 //!   `feed_batch` call (one safe point, one pool transaction). The
 //!   per-item gap is the amortization the batched path buys.
+//! * `serve_sharded_drive` — the multi-threaded ingress curve: the same
+//!   tenant population over a [`ShardedServe`] with `threads` ∈ {1, 2, 4}
+//!   shard drivers and as many concurrent ingress threads, all on one
+//!   shared pool. On real multi-core hardware the 4-thread point should
+//!   clear ≥ 2× the 1-thread point; on a single-core container the curve
+//!   is recorded but **provisional** (every thread timeshares one core).
 //!
 //! Recorded in `BENCH_serve.json`. Smoke: `CRITERION_MEASUREMENT_TIME_MS=0`.
 
@@ -23,7 +29,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use askel_engine::Engine;
 use askel_obs::{ChromeTrace, HistogramSnapshot, Json, MetricsSnapshot};
 use askel_pool::telemetry_to_chrome;
-use askel_serve::{AdmissionPolicy, ServeRegistry, TenantId};
+use askel_serve::{AdmissionPolicy, ServeRegistry, ShardedServe, TenantId};
 use askel_skeletons::{seq, Skel};
 
 const TENANTS: usize = 10_000;
@@ -103,6 +109,37 @@ fn drive_batch(engine: &Engine, items: usize) -> f64 {
     wall
 }
 
+/// The multi-threaded ingress drive: `threads` shard drivers and
+/// `threads` concurrent ingress threads feed `n` tenants (one batch
+/// each) through a [`ShardedServe`] over the shared engine; the shard
+/// drivers do all dispatching. Returns wall seconds for the whole run
+/// (ingress through quiesce).
+fn drive_sharded(engine: &Engine, threads: usize, n: usize, per_tenant: usize) -> f64 {
+    let program = probe();
+    let policy = AdmissionPolicy::default().max_in_flight(per_tenant);
+    let serve: ShardedServe<Instant, Duration> = ShardedServe::new(engine, threads, policy);
+    let tenants: Vec<TenantId> = (0..n).map(|_| serve.register(&program)).collect();
+    let started = Instant::now();
+    std::thread::scope(|s| {
+        for lane in 0..threads {
+            let serve = &serve;
+            let tenants = &tenants;
+            s.spawn(move || {
+                for &t in tenants.iter().skip(lane).step_by(threads) {
+                    let batch: Vec<Instant> = (0..per_tenant).map(|_| Instant::now()).collect();
+                    serve.feed_batch(t, batch);
+                }
+            });
+        }
+    });
+    serve.quiesce();
+    let wall = started.elapsed().as_secs_f64();
+    let harvested: usize = tenants.iter().map(|&t| serve.take_ready(t).len()).sum();
+    assert_eq!(harvested, n * per_tenant, "every item completed");
+    serve.join();
+    wall
+}
+
 /// Round-trips the 10k-tenant run through all three exporters:
 /// Prometheus text must scrape back the per-tenant sojourn p99 the
 /// registry computed, JSON must parse back equal, and the Chrome trace
@@ -173,6 +210,9 @@ fn bench_serve(c: &mut Criterion) {
     c.bench_function("serve_feed_batch_4k", |b| {
         b.iter(|| drive_batch(&engine, COMPARE_ITEMS))
     });
+    c.bench_function("serve_sharded_drive_t4", |b| {
+        b.iter(|| drive_sharded(&engine, 4, 1000, ITEMS_PER_TENANT))
+    });
 
     // The acceptance run, printed for BENCH_serve.json — with the hub
     // on, so the exporters can be checked against a full 10k-tenant run.
@@ -209,6 +249,23 @@ fn bench_serve(c: &mut Criterion) {
         item_wall / COMPARE_ITEMS as f64 * 1e6,
         batch_wall / COMPARE_ITEMS as f64 * 1e6,
         item_wall / batch_wall,
+    );
+
+    // The sharded ingress scaling curve: the same 10k-tenant population
+    // through 1, 2, and 4 shard drivers + ingress threads. Meaningful
+    // only on multi-core hardware; single-core results are provisional.
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let t1 = drive_sharded(&engine, 1, TENANTS, ITEMS_PER_TENANT);
+    let t2 = drive_sharded(&engine, 2, TENANTS, ITEMS_PER_TENANT);
+    let t4 = drive_sharded(&engine, 4, TENANTS, ITEMS_PER_TENANT);
+    println!(
+        "serve: sharded ingress {total} items, threads 1/2/4: \
+         {:.0}/{:.0}/{:.0} items/sec (t4 {:.2}x t1, {cores} core(s){})",
+        total as f64 / t1,
+        total as f64 / t2,
+        total as f64 / t4,
+        t1 / t4,
+        if cores < 4 { ", provisional" } else { "" },
     );
     engine.shutdown();
 }

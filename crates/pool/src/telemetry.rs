@@ -122,6 +122,16 @@ impl PoolTelemetry {
         self.started.load(Ordering::SeqCst)
     }
 
+    /// `tasks_started` with a `Relaxed` load: may lag concurrent
+    /// pick-ups by a few tasks. Backs the pool's cheap queue-depth
+    /// read ([`ResizablePool::queue_depth_hint`]) for hot admission
+    /// paths that tolerate a slightly stale depth.
+    ///
+    /// [`ResizablePool::queue_depth_hint`]: crate::ResizablePool::queue_depth_hint
+    pub fn tasks_started_hint(&self) -> usize {
+        self.started.load(Ordering::Relaxed)
+    }
+
     /// Tasks finished so far (monotonic).
     pub fn tasks_finished(&self) -> usize {
         self.finished.load(Ordering::SeqCst)

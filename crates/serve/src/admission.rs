@@ -1,6 +1,7 @@
-//! Admission control: per-tenant quotas plus shared-pool backpressure.
+//! Admission control: per-tenant quotas, shared-pool backpressure, and
+//! latency-aware cost pricing.
 //!
-//! The registry admits each fed item through three gates, in order:
+//! The registry admits each fed item through four gates, in order:
 //!
 //! 1. **In-flight quota** — a tenant may hold at most
 //!    [`max_in_flight`](AdmissionPolicy::max_in_flight) items on the
@@ -8,22 +9,36 @@
 //! 2. **Pool backpressure** — when
 //!    [`max_pool_queue`](AdmissionPolicy::max_pool_queue) is set and the
 //!    shared pool already holds that many queued tasks
-//!    (`ResizablePool::queued_tasks`, the `PoolTelemetry` counters), new
-//!    items queue regardless of per-tenant room: one tenant's burst must
-//!    not bury everyone's latency.
-//! 3. **Backlog bound** — a tenant queues at most
+//!    (`ResizablePool::queue_depth_hint`, sampled **once per ingress
+//!    call**, not per item), new items queue regardless of per-tenant
+//!    room: one tenant's burst must not bury everyone's latency.
+//! 3. **Latency pricing** — when
+//!    [`max_queue_cost`](AdmissionPolicy::max_queue_cost) is set, an
+//!    item submits only while `pool queue depth × the tenant's
+//!    estimated per-item cost` stays under the bound. The cost comes
+//!    from the structure-keyed
+//!    [`SharedEstimators`](crate::SharedEstimators) pool
+//!    ([`estimated_cost`](crate::SharedEstimators::estimated_cost)), so
+//!    a *cheap* tenant keeps submitting into a queue that an
+//!    *expensive* tenant must stop feeding — static quotas alone would
+//!    shed both. Tenants whose structure has no pooled history are not
+//!    priced: the gate degrades to the static quotas above.
+//! 4. **Backlog bound** — a tenant queues at most
 //!    [`max_backlog`](AdmissionPolicy::max_backlog) items; beyond that,
 //!    feeds are [`Rejected`](Admission::Rejected) (load shedding).
 //!
 //! Queued items are dispatched by
 //! [`ServeRegistry::drain_cycle`](crate::ServeRegistry::drain_cycle),
-//! which visits tenants round-robin from a rotating cursor — every
-//! tenant is first-visited infinitely often, so a backlogged tenant can
-//! never be starved by its neighbours.
+//! which visits tenants round-robin, rotating from the previous cycle's
+//! first-visited **key** (not its position, so registration/detach churn
+//! cannot skew the rotation) — every tenant is first-visited infinitely
+//! often, so a backlogged tenant can never be starved by its
+//! neighbours.
 
-/// Per-tenant admission limits plus the shared-pool backpressure bound.
+/// Per-tenant admission limits plus the shared-pool backpressure and
+/// latency-pricing bounds.
 ///
-/// The registry admits each fed item through three gates, in order:
+/// The registry admits each fed item through four gates, in order:
 ///
 /// 1. **In-flight quota** — a tenant may hold at most
 ///    [`max_in_flight`](AdmissionPolicy::max_in_flight) items on the
@@ -31,9 +46,13 @@
 /// 2. **Pool backpressure** — when
 ///    [`max_pool_queue`](AdmissionPolicy::max_pool_queue) is set and
 ///    the shared pool already holds that many queued tasks, new items
-///    queue regardless of per-tenant room: one tenant's burst must not
-///    bury everyone's latency.
-/// 3. **Backlog bound** — a tenant queues at most
+///    queue regardless of per-tenant room.
+/// 3. **Latency pricing** — when
+///    [`max_queue_cost`](AdmissionPolicy::max_queue_cost) is set and
+///    the tenant's structure has pooled cost history, items queue while
+///    `queue depth × estimated per-item cost (ns)` exceeds the bound;
+///    unpriced tenants fall back to the static gates.
+/// 4. **Backlog bound** — a tenant queues at most
 ///    [`max_backlog`](AdmissionPolicy::max_backlog) items; beyond
 ///    that, feeds are [`Rejected`](Admission::Rejected) (load
 ///    shedding).
@@ -48,6 +67,11 @@ pub struct AdmissionPolicy {
     /// holds ≥ `n` queued tasks, new items queue instead of submitting
     /// even if the tenant has in-flight room. `None` disables the gate.
     pub max_pool_queue: Option<usize>,
+    /// Latency pricing: when `Some(bound)`, an item submits only while
+    /// `pool queue depth × the tenant's estimated per-item cost (ns)`
+    /// is ≤ `bound` (units: ns·tasks). Tenants with no pooled cost
+    /// estimate are not priced. `None` disables the gate.
+    pub max_queue_cost: Option<u64>,
 }
 
 impl Default for AdmissionPolicy {
@@ -56,6 +80,7 @@ impl Default for AdmissionPolicy {
             max_in_flight: 64,
             max_backlog: 4096,
             max_pool_queue: None,
+            max_queue_cost: None,
         }
     }
 }
@@ -78,6 +103,29 @@ impl AdmissionPolicy {
     pub fn max_pool_queue(mut self, n: usize) -> Self {
         self.max_pool_queue = Some(n);
         self
+    }
+
+    /// Enables latency pricing at `bound` ns·tasks: an item submits
+    /// only while `queue depth × estimated per-item cost` stays ≤
+    /// `bound`.
+    pub fn max_queue_cost(mut self, bound: u64) -> Self {
+        self.max_queue_cost = Some(bound);
+        self
+    }
+
+    /// Gate 2: whether the pool has room at `depth` queued tasks.
+    pub fn pool_room(&self, depth: usize) -> bool {
+        self.max_pool_queue.is_none_or(|n| depth < n)
+    }
+
+    /// Gate 3: whether a tenant priced at `cost_ns` per item may submit
+    /// at `depth` queued tasks. Unpriced tenants (`cost_ns == None`)
+    /// and an unset bound always pass — the static gates then decide.
+    pub fn cost_room(&self, depth: usize, cost_ns: Option<u64>) -> bool {
+        match (self.max_queue_cost, cost_ns) {
+            (Some(bound), Some(cost)) => (depth as u64).saturating_mul(cost) <= bound,
+            _ => true,
+        }
     }
 }
 
@@ -103,12 +151,67 @@ pub enum RejectReason {
 }
 
 /// Per-item tallies for one batched feed.
+///
+/// `rejected` is always `rejected_backlog + rejected_unknown`; the
+/// split lets callers tell shed load (back off and retry) from a
+/// routing error (stop feeding this id), matching the per-reason
+/// `serve_admit_rejected_total` counters.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct BatchAdmission {
     /// Items submitted to the pool immediately.
     pub submitted: usize,
     /// Items held in the tenant's backlog.
     pub queued: usize,
-    /// Items dropped (backlog full or unknown tenant).
+    /// Items dropped, any reason (= `rejected_backlog +
+    /// rejected_unknown`).
     pub rejected: usize,
+    /// Items shed because the tenant's backlog was full.
+    pub rejected_backlog: usize,
+    /// Items dropped because the tenant id is not registered.
+    pub rejected_unknown: usize,
+}
+
+impl BatchAdmission {
+    /// Tallies `n` backlog-shed items.
+    pub(crate) fn shed_backlog(&mut self, n: usize) {
+        self.rejected_backlog += n;
+        self.rejected += n;
+    }
+
+    /// Tallies `n` unknown-tenant items.
+    pub(crate) fn shed_unknown(&mut self, n: usize) {
+        self.rejected_unknown += n;
+        self.rejected += n;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_room_prices_only_priced_tenants_under_a_set_bound() {
+        let p = AdmissionPolicy::default().max_queue_cost(1_000_000);
+        // Priced: depth × cost against the bound.
+        assert!(p.cost_room(10, Some(100_000)));
+        assert!(!p.cost_room(11, Some(100_000)));
+        assert!(p.cost_room(1_000_000, Some(1)));
+        // Unpriced tenant: gate degrades to the static quotas.
+        assert!(p.cost_room(usize::MAX, None));
+        // Unset bound: never prices.
+        let open = AdmissionPolicy::default();
+        assert!(open.cost_room(usize::MAX, Some(u64::MAX)));
+        // Overflow saturates rather than wrapping open.
+        assert!(!p.cost_room(usize::MAX, Some(u64::MAX)));
+    }
+
+    #[test]
+    fn batch_tallies_keep_rejected_as_the_sum() {
+        let mut out = BatchAdmission::default();
+        out.shed_backlog(3);
+        out.shed_unknown(2);
+        assert_eq!(out.rejected_backlog, 3);
+        assert_eq!(out.rejected_unknown, 2);
+        assert_eq!(out.rejected, 5);
+    }
 }

@@ -16,6 +16,11 @@
 //!   engine's batched submission path end to end: one pool transaction
 //!   per bound-sized chunk instead of one per item, amortizing the
 //!   per-submission dispatch floor across a whole ingress call.
+//! * **[`ShardedServe`]** splits the tenant population over `N`
+//!   independent registry shards (pure hash of [`TenantId`] — nothing
+//!   to rebalance), each owned by its own driver thread running the
+//!   feed→drain→harvest loop, all over the **one** shared engine, one
+//!   metrics hub, one monitor, and one cross-shard estimator pool.
 //! * **A multiplexed autonomic loop**: one registered listener
 //!   ([`ServeMonitor`]) routes events to the owning tenants' trigger
 //!   engines (and one shared
@@ -35,8 +40,10 @@ mod estimators;
 mod metrics;
 mod mux;
 mod registry;
+mod shard;
 
 pub use admission::{Admission, AdmissionPolicy, BatchAdmission, RejectReason};
 pub use estimators::SharedEstimators;
 pub use mux::ServeMonitor;
 pub use registry::{ServeRegistry, TenantId, TenantStats};
+pub use shard::ShardedServe;

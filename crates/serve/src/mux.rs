@@ -16,6 +16,15 @@
 //! Tenants with distinct trees never overlap. The registry keeps routes
 //! current across safe-point rewrites (a rewrite changes the tree's node
 //! set) via its drain cycle.
+//!
+//! Under a [`ShardedServe`](crate::ShardedServe) the monitor stays the
+//! single registered listener for **all** shards: each route carries the
+//! owning shard's index, and delivery walks only this table's own
+//! `RwLock` — a worker thread emitting an event never touches any
+//! shard's registry lock, so the event path cannot serialize ingress or
+//! drain on another shard. The shard tag is bookkeeping for
+//! diagnostics ([`shard_routes`](ServeMonitor::shard_routes)) and route
+//! audits; delivery itself stays a flat `NodeId` lookup.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -27,14 +36,19 @@ use askel_core::AutonomicController;
 use askel_events::{Event, Listener, Payload};
 use askel_skeletons::{Node, NodeId};
 
-/// The tenants owning one node: `(tenant id, its trigger engine)`.
-type Owners = Vec<(u64, Arc<TriggerEngine>)>;
+/// One node's route: the owning tenant, its shard, and its trigger.
+struct Route {
+    tenant: u64,
+    shard: u32,
+    trigger: Arc<TriggerEngine>,
+}
 
 /// The single serve-layer listener; see the module docs. Created and
-/// managed by [`ServeRegistry`](crate::ServeRegistry).
+/// managed by [`ServeRegistry`](crate::ServeRegistry) /
+/// [`ShardedServe`](crate::ShardedServe).
 #[derive(Default)]
 pub struct ServeMonitor {
-    routes: RwLock<HashMap<NodeId, Owners>>,
+    routes: RwLock<HashMap<NodeId, Vec<Route>>>,
     controller: RwLock<Option<Arc<AutonomicController>>>,
 }
 
@@ -48,12 +62,13 @@ impl ServeMonitor {
         *self.controller.write() = Some(controller);
     }
 
-    /// Routes every node of `root`'s tree to `tenant`'s trigger engine,
-    /// returning the routed ids (the registry keeps them for unrouting
-    /// after a rewrite or a detach).
+    /// Routes every node of `root`'s tree to `tenant`'s trigger engine
+    /// (tagged with the owning `shard`), returning the routed ids (the
+    /// registry keeps them for unrouting after a rewrite or a detach).
     pub(crate) fn route(
         &self,
         tenant: u64,
+        shard: u32,
         trigger: &Arc<TriggerEngine>,
         root: &Arc<Node>,
     ) -> Vec<NodeId> {
@@ -61,8 +76,12 @@ impl ServeMonitor {
         let mut routes = self.routes.write();
         for &id in &nodes {
             let owners = routes.entry(id).or_default();
-            if !owners.iter().any(|(t, _)| *t == tenant) {
-                owners.push((tenant, Arc::clone(trigger)));
+            if !owners.iter().any(|r| r.tenant == tenant) {
+                owners.push(Route {
+                    tenant,
+                    shard,
+                    trigger: Arc::clone(trigger),
+                });
             }
         }
         nodes
@@ -73,7 +92,7 @@ impl ServeMonitor {
         let mut routes = self.routes.write();
         for id in ids {
             if let Some(owners) = routes.get_mut(id) {
-                owners.retain(|(t, _)| *t != tenant);
+                owners.retain(|r| r.tenant != tenant);
                 if owners.is_empty() {
                     routes.remove(id);
                 }
@@ -86,6 +105,17 @@ impl ServeMonitor {
     pub fn routed_nodes(&self) -> usize {
         self.routes.read().len()
     }
+
+    /// How many `(node, tenant)` routes belong to `shard` (tests,
+    /// diagnostics — e.g. auditing that a detached shard left nothing
+    /// behind).
+    pub fn shard_routes(&self, shard: u32) -> usize {
+        self.routes
+            .read()
+            .values()
+            .map(|owners| owners.iter().filter(|r| r.shard == shard).count())
+            .sum()
+    }
 }
 
 impl Listener for ServeMonitor {
@@ -95,11 +125,12 @@ impl Listener for ServeMonitor {
         }
         // Collect the owners under the read lock, deliver outside it: a
         // trigger callback must never run while the route table is
-        // locked (a rewrite on another thread may be re-routing).
+        // locked (a rewrite on another thread may be re-routing), and
+        // delivery must never wait on a shard's registry lock.
         let owners: Vec<Arc<TriggerEngine>> = {
             let routes = self.routes.read();
             match routes.get(&event.node) {
-                Some(owners) => owners.iter().map(|(_, t)| Arc::clone(t)).collect(),
+                Some(owners) => owners.iter().map(|r| Arc::clone(&r.trigger)).collect(),
                 None => return,
             }
         };

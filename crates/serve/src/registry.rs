@@ -6,18 +6,26 @@
 //! per-tenant half of the MAPE loop stays fully independent — while the
 //! monitor ([`crate::ServeMonitor`]), the optional shared
 //! [`AutonomicController`] and the [`SharedEstimators`] pool are
-//! multiplexed across all of them.
+//! multiplexed across all of them. Under a
+//! [`ShardedServe`](crate::ShardedServe) front, many registries run as
+//! shards sharing **one** monitor and **one** estimator pool over the
+//! same engine; the registry itself is shard-agnostic — it just tags
+//! its routes with its shard index.
 //!
 //! Feeding goes through admission control (see [`AdmissionPolicy`]);
 //! queued items are dispatched by [`ServeRegistry::drain_cycle`], which
-//! visits tenants round-robin from a rotating cursor so no backlogged
-//! tenant is ever starved. The drain cycle is also where cross-tenant
-//! publication happens: each visited tenant's estimator history is
-//! absorbed into the shared pool, and its event routes are refreshed if
-//! a safe point rewrote its tree since the last visit.
+//! visits tenants round-robin, rotating from the previous cycle's
+//! first-visited tenant **key** so no backlogged tenant is ever
+//! starved — even across registration/detach churn. The drain cycle is
+//! also where cross-tenant publication happens: each visited tenant's
+//! estimator history is absorbed into the shared pool (and its
+//! admission cost estimate re-priced), and its event routes are
+//! refreshed if a safe point rewrote its tree since the last visit.
 
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
+use std::ops::Bound;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use askel_adapt::{AdaptiveSession, TriggerEngine};
@@ -58,6 +66,10 @@ pub struct TenantStats {
     pub ready: usize,
     /// The tenant's skeleton version (safe-point rewrites applied).
     pub version: u64,
+    /// The tenant's current admission price (estimated ns per item from
+    /// the structure-keyed pool); `None` while its structure has no
+    /// pooled history.
+    pub est_cost_ns: Option<u64>,
 }
 
 struct Tenant<P, R> {
@@ -74,6 +86,11 @@ struct Tenant<P, R> {
     rejected: u64,
     /// `completed` as of the last publication into [`SharedEstimators`].
     published: u64,
+    /// The tenant's cached per-item cost estimate for the latency gate
+    /// ([`AdmissionPolicy::cost_room`]): priced from the shared pool at
+    /// registration and re-priced on every drain-cycle publication, so
+    /// the admission fast path never takes the estimator lock.
+    cost_ns: Option<u64>,
     /// Submission timestamps of items handed to the session and not yet
     /// harvested, in submission order (the session returns results in
     /// that same order). `0` marks an item fed while the metrics hub was
@@ -147,11 +164,21 @@ pub struct ServeRegistry<P, R> {
     policy: AdmissionPolicy,
     shared: SharedEstimators,
     monitor: Arc<ServeMonitor>,
-    monitor_registered: bool,
+    /// Whether `monitor` has been installed as an engine listener.
+    /// Shared across every shard of a `ShardedServe` so the monitor is
+    /// registered exactly once no matter which shard first needs it.
+    monitor_registered: Arc<AtomicBool>,
     controller: Option<Arc<AutonomicController>>,
     tenants: BTreeMap<u64, Tenant<P, R>>,
     next_id: u64,
-    cursor: usize,
+    /// The key the previous drain cycle first visited; the next cycle
+    /// starts at the first key strictly greater (wrapping). Key-based —
+    /// never positional — so register/detach churn between cycles
+    /// cannot re-favor a tenant.
+    cursor: Option<u64>,
+    /// This registry's shard index under a `ShardedServe` (0 standalone);
+    /// tags the monitor's routes.
+    shard: u32,
     clock: Arc<dyn Clock>,
     metrics: Arc<ServeMetrics>,
 }
@@ -172,11 +199,39 @@ where
             policy: AdmissionPolicy::default(),
             shared: SharedEstimators::new(0.5),
             monitor: ServeMonitor::new(),
-            monitor_registered: false,
+            monitor_registered: Arc::new(AtomicBool::new(false)),
             controller: None,
             tenants: BTreeMap::new(),
             next_id: 0,
-            cursor: 0,
+            cursor: None,
+            shard: 0,
+        }
+    }
+
+    /// A shard registry for a [`ShardedServe`](crate::ShardedServe):
+    /// shares the front's monitor, estimator pool and
+    /// listener-registration latch instead of owning its own.
+    pub(crate) fn new_shard(
+        engine: &Engine,
+        monitor: Arc<ServeMonitor>,
+        shared: SharedEstimators,
+        monitor_registered: Arc<AtomicBool>,
+        shard: u32,
+        policy: AdmissionPolicy,
+    ) -> Self {
+        ServeRegistry {
+            clock: engine.clock(),
+            metrics: ServeMetrics::register(engine.metrics_hub()),
+            engine: engine.clone(),
+            policy,
+            shared,
+            monitor,
+            monitor_registered,
+            controller: None,
+            tenants: BTreeMap::new(),
+            next_id: 0,
+            cursor: None,
+            shard,
         }
     }
 
@@ -184,6 +239,12 @@ where
     pub fn with_policy(mut self, policy: AdmissionPolicy) -> Self {
         self.policy = policy;
         self
+    }
+
+    /// Replaces the admission policy in place (applies to subsequent
+    /// feeds and drain cycles).
+    pub fn set_policy(&mut self, policy: AdmissionPolicy) {
+        self.policy = policy;
     }
 
     /// Attaches one shared WCT controller to the multiplexed loop: it
@@ -201,8 +262,8 @@ where
     /// trigger engine and **no** event routing — zero per-event overhead,
     /// no estimator sharing. The cheap default for bulk tenants.
     pub fn register(&mut self, skel: &Skel<P, R>) -> TenantId {
-        let trigger = TriggerEngine::new(0.5);
-        self.insert(skel, trigger, false)
+        let id = self.alloc_id();
+        self.register_with_id(id, skel)
     }
 
     /// Registers an adaptive tenant driving `trigger`'s rules:
@@ -219,23 +280,52 @@ where
         skel: &Skel<P, R>,
         trigger: Arc<TriggerEngine>,
     ) -> TenantId {
+        let id = self.alloc_id();
+        self.register_adaptive_with_id(id, skel, trigger)
+    }
+
+    fn alloc_id(&mut self) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    /// [`register`](Self::register) under an externally-allocated id
+    /// (the sharded front allocates globally so ids hash to shards).
+    pub(crate) fn register_with_id(&mut self, id: u64, skel: &Skel<P, R>) -> TenantId {
+        let trigger = TriggerEngine::new(0.5);
+        self.insert(id, skel, trigger, false)
+    }
+
+    /// [`register_adaptive`](Self::register_adaptive) under an
+    /// externally-allocated id.
+    pub(crate) fn register_adaptive_with_id(
+        &mut self,
+        id: u64,
+        skel: &Skel<P, R>,
+        trigger: Arc<TriggerEngine>,
+    ) -> TenantId {
         trigger.with_estimates(|est| {
             self.shared.warm(skel.node(), est);
         });
         self.ensure_monitor();
-        self.insert(skel, trigger, true)
+        self.insert(id, skel, trigger, true)
     }
 
     fn insert(
         &mut self,
+        id: u64,
         skel: &Skel<P, R>,
         trigger: Arc<TriggerEngine>,
         adaptive: bool,
     ) -> TenantId {
-        let id = self.next_id;
-        self.next_id += 1;
+        debug_assert!(
+            !self.tenants.contains_key(&id),
+            "tenant id {id} registered twice"
+        );
+        self.next_id = self.next_id.max(id + 1);
         let routed = if adaptive {
-            self.monitor.route(id, &trigger, skel.node())
+            self.monitor.route(id, self.shard, &trigger, skel.node())
         } else {
             Vec::new()
         };
@@ -245,6 +335,7 @@ where
                 session = session.sync_controller(Arc::clone(controller));
             }
         }
+        let cost_ns = self.shared.estimated_cost(skel.node()).map(|c| c.0);
         self.tenants.insert(
             id,
             Tenant {
@@ -258,6 +349,7 @@ where
                 completed: 0,
                 rejected: 0,
                 published: 0,
+                cost_ns,
                 fed_at: VecDeque::new(),
                 sojourn: HistogramSnapshot::new(),
             },
@@ -266,41 +358,35 @@ where
     }
 
     fn ensure_monitor(&mut self) {
-        if !self.monitor_registered {
+        if !self.monitor_registered.swap(true, Ordering::SeqCst) {
             self.engine
                 .registry()
                 .add_listener(Arc::clone(&self.monitor) as _);
-            self.monitor_registered = true;
-        }
-    }
-
-    /// Whether the shared pool has room under the policy's
-    /// `max_pool_queue` gate.
-    fn pool_room(&self) -> bool {
-        match self.policy.max_pool_queue {
-            None => true,
-            Some(n) => self.engine.pool().queued_tasks() < n,
         }
     }
 
     /// Feeds one item through admission control; see
-    /// [`AdmissionPolicy`] for the gate order.
+    /// [`AdmissionPolicy`] for the gate order. The pool's queue depth
+    /// is sampled once per call (a cheap relaxed read).
     pub fn feed(&mut self, tenant: TenantId, input: P) -> Admission {
-        let pool_room = self.pool_room();
-        let quota = self.policy.max_in_flight;
-        let max_backlog = self.policy.max_backlog;
+        let depth = self.engine.pool().queue_depth_hint();
+        let policy = self.policy;
         let Some(t) = self.tenants.get_mut(&tenant.0) else {
             self.metrics.note_rejected(RejectReason::UnknownTenant, 1);
             return Admission::Rejected(RejectReason::UnknownTenant);
         };
         t.harvest(&self.metrics, &*self.clock);
-        if t.backlog.is_empty() && t.session.in_flight() < quota && pool_room {
+        if t.backlog.is_empty()
+            && t.session.in_flight() < policy.max_in_flight
+            && policy.pool_room(depth)
+            && policy.cost_room(depth, t.cost_ns)
+        {
             t.stamp_fed(1, &self.metrics, &*self.clock);
             t.session.feed(input);
             t.submitted += 1;
             self.metrics.note_submitted(1);
             Admission::Submitted
-        } else if t.backlog.len() < max_backlog {
+        } else if t.backlog.len() < policy.max_backlog {
             t.backlog.push_back(input);
             self.metrics.note_queued(1);
             Admission::Queued
@@ -312,27 +398,32 @@ where
     }
 
     /// Feeds a batch through admission control. Whatever fits under the
-    /// tenant's quota (and the pool gate) is submitted through the
+    /// tenant's quota (and the pool-wide gates) is submitted through the
     /// batched path — [`AdaptiveSession::feed_batch`], one safe point
     /// and one pool transaction for the whole chunk — the next
     /// `max_backlog - backlog` items queue, and the rest are rejected.
+    ///
+    /// The pool's queue depth is sampled **once for the whole batch**
+    /// (the backpressure and latency gates are deliberately that
+    /// coarse: a batch admitted at depth `d` may briefly run the pool
+    /// past the bound by the batch length — bounded overshoot in
+    /// exchange for two relaxed loads per batch instead of two `SeqCst`
+    /// loads per item on the ~1 µs/item ingress path).
     pub fn feed_batch(&mut self, tenant: TenantId, inputs: Vec<P>) -> BatchAdmission {
-        let pool_room = self.pool_room();
-        let quota = self.policy.max_in_flight;
-        let max_backlog = self.policy.max_backlog;
+        let depth = self.engine.pool().queue_depth_hint();
+        let policy = self.policy;
         let Some(t) = self.tenants.get_mut(&tenant.0) else {
             self.metrics
                 .note_rejected(RejectReason::UnknownTenant, inputs.len());
-            return BatchAdmission {
-                rejected: inputs.len(),
-                ..BatchAdmission::default()
-            };
+            let mut out = BatchAdmission::default();
+            out.shed_unknown(inputs.len());
+            return out;
         };
         t.harvest(&self.metrics, &*self.clock);
         let mut inputs = inputs;
         let mut out = BatchAdmission::default();
-        if t.backlog.is_empty() && pool_room {
-            let room = quota.saturating_sub(t.session.in_flight());
+        if t.backlog.is_empty() && policy.pool_room(depth) && policy.cost_room(depth, t.cost_ns) {
+            let room = policy.max_in_flight.saturating_sub(t.session.in_flight());
             if room > 0 {
                 let rest = if inputs.len() > room {
                     inputs.split_off(room)
@@ -346,7 +437,7 @@ where
                 inputs = rest;
             }
         }
-        let space = max_backlog.saturating_sub(t.backlog.len());
+        let space = policy.max_backlog.saturating_sub(t.backlog.len());
         let overflow = if inputs.len() > space {
             inputs.split_off(space)
         } else {
@@ -354,40 +445,53 @@ where
         };
         out.queued = inputs.len();
         t.backlog.extend(inputs);
-        out.rejected = overflow.len();
+        out.shed_backlog(overflow.len());
         t.rejected += overflow.len() as u64;
         self.metrics.note_submitted(out.submitted);
         self.metrics.note_queued(out.queued);
         self.metrics
-            .note_rejected(RejectReason::BacklogFull, out.rejected);
+            .note_rejected(RejectReason::BacklogFull, out.rejected_backlog);
         out
     }
 
-    /// One fairness round: visits every tenant once, round-robin from a
-    /// cursor that rotates between calls (so each tenant is first
-    /// infinitely often — no neighbour can starve it). Per visited
+    /// One fairness round: visits every tenant once, round-robin,
+    /// starting from the first key strictly greater than the previous
+    /// cycle's starting key (wrapping) — rotation is over tenant
+    /// **keys**, never positions, so a `detach`/`register` between
+    /// cycles shifts nobody else's turn and no tenant can be repeatedly
+    /// re-favored (see [`next_first`](Self::next_first)). Per visited
     /// tenant: finished results are harvested, backlogged items are
-    /// dispatched up to the in-flight quota (through the batched path),
-    /// event routes are refreshed if a rewrite changed the tree, and new
-    /// estimator history is published to the shared pool. Returns how
-    /// many backlogged items were dispatched.
+    /// dispatched up to the in-flight quota (through the batched path,
+    /// under the pool-wide gates), event routes are refreshed if a
+    /// rewrite changed the tree, and new estimator history is published
+    /// to the shared pool. Returns how many backlogged items were
+    /// dispatched.
     pub fn drain_cycle(&mut self) -> usize {
         let keys: Vec<u64> = self.tenants.keys().copied().collect();
         if keys.is_empty() {
             return 0;
         }
-        let start = self.cursor % keys.len();
-        self.cursor = self.cursor.wrapping_add(1);
+        let start = match self.cursor {
+            None => 0,
+            Some(prev) => keys.iter().position(|&k| k > prev).unwrap_or(0),
+        };
+        self.cursor = Some(keys[start]);
         let quota = self.policy.max_in_flight;
+        let policy = self.policy;
         let mut dispatched = 0;
         for i in 0..keys.len() {
             let key = keys[(start + i) % keys.len()];
-            let pool_room = self.pool_room();
+            // Re-sampled per visit (not per item): each dispatch batch
+            // changes the depth the next tenant's gates should see.
+            let depth = self.engine.pool().queue_depth_hint();
             let Some(t) = self.tenants.get_mut(&key) else {
                 continue;
             };
             t.harvest(&self.metrics, &*self.clock);
-            if !t.backlog.is_empty() && pool_room {
+            if !t.backlog.is_empty()
+                && policy.pool_room(depth)
+                && policy.cost_room(depth, t.cost_ns)
+            {
                 let room = quota.saturating_sub(t.session.in_flight());
                 if room > 0 {
                     let take = room.min(t.backlog.len());
@@ -403,9 +507,29 @@ where
         dispatched
     }
 
+    /// The tenant the next [`drain_cycle`](Self::drain_cycle) will
+    /// visit first (`None` when the registry is empty): the first key
+    /// strictly greater than the previous cycle's starting key,
+    /// wrapping. Diagnostics — fairness monitors and the churn
+    /// regression tests read it.
+    pub fn next_first(&self) -> Option<TenantId> {
+        let first = || self.tenants.keys().next().copied();
+        match self.cursor {
+            None => first(),
+            Some(prev) => self
+                .tenants
+                .range((Bound::Excluded(prev), Bound::Unbounded))
+                .next()
+                .map(|(k, _)| *k)
+                .or_else(first),
+        }
+        .map(TenantId)
+    }
+
     /// Post-visit bookkeeping for one adaptive tenant: re-route events
-    /// if a safe point rewrote the tree since the last visit, and absorb
-    /// new estimator history into the shared pool.
+    /// if a safe point rewrote the tree since the last visit, absorb
+    /// new estimator history into the shared pool, and re-price the
+    /// tenant's admission cost estimate from it.
     fn refresh(&mut self, key: u64) {
         let Some(t) = self.tenants.get_mut(&key) else {
             return;
@@ -419,7 +543,7 @@ where
             let trigger = Arc::clone(t.session.trigger());
             let root = Arc::clone(t.session.skeleton().node());
             self.monitor.unroute(key, &old);
-            t.routed = self.monitor.route(key, &trigger, &root);
+            t.routed = self.monitor.route(key, self.shard, &trigger, &root);
             t.routed_version = version;
         }
         if t.completed > t.published {
@@ -427,6 +551,10 @@ where
             let root = Arc::clone(t.session.skeleton().node());
             let trigger = Arc::clone(t.session.trigger());
             trigger.read_estimates(|table| self.shared.absorb(&root, table));
+            let cost = self.shared.estimated_cost(&root).map(|c| c.0);
+            if let Some(t) = self.tenants.get_mut(&key) {
+                t.cost_ns = cost;
+            }
         }
     }
 
@@ -488,6 +616,15 @@ where
         Some(results)
     }
 
+    /// Whether no tenant holds backlogged or in-flight items — i.e. a
+    /// drain cycle has nothing left to dispatch or await. The sharded
+    /// front's driver threads and [`quiesce`](Self::quiesce) poll this.
+    pub fn settled(&self) -> bool {
+        self.tenants
+            .values()
+            .all(|t| t.backlog.is_empty() && t.session.in_flight() == 0)
+    }
+
     /// Drives drain cycles until no tenant holds backlogged or in-flight
     /// items — every fed item's result is then harvestable via
     /// [`take_ready`](ServeRegistry::take_ready). (Results are *not*
@@ -495,11 +632,7 @@ where
     pub fn quiesce(&mut self) {
         loop {
             self.drain_cycle();
-            let settled = self
-                .tenants
-                .values()
-                .all(|t| t.backlog.is_empty() && t.session.in_flight() == 0);
-            if settled {
+            if self.settled() {
                 return;
             }
             std::thread::yield_now();
@@ -517,6 +650,7 @@ where
             in_flight: t.session.in_flight(),
             ready: t.ready.len(),
             version: t.session.version(),
+            est_cost_ns: t.cost_ns,
         })
     }
 
@@ -535,7 +669,7 @@ where
         &self.engine
     }
 
-    /// The cross-tenant estimator pool.
+    /// The cross-tenant estimator pool (a cheap clonable handle).
     pub fn shared_estimators(&self) -> &SharedEstimators {
         &self.shared
     }
@@ -556,14 +690,11 @@ where
         self.tenants.get(&tenant.0).map(|t| &t.sojourn)
     }
 
-    /// One unified metrics snapshot for the whole stack this registry
-    /// runs on: the shared hub's pool/engine/serve series plus this
-    /// registry's per-tenant sojourn histograms, appended as
-    /// `serve_sojourn_ns{tenant="tN"}` (tenants with no recorded
-    /// sojourns are skipped). Feed the result to any `askel-obs`
-    /// exporter.
-    pub fn export_snapshot(&self) -> MetricsSnapshot {
-        let mut snap = self.engine.metrics_hub().snapshot();
+    /// Appends this registry's per-tenant sojourn histograms to `snap`
+    /// as `serve_sojourn_ns{tenant="tN"}` (tenants with no recorded
+    /// sojourns are skipped). The sharded front merges every shard into
+    /// one hub snapshot through this.
+    pub(crate) fn append_tenant_histograms(&self, snap: &mut MetricsSnapshot) {
         for (id, t) in &self.tenants {
             if t.sojourn.count() > 0 {
                 snap.push_histogram(
@@ -572,6 +703,17 @@ where
                 );
             }
         }
+    }
+
+    /// One unified metrics snapshot for the whole stack this registry
+    /// runs on: the shared hub's pool/engine/serve series plus this
+    /// registry's per-tenant sojourn histograms, appended as
+    /// `serve_sojourn_ns{tenant="tN"}` (tenants with no recorded
+    /// sojourns are skipped). Feed the result to any `askel-obs`
+    /// exporter.
+    pub fn export_snapshot(&self) -> MetricsSnapshot {
+        let mut snap = self.engine.metrics_hub().snapshot();
+        self.append_tenant_histograms(&mut snap);
         snap
     }
 }
@@ -619,7 +761,7 @@ mod tests {
             match reg.feed(t, x) {
                 Admission::Submitted => tally.submitted += 1,
                 Admission::Queued => tally.queued += 1,
-                Admission::Rejected(RejectReason::BacklogFull) => tally.rejected += 1,
+                Admission::Rejected(RejectReason::BacklogFull) => tally.shed_backlog(1),
                 Admission::Rejected(r) => panic!("unexpected rejection: {r:?}"),
             }
         }
@@ -636,7 +778,7 @@ mod tests {
     }
 
     #[test]
-    fn feed_batch_splits_submit_queue_reject() {
+    fn feed_batch_splits_submit_queue_reject_by_reason() {
         let engine = Engine::new(1);
         let policy = AdmissionPolicy::default().max_in_flight(2).max_backlog(3);
         let mut reg: ServeRegistry<i64, i64> = ServeRegistry::new(&engine).with_policy(policy);
@@ -651,7 +793,9 @@ mod tests {
             BatchAdmission {
                 submitted: 2,
                 queued: 3,
-                rejected: 2
+                rejected: 2,
+                rejected_backlog: 2,
+                rejected_unknown: 0,
             }
         );
         reg.quiesce();
@@ -668,7 +812,10 @@ mod tests {
             reg.feed(ghost, 1),
             Admission::Rejected(RejectReason::UnknownTenant)
         );
-        assert_eq!(reg.feed_batch(ghost, vec![1, 2]).rejected, 2);
+        let out = reg.feed_batch(ghost, vec![1, 2]);
+        assert_eq!(out.rejected, 2);
+        assert_eq!(out.rejected_unknown, 2, "routing error, not shed load");
+        assert_eq!(out.rejected_backlog, 0);
         assert!(reg.take_ready(ghost).is_empty());
         assert!(reg.next_result(ghost).is_none());
         assert!(reg.detach(ghost).is_none());
@@ -693,6 +840,73 @@ mod tests {
         );
         assert_eq!(reg.monitor().routed_nodes(), 0, "routes removed");
         assert!(reg.is_empty());
+        engine.shutdown();
+    }
+
+    /// The drain cursor rotates over tenant *keys*: a detach/register
+    /// between cycles must not shift whose turn it is to go first. The
+    /// pre-fix positional cursor (index `cursor % len` over a fresh key
+    /// list) re-favored the same tenant whenever churn shifted the
+    /// list under it.
+    #[test]
+    fn drain_cursor_rotation_survives_churn() {
+        let engine = Engine::new(1);
+        let mut reg: ServeRegistry<i64, i64> = ServeRegistry::new(&engine);
+        let t0 = reg.register(&doubler());
+        let t1 = reg.register(&doubler());
+        let t2 = reg.register(&doubler());
+
+        assert_eq!(reg.next_first(), Some(t0));
+        reg.drain_cycle(); // visits t0 first
+        assert_eq!(reg.next_first(), Some(t1));
+
+        // Churn: t0 leaves, a new tenant registers (id 3 > everyone).
+        // t1 is still next — key-based rotation is unaffected.
+        reg.detach(t0).unwrap();
+        let t3 = reg.register(&doubler());
+        assert_eq!(reg.next_first(), Some(t1));
+        reg.drain_cycle(); // visits t1 first
+        assert_eq!(reg.next_first(), Some(t2));
+        reg.drain_cycle(); // visits t2 first
+        assert_eq!(reg.next_first(), Some(t3));
+        reg.drain_cycle(); // visits t3 first
+        assert_eq!(reg.next_first(), Some(t1), "wraps to the smallest key");
+
+        // Detaching the tenant the cursor rests on skips to its key
+        // successor, favoring nobody twice.
+        reg.drain_cycle(); // visits t1 first; cursor now at t1
+        reg.detach(t2).unwrap();
+        assert_eq!(reg.next_first(), Some(t3));
+
+        // No-churn sanity: consecutive cycles never repeat a first
+        // visit while ≥ 2 tenants are registered.
+        let mut last = None;
+        for _ in 0..6 {
+            let first = reg.next_first();
+            assert_ne!(first, last, "a tenant was re-favored back to back");
+            reg.drain_cycle();
+            last = first;
+        }
+        engine.shutdown();
+    }
+
+    /// Regression for the positional-cursor bug: with ids {0,1,2} and
+    /// the cursor resting after a cycle, detaching the *smallest* key
+    /// used to shift every later tenant one position left, so the next
+    /// cycle re-started at the tenant *after* the intended one. Pin the
+    /// exact sequence.
+    #[test]
+    fn drain_cursor_is_keyed_not_positional() {
+        let engine = Engine::new(1);
+        let mut reg: ServeRegistry<i64, i64> = ServeRegistry::new(&engine);
+        let tenants: Vec<TenantId> = (0..4).map(|_| reg.register(&doubler())).collect();
+        reg.drain_cycle(); // starts at tenants[0]
+        reg.drain_cycle(); // starts at tenants[1]
+        reg.detach(tenants[0]).unwrap();
+        // Keys are now [1,2,3]; a positional cursor (2 % 3 = index 2)
+        // would start at tenants[3], skipping tenants[2] — key rotation
+        // must pick tenants[2], the successor of the last start key 1.
+        assert_eq!(reg.next_first(), Some(tenants[2]));
         engine.shutdown();
     }
 }

@@ -87,8 +87,8 @@ pub mod prelude {
     pub use askel_events::{EventFilter, FnListener, Listener, Payload, When, Where};
     pub use askel_obs::{ChromeTrace, HistogramSnapshot, MetricsHub, MetricsSnapshot};
     pub use askel_serve::{
-        Admission, AdmissionPolicy, BatchAdmission, RejectReason, ServeRegistry, SharedEstimators,
-        TenantId, TenantStats,
+        Admission, AdmissionPolicy, BatchAdmission, RejectReason, ServeRegistry, ShardedServe,
+        SharedEstimators, TenantId, TenantStats,
     };
     pub use askel_sim::components::{Command, Component};
     pub use askel_sim::cost::{JitterCost, LinearCost, PerMuscleCost, TableCost, ZeroCost};

@@ -1,13 +1,17 @@
-//! Serve-layer integration: cross-tenant estimator warm-start and
-//! multi-tenant correctness under random interleaved feeds.
+//! Serve-layer integration: cross-tenant estimator warm-start,
+//! latency-aware admission pricing, and multi-tenant correctness under
+//! random interleaved feeds.
+
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
 
 use proptest::prelude::*;
 
 use askel_adapt::TriggerEngine;
-use askel_core::predictive_wct;
+use askel_core::{predictive_wct, EstimatorTable};
 use askel_engine::Engine;
-use askel_serve::{AdmissionPolicy, ServeRegistry};
-use askel_skeletons::{map, pipe, seq, Skel};
+use askel_serve::{Admission, AdmissionPolicy, ServeRegistry};
+use askel_skeletons::{map, pipe, seq, MuscleRole, Skel, TimeNs};
 
 /// The shared tenant program: square every element in parallel, sum.
 fn fan() -> Skel<Vec<i64>, i64> {
@@ -76,6 +80,117 @@ fn tenant_b_warm_starts_from_tenant_a_history() {
     assert!(!trig_c.read_estimates(|est| est.covers(&c_skel.node().collect_muscles())));
 
     engine.shutdown();
+}
+
+/// Seeds `table` with `per_muscle` for every muscle of `program` (and a
+/// neutral cardinality of 1 for splits), so `estimated_cost` prices the
+/// structure at `per_muscle × muscle count`.
+fn priced_table(program: &Skel<Vec<i64>, i64>, per_muscle: TimeNs) -> EstimatorTable {
+    let mut t = EstimatorTable::new(0.5);
+    for m in program.node().collect_muscles() {
+        t.init_duration(m.id, per_muscle);
+        if m.id.role == MuscleRole::Split {
+            t.init_cardinality(m.id, 1.0);
+        }
+    }
+    t
+}
+
+/// Gate 3 end to end: with the shared pool's queue held at depth > 0 by
+/// a blocked tenant, a *cheap* tenant keeps submitting while an
+/// *expensive* structural stranger queues at the same depth — and a
+/// tenant whose structure has no pooled history is not priced at all
+/// (the gate degrades to the static quotas).
+#[test]
+fn latency_gate_prices_expensive_tenants_and_degrades_without_estimates() {
+    // One worker, so a single blocked item pins the pool and everything
+    // behind it measures as queue depth.
+    let engine = Engine::new(1);
+    let policy = AdmissionPolicy::default().max_queue_cost(1_000_000); // 1 ms·tasks
+    let mut registry: ServeRegistry<Vec<i64>, i64> =
+        ServeRegistry::new(&engine).with_policy(policy);
+
+    // Price the two structures through the shared pool before their
+    // tenants exist: chain() at ~2 µs/item, fan() at ~30 ms/item.
+    let cheap_program = chain();
+    let expensive_program = fan();
+    registry.shared_estimators().absorb(
+        cheap_program.node(),
+        &priced_table(&cheap_program, TimeNs(1_000)),
+    );
+    registry.shared_estimators().absorb(
+        expensive_program.node(),
+        &priced_table(&expensive_program, TimeNs::from_millis(10)),
+    );
+
+    // The blocker parks the only worker until released; its structure
+    // (a bare seq) has no pooled history, so it is never priced.
+    let (tx, rx) = mpsc::channel::<()>();
+    let rx = Arc::new(Mutex::new(rx));
+    let gate = Arc::clone(&rx);
+    let blocker_program = seq(move |v: Vec<i64>| {
+        gate.lock().unwrap().recv().ok();
+        v.into_iter().sum::<i64>()
+    });
+    let blocker = registry.register(&blocker_program);
+    for _ in 0..5 {
+        assert_eq!(
+            registry.feed(blocker, vec![1]),
+            Admission::Submitted,
+            "the unpriced blocker degrades to the static quotas"
+        );
+    }
+    // ≥ 4 items now sit queued behind the blocked worker.
+
+    let cheap = registry.register(&cheap_program);
+    let expensive = registry.register(&expensive_program);
+    assert!(registry.stats(cheap).unwrap().est_cost_ns.is_some());
+    assert!(registry.stats(expensive).unwrap().est_cost_ns.is_some());
+    assert!(registry.stats(blocker).unwrap().est_cost_ns.is_none());
+
+    // Same depth, opposite verdicts: depth × 2 µs clears the 1 ms·tasks
+    // bound, depth × 30 ms does not.
+    assert_eq!(registry.feed(cheap, vec![1, 2, 3]), Admission::Submitted);
+    assert_eq!(registry.feed(expensive, vec![1, 2, 3]), Admission::Queued);
+
+    // Release the pool: the queued item dispatches once depth falls, and
+    // every admitted item completes.
+    for _ in 0..5 {
+        tx.send(()).unwrap();
+    }
+    registry.quiesce();
+    assert_eq!(
+        registry.take_ready(cheap).len() + registry.take_ready(expensive).len(),
+        2,
+        "queued-by-pricing items still run once the queue clears"
+    );
+    engine.shutdown();
+}
+
+proptest! {
+    /// The pricing predicate itself: admitted ⇔ depth × cost ≤ bound,
+    /// monotone in both depth and cost, and *always* admitting when the
+    /// tenant is unpriced or the bound is unset (degrade-to-static).
+    #[test]
+    fn cost_gate_is_monotone_and_degrades_without_estimates(
+        bound in 1u64..1_000_000_000,
+        cost in 1u64..1_000_000_000,
+        depth in 0usize..100_000,
+    ) {
+        let p = AdmissionPolicy::default().max_queue_cost(bound);
+        let admitted = p.cost_room(depth, Some(cost));
+        prop_assert_eq!(admitted, (depth as u64) * cost <= bound);
+        if admitted {
+            // Monotone: shallower queues and cheaper tenants stay in.
+            if depth > 0 {
+                prop_assert!(p.cost_room(depth - 1, Some(cost)));
+            }
+            prop_assert!(p.cost_room(depth, Some(cost.max(2) - 1)));
+        }
+        // No estimate / no bound: the gate must never reject.
+        prop_assert!(p.cost_room(depth, None));
+        prop_assert!(AdmissionPolicy::default().cost_room(depth, Some(cost)));
+    }
 }
 
 /// One op in an interleaved schedule: which tenant, and the items it
